@@ -1,0 +1,246 @@
+(* Benchmark harness: one Bechamel test per reproduced artefact (figures,
+   ordering, ablations, validation) plus substrate micro-benchmarks, then
+   the regenerated tables themselves — the rows/series the paper reports.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+module Systems = Fortress_model.Systems
+module Step_level = Fortress_mc.Step_level
+module Probe_level = Fortress_mc.Probe_level
+module Figures = Fortress_exp.Figures
+module Ablations = Fortress_exp.Ablations
+module Validation = Fortress_exp.Validation
+module Sha256 = Fortress_crypto.Sha256
+
+(* ---- one Test.make per experiment artefact ---- *)
+
+let test_figure1 =
+  Test.make ~name:"figure1-analytic-rows"
+    (Staged.stage (fun () -> ignore (Figures.figure1_rows ~points:7 ())))
+
+let test_figure2 =
+  Test.make ~name:"figure2-analytic-rows"
+    (Staged.stage (fun () -> ignore (Figures.figure2_rows ~points:7 ())))
+
+let test_ordering =
+  Test.make ~name:"ordering-chain-check"
+    (Staged.stage (fun () -> ignore (Figures.ordering ~points:5 ())))
+
+let test_ablation_np =
+  Test.make ~name:"ablation-np"
+    (Staged.stage (fun () -> ignore (Ablations.proxy_count_table ~points:5 ())))
+
+let test_ablation_chi =
+  Test.make ~name:"ablation-chi"
+    (Staged.stage (fun () ->
+         ignore (Ablations.entropy_table ~chis:[ 256; 512 ] ~omega:8 ~trials:20 ())))
+
+let test_ablation_launchpad =
+  Test.make ~name:"ablation-launchpad"
+    (Staged.stage (fun () -> ignore (Ablations.launchpad_table ())))
+
+let test_ablation_kappa =
+  Test.make ~name:"ablation-kappa-campaign"
+    (Staged.stage (fun () -> ignore (Ablations.detection_table ~thresholds:[ 5 ] ~steps:5 ())))
+
+let test_ablation_diversity =
+  Test.make ~name:"ablation-diversity"
+    (Staged.stage (fun () ->
+         ignore
+           (Ablations.limited_diversity_table ~candidate_counts:[ 1; 4 ] ~trials:100 ())))
+
+let test_ablation_overhead =
+  Test.make ~name:"ablation-overhead"
+    (Staged.stage (fun () -> ignore (Ablations.overhead_table ~requests:20 ())))
+
+let test_ablation_budget =
+  Test.make ~name:"ablation-budget-split"
+    (Staged.stage (fun () -> ignore (Ablations.budget_split_table ~kappas:[ 0.5 ] ())))
+
+let test_degradation =
+  Test.make ~name:"degradation-under-attack"
+    (Staged.stage (fun () ->
+         ignore (Fortress_exp.Degradation.run ~omegas:[ 0; 32 ] ~requests:30 ~horizon:10 ())))
+
+let test_podc =
+  Test.make ~name:"podc-claim-check"
+    (Staged.stage (fun () -> ignore (Figures.podc_claim_holds ~points:5 ())))
+
+let test_distributions =
+  Test.make ~name:"distribution-shapes"
+    (Staged.stage (fun () ->
+         ignore
+           (Fortress_exp.Distributions.profile ~trials:200 Systems.S1_PO ~alpha:0.01
+              ~kappa:0.5)))
+
+let test_validation =
+  Test.make ~name:"validation-three-tier"
+    (Staged.stage (fun () ->
+         ignore
+           (Validation.run ~chi:512 ~omega:8 ~trials:30
+              ~systems:[ Systems.S1_PO; Systems.S2_PO ] ())))
+
+let test_protocol_validation =
+  Test.make ~name:"validation-packet-level-campaign"
+    (Staged.stage (fun () -> ignore (Validation.protocol ~trials:10 ())))
+
+(* ---- substrate micro-benchmarks ---- *)
+
+let test_step_mc =
+  Test.make ~name:"mc-step-s2po-1000-trials"
+    (Staged.stage (fun () ->
+         ignore
+           (Step_level.estimate ~trials:1000 Systems.S2_PO
+              { Step_level.default with alpha = 3e-3 })))
+
+let test_probe_mc =
+  Test.make ~name:"mc-probe-s2po-50-trials"
+    (Staged.stage (fun () ->
+         ignore
+           (Probe_level.estimate ~trials:50 Systems.S2_PO
+              { Probe_level.default with chi = 1024; omega = 8 })))
+
+let test_markov =
+  Test.make ~name:"model-s0so-inhomogeneous-chain"
+    (Staged.stage (fun () -> ignore (Systems.s0_so ~alpha:1e-3)))
+
+let test_sha256 =
+  let payload = String.make 4096 'x' in
+  Test.make ~name:"crypto-sha256-4KiB" (Staged.stage (fun () -> ignore (Sha256.digest payload)))
+
+let test_pb_deployment =
+  Test.make ~name:"protocol-fortress-request-roundtrip"
+    (Staged.stage (fun () ->
+         let module Deployment = Fortress_core.Deployment in
+         let module Client = Fortress_core.Client in
+         let module Engine = Fortress_sim.Engine in
+         let deployment = Deployment.create Deployment.default_config in
+         let client = Deployment.new_client deployment ~name:"bench-client" in
+         let served = ref 0 in
+         for i = 1 to 10 do
+           ignore
+             (Client.submit client
+                ~cmd:(Printf.sprintf "put k%d v" i)
+                ~on_response:(fun _ -> incr served))
+         done;
+         Engine.run ~until:100.0 (Deployment.engine deployment);
+         assert (!served = 10)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"fortress"
+      [
+        test_figure1;
+        test_figure2;
+        test_ordering;
+        test_ablation_np;
+        test_ablation_chi;
+        test_ablation_launchpad;
+        test_ablation_kappa;
+        test_ablation_diversity;
+        test_ablation_overhead;
+        test_ablation_budget;
+        test_degradation;
+        test_podc;
+        test_distributions;
+        test_validation;
+        test_protocol_validation;
+        test_step_mc;
+        test_probe_mc;
+        test_markov;
+        test_sha256;
+        test_pb_deployment;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let ns =
+           match Analyze.OLS.estimates ols with
+           | Some (e :: _) -> Printf.sprintf "%13.1f ns/run" e
+           | Some [] | None -> "            n/a"
+         in
+         Printf.printf "  %-45s %s\n" name ns)
+
+let () =
+  print_endline "== micro-benchmarks (bechamel, monotonic clock) ==";
+  benchmark ();
+  print_endline "";
+  print_endline "== Figure 1: expected lifetime comparison (analytic, kappa = 0.5) ==";
+  print_string (Fortress_util.Table.render (Figures.figure1_table ~points:13 ()));
+  print_endline "";
+  print_endline "== Figure 2: S2PO expected lifetime as kappa varies ==";
+  print_string (Fortress_util.Table.render (Figures.figure2_table ~points:13 ()));
+  print_endline "";
+  print_endline "== Ordering check (paper section 6 summary chain) ==";
+  print_string (Fortress_util.Table.render (Figures.ordering_table ~points:7 ()));
+  print_endline "";
+  print_endline "== Ablation A1: proxy count ==";
+  print_string (Fortress_util.Table.render (Ablations.proxy_count_table ~points:5 ()));
+  print_endline "";
+  print_endline "== Ablation A2: key entropy under SO (probe-level) ==";
+  print_string (Fortress_util.Table.render (Ablations.entropy_table ~trials:100 ()));
+  print_endline "";
+  print_endline "== Ablation A3: launch-pad discipline (alpha = 0.005) ==";
+  print_string (Fortress_util.Table.render (Ablations.launchpad_table ()));
+  print_endline "";
+  print_endline "== Ablation A4: proxy detection threshold -> effective kappa ==";
+  print_string (Fortress_util.Table.render (Ablations.detection_table ()));
+  print_endline "";
+  print_endline "== Ablation A5: limited diversity (candidate-set size) ==";
+  print_string
+    (Fortress_util.Table.render (Ablations.limited_diversity_table ~trials:1000 ()));
+  print_endline "";
+  print_endline "== Ablation A6: proxy overhead on the request path ==";
+  print_string (Fortress_util.Table.render (Ablations.overhead_table ()));
+  print_endline "";
+  print_endline "== Ablation A7: optimizing attacker budget split ==";
+  print_string (Fortress_util.Table.render (Ablations.budget_split_table ()));
+  print_endline "";
+  print_endline "== Service quality under attack (degradation) ==";
+  print_string (Fortress_util.Table.render (Fortress_exp.Degradation.table (Fortress_exp.Degradation.run ())));
+  print_endline "";
+  print_endline "== PODC 2009 claim: fortified PB vs SMR with proactive recovery ==";
+  print_string (Fortress_util.Table.render (Figures.podc_claim_table ~points:7 ()));
+  print_endline "";
+  print_endline "== Lifetime distribution shapes (alpha = 0.002, kappa = 0.5) ==";
+  let shape_profiles =
+    List.map
+      (fun s -> Fortress_exp.Distributions.profile ~trials:2000 s ~alpha:0.002 ~kappa:0.5)
+      [ Systems.S1_PO; Systems.S2_PO; Systems.S1_SO; Systems.S0_SO ]
+  in
+  print_string (Fortress_util.Table.render (Fortress_exp.Distributions.table shape_profiles));
+  print_endline "";
+  print_endline "== Threat matrix (paper section 2.1) ==";
+  (let module Threat = Fortress_defense.Threat in
+   let module Keyspace = Fortress_defense.Keyspace in
+   let ks = Keyspace.pax_aslr_32bit in
+   print_string
+     (Fortress_util.Table.render
+        (Threat.matrix_table
+           [ []; [ Threat.W_xor_x ]; [ Threat.W_xor_x; Threat.Isr ks ];
+             [ Threat.Aslr ks ]; [ Threat.W_xor_x; Threat.Aslr ks ];
+             [ Threat.W_xor_x; Threat.Aslr ks; Threat.Got_randomization ks ] ])));
+  print_endline "";
+  print_endline "== Sensitivity: elasticities at alpha = 1e-3, kappa = 0.5 ==";
+  print_string (Fortress_util.Table.render (Fortress_exp.Sensitivity.table ()));
+  print_endline "";
+  print_endline "== Validation V1: analytic vs step-level vs probe-level ==";
+  let lines = Validation.run ~trials:200 () in
+  print_string (Fortress_util.Table.render (Validation.table lines));
+  Printf.printf "max |step-MC - analytic| / analytic = %.3f\n"
+    (Validation.max_relative_error lines);
+  print_endline "";
+  print_endline "== Validation V2: full packet-level stack vs the models ==";
+  let line = Validation.protocol ~trials:60 () in
+  print_string (Fortress_util.Table.render (Validation.protocol_table line));
+  Printf.printf "stack agreement: %s\n"
+    (if Validation.protocol_agrees line then "holds" else "FAILS")

@@ -1,0 +1,444 @@
+(* fortress-cli: regenerate the paper's evaluation artefacts and explore
+   the models from the command line. *)
+
+open Cmdliner
+module Systems = Fortress_model.Systems
+module Step_level = Fortress_mc.Step_level
+module Trial = Fortress_mc.Trial
+module Table = Fortress_util.Table
+module Figures = Fortress_exp.Figures
+module Ablations = Fortress_exp.Ablations
+module Validation = Fortress_exp.Validation
+
+(* ---- shared arguments ---- *)
+
+let alpha_arg =
+  let doc = "Per-step direct-attack success probability (paper range 1e-5..1e-2)." in
+  Arg.(value & opt float 1e-3 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+
+let kappa_arg =
+  let doc = "Indirect attack coefficient in [0,1]." in
+  Arg.(value & opt float 0.5 & info [ "kappa" ] ~docv:"KAPPA" ~doc)
+
+let np_arg =
+  let doc = "Number of proxies in the FORTRESS tier." in
+  Arg.(value & opt int 3 & info [ "np" ] ~docv:"NP" ~doc)
+
+let points_arg =
+  let doc = "Points on the alpha sweep." in
+  Arg.(value & opt int 13 & info [ "points" ] ~docv:"N" ~doc)
+
+let trials_arg ~default =
+  let doc = "Monte-Carlo trials (0 disables MC columns)." in
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let launchpad_arg =
+  let lp_conv =
+    Arg.enum
+      [ ("remaining", Systems.Remaining); ("full", Systems.Full); ("next-step", Systems.Next_step) ]
+  in
+  let doc = "Launch-pad discipline: remaining | full | next-step." in
+  Arg.(value & opt lp_conv Systems.Remaining & info [ "launchpad" ] ~docv:"MODE" ~doc)
+
+let system_arg =
+  let sys_conv =
+    Arg.enum (List.map (fun s -> (Systems.system_to_string s, s)) Systems.all_systems)
+  in
+  let doc = "System class: s0so | s1so | s0po | s1po | s2po | s2so." in
+  Arg.(value & opt sys_conv Systems.S2_PO & info [ "system" ] ~docv:"SYSTEM" ~doc)
+
+let print_table ~csv table =
+  print_string (if csv then Table.to_csv table else Table.render table)
+
+(* ---- el ---- *)
+
+let el_cmd =
+  let run system alpha kappa np launchpad trials =
+    let analytic = Systems.expected_lifetime ~launchpad ~np system ~alpha ~kappa in
+    Printf.printf "%s: analytic EL = %.6g unit time-steps (alpha=%g kappa=%g np=%d)\n"
+      (Systems.system_to_string system)
+      analytic alpha kappa np;
+    if trials > 0 then begin
+      let cfg = { Step_level.default with alpha; kappa; np; launchpad } in
+      let res = Step_level.estimate ~trials system cfg in
+      Format.printf "%s: monte-carlo %a@." (Systems.system_to_string system) Trial.pp_result res
+    end
+  in
+  let term = Term.(const run $ system_arg $ alpha_arg $ kappa_arg $ np_arg $ launchpad_arg
+                   $ trials_arg ~default:0) in
+  Cmd.v (Cmd.info "el" ~doc:"Expected lifetime of one system at one operating point.") term
+
+(* ---- figures ---- *)
+
+let plot_arg =
+  let doc = "Render an ASCII log-log plot instead of a table." in
+  Arg.(value & flag & info [ "plot" ] ~doc)
+
+let figure1_cmd =
+  let run points kappa trials csv plot =
+    if plot then print_string (Figures.figure1_plot ~kappa ())
+    else print_table ~csv (Figures.figure1_table ~points ~kappa ~mc_trials:trials ())
+  in
+  let term =
+    Term.(const run $ points_arg $ kappa_arg $ trials_arg ~default:0 $ csv_arg $ plot_arg)
+  in
+  Cmd.v
+    (Cmd.info "figure1"
+       ~doc:"Regenerate Figure 1: expected lifetime comparison across all five systems.")
+    term
+
+let figure2_cmd =
+  let run points csv plot =
+    if plot then print_string (Figures.figure2_plot ())
+    else print_table ~csv (Figures.figure2_table ~points ())
+  in
+  let term = Term.(const run $ points_arg $ csv_arg $ plot_arg) in
+  Cmd.v
+    (Cmd.info "figure2" ~doc:"Regenerate Figure 2: S2PO expected lifetime as kappa varies.")
+    term
+
+let ordering_cmd =
+  let run points csv =
+    print_table ~csv (Figures.ordering_table ~points ());
+    let r = Figures.ordering ~points () in
+    let yes b = if b then "holds" else "FAILS" in
+    Printf.printf "\nsummary chain (paper section 6):\n";
+    Printf.printf "  S0PO -> S2PO for kappa > 0:    %s\n" (yes r.Figures.s0po_beats_s2po);
+    Printf.printf "  S2PO -> S1PO at kappa = 0.5:   %s\n"
+      (yes r.Figures.s2po_beats_s1po_at_low_kappa);
+    Printf.printf "  S1PO -> S1SO:                  %s\n" (yes r.Figures.s1po_beats_s1so);
+    Printf.printf "  S1SO -> S0SO:                  %s\n" (yes r.Figures.s1so_beats_s0so)
+  in
+  let term = Term.(const run $ points_arg $ csv_arg) in
+  Cmd.v (Cmd.info "ordering" ~doc:"Check the paper's summary ordering across the alpha range.") term
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let chi_arg =
+    Arg.(value & opt int 4096 & info [ "chi" ] ~docv:"CHI" ~doc:"Key-space size for probe-level MC.")
+  in
+  let omega_arg =
+    Arg.(value & opt int 16 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
+  in
+  let protocol_arg =
+    Arg.(value & flag
+         & info [ "protocol" ]
+             ~doc:"Validate the full packet-level protocol stack instead of the samplers.")
+  in
+  let run chi omega kappa trials csv protocol =
+    if protocol then begin
+      let line = Validation.protocol ~trials:(min trials 100) ~kappa () in
+      print_table ~csv (Validation.protocol_table line);
+      Printf.printf "\nstack agreement: %s\n"
+        (if Validation.protocol_agrees line then "holds" else "FAILS")
+    end
+    else begin
+      let lines = Validation.run ~chi ~omega ~kappa ~trials () in
+      print_table ~csv (Validation.table lines);
+      Printf.printf "\nmax |step-MC - analytic| / analytic = %.3f\n"
+        (Validation.max_relative_error lines)
+    end
+  in
+  let term =
+    Term.(const run $ chi_arg $ omega_arg $ kappa_arg $ trials_arg ~default:400 $ csv_arg
+          $ protocol_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-validate analytic, step-level and probe-level estimates of every system.")
+    term
+
+(* ---- ablations ---- *)
+
+let ablation_cmd =
+  let which_arg =
+    let doc = "Which ablation: np | chi | launchpad | kappa | diversity | overhead | budget | degradation." in
+    Arg.(required & pos 0 (some (Arg.enum
+      [ ("np", `Np); ("chi", `Chi); ("launchpad", `Launchpad); ("kappa", `Kappa);
+        ("diversity", `Diversity); ("overhead", `Overhead); ("budget", `Budget);
+        ("degradation", `Degradation) ])) None
+      & info [] ~docv:"WHICH" ~doc)
+  in
+  let run which csv =
+    let table =
+      match which with
+      | `Np -> Ablations.proxy_count_table ()
+      | `Chi -> Ablations.entropy_table ()
+      | `Launchpad -> Ablations.launchpad_table ()
+      | `Kappa -> Ablations.detection_table ()
+      | `Diversity -> Ablations.limited_diversity_table ()
+      | `Overhead -> Ablations.overhead_table ()
+      | `Budget -> Ablations.budget_split_table ()
+      | `Degradation -> Fortress_exp.Degradation.table (Fortress_exp.Degradation.run ())
+    in
+    print_table ~csv table
+  in
+  let term = Term.(const run $ which_arg $ csv_arg) in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run one of the design-choice ablations and extensions (A1-A8).") term
+
+(* ---- podc ---- *)
+
+let podc_cmd =
+  let run points csv =
+    print_table ~csv (Figures.podc_claim_table ~points ());
+    Printf.printf "\nclaim from Ezhilchelvan et al. (OPODIS 2009): %s\n"
+      (if Figures.podc_claim_holds ~points () then
+         "holds — a fortified PB system (kappa = 0, recovery only) is at least as resilient as 4-replica SMR with proactive recovery"
+       else "FAILS")
+  in
+  let term = Term.(const run $ points_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "podc"
+       ~doc:"Re-check the OPODIS 2009 claim the paper builds on (section 1).")
+    term
+
+(* ---- shapes ---- *)
+
+let shapes_cmd =
+  let run alpha kappa trials =
+    let module Distributions = Fortress_exp.Distributions in
+    let profiles =
+      List.map
+        (fun system -> Distributions.profile ~trials system ~alpha ~kappa)
+        [ Systems.S1_PO; Systems.S2_PO; Systems.S1_SO; Systems.S0_SO ]
+    in
+    print_string (Fortress_util.Table.render (Distributions.table profiles))
+  in
+  let term = Term.(const run $ alpha_arg $ kappa_arg $ trials_arg ~default:4000) in
+  Cmd.v
+    (Cmd.info "shapes"
+       ~doc:"Lifetime distribution shapes: memoryless PO vs exhaustion-bounded SO.")
+    term
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let module Deployment = Fortress_core.Deployment in
+  let module Obfuscation = Fortress_core.Obfuscation in
+  let module Client = Fortress_core.Client in
+  let module Proxy = Fortress_core.Proxy in
+  let module Campaign = Fortress_attack.Campaign in
+  let module Keyspace = Fortress_defense.Keyspace in
+  let module Engine = Fortress_sim.Engine in
+  let module Trace = Fortress_sim.Trace in
+  let service_arg =
+    let all = List.map fst Fortress_replication.Services.all in
+    let doc = Printf.sprintf "Service to replicate: %s." (String.concat " | " all) in
+    Arg.(value & opt string "kv" & info [ "service" ] ~docv:"NAME" ~doc)
+  in
+  let np_sim = Arg.(value & opt int 3 & info [ "proxies" ] ~docv:"NP" ~doc:"Proxies (0 = bare S1).") in
+  let ns_sim = Arg.(value & opt int 3 & info [ "servers" ] ~docv:"NS" ~doc:"Primary-backup servers.") in
+  let steps_arg =
+    Arg.(value & opt int 20 & info [ "steps" ] ~docv:"N" ~doc:"Unit time-steps to simulate.")
+  in
+  let mode_arg =
+    Arg.(value & opt (Arg.enum [ ("po", Obfuscation.PO); ("so", Obfuscation.SO) ]) Obfuscation.PO
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Obfuscation schedule: po | so.")
+  in
+  let omega_sim =
+    Arg.(value & opt int 0 & info [ "attack-omega" ] ~docv:"N"
+           ~doc:"Attack intensity (0 disables the campaign).")
+  in
+  let chi_sim =
+    Arg.(value & opt int 65536 & info [ "chi" ] ~docv:"N" ~doc:"Randomization key-space size.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let rate_arg =
+    Arg.(value & opt int 4 & info [ "requests-per-step" ] ~docv:"N" ~doc:"Client workload rate.")
+  in
+  let trace_arg =
+    Arg.(value & opt int 10 & info [ "trace" ] ~docv:"N" ~doc:"Trace lines to print at the end.")
+  in
+  let run service np ns steps mode omega chi seed rate kappa trace_lines =
+    match Fortress_replication.Services.find service with
+    | None ->
+        prerr_endline ("unknown service: " ^ service);
+        exit 1
+    | Some svc ->
+        let period = 100.0 in
+        let deployment =
+          Deployment.create
+            { Deployment.default_config with np; ns; service = svc; service_name = service;
+              keyspace = Keyspace.of_size chi; seed }
+        in
+        let engine = Deployment.engine deployment in
+        ignore (Obfuscation.attach deployment ~mode ~period);
+        let client = Deployment.new_client deployment ~name:"workload" in
+        let served = ref 0 and sent = ref 0 in
+        ignore
+          (Engine.every engine ~period:(period /. float_of_int (max rate 1))
+             ~until:(period *. float_of_int steps) (fun () ->
+               incr sent;
+               ignore
+                 (Client.submit client
+                    ~cmd:(Printf.sprintf "put k%d v%d" !sent !sent)
+                    ~on_response:(fun _ -> incr served))));
+        let compromised_at =
+          if omega > 0 then begin
+            let campaign =
+              Campaign.launch deployment
+                { Campaign.default_config with omega; kappa; period; seed = seed + 1 }
+            in
+            Campaign.run_until_compromise campaign ~max_steps:steps
+          end
+          else begin
+            Engine.run ~until:(period *. float_of_int steps) engine;
+            None
+          end
+        in
+        Printf.printf "simulated %d unit time-steps (service=%s np=%d ns=%d mode=%s chi=%d)\n"
+          steps service np ns (Obfuscation.mode_to_string mode) chi;
+        (match compromised_at with
+        | Some step -> Printf.printf "system COMPROMISED during step %d\n" step
+        | None -> Printf.printf "system survived the horizon\n");
+        Printf.printf "workload: %d submitted, %d served\n" !sent !served;
+        Array.iter
+          (fun proxy ->
+            Printf.printf "proxy %d: %d forwarded, %d invalid logged, %d sources blocked\n"
+              (Proxy.index proxy) (Proxy.forwarded proxy) (Proxy.invalid_observed proxy)
+              (List.length (Proxy.blocked_sources proxy)))
+          (Deployment.proxies deployment);
+        if trace_lines > 0 then begin
+          print_endline "trace tail:";
+          print_string (Trace.dump ~limit:trace_lines (Engine.trace engine))
+        end
+  in
+  let term =
+    Term.(const run $ service_arg $ np_sim $ ns_sim $ steps_arg $ mode_arg $ omega_sim
+          $ chi_sim $ seed_arg $ rate_arg $ kappa_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Drive a configurable FORTRESS deployment end to end and summarise what happened.")
+    term
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to FILE instead of stdout.")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Include Monte-Carlo validation and campaign ablations (slower).")
+  in
+  let run output full =
+    let module Report = Fortress_exp.Report in
+    let fidelity = if full then Report.Full else Report.Quick in
+    let body = Report.generate ~fidelity () in
+    match output with
+    | None -> print_string body
+    | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "report written to %s (%d bytes)\n" path (String.length body)
+  in
+  let term = Term.(const run $ out_arg $ full_arg) in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Generate the full markdown reproduction report.")
+    term
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(value & opt string "data" & info [ "outdir" ] ~docv:"DIR"
+           ~doc:"Directory to write the CSVs and gnuplot scripts into.")
+  in
+  let run dir =
+    List.iter
+      (fun (path, bytes) -> Printf.printf "wrote %s (%d bytes)\n" path bytes)
+      (Fortress_exp.Export.write_all ~dir)
+  in
+  let term = Term.(const run $ dir_arg) in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write the evaluation data as CSV plus gnuplot scripts.")
+    term
+
+(* ---- sensitivity ---- *)
+
+let sensitivity_cmd =
+  let run alpha kappa csv =
+    print_table ~csv (Fortress_exp.Sensitivity.table ~alpha ~kappa ())
+  in
+  let term = Term.(const run $ alpha_arg $ kappa_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Elasticities of expected lifetime with respect to alpha and kappa.")
+    term
+
+(* ---- choose ---- *)
+
+let choose_cmd =
+  let run () =
+    let module Choice_map = Fortress_exp.Choice_map in
+    print_string (Choice_map.map_string ());
+    print_endline "";
+    print_endline "the DSM premium (EL(S0PO) / EL(S2PO)) - the lifetime factor bought by";
+    print_endline "making the service a deterministic state machine:";
+    print_string (Fortress_util.Table.render (Choice_map.premium_table ()))
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v
+    (Cmd.info "choose"
+       ~doc:"The section-7 design choice, mapped over the (alpha, kappa) plane.")
+    term
+
+(* ---- threats ---- *)
+
+let threats_cmd =
+  let run () =
+    let module Threat = Fortress_defense.Threat in
+    let module Keyspace = Fortress_defense.Keyspace in
+    let ks = Keyspace.pax_aslr_32bit in
+    let stacks =
+      [ [];
+        [ Threat.W_xor_x ];
+        [ Threat.Isr ks ];
+        [ Threat.Heap_randomization ks ];
+        [ Threat.W_xor_x; Threat.Isr ks; Threat.Heap_randomization ks ];
+        [ Threat.Aslr ks ];
+        [ Threat.W_xor_x; Threat.Aslr ks ];
+        [ Threat.W_xor_x; Threat.Aslr ks; Threat.Got_randomization ks ] ]
+    in
+    print_string (Fortress_util.Table.render (Threat.matrix_table stacks));
+    print_endline "";
+    print_endline "reading the table (paper section 2.1): W^X, ISR and heap randomization";
+    print_endline "are all bypassed by return-to-libc; only address randomization forces";
+    print_endline "the attacker into the keyed de-randomization game the rest of this";
+    print_endline "repository models, and layering randomizers multiplies the entropy."
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v
+    (Cmd.info "threats"
+       ~doc:"The section-2.1 defence/attack-vector matrix and effective entropies.")
+    term
+
+(* ---- crossover ---- *)
+
+let crossover_cmd =
+  let run alpha =
+    Printf.printf "kappa* at alpha=%g: %.4f (S2PO outlives S1PO below this kappa)\n" alpha
+      (Figures.kappa_crossover_at ~alpha)
+  in
+  let term = Term.(const run $ alpha_arg) in
+  Cmd.v
+    (Cmd.info "crossover" ~doc:"Locate the kappa at which S2PO stops outliving S1PO.")
+    term
+
+let main_cmd =
+  let doc = "FORTRESS attack-resilience evaluation (Clarke & Ezhilchelvan, DSN 2010)" in
+  let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; export_cmd; sensitivity_cmd;
+      threats_cmd; choose_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

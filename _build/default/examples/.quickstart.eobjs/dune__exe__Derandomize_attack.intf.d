@@ -1,0 +1,1 @@
+examples/derandomize_attack.mli:

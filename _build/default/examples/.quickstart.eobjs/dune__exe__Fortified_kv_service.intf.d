@@ -1,0 +1,1 @@
+examples/fortified_kv_service.mli:

@@ -1,0 +1,1 @@
+examples/fortress_over_smr.mli:

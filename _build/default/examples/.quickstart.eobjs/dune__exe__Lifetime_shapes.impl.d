@@ -1,0 +1,1 @@
+examples/lifetime_shapes.ml: Fortress_exp Fortress_model Fortress_util List Printf

@@ -1,0 +1,1 @@
+examples/lifetime_shapes.mli:

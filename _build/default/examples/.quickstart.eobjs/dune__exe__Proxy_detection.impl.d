@@ -1,0 +1,1 @@
+examples/proxy_detection.ml: Array Fortress_core Fortress_defense Fortress_net Fortress_sim List Printf

@@ -1,0 +1,1 @@
+examples/proxy_detection.mli:

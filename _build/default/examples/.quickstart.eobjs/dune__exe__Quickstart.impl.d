@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fortress_core Fortress_net Fortress_replication Fortress_sim List Printf

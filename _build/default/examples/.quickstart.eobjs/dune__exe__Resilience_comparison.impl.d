@@ -1,0 +1,1 @@
+examples/resilience_comparison.ml: Fortress_mc Fortress_model Fortress_util List Printf

@@ -1,0 +1,1 @@
+examples/resilience_comparison.mli:

@@ -1,0 +1,80 @@
+(* Proactive recovery the Castro-Liskov way: reboot from stable storage.
+
+   A primary-backup replica persists a snapshot every few commands plus a
+   write-ahead log for the gap. When proactive recovery wipes its volatile
+   state, the replica reloads locally and only reconciles the delta over
+   the network — and a corrupted snapshot is detected by checksum and falls
+   back to full peer synchronisation instead of silently loading garbage.
+
+   Run with: dune exec examples/durable_recovery.exe *)
+
+module Engine = Fortress_sim.Engine
+module Network = Fortress_net.Network
+module Latency = Fortress_net.Latency
+module Sign = Fortress_crypto.Sign
+module Prng = Fortress_util.Prng
+open Fortress_replication
+
+let () =
+  let engine = Engine.create ~prng:(Prng.create ~seed:42) () in
+  let net = Network.create ~latency:(Latency.constant 0.5) engine in
+  let config = Pb.default_config in
+  let client = Network.register net ~name:"client" ~handler:(fun ~src:_ _ -> ()) in
+  let addresses =
+    Array.init config.Pb.ns (fun i ->
+        Network.register net ~name:(Printf.sprintf "s%d" i) ~handler:(fun ~src:_ _ -> ()))
+  in
+  let stores = Array.init config.Pb.ns (fun _ -> Storage.create ()) in
+  let prng = Engine.prng engine in
+  let replicas =
+    Array.init config.Pb.ns (fun i ->
+        let secret, _ = Sign.generate prng in
+        Pb.create ~storage:stores.(i) ~engine ~config ~index:i ~service:Services.bank ~secret
+          ~self:addresses.(i) ~addresses
+          (fun ~dst msg -> Network.send net ~src:addresses.(i) ~dst msg))
+  in
+  Array.iteri
+    (fun i addr ->
+      Network.set_handler net addr (fun ~src msg -> Pb.handle replicas.(i) ~src msg))
+    addresses;
+  Array.iter Pb.start replicas;
+
+  let submit id cmd =
+    Array.iter
+      (fun dst -> Network.send net ~src:client ~dst (Pb.Request { id; cmd; reply_to = client }))
+      addresses
+  in
+  submit "t1" "open alice";
+  submit "t2" "deposit alice 500";
+  submit "t3" "open bob";
+  Engine.run ~until:30.0 engine;
+  for i = 0 to 9 do
+    submit (Printf.sprintf "x%d" i) "transfer alice bob 25"
+  done;
+  Engine.run ~until:80.0 engine;
+  Printf.printf "after 13 commands: replica 2 persisted seq %d locally\n"
+    (Pb.persisted_seq replicas.(2));
+
+  (* reboot replica 2 with volatile loss *)
+  Pb.stop replicas.(2);
+  Network.set_down net addresses.(2);
+  Engine.run ~until:90.0 engine;
+  Network.set_up net addresses.(2);
+  let reloaded = Pb.restart_from_storage replicas.(2) in
+  Printf.printf "reboot: reload from stable storage -> %b (seq %d recovered locally)\n" reloaded
+    (Pb.applied_seq replicas.(2));
+  Engine.run ~until:200.0 engine;
+  Printf.printf "states agree after rejoin: %b\n"
+    (Pb.service_digest replicas.(2) = Pb.service_digest replicas.(0));
+
+  (* now the disk is damaged: the checksum catches it *)
+  Storage.corrupt stores.(2) ~key:"pb-snapshot";
+  Pb.stop replicas.(2);
+  Engine.run ~until:210.0 engine;
+  let reloaded = Pb.restart_from_storage replicas.(2) in
+  Printf.printf "\ncorrupted snapshot: reload refused -> %b\n" reloaded;
+  Pb.restart replicas.(2);
+  Engine.run ~until:400.0 engine;
+  Printf.printf "network sync recovered it instead: states agree = %b\n"
+    (Pb.service_digest replicas.(2) = Pb.service_digest replicas.(0));
+  Printf.printf "(replica 2 wrote %d storage records along the way)\n" (Storage.writes stores.(2))

@@ -1,0 +1,44 @@
+(* A Figure-1-in-miniature: Monte-Carlo expected lifetimes with confidence
+   intervals for all five systems at a few operating points, next to the
+   analytic curves — the comparison the paper's evaluation is built on.
+
+   Run with: dune exec examples/resilience_comparison.exe *)
+
+module Systems = Fortress_model.Systems
+module Step_level = Fortress_mc.Step_level
+module Trial = Fortress_mc.Trial
+module Table = Fortress_util.Table
+
+let () =
+  let kappa = 0.5 in
+  let trials = 3000 in
+  let table =
+    Table.create ~headers:[ "alpha"; "system"; "analytic EL"; "monte-carlo EL"; "95% CI" ]
+  in
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun system ->
+          let analytic = Systems.expected_lifetime system ~alpha ~kappa in
+          let cfg = { Step_level.default with alpha; kappa } in
+          let r = Step_level.estimate ~trials system cfg in
+          let lo, hi = r.Trial.ci95 in
+          Table.add_row table
+            [
+              Printf.sprintf "%g" alpha;
+              Systems.system_to_string system;
+              Printf.sprintf "%.1f" analytic;
+              Printf.sprintf "%.1f" r.Trial.mean;
+              Printf.sprintf "[%.1f, %.1f]" lo hi;
+            ])
+        [ Systems.S0_SO; Systems.S1_SO; Systems.S1_PO; Systems.S2_PO ])
+    [ 0.01; 0.003; 0.001 ];
+  print_string (Table.render table);
+  print_endline "";
+  print_endline "reading the table:";
+  print_endline "  - S1SO outlives S0SO: identical randomization beats diverse keys under";
+  print_endline "    start-up-only obfuscation (one key to find vs any two of four)";
+  print_endline "  - S1PO and S2PO outlive both SO systems: re-randomization resets the";
+  print_endline "    attacker's key eliminations every step";
+  print_endline "  - S2PO outlives S1PO at kappa = 0.5: proxies halve the effective";
+  print_endline "    attack rate on the servers"

@@ -1,0 +1,1 @@
+lib/attack/campaign.ml: Array Float Fortress_core Fortress_defense Fortress_net Fortress_replication Fortress_sim Fortress_util Knowledge List Pacing Printf

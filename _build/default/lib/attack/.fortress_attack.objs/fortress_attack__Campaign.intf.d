@@ -1,0 +1,1 @@
+lib/attack/campaign.mli: Fortress_core Pacing

@@ -1,0 +1,1 @@
+lib/attack/derandomizer.ml: Fortress_defense Fortress_sim Knowledge

@@ -1,0 +1,1 @@
+lib/attack/derandomizer.mli: Fortress_defense Fortress_sim Fortress_util

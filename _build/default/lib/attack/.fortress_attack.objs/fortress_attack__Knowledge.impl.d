@@ -1,0 +1,1 @@
+lib/attack/knowledge.ml: Fortress_defense Fortress_util Hashtbl

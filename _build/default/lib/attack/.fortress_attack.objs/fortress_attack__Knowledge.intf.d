@@ -1,0 +1,1 @@
+lib/attack/knowledge.mli: Fortress_defense Fortress_util

@@ -1,0 +1,1 @@
+lib/attack/pacing.ml: Float Fortress_util List Printf String

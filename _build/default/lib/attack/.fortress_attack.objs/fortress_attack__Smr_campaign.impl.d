@@ -1,0 +1,1 @@
+lib/attack/smr_campaign.ml: Array Fortress_core Fortress_defense Fortress_sim Fortress_util Knowledge

@@ -1,0 +1,1 @@
+lib/attack/smr_campaign.mli: Fortress_core

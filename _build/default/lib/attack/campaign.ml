@@ -1,0 +1,270 @@
+module Engine = Fortress_sim.Engine
+module Network = Fortress_net.Network
+module Address = Fortress_net.Address
+module Instance = Fortress_defense.Instance
+module Deployment = Fortress_core.Deployment
+module Proxy = Fortress_core.Proxy
+module Message = Fortress_core.Message
+module Obfuscation = Fortress_core.Obfuscation
+module Pb = Fortress_replication.Pb
+module Prng = Fortress_util.Prng
+
+type launchpad = Within_step | Next_step
+
+type config = {
+  omega : int;
+  kappa : float;
+  period : float;
+  pacing : Pacing.t;
+  launchpad : launchpad;
+  target_mode : Obfuscation.mode;
+  rotate_sources : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    omega = 64;
+    kappa = 0.5;
+    period = 100.0;
+    pacing = Pacing.Uniform;
+    launchpad = Within_step;
+    target_mode = Obfuscation.PO;
+    rotate_sources = true;
+    seed = 0;
+  }
+
+type tracked = { knowledge : Knowledge.t; mutable epoch_seen : int }
+
+type t = {
+  deployment : Deployment.t;
+  cfg : config;
+  prng : Prng.t;
+  proxy_tracks : tracked array;
+  server_track : tracked;  (** servers share one key, so one knowledge pool *)
+  proxy_fell_at : int option array;  (** step at which each proxy fell *)
+  mutable source : Address.t;
+  mutable current_step : int;
+  mutable compromised_at : int option;
+  mutable direct_sent : int;
+  mutable indirect_sent : int;
+  mutable indirect_blocked : int;
+  mutable launchpad_sent : int;
+  mutable sources_burned : int;
+  mutable rr : int;  (** round-robin proxy cursor for indirect probes *)
+}
+
+let new_source t =
+  Deployment.new_attacker_address t.deployment
+    ~name:(Printf.sprintf "attacker-src%d" t.sources_burned)
+    ~handler:(fun ~src:_ _ -> ())
+
+let make deployment cfg =
+  let ks = Deployment.config deployment in
+  let keyspace = ks.Deployment.keyspace in
+  let np = Array.length (Deployment.proxies deployment) in
+  let track inst =
+    { knowledge = Knowledge.create keyspace; epoch_seen = Instance.epoch inst }
+  in
+  let proxy_instances = Deployment.proxy_instances deployment in
+  let server_instances = Deployment.server_instances deployment in
+  let t =
+    {
+      deployment;
+      cfg;
+      prng = Prng.create ~seed:cfg.seed;
+      proxy_tracks = Array.map track proxy_instances;
+      server_track = track server_instances.(0);
+      proxy_fell_at = Array.make (max np 1) None;
+      source = Address.make 0;
+      current_step = 1;
+      compromised_at = None;
+      direct_sent = 0;
+      indirect_sent = 0;
+      indirect_blocked = 0;
+      launchpad_sent = 0;
+      sources_burned = 0;
+      rr = 0;
+    }
+  in
+  t.source <- new_source t;
+  t
+
+(* The attacker knows the defender's schedule: on an epoch change, PO means
+   fresh keys (knowledge void), SO means recovery only (knowledge holds). *)
+let sync_track t track inst =
+  let epoch = Instance.epoch inst in
+  if epoch <> track.epoch_seen then begin
+    track.epoch_seen <- epoch;
+    match t.cfg.target_mode with
+    | Obfuscation.PO -> Knowledge.on_target_rekeyed track.knowledge
+    | Obfuscation.SO -> Knowledge.on_target_recovered track.knowledge
+  end
+
+let note_if_compromised t =
+  if t.compromised_at = None && Deployment.system_compromised t.deployment then
+    t.compromised_at <- Some t.current_step
+
+let primary_server_index t =
+  let servers = Deployment.servers t.deployment in
+  let found = ref 0 in
+  Array.iteri (fun i r -> if Pb.is_primary r then found := i) servers;
+  !found
+
+(* A probe against the shared server key, whether indirect (through a
+   proxy) or over a captured launch pad. *)
+let probe_server t =
+  let insts = Deployment.server_instances t.deployment in
+  sync_track t t.server_track insts.(0);
+  let guess = Knowledge.next_guess t.server_track.knowledge t.prng in
+  match Instance.probe insts.(0) ~guess with
+  | Instance.Crash -> Knowledge.observe_crash t.server_track.knowledge ~guess
+  | Instance.Intrusion ->
+      Knowledge.observe_intrusion t.server_track.knowledge ~guess;
+      Deployment.compromise_server t.deployment (primary_server_index t);
+      note_if_compromised t
+
+let probe_proxy t j =
+  let insts = Deployment.proxy_instances t.deployment in
+  let track = t.proxy_tracks.(j) in
+  sync_track t track insts.(j);
+  let guess = Knowledge.next_guess track.knowledge t.prng in
+  match Instance.probe insts.(j) ~guess with
+  | Instance.Crash -> Knowledge.observe_crash track.knowledge ~guess
+  | Instance.Intrusion ->
+      Knowledge.observe_intrusion track.knowledge ~guess;
+      Deployment.compromise_proxy t.deployment j;
+      if t.proxy_fell_at.(j) = None then t.proxy_fell_at.(j) <- Some t.current_step;
+      note_if_compromised t
+
+(* Direct probe slot aimed at proxy [j] (or at a server directly when there
+   are no proxies). A fallen proxy turns its remaining slots into
+   launch-pad probes, subject to the launchpad discipline. *)
+let direct_probe_slot t j =
+  if t.compromised_at = None then begin
+    let np = Array.length (Deployment.proxies t.deployment) in
+    if np = 0 then begin
+      t.direct_sent <- t.direct_sent + 1;
+      probe_server t
+    end
+    else if not (Deployment.proxy_compromised t.deployment j) then begin
+      t.direct_sent <- t.direct_sent + 1;
+      (* the deployment may have cleared the flag at a boundary *)
+      if t.proxy_fell_at.(j) <> None && t.cfg.target_mode = Obfuscation.PO then
+        t.proxy_fell_at.(j) <- None;
+      probe_proxy t j
+    end
+    else begin
+      let usable =
+        match t.cfg.launchpad with
+        | Within_step -> true
+        | Next_step -> (
+            match t.proxy_fell_at.(j) with
+            | Some s -> s < t.current_step
+            | None -> true (* fell before we started tracking: treat as old *))
+      in
+      if usable then begin
+        t.launchpad_sent <- t.launchpad_sent + 1;
+        probe_server t
+      end
+    end
+  end
+
+(* Indirect probe: route a probe command through a live proxy. The proxy
+   logs it as an invalid request (and may block the source); if the source
+   was not blocked, the probe reaches the server tier and tests the shared
+   server key. *)
+let indirect_probe_slot t =
+  if t.compromised_at = None then begin
+    let proxies = Deployment.proxies t.deployment in
+    let np = Array.length proxies in
+    if np > 0 then begin
+      let j = t.rr mod np in
+      t.rr <- t.rr + 1;
+      let proxy = proxies.(j) in
+      let net = Deployment.network t.deployment in
+      let engine = Deployment.engine t.deployment in
+      let guess = Knowledge.next_guess t.server_track.knowledge t.prng in
+      let cmd = Printf.sprintf "probe:%d" guess in
+      let src = t.source in
+      t.indirect_sent <- t.indirect_sent + 1;
+      Network.send net ~src ~dst:(Deployment.proxy_addresses t.deployment).(j)
+        (Message.Client_request { id = Printf.sprintf "atk-%d" t.indirect_sent; cmd; client = src });
+      (* evaluate after the proxy has processed the request *)
+      ignore
+        (Engine.schedule engine ~delay:2.0 (fun () ->
+             if Proxy.is_blocked proxy src then begin
+               t.indirect_blocked <- t.indirect_blocked + 1;
+               if t.cfg.rotate_sources then begin
+                 t.sources_burned <- t.sources_burned + 1;
+                 t.source <- new_source t
+               end
+             end
+             else if t.compromised_at = None then probe_server t))
+    end
+  end
+
+let arm t =
+  let engine = Deployment.engine t.deployment in
+  let np = Array.length (Deployment.proxies t.deployment) in
+  let direct_targets = max np 1 in
+  let indirect_per_step =
+    if np = 0 then 0
+    else int_of_float (Float.round (t.cfg.kappa *. float_of_int t.cfg.omega))
+  in
+  let rec arm_step () =
+    if t.compromised_at = None then begin
+      let base = Engine.now engine in
+      let direct_offsets = Pacing.offsets t.cfg.pacing ~budget:t.cfg.omega ~period:t.cfg.period in
+      List.iteri
+        (fun s offset ->
+          let at = base +. offset in
+          for j = 0 to direct_targets - 1 do
+            ignore (Engine.schedule_at engine ~time:at (fun () -> direct_probe_slot t j))
+          done;
+          if s < indirect_per_step then
+            ignore
+              (Engine.schedule_at engine
+                 ~time:(at +. (t.cfg.period /. float_of_int (3 * (t.cfg.omega + 2))))
+                 (fun () -> indirect_probe_slot t)))
+        direct_offsets;
+      ignore
+        (Engine.schedule_at engine ~time:(base +. t.cfg.period) (fun () ->
+             t.current_step <- t.current_step + 1;
+             arm_step ()))
+    end
+  in
+  arm_step ()
+
+let launch deployment cfg =
+  if cfg.omega <= 0 then invalid_arg "Campaign.launch: omega must be positive";
+  if cfg.kappa < 0.0 || cfg.kappa > 1.0 then invalid_arg "Campaign.launch: kappa in [0,1]";
+  let t = make deployment cfg in
+  arm t;
+  t
+
+let run_until_compromise t ~max_steps =
+  let engine = Deployment.engine t.deployment in
+  let rec go () =
+    match t.compromised_at with
+    | Some s -> Some s
+    | None ->
+        if t.current_step > max_steps then None
+        else begin
+          Engine.run ~until:(Engine.now engine +. t.cfg.period) engine;
+          go ()
+        end
+  in
+  go ()
+
+let compromised_at_step t = t.compromised_at
+let direct_probes_sent t = t.direct_sent
+let indirect_probes_sent t = t.indirect_sent
+let indirect_probes_blocked t = t.indirect_blocked
+let launchpad_probes_sent t = t.launchpad_sent
+let sources_burned t = t.sources_burned
+
+let effective_kappa t =
+  let intended = t.cfg.kappa *. float_of_int t.cfg.omega *. float_of_int t.current_step in
+  if intended <= 0.0 then 0.0
+  else float_of_int (t.indirect_sent - t.indirect_blocked) /. intended

@@ -1,0 +1,65 @@
+(** A full attack campaign against a FORTRESS {!Fortress_core.Deployment}.
+
+    The campaign runs on the deployment's simulation engine in unit
+    time-steps aligned with the obfuscation schedule. In every step the
+    attacker
+
+    - launches up to [omega] {e direct} probes at each proxy (proxies are
+      the only reachable nodes; with [np = 0] the servers are reachable and
+      probed directly instead),
+    - launches up to [kappa * omega] {e indirect} probes at the server key
+      through the proxies, each of which the handling proxy logs as an
+      invalid request — enough of them and the source gets blocked, which
+      is the mechanism that forces kappa below 1 in the first place, and
+    - on compromising a proxy, escalates: with [`Within_step] discipline
+      the rest of that proxy's probe budget for the step is redirected at
+      the server over the captured launch pad; with [`Next_step] the
+      escalation only starts at the following step (where PO has already
+      evicted the intruder — making launch pads useless, which is exactly
+      the modelling difference ablation A3 measures).
+
+    The campaign ends when {!Fortress_core.Deployment.system_compromised}
+    first holds; the step index at that moment is the system's lifetime. *)
+
+type launchpad = Within_step | Next_step
+
+type config = {
+  omega : int;  (** probes per target per unit time-step *)
+  kappa : float;  (** indirect-attack coefficient the attacker can sustain *)
+  period : float;  (** the unit time-step; align with the obfuscation period *)
+  pacing : Pacing.t;  (** how probes are laid out within each step *)
+  launchpad : launchpad;
+  target_mode : Fortress_core.Obfuscation.mode;
+      (** what the attacker assumes about the defender's schedule: under PO
+          it discards eliminated keys at each boundary, under SO it keeps
+          them *)
+  rotate_sources : bool;
+      (** register a fresh source address whenever one gets blocked *)
+  seed : int;
+}
+
+val default_config : config
+(** omega 64, kappa 0.5, period 100.0, uniform pacing, Within_step, PO,
+    rotate, seed 0. *)
+
+type t
+
+val launch : Fortress_core.Deployment.t -> config -> t
+(** Arm the campaign on the deployment's engine; run the engine to make it
+    progress. *)
+
+val run_until_compromise : t -> max_steps:int -> int option
+(** Drive the engine until the system is compromised or [max_steps] whole
+    steps have elapsed. Returns the 1-based step of compromise. *)
+
+val compromised_at_step : t -> int option
+val direct_probes_sent : t -> int
+val indirect_probes_sent : t -> int
+val indirect_probes_blocked : t -> int
+val launchpad_probes_sent : t -> int
+val sources_burned : t -> int
+(** Attacker addresses that got blocked by proxies. *)
+
+val effective_kappa : t -> float
+(** Delivered indirect probes over [kappa * omega * steps]: how much of the
+    attacker's intended indirect rate survived proxy detection. *)

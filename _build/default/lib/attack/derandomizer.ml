@@ -1,0 +1,45 @@
+module Engine = Fortress_sim.Engine
+module Daemon = Fortress_defense.Daemon
+module Instance = Fortress_defense.Instance
+
+type result = {
+  found_key : int option;
+  probes : int;
+  crashes_caused : int;
+  finished_at : float;
+}
+
+let run ~engine ~daemon ~prng ?max_probes ~on_done () =
+  let keyspace = Instance.keyspace (Daemon.instance daemon) in
+  let budget =
+    match max_probes with
+    | Some b -> b
+    | None -> Fortress_defense.Keyspace.size keyspace
+  in
+  let knowledge = Knowledge.create keyspace in
+  let probes = ref 0 in
+  let crashes = ref 0 in
+  let finish found_key =
+    on_done { found_key; probes = !probes; crashes_caused = !crashes; finished_at = Engine.now engine }
+  in
+  let rec attempt () =
+    if !probes >= budget then finish None
+    else begin
+      let guess = Knowledge.next_guess knowledge prng in
+      incr probes;
+      let submit, _is_open =
+        Daemon.accept daemon
+          ~on_reply:(fun reply ->
+            if reply = "shell" then begin
+              Knowledge.observe_intrusion knowledge ~guess;
+              finish (Some guess)
+            end)
+          ~on_crash_observed:(fun () ->
+            incr crashes;
+            Knowledge.observe_crash knowledge ~guess;
+            attempt ())
+      in
+      submit (Daemon.Probe guess)
+    end
+  in
+  attempt ()

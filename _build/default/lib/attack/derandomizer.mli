@@ -1,0 +1,28 @@
+(** The phase-1 de-randomization attack of Shacham et al. (CCS 2004) and
+    Sovarel et al. (USENIX Security 2005), driven end-to-end against a
+    forking {!Fortress_defense.Daemon}.
+
+    The attacker opens a connection, sends a probe carrying a guessed key,
+    and relies on the close-on-crash observable: a closed connection means
+    the guess was wrong (one key eliminated), a ["shell"] reply means the
+    guess was the key. The loop continues — the forking daemon obligingly
+    keeps serving fresh children — until the key is found or the probe
+    budget is exhausted. *)
+
+type result = {
+  found_key : int option;  (** [None] if the budget ran out *)
+  probes : int;
+  crashes_caused : int;
+  finished_at : float;  (** simulation time *)
+}
+
+val run :
+  engine:Fortress_sim.Engine.t ->
+  daemon:Fortress_defense.Daemon.t ->
+  prng:Fortress_util.Prng.t ->
+  ?max_probes:int ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Start the attack; [on_done] fires when the key is found or after
+    [max_probes] (default: the whole key space) failures. *)

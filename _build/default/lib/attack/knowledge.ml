@@ -1,0 +1,57 @@
+module Keyspace = Fortress_defense.Keyspace
+module Prng = Fortress_util.Prng
+
+type t = {
+  ks : Keyspace.t;
+  mutable tried : (int, unit) Hashtbl.t;
+  mutable key : int option;
+}
+
+let create ks = { ks; tried = Hashtbl.create 64; key = None }
+let keyspace t = t.ks
+let eliminated t = Hashtbl.length t.tried
+let remaining t = Keyspace.size t.ks - eliminated t
+let known_key t = t.key
+
+let next_guess t prng =
+  match t.key with
+  | Some k -> k
+  | None ->
+      let n = Keyspace.size t.ks in
+      let left = remaining t in
+      if left <= 0 then failwith "Knowledge.next_guess: key space exhausted"
+      else if left > n / 2 then begin
+        (* rejection sampling is cheap while most keys are untried *)
+        let rec draw () =
+          let g = Prng.int prng ~bound:n in
+          if Hashtbl.mem t.tried g then draw () else g
+        in
+        draw ()
+      end
+      else begin
+        (* few keys left: walk to the j-th untried key *)
+        let j = ref (Prng.int prng ~bound:left) in
+        let result = ref (-1) in
+        (try
+           for g = 0 to n - 1 do
+             if not (Hashtbl.mem t.tried g) then begin
+               if !j = 0 then begin
+                 result := g;
+                 raise Exit
+               end;
+               decr j
+             end
+           done
+         with Exit -> ());
+        assert (!result >= 0);
+        !result
+      end
+
+let observe_crash t ~guess = Hashtbl.replace t.tried guess ()
+let observe_intrusion t ~guess = t.key <- Some guess
+
+let on_target_rekeyed t =
+  t.tried <- Hashtbl.create 64;
+  t.key <- None
+
+let on_target_recovered _ = ()

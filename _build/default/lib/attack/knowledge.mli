@@ -1,0 +1,42 @@
+(** What a de-randomization attacker knows about one target's key.
+
+    Each failed probe eliminates one key from the chi possibilities —
+    provided the target keeps its key (SO / proactive recovery). When the
+    target is re-randomized (PO), accumulated eliminations become worthless
+    and the attacker starts over; this is exactly the sampling
+    with/without replacement distinction the paper's models rest on. The
+    attacker detects re-randomization by the target's epoch. *)
+
+type t
+
+val create : Fortress_defense.Keyspace.t -> t
+val keyspace : t -> Fortress_defense.Keyspace.t
+
+val eliminated : t -> int
+(** Keys ruled out so far in the current randomization epoch. *)
+
+val remaining : t -> int
+
+val known_key : t -> int option
+(** [Some k] once the attacker has confirmed the key (a probe succeeded).
+    Survives proactive recovery — the key did not change — but is discarded
+    on re-randomization. *)
+
+val next_guess : t -> Fortress_util.Prng.t -> int
+(** A uniformly random not-yet-eliminated key; the confirmed key when one
+    is known. Raises [Failure] if every key has been eliminated (cannot
+    happen against a live target: the last remaining key is the key). *)
+
+val observe_crash : t -> guess:int -> unit
+(** The probe [guess] crashed the child: that key is ruled out. *)
+
+val observe_intrusion : t -> guess:int -> unit
+(** The probe succeeded: the key is confirmed. *)
+
+val on_target_rekeyed : t -> unit
+(** The target re-randomized: all eliminations and any confirmed key are
+    void. *)
+
+val on_target_recovered : t -> unit
+(** Proactive recovery: the key is unchanged, knowledge survives. (A no-op,
+    present so campaign code can treat both transitions uniformly.) *)

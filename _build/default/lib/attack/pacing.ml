@@ -1,0 +1,55 @@
+type t =
+  | Uniform
+  | Burst
+  | Below_threshold of { window : float; threshold : int }
+
+let check ~budget ~period =
+  if budget <= 0 then invalid_arg "Pacing: budget must be positive";
+  if period <= 0.0 then invalid_arg "Pacing: period must be positive"
+
+let effective_budget t ~budget ~period =
+  check ~budget ~period;
+  match t with
+  | Uniform | Burst -> budget
+  | Below_threshold { window; threshold } ->
+      if threshold <= 0 then 0
+      else begin
+        (* at most [threshold] probes per [window]: the sustainable rate is
+           threshold / window probes per time unit *)
+        let sustainable = float_of_int threshold /. window *. period in
+        min budget (int_of_float (Float.floor sustainable))
+      end
+
+let offsets t ~budget ~period =
+  check ~budget ~period;
+  let n = effective_budget t ~budget ~period in
+  if n = 0 then []
+  else
+    match t with
+    | Uniform | Below_threshold _ ->
+        (* even spread, strictly inside the step *)
+        List.init n (fun i -> period *. float_of_int (i + 1) /. float_of_int (n + 1))
+    | Burst ->
+        (* everything packed into the first 1% of the step *)
+        List.init n (fun i -> period *. 0.01 *. float_of_int (i + 1) /. float_of_int (n + 1))
+
+let effective_kappa t ~omega ~period =
+  if omega <= 0 then invalid_arg "Pacing.effective_kappa: omega must be positive";
+  let eff = effective_budget t ~budget:omega ~period in
+  Fortress_util.Probability.clamp01 (float_of_int eff /. float_of_int omega)
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Burst -> "burst"
+  | Below_threshold { window; threshold } -> Printf.sprintf "below:%g:%d" window threshold
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> Some Uniform
+  | [ "burst" ] -> Some Burst
+  | [ "below"; window; threshold ] -> (
+      match (float_of_string_opt window, int_of_string_opt threshold) with
+      | Some window, Some threshold when window > 0.0 && threshold >= 0 ->
+          Some (Below_threshold { window; threshold })
+      | _ -> None)
+  | _ -> None

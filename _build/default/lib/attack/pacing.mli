@@ -1,0 +1,35 @@
+(** Attacker pacing strategies.
+
+    The paper's kappa coefficient exists because proxies log invalid
+    requests per source over a window: an attacker who fires indiscriminately
+    is blocked almost immediately, while one who paces probes under the
+    detection threshold trades speed for stealth. A pacing strategy turns a
+    per-step probe budget into concrete launch offsets within the step, and
+    caps the budget when evading a known detector. *)
+
+type t =
+  | Uniform  (** spread the budget evenly across the step *)
+  | Burst  (** fire everything at the start of the step *)
+  | Below_threshold of { window : float; threshold : int }
+      (** stay strictly under a detector: at most [threshold] probes per
+          [window], spread evenly *)
+
+val offsets : t -> budget:int -> period:float -> float list
+(** [offsets t ~budget ~period] returns the launch instants, strictly
+    inside [(0, period)], at which probes should fire; the list's length is
+    the {e effective} budget — [Below_threshold] may return fewer than
+    [budget]. Raises [Invalid_argument] for non-positive budget or
+    period. *)
+
+val effective_budget : t -> budget:int -> period:float -> int
+(** Length of {!offsets} without materialising it. *)
+
+val effective_kappa : t -> omega:int -> period:float -> float
+(** The indirect-attack coefficient this pacing achieves against a clean
+    window: effective budget over omega, clamped to [0, 1] — the bridge
+    from a concrete detector configuration to the paper's abstract
+    kappa. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Parses ["uniform"], ["burst"], and ["below:<window>:<threshold>"]. *)

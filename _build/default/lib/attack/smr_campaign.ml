@@ -1,0 +1,130 @@
+module Engine = Fortress_sim.Engine
+module Instance = Fortress_defense.Instance
+module Smr_deployment = Fortress_core.Smr_deployment
+module Obfuscation = Fortress_core.Obfuscation
+module Prng = Fortress_util.Prng
+
+type config = {
+  omega : int;
+  period : float;
+  target_mode : Obfuscation.mode;
+  seed : int;
+}
+
+let default_config = { omega = 64; period = 100.0; target_mode = Obfuscation.PO; seed = 0 }
+
+type tracked = { knowledge : Knowledge.t; mutable epoch_seen : int }
+
+type t = {
+  deployment : Smr_deployment.t;
+  cfg : config;
+  prng : Prng.t;
+  tracks : tracked array;
+  mutable current_step : int;
+  mutable compromised_at : int option;
+  mutable probes : int;
+  mutable intrusions : int;
+}
+
+let make deployment cfg =
+  let instances = Smr_deployment.instances deployment in
+  let tracks =
+    Array.map
+      (fun inst ->
+        { knowledge = Knowledge.create (Instance.keyspace inst); epoch_seen = Instance.epoch inst })
+      instances
+  in
+  {
+    deployment;
+    cfg;
+    prng = Prng.create ~seed:cfg.seed;
+    tracks;
+    current_step = 1;
+    compromised_at = None;
+    probes = 0;
+    intrusions = 0;
+  }
+
+let sync_track t track inst =
+  let epoch = Instance.epoch inst in
+  if epoch <> track.epoch_seen then begin
+    track.epoch_seen <- epoch;
+    match t.cfg.target_mode with
+    | Obfuscation.PO -> Knowledge.on_target_rekeyed track.knowledge
+    | Obfuscation.SO -> Knowledge.on_target_recovered track.knowledge
+  end
+
+let probe_replica t i =
+  if t.compromised_at = None then begin
+    let inst = (Smr_deployment.instances t.deployment).(i) in
+    let track = t.tracks.(i) in
+    sync_track t track inst;
+    if not (Smr_deployment.compromised t.deployment i) then begin
+      t.probes <- t.probes + 1;
+      if Knowledge.remaining track.knowledge > 0 then begin
+        let guess = Knowledge.next_guess track.knowledge t.prng in
+        match Instance.probe inst ~guess with
+        | Instance.Crash -> Knowledge.observe_crash track.knowledge ~guess
+        | Instance.Intrusion ->
+            Knowledge.observe_intrusion track.knowledge ~guess;
+            t.intrusions <- t.intrusions + 1;
+            Smr_deployment.compromise t.deployment i;
+            if Smr_deployment.system_compromised t.deployment then
+              t.compromised_at <- Some t.current_step
+      end
+    end
+    else if Knowledge.known_key track.knowledge <> None then begin
+      (* SO: the key is known and recovery did not change it — instant
+         re-capture *)
+      t.probes <- t.probes + 1;
+      t.intrusions <- t.intrusions + 1;
+      Smr_deployment.compromise t.deployment i;
+      if Smr_deployment.system_compromised t.deployment then
+        t.compromised_at <- Some t.current_step
+    end
+  end
+
+let arm t =
+  let engine = Smr_deployment.engine t.deployment in
+  let n = Array.length (Smr_deployment.instances t.deployment) in
+  let rec arm_step () =
+    if t.compromised_at = None then begin
+      let base = Engine.now engine in
+      let spacing = t.cfg.period /. float_of_int (t.cfg.omega + 2) in
+      for s = 0 to t.cfg.omega - 1 do
+        let at = base +. (spacing *. float_of_int (s + 1)) in
+        for i = 0 to n - 1 do
+          ignore (Engine.schedule_at engine ~time:at (fun () -> probe_replica t i))
+        done
+      done;
+      ignore
+        (Engine.schedule_at engine ~time:(base +. t.cfg.period) (fun () ->
+             t.current_step <- t.current_step + 1;
+             arm_step ()))
+    end
+  in
+  arm_step ()
+
+let launch deployment cfg =
+  if cfg.omega <= 0 then invalid_arg "Smr_campaign.launch: omega must be positive";
+  let t = make deployment cfg in
+  arm t;
+  t
+
+let run_until_compromise t ~max_steps =
+  let engine = Smr_deployment.engine t.deployment in
+  let rec go () =
+    match t.compromised_at with
+    | Some s -> Some s
+    | None ->
+        if t.current_step > max_steps then None
+        else begin
+          Engine.run ~until:(Engine.now engine +. t.cfg.period) engine;
+          go ()
+        end
+  in
+  go ()
+
+let compromised_at_step t = t.compromised_at
+let probes_sent t = t.probes
+let intrusions t = t.intrusions

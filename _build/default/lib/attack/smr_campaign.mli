@@ -1,0 +1,30 @@
+(** Attack campaign against the 1-tier SMR system (the paper's S0).
+
+    S0's replicas are directly reachable, so every channel is a direct
+    attack: each replica gets its own omega-probe stream per unit
+    time-step against its own key. The system falls when more than f
+    replicas are compromised {e simultaneously} — under proactive
+    obfuscation a compromised replica is evicted (and re-keyed) when its
+    batch cycles, so the attacker must land its second intrusion while the
+    first still stands. Run together with
+    {!Fortress_core.Smr_deployment.attach_schedule}. *)
+
+type config = {
+  omega : int;
+  period : float;
+  target_mode : Fortress_core.Obfuscation.mode;
+  seed : int;
+}
+
+val default_config : config
+(** omega 64, period 100.0, PO, seed 0. *)
+
+type t
+
+val launch : Fortress_core.Smr_deployment.t -> config -> t
+val run_until_compromise : t -> max_steps:int -> int option
+val compromised_at_step : t -> int option
+val probes_sent : t -> int
+val intrusions : t -> int
+(** Individual replica compromises achieved (including ones later evicted
+    by recovery). *)

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Fortress_crypto Fortress_net Fortress_replication Fortress_sim Hashtbl Message Nameserver

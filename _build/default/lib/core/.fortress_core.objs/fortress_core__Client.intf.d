@@ -1,0 +1,1 @@
+lib/core/client.mli: Fortress_crypto Fortress_net Fortress_sim Fortress_util Message Nameserver

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Client Fortress_crypto Fortress_defense Fortress_net Fortress_replication Fortress_sim Fortress_util Fun List Message Nameserver Printf Proxy

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Client Fortress_defense Fortress_net Fortress_replication Fortress_sim Message Nameserver Proxy

@@ -1,0 +1,1 @@
+lib/core/message.ml: Fortress_crypto Fortress_net Fortress_replication Printf String

@@ -1,0 +1,1 @@
+lib/core/message.mli: Fortress_crypto Fortress_net Fortress_replication

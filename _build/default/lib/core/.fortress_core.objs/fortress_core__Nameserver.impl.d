@@ -1,0 +1,1 @@
+lib/core/nameserver.ml: Array Format Fortress_crypto Fortress_net Hashtbl List Printf String

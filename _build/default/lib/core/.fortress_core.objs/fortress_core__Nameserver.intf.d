@@ -1,0 +1,1 @@
+lib/core/nameserver.mli: Fortress_crypto Fortress_net

@@ -1,0 +1,1 @@
+lib/core/obfuscation.ml: Deployment Fortress_sim

@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Array Fortress_crypto Fortress_net Fortress_replication Fortress_sim Hashtbl List Message Printf Queue

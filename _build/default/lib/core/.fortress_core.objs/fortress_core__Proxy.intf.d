@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Fortress_crypto Fortress_net Fortress_sim Message

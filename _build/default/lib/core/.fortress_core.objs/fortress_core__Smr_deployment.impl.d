@@ -1,0 +1,1 @@
+lib/core/smr_deployment.ml: Array Fortress_crypto Fortress_defense Fortress_net Fortress_replication Fortress_sim Fortress_util Fun Hashtbl List Obfuscation Printf

@@ -1,0 +1,56 @@
+(** The FORTRESS client library.
+
+    A client learns proxies and public keys from the {!Nameserver} record,
+    sends each request to {e all} proxies, and accepts a response iff it
+    carries two authentic signatures: the relaying proxy's over-signature
+    and, underneath it, a server's signature over the response (paper
+    section 3). The first doubly-authentic reply wins; later duplicates are
+    counted but ignored.
+
+    In a bare S1 deployment (no proxies) the same client is created with
+    [direct_servers]; it then accepts singly-signed server replies —
+    exactly the weaker guarantee the paper ascribes to unfortified PB. *)
+
+type t
+
+type mode =
+  | Via_proxies of Nameserver.record
+  | Direct_servers of {
+      addresses : Fortress_net.Address.t array;
+      keys : Fortress_crypto.Sign.public_key array;
+    }
+
+val create :
+  ?retry_period:float ->
+  ?max_retries:int ->
+  engine:Fortress_sim.Engine.t ->
+  mode:mode ->
+  self:Fortress_net.Address.t ->
+  send:(dst:Fortress_net.Address.t -> Message.t -> unit) ->
+  Fortress_util.Prng.t ->
+  t
+(** [retry_period] (default 25.0) and [max_retries] (default 10) govern
+    resubmission: an unanswered request is re-sent to all targets until an
+    authenticated reply arrives or the retry budget runs out — requests are
+    idempotent end to end (servers deduplicate by id, proxies answer
+    retries from their pending/answered state), so retries are safe over
+    lossy links. Pass [max_retries:0] to disable. *)
+
+val retries_sent : t -> int
+
+val submit : t -> cmd:string -> on_response:(string -> unit) -> string
+(** Send a command; returns the request id. [on_response] fires exactly
+    once, on the first authenticated reply. *)
+
+val handle : t -> src:Fortress_net.Address.t -> Message.t -> unit
+
+val accepted : t -> int
+(** Requests answered with an authenticated response. *)
+
+val rejected : t -> int
+(** Replies discarded for signature or attribution failures. *)
+
+val outstanding : t -> int
+(** Requests not yet answered. *)
+
+val response_for : t -> id:string -> string option

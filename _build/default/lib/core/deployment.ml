@@ -1,0 +1,231 @@
+module Engine = Fortress_sim.Engine
+module Network = Fortress_net.Network
+module Latency = Fortress_net.Latency
+module Address = Fortress_net.Address
+module Sign = Fortress_crypto.Sign
+module Pb = Fortress_replication.Pb
+module Dsm = Fortress_replication.Dsm
+module Keyspace = Fortress_defense.Keyspace
+module Instance = Fortress_defense.Instance
+module Prng = Fortress_util.Prng
+
+type config = {
+  np : int;
+  ns : int;
+  service : Dsm.t;
+  service_name : string;
+  keyspace : Keyspace.t;
+  pb : Pb.config;
+  proxy : Proxy.config;
+  latency : Latency.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    np = 3;
+    ns = 3;
+    service = Fortress_replication.Services.kv;
+    service_name = "kv";
+    keyspace = Keyspace.pax_aslr_32bit;
+    pb = Pb.default_config;
+    proxy = Proxy.default_config;
+    latency = Latency.constant 0.5;
+    seed = 0;
+  }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  net : Message.t Network.t;
+  nameserver : Nameserver.t;
+  record : Nameserver.record;
+  proxies : Proxy.t array;
+  servers : Pb.replica array;
+  proxy_instances : Instance.t array;
+  server_instances : Instance.t array;
+  proxy_addresses : Address.t array;
+  server_addresses : Address.t array;
+  server_comp : bool array;
+  proxy_comp : bool array;
+  mutable client_count : int;
+}
+
+(* Draw a key distinct from every key in [avoid]. *)
+let rec fresh_key keyspace prng avoid =
+  let k = Keyspace.random_key keyspace prng in
+  if List.mem k avoid then fresh_key keyspace prng avoid else k
+
+let create cfg =
+  if cfg.np < 0 then invalid_arg "Deployment.create: np must be >= 0";
+  if cfg.ns < 1 then invalid_arg "Deployment.create: ns must be >= 1";
+  let engine = Engine.create ~prng:(Prng.create ~seed:cfg.seed) () in
+  let prng = Engine.prng engine in
+  let net = Network.create ~latency:cfg.latency engine in
+  (* addresses first, handlers wired once the nodes exist *)
+  let server_addresses =
+    Array.init cfg.ns (fun i ->
+        Network.register net ~name:(Printf.sprintf "server%d" i) ~handler:(fun ~src:_ _ -> ()))
+  in
+  let proxy_addresses =
+    Array.init cfg.np (fun i ->
+        Network.register net ~name:(Printf.sprintf "proxy%d" i) ~handler:(fun ~src:_ _ -> ()))
+  in
+  (* randomization: one shared key for the servers, a distinct key per proxy *)
+  let server_key = Keyspace.random_key cfg.keyspace prng in
+  let server_instances =
+    Array.init cfg.ns (fun _ ->
+        let inst = Instance.create cfg.keyspace prng in
+        Instance.set_key inst server_key;
+        inst)
+  in
+  let proxy_keys = ref [ server_key ] in
+  let proxy_instances =
+    Array.init cfg.np (fun _ ->
+        let inst = Instance.create cfg.keyspace prng in
+        let k = fresh_key cfg.keyspace prng !proxy_keys in
+        proxy_keys := k :: !proxy_keys;
+        Instance.set_key inst k;
+        inst)
+  in
+  let pb_config = { cfg.pb with Pb.ns = cfg.ns } in
+  let servers =
+    Array.init cfg.ns (fun i ->
+        let secret, _ = Sign.generate prng in
+        Pb.create ~engine ~config:pb_config ~index:i ~service:cfg.service ~secret
+          ~self:server_addresses.(i) ~addresses:server_addresses
+          (fun ~dst msg ->
+            Network.send net ~src:server_addresses.(i) ~dst (Message.Server msg)))
+  in
+  Array.iteri
+    (fun i addr ->
+      Network.set_handler net addr (fun ~src msg ->
+          match msg with
+          | Message.Server m -> Pb.handle servers.(i) ~src m
+          | Message.Client_request _ | Message.Client_reply _ ->
+              (* servers accept messages only from proxies and the
+                 nameserver: client-tier traffic is dropped *)
+              ()))
+    server_addresses;
+  let server_keys = Array.map Pb.public_key servers in
+  let proxies =
+    Array.init cfg.np (fun i ->
+        let secret, _ = Sign.generate prng in
+        Proxy.create ~engine ~config:cfg.proxy ~index:i ~secret ~self:proxy_addresses.(i)
+          ~server_addresses ~server_keys
+          ~send:(fun ~dst msg -> Network.send net ~src:proxy_addresses.(i) ~dst msg))
+  in
+  Array.iteri
+    (fun i addr ->
+      Network.set_handler net addr (fun ~src msg -> Proxy.handle proxies.(i) ~src msg))
+    proxy_addresses;
+  Array.iter Pb.start servers;
+  let record =
+    {
+      Nameserver.service = cfg.service_name;
+      proxy_addresses;
+      proxy_keys = Array.map Proxy.public_key proxies;
+      server_indices = Array.init cfg.ns Fun.id;
+      server_keys;
+      replication = Nameserver.Primary_backup;
+    }
+  in
+  let nameserver = Nameserver.create () in
+  Nameserver.publish nameserver record;
+  {
+    cfg;
+    engine;
+    net;
+    nameserver;
+    record;
+    proxies;
+    servers;
+    proxy_instances;
+    server_instances;
+    proxy_addresses;
+    server_addresses;
+    server_comp = Array.make cfg.ns false;
+    proxy_comp = Array.make (max cfg.np 1) false;
+    client_count = 0;
+  }
+
+let config t = t.cfg
+let engine t = t.engine
+let network t = t.net
+let nameserver t = t.nameserver
+let record t = t.record
+let proxies t = t.proxies
+let servers t = t.servers
+let proxy_instances t = t.proxy_instances
+let server_instances t = t.server_instances
+let proxy_addresses t = t.proxy_addresses
+let server_addresses t = t.server_addresses
+
+let new_client t ~name =
+  t.client_count <- t.client_count + 1;
+  let self = Network.register t.net ~name ~handler:(fun ~src:_ _ -> ()) in
+  let mode =
+    if t.cfg.np > 0 then Client.Via_proxies t.record
+    else
+      Client.Direct_servers
+        { addresses = t.server_addresses; keys = t.record.Nameserver.server_keys }
+  in
+  let client =
+    Client.create ~engine:t.engine ~mode ~self
+      ~send:(fun ~dst msg -> Network.send t.net ~src:self ~dst msg)
+      (Prng.split (Engine.prng t.engine))
+  in
+  Network.set_handler t.net self (fun ~src msg -> Client.handle client ~src msg);
+  client
+
+let new_attacker_address t ~name ~handler = Network.register t.net ~name ~handler
+
+let clear_compromises t =
+  Array.iteri
+    (fun i _ ->
+      t.server_comp.(i) <- false;
+      Pb.set_compromised t.servers.(i) false)
+    t.server_comp;
+  Array.iter (fun p -> Proxy.set_compromised p false) t.proxies;
+  Array.fill t.proxy_comp 0 (Array.length t.proxy_comp) false
+
+let rekey t =
+  let prng = Engine.prng t.engine in
+  let server_key = Keyspace.random_key t.cfg.keyspace prng in
+  Array.iter (fun inst -> Instance.set_key inst server_key) t.server_instances;
+  let used = ref [ server_key ] in
+  Array.iter
+    (fun inst ->
+      let k = fresh_key t.cfg.keyspace prng !used in
+      used := k :: !used;
+      Instance.set_key inst k)
+    t.proxy_instances;
+  clear_compromises t;
+  Engine.record t.engine ~label:"obfuscation" "rekeyed all nodes (proactive obfuscation)"
+
+let recover t =
+  Array.iter Instance.recover t.server_instances;
+  Array.iter Instance.recover t.proxy_instances;
+  clear_compromises t;
+  Engine.record t.engine ~label:"obfuscation" "recovered all nodes (same keys)"
+
+let compromise_server t i =
+  t.server_comp.(i) <- true;
+  Pb.set_compromised t.servers.(i) true;
+  Engine.record t.engine ~label:"attack" (Printf.sprintf "server %d compromised" i)
+
+let compromise_proxy t i =
+  t.proxy_comp.(i) <- true;
+  Proxy.set_compromised t.proxies.(i) true;
+  Engine.record t.engine ~label:"attack" (Printf.sprintf "proxy %d compromised" i)
+
+let server_compromised t i = t.server_comp.(i)
+let proxy_compromised t i = t.cfg.np > 0 && t.proxy_comp.(i)
+
+let compromised_proxy_count t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0
+    (Array.sub t.proxy_comp 0 t.cfg.np)
+
+let system_compromised t =
+  Array.exists Fun.id t.server_comp
+  || (t.cfg.np > 0 && compromised_proxy_count t = t.cfg.np)

@@ -1,0 +1,20 @@
+module Pb = Fortress_replication.Pb
+module Sign = Fortress_crypto.Sign
+
+type t =
+  | Server of Pb.msg
+  | Client_request of { id : string; cmd : string; client : Fortress_net.Address.t }
+  | Client_reply of {
+      reply : Pb.reply;
+      proxy_index : int;
+      proxy_signature : Sign.signature;
+    }
+
+let over_sign_payload ~reply ~proxy_index =
+  Printf.sprintf "fortress-oversign|%s|%s|%d|%s|%d" reply.Pb.request_id reply.Pb.response
+    reply.Pb.server_index
+    (Sign.signature_to_hex reply.Pb.signature)
+    proxy_index
+
+let is_probe_command cmd =
+  String.length cmd >= 6 && String.sub cmd 0 6 = "probe:"

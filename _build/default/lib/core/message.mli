@@ -1,0 +1,28 @@
+(** The wire message type of a FORTRESS deployment.
+
+    One network carries three kinds of traffic: the server tier's
+    primary-backup protocol (proxies submit requests as {!Pb.Request} and
+    servers answer with {!Pb.Reply} to the submitting proxy), client
+    requests to proxies, and doubly-signed replies back to clients. *)
+
+module Pb := Fortress_replication.Pb
+
+type t =
+  | Server of Pb.msg
+      (** server-tier traffic: proxy->server submissions, primary->backup
+          updates, server->proxy signed replies *)
+  | Client_request of { id : string; cmd : string; client : Fortress_net.Address.t }
+  | Client_reply of {
+      reply : Pb.reply;  (** the server-signed reply, relayed verbatim *)
+      proxy_index : int;
+      proxy_signature : Fortress_crypto.Sign.signature;
+    }
+
+val over_sign_payload : reply:Pb.reply -> proxy_index:int -> string
+(** The byte string a proxy's over-signature covers: the full server-signed
+    reply plus the proxy's index, so a client can attribute the relay. *)
+
+val is_probe_command : string -> bool
+(** FORTRESS proxies cannot execute commands, but they can recognise the
+    de-randomization probe shape (["probe:<key>"]) as not being a valid
+    service request. *)

@@ -1,0 +1,44 @@
+module Address = Fortress_net.Address
+module Sign = Fortress_crypto.Sign
+
+type replication = Primary_backup | State_machine of int
+
+type record = {
+  service : string;
+  proxy_addresses : Address.t array;
+  proxy_keys : Sign.public_key array;
+  server_indices : int array;
+  server_keys : Sign.public_key array;
+  replication : replication;
+}
+
+type t = { records : (string, record) Hashtbl.t }
+
+let create () = { records = Hashtbl.create 8 }
+
+let publish t record =
+  if Array.length record.proxy_addresses <> Array.length record.proxy_keys then
+    invalid_arg "Nameserver.publish: proxy address/key mismatch";
+  if Array.length record.server_indices <> Array.length record.server_keys then
+    invalid_arg "Nameserver.publish: server index/key mismatch";
+  Hashtbl.replace t.records record.service record
+
+let lookup t name = Hashtbl.find_opt t.records name
+
+let services t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.records [] |> List.sort String.compare
+
+let client_view r =
+  let repl =
+    match r.replication with
+    | Primary_backup -> "primary-backup"
+    | State_machine f -> Printf.sprintf "state-machine (f=%d)" f
+  in
+  Format.asprintf "service %s: %d proxies at [%s], %d servers (indices only: [%s]), %s"
+    r.service
+    (Array.length r.proxy_addresses)
+    (String.concat "; "
+       (Array.to_list (Array.map Address.to_string r.proxy_addresses)))
+    (Array.length r.server_indices)
+    (String.concat "; " (Array.to_list (Array.map string_of_int r.server_indices)))
+    repl

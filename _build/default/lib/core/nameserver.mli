@@ -1,0 +1,35 @@
+(** The trusted, read-only name service.
+
+    FORTRESS prescribes that clients learn the proxies' addresses and public
+    keys, the servers' {e indices} and public keys (never their addresses),
+    the replication type and — for SMR — the fault-tolerance degree, all
+    from a trusted nameserver that clients can only read (paper section 3).
+    Server addresses are deliberately absent from the client view. *)
+
+type replication = Primary_backup | State_machine of int  (** payload: f *)
+
+type record = {
+  service : string;
+  proxy_addresses : Fortress_net.Address.t array;
+  proxy_keys : Fortress_crypto.Sign.public_key array;
+  server_indices : int array;
+  server_keys : Fortress_crypto.Sign.public_key array;
+  replication : replication;
+}
+
+type t
+
+val create : unit -> t
+
+val publish : t -> record -> unit
+(** Register or replace a service record (operator-side interface). Raises
+    [Invalid_argument] when array lengths are inconsistent. *)
+
+val lookup : t -> string -> record option
+(** Client-side read. *)
+
+val services : t -> string list
+
+val client_view : record -> string
+(** Render what a client is allowed to know — useful in examples and as
+    documentation of the information boundary. *)

@@ -1,0 +1,32 @@
+module Engine = Fortress_sim.Engine
+
+type mode = PO | SO
+
+let mode_to_string = function PO -> "po" | SO -> "so"
+let mode_of_string = function "po" -> Some PO | "so" -> Some SO | _ -> None
+
+type t = {
+  obf_mode : mode;
+  obf_period : float;
+  mutable steps : int;
+  handle : Engine.handle;
+}
+
+let attach deployment ~mode ~period =
+  if period <= 0.0 then invalid_arg "Obfuscation.attach: period must be positive";
+  let t_ref = ref None in
+  let handle =
+    Engine.every (Deployment.engine deployment) ~period (fun () ->
+        (match mode with
+        | PO -> Deployment.rekey deployment
+        | SO -> Deployment.recover deployment);
+        match !t_ref with Some t -> t.steps <- t.steps + 1 | None -> ())
+  in
+  let t = { obf_mode = mode; obf_period = period; steps = 0; handle } in
+  t_ref := Some t;
+  t
+
+let mode t = t.obf_mode
+let period t = t.obf_period
+let steps_completed t = t.steps
+let detach t = Engine.cancel t.handle

@@ -1,0 +1,27 @@
+(** Obfuscation schedules over a FORTRESS deployment.
+
+    The paper models two regimes (section 4.1). {b PO} (proactive
+    obfuscation): every node is re-randomized with fresh keys at the end of
+    each unit time-step — guessing across steps is sampling {e with}
+    replacement. {b SO} (start-up-only obfuscation): nodes are randomized
+    once at start-up and merely {e recovered} each step (same keys, Castro-
+    Liskov proactive recovery) — an attacker eliminates keys across steps,
+    sampling {e without} replacement. Re-randomization is modelled as
+    instantaneous at the step boundary, as in the paper. *)
+
+type mode = PO | SO
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type t
+
+val attach : Deployment.t -> mode:mode -> period:float -> t
+(** Start the schedule: the first boundary fires at [period], then every
+    [period] thereafter. *)
+
+val mode : t -> mode
+val period : t -> float
+val steps_completed : t -> int
+val detach : t -> unit
+(** Stop future boundaries (used when tearing an experiment down). *)

@@ -1,0 +1,160 @@
+module Engine = Fortress_sim.Engine
+module Address = Fortress_net.Address
+module Sign = Fortress_crypto.Sign
+module Pb = Fortress_replication.Pb
+
+type config = {
+  detection_window : float;
+  detection_threshold : int;
+  forward_probes : bool;
+}
+
+let default_config = { detection_window = 100.0; detection_threshold = 10; forward_probes = true }
+
+type pending = {
+  mutable waiting : Address.t list;
+  mutable answer : (Pb.reply * Sign.signature) option;
+      (** cached doubly-signed answer, replayed to retrying clients *)
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  p_index : int;
+  secret : Sign.secret_key;
+  pk : Sign.public_key;
+  self : Address.t;
+  server_addresses : Address.t array;
+  server_keys : Sign.public_key array;
+  send : dst:Address.t -> Message.t -> unit;
+  pending : (string, pending) Hashtbl.t;  (** request id -> waiting clients *)
+  invalid_log : (Address.t, float Queue.t) Hashtbl.t;  (** source -> event times *)
+  blocked : (Address.t, unit) Hashtbl.t;
+  mutable invalid_total : int;
+  mutable forwarded : int;
+  mutable relayed : int;
+  mutable rejected_replies : int;
+  mutable p_compromised : bool;
+}
+
+let create ~engine ~config ~index ~secret ~self ~server_addresses ~server_keys ~send =
+  if Array.length server_addresses <> Array.length server_keys then
+    invalid_arg "Proxy.create: server address/key mismatch";
+  {
+    engine;
+    config;
+    p_index = index;
+    secret;
+    pk = Sign.public_of_secret secret;
+    self;
+    server_addresses;
+    server_keys;
+    send;
+    pending = Hashtbl.create 64;
+    invalid_log = Hashtbl.create 16;
+    blocked = Hashtbl.create 16;
+    invalid_total = 0;
+    forwarded = 0;
+    relayed = 0;
+    rejected_replies = 0;
+    p_compromised = false;
+  }
+
+let index t = t.p_index
+let public_key t = t.pk
+let is_blocked t src = Hashtbl.mem t.blocked src
+let blocked_sources t = Hashtbl.fold (fun a () acc -> a :: acc) t.blocked []
+let invalid_observed t = t.invalid_total
+let forwarded t = t.forwarded
+let relayed t = t.relayed
+let rejected_server_replies t = t.rejected_replies
+let unblock_all t = Hashtbl.reset t.blocked
+let set_compromised t v = t.p_compromised <- v
+let compromised t = t.p_compromised
+
+(* Log an invalid request from [src]; block the source once the sliding
+   window holds more than the threshold. *)
+let note_invalid t src =
+  t.invalid_total <- t.invalid_total + 1;
+  let now = Engine.now t.engine in
+  let q =
+    match Hashtbl.find_opt t.invalid_log src with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.invalid_log src q;
+        q
+  in
+  Queue.push now q;
+  while (not (Queue.is_empty q)) && Queue.peek q < now -. t.config.detection_window do
+    ignore (Queue.pop q)
+  done;
+  if Queue.length q > t.config.detection_threshold then begin
+    Hashtbl.replace t.blocked src ();
+    Engine.record t.engine ~label:"proxy"
+      (Printf.sprintf "proxy %d blocks %s (%d invalid in window)" t.p_index
+         (Address.to_string src) (Queue.length q))
+  end
+
+let relay_to t ~client (reply, proxy_signature) =
+  t.relayed <- t.relayed + 1;
+  t.send ~dst:client
+    (Message.Client_reply { reply; proxy_index = t.p_index; proxy_signature })
+
+let forward_request t ~id ~cmd ~client =
+  let entry =
+    match Hashtbl.find_opt t.pending id with
+    | Some p -> p
+    | None ->
+        let p = { waiting = []; answer = None } in
+        Hashtbl.replace t.pending id p;
+        p
+  in
+  match entry.answer with
+  | Some cached ->
+      (* a retry for an answered request: replay the cached reply *)
+      relay_to t ~client cached
+  | None ->
+      if not (List.mem client entry.waiting) then entry.waiting <- client :: entry.waiting;
+      t.forwarded <- t.forwarded + 1;
+      Array.iter
+        (fun dst ->
+          t.send ~dst (Message.Server (Pb.Request { id; cmd; reply_to = t.self })))
+        t.server_addresses
+
+let handle_client_request t ~src ~id ~cmd ~client =
+  if is_blocked t src then ()
+  else if Message.is_probe_command cmd then begin
+    (* a wrongly guessed probe is an invalid request in the proxy's eyes *)
+    note_invalid t src;
+    if t.config.forward_probes && not (is_blocked t src) then
+      forward_request t ~id ~cmd ~client
+  end
+  else forward_request t ~id ~cmd ~client
+
+let handle_server_reply t (reply : Pb.reply) =
+  let valid =
+    reply.Pb.server_index >= 0
+    && reply.Pb.server_index < Array.length t.server_keys
+    && Pb.verify_reply t.server_keys.(reply.Pb.server_index) reply
+  in
+  if not valid then t.rejected_replies <- t.rejected_replies + 1
+  else
+    match Hashtbl.find_opt t.pending reply.Pb.request_id with
+    | None -> ()
+    | Some entry ->
+        if entry.answer = None then begin
+          let proxy_signature =
+            Sign.sign t.secret (Message.over_sign_payload ~reply ~proxy_index:t.p_index)
+          in
+          entry.answer <- Some (reply, proxy_signature);
+          List.iter (fun client -> relay_to t ~client (reply, proxy_signature)) entry.waiting;
+          entry.waiting <- []
+        end
+
+let handle t ~src msg =
+  if not t.p_compromised then
+    match msg with
+    | Message.Client_request { id; cmd; client } -> handle_client_request t ~src ~id ~cmd ~client
+    | Message.Server (Pb.Reply reply) -> handle_server_reply t reply
+    | Message.Server _ | Message.Client_reply _ -> ()

@@ -1,0 +1,71 @@
+(** The FORTRESS proxy.
+
+    Proxies are the only processes clients can reach. A proxy forwards each
+    valid client request to every server, collects the servers' signed
+    replies, over-signs the first authentic one and relays it to the
+    waiting clients. Proxies do no service processing, which is what makes
+    them harder to exploit than servers and cheap to log on.
+
+    The proxy's second role is the one the paper's kappa coefficient
+    models: every de-randomization probe a client submits looks, at the
+    proxy, like an invalid request. The proxy logs invalid requests per
+    source over a sliding window and blocks sources that exceed the
+    threshold — forcing an attacker to pace indirect probes far below
+    omega, i.e. kappa < 1. *)
+
+type config = {
+  detection_window : float;
+      (** sliding window over which invalid requests are counted *)
+  detection_threshold : int;
+      (** invalid requests in a window that make a source suspect *)
+  forward_probes : bool;
+      (** whether unrecognised/probe traffic is still forwarded to servers
+          (imperfect filtering; [true] is the conservative default — the
+          proxy logs, it does not deep-inspect) *)
+}
+
+val default_config : config
+(** window 100.0, threshold 10, forward_probes true. *)
+
+type t
+
+val create :
+  engine:Fortress_sim.Engine.t ->
+  config:config ->
+  index:int ->
+  secret:Fortress_crypto.Sign.secret_key ->
+  self:Fortress_net.Address.t ->
+  server_addresses:Fortress_net.Address.t array ->
+  server_keys:Fortress_crypto.Sign.public_key array ->
+  send:(dst:Fortress_net.Address.t -> Message.t -> unit) ->
+  t
+
+val handle : t -> src:Fortress_net.Address.t -> Message.t -> unit
+
+val index : t -> int
+val public_key : t -> Fortress_crypto.Sign.public_key
+
+val is_blocked : t -> Fortress_net.Address.t -> bool
+val blocked_sources : t -> Fortress_net.Address.t list
+val invalid_observed : t -> int
+(** Total invalid requests logged. *)
+
+val forwarded : t -> int
+(** Valid requests forwarded to the server tier. *)
+
+val relayed : t -> int
+(** Doubly-signed replies sent back to clients. *)
+
+val rejected_server_replies : t -> int
+(** Server replies whose signature failed verification. *)
+
+val unblock_all : t -> unit
+(** Operator action: clear the blocklist (e.g. at a re-randomization
+    boundary). *)
+
+val set_compromised : t -> bool -> unit
+(** A compromised proxy stops serving clients (it is the attacker's launch
+    pad now); it cannot forge server signatures, so integrity is preserved
+    as long as one honest proxy remains. *)
+
+val compromised : t -> bool

@@ -1,0 +1,71 @@
+(** The paper's S0 comparison system: a 1-tier, 4-replica SMR deployment
+    whose clients interact with the replicas directly and vote over f + 1
+    matching signed replies.
+
+    Each replica carries its own randomized-executable instance with a
+    {e distinct} key (diverse randomization is S0's whole defence), and the
+    deployment implements the Roeder-Schneider obfuscation schedule:
+    batches of at most [f] replicas leave the system per boundary, are
+    re-randomized (or merely recovered), and rejoin via state transfer from
+    the remaining majority — so the SMR service never stops. *)
+
+type config = {
+  n : int;
+  f : int;
+  service : Fortress_replication.Dsm.t;
+  keyspace : Fortress_defense.Keyspace.t;
+  smr : Fortress_replication.Smr.config;  (** [n], [f] overridden *)
+  latency : Fortress_net.Latency.t;
+  seed : int;
+}
+
+val default_config : config
+(** n = 4, f = 1, kv service, chi = 2^16. *)
+
+type t
+
+val create : config -> t
+val engine : t -> Fortress_sim.Engine.t
+val replicas : t -> Fortress_replication.Smr.replica array
+val instances : t -> Fortress_defense.Instance.t array
+val addresses : t -> Fortress_net.Address.t array
+
+type client
+
+val new_client : t -> name:string -> client
+val submit : client -> cmd:string -> on_response:(string -> unit) -> string
+(** Send to all replicas; [on_response] fires on the first f+1 matching,
+    validly signed replies. *)
+
+val client_accepted : client -> int
+
+(** {1 Obfuscation and recovery} *)
+
+val rekey_batch : t -> int list -> unit
+(** Re-randomize the given replicas (fresh distinct keys) and put them
+    through recovery: stop, wipe, restart, state transfer. *)
+
+val recover_batch : t -> int list -> unit
+(** Same, but the keys are unchanged (proactive recovery). *)
+
+val batches : t -> int list list
+(** The ceil(n/f) batches of at most f replicas, covering every index. *)
+
+val attach_schedule : ?stagger:bool -> t -> mode:Obfuscation.mode -> period:float -> unit
+(** Run batched obfuscation/recovery. With [stagger] (the default, and what
+    Roeder-Schneider deployment constraints force) the batches are spaced
+    evenly inside each step so the SMR system always has a 2f+1 quorum of
+    settled replicas; with [stagger:false] every batch fires back-to-back at
+    the boundary, which aligns all replicas' exposure windows — measurably
+    stronger against the simultaneity condition (see EXPERIMENTS.md V3) but
+    only deployable when recovery is fast enough to overlap. *)
+
+(** {1 Compromise bookkeeping} *)
+
+val compromise : t -> int -> unit
+val compromised : t -> int -> bool
+val compromised_count : t -> int
+
+val system_compromised : t -> bool
+(** S0 fails as soon as more than [f] replicas are simultaneously
+    compromised. *)

@@ -1,0 +1,88 @@
+(** FORTRESS with an SMR server tier.
+
+    The architecture separates surviving attacks from service replication:
+    the fortified tier "may not even be replicated; if replicated, it can
+    be by PB or SMR" (paper section 1). This module is the SMR variant:
+    np proxies front an n = 3f + 1 Byzantine-agreement tier. Each proxy
+    votes over the servers' signed replies ([f + 1] matching) before
+    over-signing one representative reply and relaying it; the client needs
+    only the usual two authentic signatures, so the client protocol is
+    identical to the primary-backup variant — replication is invisible
+    behind the proxies, as in Saidane et al.
+
+    Unlike the PB tier (one shared key), SMR replicas execute
+    independently, so nothing forces identical randomization: each replica
+    gets its own key (diverse randomization, as in S0), and obfuscation
+    uses the batched Roeder-Schneider schedule so the tier never stops. *)
+
+type msg =
+  | Server of Fortress_replication.Smr.msg
+  | Client_request of { id : string; cmd : string; client : Fortress_net.Address.t }
+  | Client_reply of {
+      reply : Fortress_replication.Smr.reply;
+      proxy_index : int;
+      proxy_signature : Fortress_crypto.Sign.signature;
+    }
+
+val over_sign_payload : reply:Fortress_replication.Smr.reply -> proxy_index:int -> string
+
+type config = {
+  np : int;
+  n : int;
+  f : int;
+  service : Fortress_replication.Dsm.t;
+  keyspace : Fortress_defense.Keyspace.t;
+  smr : Fortress_replication.Smr.config;  (** [n], [f] overridden *)
+  proxy_detection_window : float;
+  proxy_detection_threshold : int;
+  latency : Fortress_net.Latency.t;
+  seed : int;
+}
+
+val default_config : config
+(** np = 3 proxies over n = 4 / f = 1, kv service, chi = 2^16. *)
+
+type t
+
+val create : config -> t
+val engine : t -> Fortress_sim.Engine.t
+val replicas : t -> Fortress_replication.Smr.replica array
+val proxy_instances : t -> Fortress_defense.Instance.t array
+val server_instances : t -> Fortress_defense.Instance.t array
+
+val proxy_invalid_observed : t -> int -> int
+val proxy_is_blocked : t -> int -> Fortress_net.Address.t -> bool
+val proxy_relayed : t -> int -> int
+
+type client
+
+val new_client : t -> name:string -> client
+val submit : client -> cmd:string -> on_response:(string -> unit) -> string
+(** [on_response] fires once, on the first reply carrying a valid proxy
+    over-signature on a validly server-signed reply. *)
+
+val client_accepted : client -> int
+val client_rejected : client -> int
+
+(** {1 Obfuscation} *)
+
+val rekey_proxies : t -> unit
+(** Fresh distinct keys for all proxies (instant — proxies are stateless). *)
+
+val rekey_server_batch : t -> int list -> unit
+(** Re-randomize and recover the given replicas; they rejoin via state
+    transfer from the remaining majority. *)
+
+val batches : t -> int list list
+val attach_schedule : t -> mode:Obfuscation.mode -> period:float -> unit
+(** Each period: proxies rekey at the boundary and the server batches cycle
+    inside the step, at most [f] at a time. *)
+
+(** {1 Compromise bookkeeping} *)
+
+val compromise_server : t -> int -> unit
+val compromise_proxy : t -> int -> unit
+val system_compromised : t -> bool
+(** More than [f] servers compromised, or all proxies. A single intruded
+    replica is {e tolerated} here — the vote masks it — which is precisely
+    what the PB tier cannot offer. *)

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Sha256 String

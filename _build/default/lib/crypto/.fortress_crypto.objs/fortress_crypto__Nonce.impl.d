@@ -1,0 +1,1 @@
+lib/crypto/nonce.ml: Format Fortress_util Hashtbl Int Int64 Printf

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Buffer Bytes Char Int32 Int64 Printf String

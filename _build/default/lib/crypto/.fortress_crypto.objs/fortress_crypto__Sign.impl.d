@@ -1,0 +1,1 @@
+lib/crypto/sign.ml: Bytes Format Fortress_util Hashtbl Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/sign.mli: Format Fortress_util

@@ -1,0 +1,27 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_with pad key =
+  String.mapi (fun i a -> Char.chr (Char.code a lxor Char.code key.[i])) pad
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let ipad = String.make block_size '\x36' in
+  let opad = String.make block_size '\x5c' in
+  let inner = Sha256.digest (xor_with ipad key ^ msg) in
+  Sha256.digest (xor_with opad key ^ inner)
+
+let mac_hex ~key msg = Sha256.to_hex (mac ~key msg)
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  (* constant-time comparison *)
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i])) tag;
+  !diff = 0

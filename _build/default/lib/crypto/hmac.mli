@@ -1,0 +1,11 @@
+(** HMAC-SHA-256 (RFC 2104), validated against RFC 4231 test vectors. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the raw 32-byte HMAC-SHA-256 tag. Keys longer than the
+    64-byte block are hashed first, per the RFC. *)
+
+val mac_hex : key:string -> string -> string
+(** Hex-encoded tag. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)

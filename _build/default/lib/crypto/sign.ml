@@ -1,0 +1,39 @@
+type secret_key = string
+type public_key = string (* SHA-256 fingerprint of the secret *)
+type signature = string
+
+let registry : (public_key, secret_key) Hashtbl.t = Hashtbl.create 64
+
+let equal_public = String.equal
+let compare_public = String.compare
+let public_to_hex = Sha256.to_hex
+let pp_public ppf pk = Format.pp_print_string ppf (String.sub (public_to_hex pk) 0 12)
+
+let signature_to_hex = Sha256.to_hex
+let equal_signature = String.equal
+
+let generate prng =
+  let buf = Bytes.create 32 in
+  for i = 0 to 3 do
+    Bytes.set_int64_be buf (8 * i) (Fortress_util.Prng.bits64 prng)
+  done;
+  let secret = Bytes.to_string buf in
+  let public = Sha256.digest secret in
+  Hashtbl.replace registry public secret;
+  (secret, public)
+
+let public_of_secret secret = Sha256.digest secret
+
+let sign secret msg = Hmac.mac ~key:secret msg
+
+let verify public ~msg signature =
+  match Hashtbl.find_opt registry public with
+  | None -> false
+  | Some secret -> Hmac.verify ~key:secret ~msg ~tag:signature
+
+let forge prng =
+  let buf = Bytes.create 32 in
+  for i = 0 to 3 do
+    Bytes.set_int64_be buf (8 * i) (Fortress_util.Prng.bits64 prng)
+  done;
+  Bytes.to_string buf

@@ -1,0 +1,39 @@
+(** Simulated public-key signatures.
+
+    The paper's protocol needs servers and proxies to sign responses and
+    clients to verify a proxy signature over a server signature. No
+    asymmetric-crypto library is available in this environment, so we
+    substitute an HMAC-based scheme with a process-local verification
+    registry: generating a keypair registers the MAC secret under its public
+    fingerprint, [sign] MACs with the secret, and [verify] looks the secret
+    up by fingerprint. The security property the protocol relies on is
+    preserved inside the simulation: a principal that does not hold the
+    secret key cannot mint a signature that verifies (tags are 256-bit MACs),
+    while any principal can verify given only the public fingerprint. *)
+
+type secret_key
+type public_key
+
+val equal_public : public_key -> public_key -> bool
+val compare_public : public_key -> public_key -> int
+val public_to_hex : public_key -> string
+val pp_public : Format.formatter -> public_key -> unit
+
+type signature
+
+val signature_to_hex : signature -> string
+val equal_signature : signature -> signature -> bool
+
+val generate : Fortress_util.Prng.t -> secret_key * public_key
+(** Draw a fresh keypair and register it for verification. *)
+
+val public_of_secret : secret_key -> public_key
+
+val sign : secret_key -> string -> signature
+val verify : public_key -> msg:string -> signature -> bool
+(** [verify pk ~msg s] holds iff [s] was produced by [sign sk msg] for the
+    [sk] matching [pk]. Unknown fingerprints verify nothing. *)
+
+val forge : Fortress_util.Prng.t -> signature
+(** A random 32-byte tag, for attack tests: verifies with negligible
+    probability. *)

@@ -1,0 +1,1 @@
+lib/defense/daemon.ml: Fortress_sim Instance Option Printf String

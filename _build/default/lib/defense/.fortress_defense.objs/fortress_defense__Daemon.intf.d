@@ -1,0 +1,1 @@
+lib/defense/daemon.mli: Fortress_sim Fortress_util Instance

@@ -1,0 +1,1 @@
+lib/defense/instance.ml: Format Keyspace

@@ -1,0 +1,1 @@
+lib/defense/instance.mli: Format Fortress_util Keyspace

@@ -1,0 +1,1 @@
+lib/defense/keyspace.ml: Format Fortress_util

@@ -1,0 +1,1 @@
+lib/defense/keyspace.mli: Format Fortress_util

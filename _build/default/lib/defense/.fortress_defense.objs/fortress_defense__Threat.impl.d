@@ -1,0 +1,1 @@
+lib/defense/threat.ml: Float Fortress_util Keyspace List Printf String

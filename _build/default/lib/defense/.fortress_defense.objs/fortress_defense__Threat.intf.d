@@ -1,0 +1,1 @@
+lib/defense/threat.mli: Fortress_util Keyspace

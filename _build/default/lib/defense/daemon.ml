@@ -1,0 +1,90 @@
+module Engine = Fortress_sim.Engine
+
+type request = Probe of int | Legit of string
+
+let encode_request = function
+  | Probe k -> Printf.sprintf "probe:%d" k
+  | Legit body -> "req:" ^ body
+
+let decode_request s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let tag = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match tag with
+      | "probe" -> Option.map (fun k -> Probe k) (int_of_string_opt rest)
+      | "req" -> Some (Legit rest)
+      | _ -> None)
+
+type t = {
+  engine : Engine.t;
+  instance : Instance.t;
+  restart_delay : float;
+  conn_latency : float;
+  mutable compromised : bool;
+  mutable crash_count : int;
+  mutable fork_count : int;
+  mutable request_count : int;
+}
+
+let create ?(restart_delay = 0.1) engine ~instance =
+  {
+    engine;
+    instance;
+    restart_delay;
+    conn_latency = 0.05;
+    compromised = false;
+    crash_count = 0;
+    fork_count = 1;
+    request_count = 0;
+  }
+
+let instance t = t.instance
+let compromised t = t.compromised
+let crash_count t = t.crash_count
+let fork_count t = t.fork_count
+let request_count t = t.request_count
+
+let accept t ~on_reply ~on_crash_observed =
+  let open_ = ref true in
+  let serve request =
+    if !open_ then
+      match request with
+      | Legit body ->
+          t.request_count <- t.request_count + 1;
+          ignore
+            (Engine.schedule t.engine ~delay:t.conn_latency (fun () ->
+                 if !open_ then on_reply ("ok:" ^ body)))
+      | Probe guess -> (
+          match Instance.probe t.instance ~guess with
+          | Instance.Intrusion ->
+              t.compromised <- true;
+              Engine.record t.engine ~label:"daemon" "intrusion: correct key probed";
+              ignore
+                (Engine.schedule t.engine ~delay:t.conn_latency (fun () ->
+                     if !open_ then on_reply "shell"))
+          | Instance.Crash ->
+              (* the child dies: close this connection, fork a replacement *)
+              t.crash_count <- t.crash_count + 1;
+              open_ := false;
+              ignore
+                (Engine.schedule t.engine ~delay:t.conn_latency (fun () ->
+                     on_crash_observed ()));
+              ignore
+                (Engine.schedule t.engine ~delay:t.restart_delay (fun () ->
+                     t.fork_count <- t.fork_count + 1)))
+  in
+  let submit request =
+    if !open_ then
+      ignore (Engine.schedule t.engine ~delay:t.conn_latency (fun () -> serve request))
+  in
+  (submit, fun () -> !open_)
+
+let rekey t prng =
+  Instance.rekey t.instance prng;
+  t.compromised <- false
+
+let recover t =
+  Instance.recover t.instance;
+  t.compromised <- false

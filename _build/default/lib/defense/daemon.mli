@@ -1,0 +1,49 @@
+(** A forking server daemon fronting a randomized executable.
+
+    De-randomization attacks presuppose a daemon that forks a fresh child
+    whenever the working child crashes (the crash is assumed benign), so the
+    attacker can keep probing. Each accepted connection is served by its own
+    child; a wrong-key probe crashes only that child and closes only that
+    connection — the attacker's observable. A correct-key probe turns the
+    daemon compromised. Legitimate requests are echoed. *)
+
+type t
+
+type request = Probe of int | Legit of string
+
+val encode_request : request -> string
+val decode_request : string -> request option
+(** Wire format: ["probe:<int>"] or ["req:<body>"]. *)
+
+val create :
+  ?restart_delay:float -> Fortress_sim.Engine.t -> instance:Instance.t -> t
+(** [restart_delay] (default 0.1) is the fork lag after a child crash;
+    during it the connection that crashed is already closed, so it does not
+    gate the attacker, but it is visible in fork counters. *)
+
+val instance : t -> Instance.t
+val compromised : t -> bool
+val crash_count : t -> int
+(** Child crashes caused by wrong-key probes so far. *)
+
+val fork_count : t -> int
+val request_count : t -> int
+(** Legitimate requests served. *)
+
+val accept :
+  t -> on_reply:(string -> unit) -> on_crash_observed:(unit -> unit) ->
+  (request -> unit) * (unit -> bool)
+(** [accept t ~on_reply ~on_crash_observed] opens a logical connection and
+    returns [(submit, is_open)]. [submit] delivers a request to the serving
+    child after the daemon's connection latency; replies come back through
+    [on_reply] and a child crash reaches the client through
+    [on_crash_observed] — the close-on-crash channel. After a crash the
+    connection is dead: further submissions are dropped. *)
+
+val rekey : t -> Fortress_util.Prng.t -> unit
+(** Proactive obfuscation of the underlying instance. Clears the
+    compromised flag: the attacker's foothold dies with the old
+    executable. *)
+
+val recover : t -> unit
+(** Proactive recovery: same key, compromised flag cleared. *)

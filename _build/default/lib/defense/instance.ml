@@ -1,0 +1,47 @@
+type scheme = Aslr | Isr | Got_shuffle | Heap
+
+let pp_scheme ppf s =
+  Format.pp_print_string ppf
+    (match s with Aslr -> "aslr" | Isr -> "isr" | Got_shuffle -> "got" | Heap -> "heap")
+
+let scheme_of_string = function
+  | "aslr" -> Some Aslr
+  | "isr" -> Some Isr
+  | "got" -> Some Got_shuffle
+  | "heap" -> Some Heap
+  | _ -> None
+
+let all_schemes = [ Aslr; Isr; Got_shuffle; Heap ]
+
+type t = { scheme : scheme; keyspace : Keyspace.t; mutable key : int; mutable epoch : int }
+
+type outcome = Intrusion | Crash
+
+let create ?(scheme = Aslr) keyspace prng =
+  { scheme; keyspace; key = Keyspace.random_key keyspace prng; epoch = 0 }
+
+let scheme t = t.scheme
+let keyspace t = t.keyspace
+let epoch t = t.epoch
+let key t = t.key
+
+let probe t ~guess =
+  if not (Keyspace.contains t.keyspace guess) then
+    invalid_arg "Instance.probe: guess outside the key space";
+  if guess = t.key then Intrusion else Crash
+
+let rekey t prng =
+  t.key <- Keyspace.random_key t.keyspace prng;
+  t.epoch <- t.epoch + 1
+
+let set_key t key =
+  if not (Keyspace.contains t.keyspace key) then
+    invalid_arg "Instance.set_key: key outside the key space";
+  t.key <- key;
+  t.epoch <- t.epoch + 1
+
+let recover t = t.epoch <- t.epoch + 1
+
+let pp ppf t =
+  Format.fprintf ppf "%a instance (%a, epoch %d)" pp_scheme t.scheme Keyspace.pp t.keyspace
+    t.epoch

@@ -1,0 +1,57 @@
+(** A randomized executable instance.
+
+    An instance models a server or proxy executable whose memory layout (or
+    instruction encoding, depending on the scheme) is determined by a secret
+    key drawn from a {!Keyspace.t}. An attack probe carries a guessed key:
+    a correct guess yields an intrusion, an incorrect one crashes the
+    serving process. [rekey] models proactive obfuscation (a fresh random
+    key); [recover] models proactive recovery (reinstall, same key). *)
+
+type scheme =
+  | Aslr  (** address-space layout randomization (PaX-style) *)
+  | Isr  (** instruction-set randomization *)
+  | Got_shuffle  (** global-offset-table randomization (TRR-style) *)
+  | Heap  (** heap/allocator randomization *)
+
+val pp_scheme : Format.formatter -> scheme -> unit
+val scheme_of_string : string -> scheme option
+val all_schemes : scheme list
+
+type t
+
+type outcome = Intrusion | Crash
+
+val create : ?scheme:scheme -> Keyspace.t -> Fortress_util.Prng.t -> t
+(** Draw an initial key (the start-up randomization). *)
+
+val scheme : t -> scheme
+val keyspace : t -> Keyspace.t
+val epoch : t -> int
+(** Number of rekey/recover operations applied so far. *)
+
+val key : t -> int
+(** The current secret key. Exposed for white-box tests and for the
+    probe-level simulator's bookkeeping; attacker code must only use
+    {!probe}. *)
+
+val probe : t -> guess:int -> outcome
+(** Raises [Invalid_argument] when the guess lies outside the key space. *)
+
+val rekey : t -> Fortress_util.Prng.t -> unit
+(** Proactive obfuscation: draw a fresh key uniformly (possibly equal to a
+    previous one — sampling with replacement across epochs) and bump the
+    epoch. *)
+
+val set_key : t -> int -> unit
+(** Install a specific key and bump the epoch. FORTRESS randomizes all
+    primary-backup servers {e identically} so state updates need no
+    marshalling layer; the deployment draws one key and installs it on every
+    server with [set_key]. Raises [Invalid_argument] outside the key
+    space. *)
+
+val recover : t -> unit
+(** Proactive recovery: reinstall the same executable — the key is
+    unchanged, only the epoch advances (any attacker presence in the process
+    is flushed). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+type vector = Code_injection | Return_to_libc
+
+let all_vectors = [ Code_injection; Return_to_libc ]
+
+let vector_to_string = function
+  | Code_injection -> "code-injection"
+  | Return_to_libc -> "return-to-libc"
+
+type layer =
+  | W_xor_x
+  | Isr of Keyspace.t
+  | Heap_randomization of Keyspace.t
+  | Aslr of Keyspace.t
+  | Got_randomization of Keyspace.t
+
+let layer_to_string = function
+  | W_xor_x -> "w^x"
+  | Isr _ -> "isr"
+  | Heap_randomization _ -> "heap-rand"
+  | Aslr _ -> "aslr"
+  | Got_randomization _ -> "got-rand"
+
+type effect_ = Hard_block | Keyed | No_effect
+
+(* Section 2.1: W^X makes injected pages non-executable (absolute against
+   injection, useless against code reuse); ISR garbles injected
+   instructions unless the encoding key is known; heap randomization makes
+   heap grooming for injection keyed; all three are bypassed by
+   return-to-libc. ASLR and GOT randomization hide the addresses both
+   vectors need. *)
+let effect_on layer vector =
+  match (layer, vector) with
+  | W_xor_x, Code_injection -> Hard_block
+  | W_xor_x, Return_to_libc -> No_effect
+  | Isr _, Code_injection -> Keyed
+  | Isr _, Return_to_libc -> No_effect
+  | Heap_randomization _, Code_injection -> Keyed
+  | Heap_randomization _, Return_to_libc -> No_effect
+  | Aslr _, (Code_injection | Return_to_libc) -> Keyed
+  | Got_randomization _, (Code_injection | Return_to_libc) -> Keyed
+
+let keyspace_of = function
+  | W_xor_x -> None
+  | Isr ks | Heap_randomization ks | Aslr ks | Got_randomization ks -> Some ks
+
+type assessment = {
+  vector : vector;
+  blocked : bool;
+  keyed_layers : layer list;
+  effective_keys : float;
+}
+
+let assess stack vector =
+  let blocked = List.exists (fun layer -> effect_on layer vector = Hard_block) stack in
+  let keyed_layers = List.filter (fun layer -> effect_on layer vector = Keyed) stack in
+  let effective_keys =
+    List.fold_left
+      (fun acc layer ->
+        match keyspace_of layer with
+        | Some ks -> acc *. float_of_int (Keyspace.size ks)
+        | None -> acc)
+      1.0 keyed_layers
+  in
+  { vector; blocked; keyed_layers; effective_keys }
+
+let best_vector stack =
+  all_vectors
+  |> List.map (assess stack)
+  |> List.filter (fun a -> not a.blocked)
+  |> List.sort (fun a b -> Float.compare a.effective_keys b.effective_keys)
+  |> function
+  | [] -> None
+  | best :: _ -> Some best
+
+let alpha_against stack ~omega =
+  if omega <= 0 then invalid_arg "Threat.alpha_against: omega must be positive";
+  match best_vector stack with
+  | None -> 0.0
+  | Some a -> Fortress_util.Probability.clamp01 (float_of_int omega /. a.effective_keys)
+
+let matrix_table stacks =
+  let t =
+    Fortress_util.Table.create
+      ~headers:[ "defence stack"; "best vector"; "effective entropy"; "alpha (omega=256)" ]
+  in
+  List.iter
+    (fun stack ->
+      let name = String.concat "+" (List.map layer_to_string stack) in
+      match best_vector stack with
+      | None ->
+          Fortress_util.Table.add_row t [ name; "(all blocked)"; "-"; "0" ]
+      | Some a ->
+          Fortress_util.Table.add_row t
+            [
+              name;
+              vector_to_string a.vector;
+              Printf.sprintf "%.1f bits" (log (Float.max a.effective_keys 1.0) /. log 2.0);
+              Printf.sprintf "%.3g" (alpha_against stack ~omega:256);
+            ])
+    stacks;
+  t

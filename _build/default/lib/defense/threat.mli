@@ -1,0 +1,60 @@
+(** The attack-vector / defence-layer matrix of paper section 2.1.
+
+    Code-injection attacks exploit unchecked buffers, double frees, integer
+    overflows and format-string errors to (1) inject code and (2) redirect
+    control to it. W xor X pages, instruction-set randomization and heap
+    randomization frustrate step (1) — but all three "are easily bypassed
+    by return-to-libc attacks", which reuse existing code. Address-space
+    randomization instead hides the {e addresses} step (2) needs, so it
+    degrades return-to-libc too. This module encodes that matrix and
+    computes, for a given defence stack, the attack vector a rational
+    attacker picks and the effective key entropy a de-randomization
+    campaign must defeat. *)
+
+type vector =
+  | Code_injection  (** inject shellcode and redirect control into it *)
+  | Return_to_libc  (** reuse existing executable code *)
+
+val all_vectors : vector list
+val vector_to_string : vector -> string
+
+type layer =
+  | W_xor_x  (** non-executable data pages *)
+  | Isr of Keyspace.t  (** instruction-set randomization *)
+  | Heap_randomization of Keyspace.t
+  | Aslr of Keyspace.t  (** address-space layout randomization *)
+  | Got_randomization of Keyspace.t  (** TRR-style GOT relocation *)
+
+val layer_to_string : layer -> string
+
+type effect_ =
+  | Hard_block  (** the vector cannot work at all through this layer *)
+  | Keyed  (** works only with this layer's key guessed *)
+  | No_effect
+
+val effect_on : layer -> vector -> effect_
+(** The section-2.1 matrix entry. *)
+
+type assessment = {
+  vector : vector;
+  blocked : bool;  (** some layer hard-blocks this vector *)
+  keyed_layers : layer list;  (** layers whose keys must all be guessed *)
+  effective_keys : float;  (** product of the keyed layers' key-space sizes
+                               (1 if none: the vector works unimpeded) *)
+}
+
+val assess : layer list -> vector -> assessment
+
+val best_vector : layer list -> assessment option
+(** The unblocked vector with the smallest effective key space — what a
+    rational attacker runs. [None] when every vector is hard-blocked. *)
+
+val alpha_against : layer list -> omega:int -> float
+(** Per-step success probability of a de-randomization campaign with
+    [omega] probes per step against the stack: omega / effective_keys for
+    the best vector, clamped to [0, 1]; 0 when everything is blocked. *)
+
+val matrix_table : layer list list -> Fortress_util.Table.t
+(** One row per stack: best vector, effective entropy (bits), and alpha at
+    omega = 256 — the defence-selection table the paper's section 2.1
+    argues informally. *)

@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Fortress_attack Fortress_core Fortress_defense Fortress_mc Fortress_model Fortress_util List Overhead Printf Sweep

@@ -1,0 +1,1 @@
+lib/exp/choice_map.ml: Buffer Float Fortress_model Fortress_util List Printf Sweep

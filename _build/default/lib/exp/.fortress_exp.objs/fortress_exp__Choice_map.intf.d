@@ -1,0 +1,1 @@
+lib/exp/choice_map.mli: Fortress_model Fortress_util

@@ -1,0 +1,1 @@
+lib/exp/degradation.ml: Fortress_attack Fortress_core Fortress_defense Fortress_sim Fortress_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/degradation.mli: Fortress_util

@@ -1,0 +1,1 @@
+lib/exp/distributions.ml: Array Float Fortress_mc Fortress_model Fortress_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/distributions.mli: Fortress_mc Fortress_model Fortress_util

@@ -1,0 +1,1 @@
+lib/exp/export.ml: Ablations Figures Filename Fortress_util List Sensitivity String Sys

@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Array Char Fortress_mc Fortress_model Fortress_util List Option Printf Sweep

@@ -1,0 +1,1 @@
+lib/exp/overhead.ml: Array Float Fortress_core Fortress_sim Fortress_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/overhead.mli: Fortress_util

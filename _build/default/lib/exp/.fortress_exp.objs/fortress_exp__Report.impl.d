@@ -1,0 +1,1 @@
+lib/exp/report.ml: Ablations Buffer Choice_map Distributions Figures Fortress_model Fortress_util List Printf Sensitivity String Validation

@@ -1,0 +1,1 @@
+lib/exp/sensitivity.ml: Float Fortress_model Fortress_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/sensitivity.mli: Fortress_model Fortress_util

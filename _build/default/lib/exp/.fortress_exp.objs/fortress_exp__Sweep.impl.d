@@ -1,0 +1,1 @@
+lib/exp/sweep.ml: List

@@ -1,0 +1,1 @@
+lib/exp/validation.ml: Float Fortress_attack Fortress_core Fortress_defense Fortress_mc Fortress_model Fortress_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/validation.mli: Fortress_mc Fortress_model Fortress_util

@@ -1,0 +1,39 @@
+(** Ablations over FORTRESS design choices (DESIGN.md experiments A1-A4). *)
+
+val proxy_count_table : ?kappa:float -> ?nps:int list -> ?points:int -> unit -> Fortress_util.Table.t
+(** A1: EL of S2PO as the number of proxies varies (paper fixes np = 3). *)
+
+val entropy_table :
+  ?chis:int list -> ?omega:int -> ?trials:int -> unit -> Fortress_util.Table.t
+(** A2: probe-level S1SO/S0SO lifetimes under different key entropies —
+    start-up-only randomization depletes small key spaces quickly. *)
+
+val launchpad_table : ?alpha:float -> ?kappas:float list -> unit -> Fortress_util.Table.t
+(** A3: S2PO under the three launch-pad disciplines, with the kappa
+    crossover against S1PO for each. *)
+
+val detection_table :
+  ?thresholds:int list -> ?steps:int -> unit -> Fortress_util.Table.t
+(** A4: run the packet-level attack campaign against a live FORTRESS
+    deployment for several proxy detection thresholds and report the
+    effective kappa the attacker achieved — the mechanism that justifies
+    modelling indirect attacks at kappa * alpha. *)
+
+val limited_diversity_table :
+  ?alpha:float -> ?candidate_counts:int list -> ?trials:int -> unit -> Fortress_util.Table.t
+(** A5: limited diversity (Sousa et al., paper section 2.3) — choosing at
+    re-boot from a pre-compiled candidate set of size c interpolates
+    between SO (c = 1) and PO (c -> infinity); the table shows the measured
+    lifetime against both anchors. *)
+
+val overhead_table : ?requests:int -> unit -> Fortress_util.Table.t
+(** A6: the proxies' latency overhead on the fortified request path
+    (section 2.2's "overhead is minimal" observation, measured in the
+    protocol simulation). *)
+
+val budget_split_table :
+  ?total:float -> ?chi:float -> ?kappas:float list -> unit -> Fortress_util.Table.t
+(** A7: the optimizing attacker — for each kappa, the best split of a
+    single total probe budget between proxy capture and indirect attack,
+    and the resulting worst-case lifetime against the per-channel-budget
+    baseline the paper assumes. *)

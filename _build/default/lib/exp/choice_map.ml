@@ -1,0 +1,84 @@
+module Systems = Fortress_model.Systems
+module Table = Fortress_util.Table
+
+type cell = {
+  alpha : float;
+  kappa : float;
+  winner : Systems.system;
+  runner_up : Systems.system;
+  margin : float;
+  dsm_premium : float;
+}
+
+let contenders alpha kappa =
+  [
+    (Systems.S0_PO, Systems.s0_po ~alpha);
+    (Systems.S2_PO, Systems.s2_po ~alpha ~kappa ());
+    (Systems.S1_PO, Systems.s1_po ~alpha);
+  ]
+
+let cell_at ~alpha ~kappa =
+  let ranked =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) (contenders alpha kappa)
+  in
+  match ranked with
+  | (winner, el_w) :: (runner_up, el_r) :: _ ->
+      {
+        alpha;
+        kappa;
+        winner;
+        runner_up;
+        margin = el_w /. el_r;
+        dsm_premium = Systems.s0_po ~alpha /. Systems.s2_po ~alpha ~kappa ();
+      }
+  | _ -> assert false
+
+let kappa_grid points =
+  List.init points (fun i -> float_of_int i /. float_of_int (points - 1))
+
+let grid ?(alpha_points = 13) ?(kappa_points = 11) () =
+  List.concat_map
+    (fun kappa ->
+      List.map (fun alpha -> cell_at ~alpha ~kappa) (Sweep.alpha_grid ~points:alpha_points ()))
+    (kappa_grid kappa_points)
+
+let map_string ?(alpha_points = 25) ?(kappa_points = 11) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kappa \\ alpha: 1e-5 ..................... 1e-2\n";
+  List.iter
+    (fun kappa ->
+      Buffer.add_string buf (Printf.sprintf "%5.2f  " kappa);
+      List.iter
+        (fun alpha ->
+          let c = cell_at ~alpha ~kappa in
+          Buffer.add_char buf
+            (match c.winner with
+            | Systems.S0_PO -> '0'
+            | Systems.S2_PO -> '2'
+            | Systems.S1_PO -> '1'
+            | Systems.S0_SO | Systems.S1_SO | Systems.S2_SO -> '?'))
+        (Sweep.alpha_grid ~points:alpha_points ());
+      Buffer.add_char buf '\n')
+    (List.rev (kappa_grid kappa_points));
+  Buffer.add_string buf
+    "\n0 = S0PO wins (needs a deterministic state machine)\n\
+     2 = S2PO wins (FORTRESS: any service)\n\
+     1 = S1PO wins (no proxies worth deploying)\n";
+  Buffer.contents buf
+
+let premium_table ?(points = 7) () =
+  let kappas = [ 0.0; 0.1; 0.5; 1.0 ] in
+  let t =
+    Table.create
+      ~headers:("alpha" :: List.map (fun k -> Printf.sprintf "premium k=%.2g" k) kappas)
+  in
+  List.iter
+    (fun alpha ->
+      Table.add_row t
+        (Printf.sprintf "%.3g" alpha
+        :: List.map
+             (fun kappa ->
+               Printf.sprintf "%.3g" ((cell_at ~alpha ~kappa).dsm_premium))
+             kappas))
+    (Sweep.alpha_grid ~points ());
+  t

@@ -1,0 +1,29 @@
+(** The paper's conclusion (section 7) as an artifact: which architecture
+    to pick, across the whole (alpha, kappa) operating plane.
+
+    For every grid point the map reports the longest-lived of the three
+    deployable PO designs — S0PO (SMR + proactive obfuscation, needs a
+    deterministic state machine), S2PO (FORTRESS, works for any service)
+    and S1PO (plain primary-backup with obfuscation, the no-proxy
+    fallback) — plus the factor by which FORTRESS trails SMR, which is the
+    price of not having a DSM. *)
+
+type cell = {
+  alpha : float;
+  kappa : float;
+  winner : Fortress_model.Systems.system;
+  runner_up : Fortress_model.Systems.system;
+  margin : float;  (** EL(winner) / EL(runner_up) *)
+  dsm_premium : float;  (** EL(S0PO) / EL(S2PO): what determinism buys *)
+}
+
+val grid : ?alpha_points:int -> ?kappa_points:int -> unit -> cell list
+
+val map_string : ?alpha_points:int -> ?kappa_points:int -> unit -> string
+(** A compact character map, one row per kappa, one column per alpha:
+    ['0'] where S0PO wins, ['2'] where S2PO wins, ['1'] where S1PO wins. *)
+
+val premium_table : ?points:int -> unit -> Fortress_util.Table.t
+(** The DSM premium across alpha for several kappa values — how much
+    lifetime a team gives up by choosing FORTRESS over making its service
+    a deterministic state machine. *)

@@ -1,0 +1,31 @@
+(** Collateral damage: what an ongoing attack does to legitimate clients.
+
+    The expected-lifetime metric says when the system falls; this
+    experiment asks what service quality looks like while it stands. A
+    FORTRESS deployment serves a steady legitimate workload while an attack
+    campaign of increasing intensity runs; we record served fraction and
+    round-trip latency. Because proxies do not execute requests, the probe
+    load they absorb is cheap, and source blocking never touches legitimate
+    clients — the design prediction this experiment checks. *)
+
+type point = {
+  omega : int;  (** attacker probes per channel per step *)
+  offered : int;  (** legitimate requests submitted *)
+  served : int;
+  served_fraction : float;
+  mean_rtt : float;
+  survived_steps : int;  (** steps before compromise; horizon if it held *)
+}
+
+val run :
+  ?omegas:int list ->
+  ?requests:int ->
+  ?horizon:int ->
+  ?chi:int ->
+  ?seed:int ->
+  unit ->
+  point list
+(** Defaults: omegas [0; 8; 32; 128], 100 requests, 30-step horizon,
+    chi = 2^14. *)
+
+val table : point list -> Fortress_util.Table.t

@@ -1,0 +1,58 @@
+module Systems = Fortress_model.Systems
+module Step_level = Fortress_mc.Step_level
+module Trial = Fortress_mc.Trial
+module Histogram = Fortress_util.Histogram
+module Stats = Fortress_util.Stats
+module Table = Fortress_util.Table
+
+type profile = {
+  system : Systems.system;
+  alpha : float;
+  kappa : float;
+  result : Trial.result;
+  histogram : Histogram.t;
+  cv : float;
+  p90_over_median : float;
+}
+
+let profile ?(trials = 4000) ?(seed = 42) ?(bins = 30) system ~alpha ~kappa =
+  let cfg = { Step_level.default with alpha; kappa } in
+  let result = Step_level.estimate ~trials ~seed system cfg in
+  let xs = result.Trial.lifetimes in
+  if Array.length xs = 0 then invalid_arg "Distributions.profile: all trials censored";
+  let hi = Array.fold_left Float.max 1.0 xs +. 1.0 in
+  let histogram = Histogram.create_linear ~lo:0.0 ~hi ~bins in
+  Array.iter (Histogram.add histogram) xs;
+  let mean = Stats.mean_of xs in
+  let cv = sqrt (Stats.variance_of xs) /. mean in
+  let p90 = Stats.quantile xs ~q:0.9 in
+  let median = Stats.median xs in
+  { system; alpha; kappa; result; histogram; cv; p90_over_median = p90 /. median }
+
+let table profiles =
+  let t =
+    Table.create
+      ~headers:[ "system"; "alpha"; "mean EL"; "median"; "cv"; "p90/median"; "shape" ]
+  in
+  List.iter
+    (fun p ->
+      let shape =
+        (* geometric lifetimes have cv ~ 1; a uniform cutoff gives ~ 0.58 *)
+        if p.cv > 0.85 then "memoryless (geometric)"
+        else if p.cv < 0.7 then "hard cutoff (exhaustion)"
+        else "intermediate"
+      in
+      Table.add_row t
+        [
+          Systems.system_to_string p.system;
+          Printf.sprintf "%.3g" p.alpha;
+          Printf.sprintf "%.1f" p.result.Trial.mean;
+          Printf.sprintf "%.1f" p.result.Trial.median;
+          Printf.sprintf "%.3f" p.cv;
+          Printf.sprintf "%.2f" p.p90_over_median;
+          shape;
+        ])
+    profiles;
+  t
+
+let render_histogram p = Histogram.render ~width:40 p.histogram

@@ -1,0 +1,33 @@
+(** Lifetime {e distributions}, not just expectations.
+
+    Expected lifetime hides a qualitative difference the models predict:
+    under PO the per-step hazard is constant, so lifetimes are geometric —
+    memoryless, coefficient of variation ~ 1, a long exponential tail.
+    Under SO the hazard grows as keys are eliminated; for S1SO the
+    compromise step is (almost) uniform over the exhaustion horizon, giving
+    cv ~ 0.577 and a hard cutoff. Operationally: an SO system's survival
+    so far is {e bad} news (the hazard has grown), a PO system's is no news
+    at all. *)
+
+type profile = {
+  system : Fortress_model.Systems.system;
+  alpha : float;
+  kappa : float;
+  result : Fortress_mc.Trial.result;
+  histogram : Fortress_util.Histogram.t;
+  cv : float;  (** sample coefficient of variation (stddev / mean) *)
+  p90_over_median : float;  (** tail weight: ~3.3 for geometric, ~1.8 uniform *)
+}
+
+val profile :
+  ?trials:int ->
+  ?seed:int ->
+  ?bins:int ->
+  Fortress_model.Systems.system ->
+  alpha:float ->
+  kappa:float ->
+  profile
+(** Step-level Monte-Carlo sampling (default 4000 trials, 30 bins). *)
+
+val table : profile list -> Fortress_util.Table.t
+val render_histogram : profile -> string

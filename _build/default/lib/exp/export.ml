@@ -1,0 +1,53 @@
+module Table = Fortress_util.Table
+
+let gnuplot_figure1 =
+  {|# Figure 1: expected lifetime comparison (log-log)
+set datafile separator ","
+set terminal png size 900,600
+set output "figure1.png"
+set logscale xy
+set xlabel "alpha"
+set ylabel "expected lifetime (unit time-steps)"
+set key outside
+plot "figure1.csv" using 1:2 with linespoints title "S0SO", \
+     "figure1.csv" using 1:3 with linespoints title "S1SO", \
+     "figure1.csv" using 1:4 with linespoints title "S1PO", \
+     "figure1.csv" using 1:5 with linespoints title "S2PO (k=0.5)", \
+     "figure1.csv" using 1:6 with linespoints title "S0PO"
+|}
+
+let gnuplot_figure2 =
+  {|# Figure 2: S2PO expected lifetime as kappa varies (log-log)
+set datafile separator ","
+set terminal png size 900,600
+set output "figure2.png"
+set logscale xy
+set xlabel "alpha"
+set ylabel "S2PO expected lifetime (unit time-steps)"
+set key outside
+plot for [col=2:8] "figure2.csv" using 1:col with linespoints title columnheader(col)
+|}
+
+let artefacts () =
+  [
+    ("figure1.csv", Table.to_csv (Figures.figure1_table ~points:25 ()));
+    ("figure2.csv", Table.to_csv (Figures.figure2_table ~points:25 ()));
+    ("ordering.csv", Table.to_csv (Figures.ordering_table ~points:13 ()));
+    ("ablation_np.csv", Table.to_csv (Ablations.proxy_count_table ~points:13 ()));
+    ("ablation_launchpad.csv", Table.to_csv (Ablations.launchpad_table ()));
+    ("podc_claim.csv", Table.to_csv (Figures.podc_claim_table ~points:13 ()));
+    ("sensitivity.csv", Table.to_csv (Sensitivity.table ()));
+    ("figure1.gp", gnuplot_figure1);
+    ("figure2.gp", gnuplot_figure2);
+  ]
+
+let write_all ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (name, contents) ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      (path, String.length contents))
+    (artefacts ())

@@ -1,0 +1,15 @@
+(** Export the evaluation data for external plotting.
+
+    Writes one CSV per artefact plus ready-to-run gnuplot scripts that
+    regenerate the paper's two figures as log-log PNG plots, so the data
+    can leave the terminal. *)
+
+val artefacts : unit -> (string * string) list
+(** [(filename, contents)] pairs: the CSVs for Figure 1, Figure 2, the
+    ordering table, ablations A1/A3 and the PODC claim, plus
+    [figure1.gp] / [figure2.gp] gnuplot scripts referencing them. *)
+
+val write_all : dir:string -> (string * int) list
+(** Create [dir] if needed and write every artefact; returns
+    [(path, bytes)] per file written. Raises [Sys_error] on an unwritable
+    destination. *)

@@ -1,0 +1,215 @@
+module Systems = Fortress_model.Systems
+module Table = Fortress_util.Table
+module Step_level = Fortress_mc.Step_level
+module Trial = Fortress_mc.Trial
+
+type f1_row = {
+  alpha : float;
+  s0_so : float;
+  s1_so : float;
+  s1_po : float;
+  s2_po : float;
+  s0_po : float;
+}
+
+let figure1_rows ?points ?(kappa = 0.5) () =
+  List.map
+    (fun alpha ->
+      {
+        alpha;
+        s0_so = Systems.s0_so ~alpha;
+        s1_so = Systems.s1_so ~alpha;
+        s1_po = Systems.s1_po ~alpha;
+        s2_po = Systems.s2_po ~alpha ~kappa ();
+        s0_po = Systems.s0_po ~alpha;
+      })
+    (Sweep.alpha_grid ?points ())
+
+let sci v = Printf.sprintf "%.3g" v
+
+let figure1_table ?points ?(kappa = 0.5) ?(mc_trials = 0) () =
+  let rows = figure1_rows ?points ~kappa () in
+  let analytic_headers = [ "alpha"; "S0SO"; "S1SO"; "S1PO"; "S2PO"; "S0PO" ] in
+  let headers =
+    if mc_trials > 0 then
+      analytic_headers @ [ "S1PO-mc"; "S2PO-mc"; "S0PO-mc"; "S1SO-mc"; "S0SO-mc" ]
+    else analytic_headers
+  in
+  let table = Table.create ~headers in
+  List.iter
+    (fun r ->
+      let base = [ sci r.alpha; sci r.s0_so; sci r.s1_so; sci r.s1_po; sci r.s2_po; sci r.s0_po ] in
+      let cells =
+        if mc_trials = 0 then base
+        else begin
+          let cfg = { Step_level.default with alpha = r.alpha; kappa } in
+          let mc system =
+            let res = Step_level.estimate ~trials:mc_trials system cfg in
+            let lo, hi = res.Trial.ci95 in
+            Printf.sprintf "%.3g+/-%.2g" res.Trial.mean ((hi -. lo) /. 2.0)
+          in
+          base
+          @ [
+              mc Systems.S1_PO; mc Systems.S2_PO; mc Systems.S0_PO; mc Systems.S1_SO;
+              mc Systems.S0_SO;
+            ]
+        end
+      in
+      Table.add_row table cells)
+    rows;
+  table
+
+let figure1_plot ?points ?(kappa = 0.5) () =
+  let rows = figure1_rows ?points:(Some (Option.value points ~default:25)) ~kappa () in
+  let plot =
+    Fortress_util.Plot.create ~x_label:"alpha" ~y_label:"expected lifetime (steps)" ()
+  in
+  let series name glyph select =
+    Fortress_util.Plot.add_series plot ~name ~glyph
+      (List.map (fun r -> (r.alpha, select r)) rows)
+  in
+  series "S0SO" '0' (fun r -> r.s0_so);
+  series "S1SO" '1' (fun r -> r.s1_so);
+  series "S1PO" 'p' (fun r -> r.s1_po);
+  series (Printf.sprintf "S2PO (kappa=%.2g)" kappa) '2' (fun r -> r.s2_po);
+  series "S0PO" 'S' (fun r -> r.s0_po);
+  Fortress_util.Plot.render plot
+
+type f2_row = { alpha : float; by_kappa : (float * float) list }
+
+let figure2_rows ?points ?(kappas = Sweep.paper_kappas) () =
+  List.map
+    (fun alpha ->
+      {
+        alpha;
+        by_kappa = List.map (fun kappa -> (kappa, Systems.s2_po ~alpha ~kappa ())) kappas;
+      })
+    (Sweep.alpha_grid ?points ())
+
+let figure2_table ?points ?(kappas = Sweep.paper_kappas) () =
+  let rows = figure2_rows ?points ~kappas () in
+  let headers =
+    "alpha"
+    :: List.map (fun k -> Printf.sprintf "S2PO k=%.2g" k) kappas
+    @ [ "S1PO"; "S0PO" ]
+  in
+  let table = Table.create ~headers in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        (sci r.alpha
+         :: List.map (fun (_, el) -> sci el) r.by_kappa
+        @ [ sci (Systems.s1_po ~alpha:r.alpha); sci (Systems.s0_po ~alpha:r.alpha) ]))
+    rows;
+  table
+
+let figure2_plot ?points ?(kappas = Sweep.paper_kappas) () =
+  let rows = figure2_rows ?points:(Some (Option.value points ~default:25)) ~kappas () in
+  let plot =
+    Fortress_util.Plot.create ~x_label:"alpha" ~y_label:"S2PO expected lifetime (steps)" ()
+  in
+  let glyphs = [| '0'; 'a'; 'b'; 'c'; 'd'; 'e'; '1' |] in
+  List.iteri
+    (fun i kappa ->
+      let glyph = if i < Array.length glyphs then glyphs.(i) else Char.chr (Char.code 'f' + i) in
+      Fortress_util.Plot.add_series plot
+        ~name:(Printf.sprintf "kappa = %.2g" kappa)
+        ~glyph
+        (List.map (fun r -> (r.alpha, List.assoc kappa r.by_kappa)) rows))
+    kappas;
+  Fortress_util.Plot.render plot
+
+(* ---- ordering ---- *)
+
+let kappa_crossover_at ~alpha =
+  let s1 = Systems.s1_po ~alpha in
+  let gap kappa = Systems.s2_po ~alpha ~kappa () -. s1 in
+  if gap 1.0 >= 0.0 then 1.0
+  else if gap 0.0 <= 0.0 then 0.0
+  else begin
+    let lo = ref 0.0 and hi = ref 1.0 in
+    for _ = 1 to 60 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if gap mid > 0.0 then lo := mid else hi := mid
+    done;
+    (!lo +. !hi) /. 2.0
+  end
+
+type podc_row = { p_alpha : float; fortified_pb : float; smr_recovery : float }
+
+let podc_claim ?points () =
+  List.map
+    (fun alpha ->
+      {
+        p_alpha = alpha;
+        fortified_pb = Systems.s2_so ~alpha ~kappa:0.0 ();
+        smr_recovery = Systems.s0_so ~alpha;
+      })
+    (Sweep.alpha_grid ?points ())
+
+let podc_claim_table ?points () =
+  let table =
+    Table.create ~headers:[ "alpha"; "fortified PB (S2SO, k=0)"; "SMR + recovery (S0SO)"; "ratio" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ sci r.p_alpha; sci r.fortified_pb; sci r.smr_recovery;
+          Printf.sprintf "%.2f" (r.fortified_pb /. r.smr_recovery) ])
+    (podc_claim ?points ());
+  table
+
+let podc_claim_holds ?points () =
+  List.for_all (fun r -> r.fortified_pb >= r.smr_recovery) (podc_claim ?points ())
+
+type ordering_report = {
+  alphas_checked : int;
+  s0po_beats_s2po : bool;
+  s2po_beats_s1po_at_low_kappa : bool;
+  s1po_beats_s1so : bool;
+  s1so_beats_s0so : bool;
+  kappa_crossover : (float * float) list;
+}
+
+let ordering ?points () =
+  let alphas = Sweep.alpha_grid ?points () in
+  let positive_kappas = List.filter (fun k -> k > 0.0) Sweep.paper_kappas in
+  let all f = List.for_all f alphas in
+  {
+    alphas_checked = List.length alphas;
+    s0po_beats_s2po =
+      all (fun alpha ->
+          List.for_all
+            (fun kappa -> Systems.s0_po ~alpha >= Systems.s2_po ~alpha ~kappa ())
+            positive_kappas);
+    s2po_beats_s1po_at_low_kappa =
+      all (fun alpha -> Systems.s2_po ~alpha ~kappa:0.5 () > Systems.s1_po ~alpha);
+    s1po_beats_s1so = all (fun alpha -> Systems.s1_po ~alpha > Systems.s1_so ~alpha);
+    s1so_beats_s0so = all (fun alpha -> Systems.s1_so ~alpha > Systems.s0_so ~alpha);
+    kappa_crossover = List.map (fun alpha -> (alpha, kappa_crossover_at ~alpha)) alphas;
+  }
+
+let ordering_table ?points () =
+  let report = ordering ?points () in
+  let table =
+    Table.create
+      ~headers:[ "alpha"; "S0PO>=S2PO(k>0)"; "S2PO>S1PO(k=0.5)"; "S1PO>S1SO"; "S1SO>S0SO"; "kappa*" ]
+  in
+  List.iter
+    (fun (alpha, crossover) ->
+      let yes b = if b then "yes" else "NO" in
+      let positive_kappas = List.filter (fun k -> k > 0.0) Sweep.paper_kappas in
+      Table.add_row table
+        [
+          sci alpha;
+          yes
+            (List.for_all
+               (fun kappa -> Systems.s0_po ~alpha >= Systems.s2_po ~alpha ~kappa ())
+               positive_kappas);
+          yes (Systems.s2_po ~alpha ~kappa:0.5 () > Systems.s1_po ~alpha);
+          yes (Systems.s1_po ~alpha > Systems.s1_so ~alpha);
+          yes (Systems.s1_so ~alpha > Systems.s0_so ~alpha);
+          Printf.sprintf "%.4f" crossover;
+        ])
+    report.kappa_crossover;
+  table

@@ -1,0 +1,66 @@
+(** Regeneration of the paper's evaluation artefacts.
+
+    Figure 1 compares the expected lifetimes of S0SO, S1SO, S1PO, S2PO and
+    S0PO over the realistic alpha range; Figure 2 shows S2PO's lifetime as
+    kappa varies (log scale). Each function returns both the analytic
+    series and, optionally, Monte-Carlo estimates with confidence
+    intervals. *)
+
+type f1_row = {
+  alpha : float;
+  s0_so : float;
+  s1_so : float;
+  s1_po : float;
+  s2_po : float;  (** at the row's kappa, default 0.5 *)
+  s0_po : float;
+}
+
+val figure1_rows : ?points:int -> ?kappa:float -> unit -> f1_row list
+
+val figure1_table :
+  ?points:int -> ?kappa:float -> ?mc_trials:int -> unit -> Fortress_util.Table.t
+(** With [mc_trials > 0], adds step-level Monte-Carlo columns (mean and 95%
+    CI half-width) for every system, cross-checking the analytic curves. *)
+
+val figure1_plot : ?points:int -> ?kappa:float -> unit -> string
+(** ASCII log-log rendering of Figure 1, one glyph per system. *)
+
+type f2_row = { alpha : float; by_kappa : (float * float) list }
+
+val figure2_rows : ?points:int -> ?kappas:float list -> unit -> f2_row list
+val figure2_table : ?points:int -> ?kappas:float list -> unit -> Fortress_util.Table.t
+val figure2_plot : ?points:int -> ?kappas:float list -> unit -> string
+
+(** {1 The summary ordering (section 6)} *)
+
+type ordering_report = {
+  alphas_checked : int;
+  s0po_beats_s2po : bool;  (** for every kappa > 0 tested *)
+  s2po_beats_s1po_at_low_kappa : bool;  (** at kappa = 0.5 *)
+  s1po_beats_s1so : bool;
+  s1so_beats_s0so : bool;
+  kappa_crossover : (float * float) list;
+      (** per alpha: the kappa above which S2PO stops outliving S1PO *)
+}
+
+val ordering : ?points:int -> unit -> ordering_report
+val ordering_table : ?points:int -> unit -> Fortress_util.Table.t
+(** Pairwise comparisons per alpha plus the measured kappa crossover. *)
+
+val kappa_crossover_at : alpha:float -> float
+(** Bisect for the kappa at which EL(S2PO) = EL(S1PO). *)
+
+(** {1 The PODC 2009 claim (paper section 1)} *)
+
+type podc_row = { p_alpha : float; fortified_pb : float; smr_recovery : float }
+
+val podc_claim : ?points:int -> unit -> podc_row list
+(** The earlier paper's headline result, re-checked here: under the strict
+    assumption that no server can be attacked until a proxy falls (kappa =
+    0) and with start-up-only randomization plus proactive recovery on both
+    sides, a fortified primary-backup system is at least as attack
+    resilient as the 4-replica, 1-tolerant SMR system. Rows compare
+    EL(S2SO, kappa = 0) against EL(S0SO). *)
+
+val podc_claim_table : ?points:int -> unit -> Fortress_util.Table.t
+val podc_claim_holds : ?points:int -> unit -> bool

@@ -1,0 +1,67 @@
+module Engine = Fortress_sim.Engine
+module Deployment = Fortress_core.Deployment
+module Client = Fortress_core.Client
+module Stats = Fortress_util.Stats
+module Table = Fortress_util.Table
+
+type measurement = {
+  label : string;
+  requests : int;
+  mean_rtt : float;
+  p95_rtt : float;
+  min_rtt : float;
+}
+
+let measure ?(requests = 200) ?(seed = 0) ~np () =
+  if requests <= 0 then invalid_arg "Overhead.measure: requests must be positive";
+  let deployment = Deployment.create { Deployment.default_config with np; seed } in
+  let engine = Deployment.engine deployment in
+  let client = Deployment.new_client deployment ~name:"probe-client" in
+  let rtts = ref [] in
+  (* sequential requests so queueing does not pollute the path latency *)
+  let rec run_one i =
+    if i < requests then begin
+      let started = Engine.now engine in
+      ignore
+        (Client.submit client
+           ~cmd:(Printf.sprintf "put k%d v" i)
+           ~on_response:(fun _ ->
+             rtts := (Engine.now engine -. started) :: !rtts;
+             run_one (i + 1)))
+    end
+  in
+  run_one 0;
+  Engine.run ~until:(float_of_int requests *. 50.0) engine;
+  let xs = Array.of_list !rtts in
+  if Array.length xs = 0 then invalid_arg "Overhead.measure: no requests completed";
+  {
+    label = (if np = 0 then "direct (S1)" else Printf.sprintf "%d proxies (S2)" np);
+    requests = Array.length xs;
+    mean_rtt = Stats.mean_of xs;
+    p95_rtt = Stats.quantile xs ~q:0.95;
+    min_rtt = Array.fold_left Float.min infinity xs;
+  }
+
+let compare_tiers ?requests ?seed () =
+  List.map (fun np -> measure ?requests ?seed ~np ()) [ 0; 1; 3 ]
+
+let table measurements =
+  let t =
+    Table.create ~headers:[ "path"; "requests"; "mean RTT"; "p95 RTT"; "min RTT"; "vs direct" ]
+  in
+  let baseline =
+    match measurements with m :: _ -> m.mean_rtt | [] -> invalid_arg "Overhead.table: empty"
+  in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          m.label;
+          string_of_int m.requests;
+          Printf.sprintf "%.2f" m.mean_rtt;
+          Printf.sprintf "%.2f" m.p95_rtt;
+          Printf.sprintf "%.2f" m.min_rtt;
+          Printf.sprintf "%.2fx" (m.mean_rtt /. baseline);
+        ])
+    measurements;
+  t

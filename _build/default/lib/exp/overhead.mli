@@ -1,0 +1,28 @@
+(** Proxy overhead on the request path.
+
+    The paper (section 2.2, citing Saidane et al.) notes that the overhead
+    due to proxies is minimal when no intrusion is suspected. This
+    experiment measures it in the protocol simulation: client round-trip
+    latencies for the same primary-backup service reached directly (S1)
+    and through the proxy tier (S2), under identical link latency. The
+    fortified path adds exactly one proxy hop each way plus the
+    over-signing work, so the expected factor at low load is ~2x on the
+    wire — visible here, and small against the unit time-step. *)
+
+type measurement = {
+  label : string;
+  requests : int;
+  mean_rtt : float;
+  p95_rtt : float;
+  min_rtt : float;
+}
+
+val measure :
+  ?requests:int -> ?seed:int -> np:int -> unit -> measurement
+(** Round-trip times for [requests] sequential commands against a fresh
+    deployment with [np] proxies (0 = direct S1). *)
+
+val compare_tiers : ?requests:int -> ?seed:int -> unit -> measurement list
+(** Direct, 1-proxy and 3-proxy measurements. *)
+
+val table : measurement list -> Fortress_util.Table.t

@@ -1,0 +1,18 @@
+(** One-shot markdown report covering every reproduced artefact.
+
+    The report is the machine-generated companion to EXPERIMENTS.md: it
+    regenerates each figure, ablation and validation run at the requested
+    fidelity and renders them as a single markdown document, so reviewers
+    can diff a fresh run against the committed record. *)
+
+type fidelity =
+  | Quick  (** analytic tables only, coarse grids — seconds *)
+  | Full  (** adds Monte-Carlo validation, distribution shapes and the
+              campaign-driven ablation — minutes *)
+
+val generate : ?fidelity:fidelity -> unit -> string
+(** The whole report as markdown. *)
+
+val section_titles : fidelity -> string list
+(** Titles in output order (used by tests and the CLI's table of
+    contents). *)

@@ -1,0 +1,46 @@
+module Systems = Fortress_model.Systems
+module Table = Fortress_util.Table
+
+type row = {
+  system : Systems.system;
+  alpha : float;
+  kappa : float;
+  d_alpha : float;
+  d_kappa : float;
+}
+
+let log_elasticity f theta ~rel_step =
+  let up = f (theta *. (1.0 +. rel_step)) in
+  let down = f (theta *. (1.0 -. rel_step)) in
+  if up <= 0.0 || down <= 0.0 || Float.is_nan up || Float.is_nan down then nan
+  else (log up -. log down) /. (log (1.0 +. rel_step) -. log (1.0 -. rel_step))
+
+let elasticity ?(rel_step = 1e-3) system ~alpha ~kappa =
+  let el ~alpha ~kappa = Systems.expected_lifetime system ~alpha ~kappa in
+  let d_alpha = log_elasticity (fun a -> el ~alpha:a ~kappa) alpha ~rel_step in
+  let d_kappa =
+    (* only the two-tier systems respond to kappa *)
+    match system with
+    | Systems.S2_PO | Systems.S2_SO ->
+        if kappa <= 0.0 then 0.0
+        else log_elasticity (fun k -> el ~alpha ~kappa:k) kappa ~rel_step
+    | Systems.S0_SO | Systems.S1_SO | Systems.S0_PO | Systems.S1_PO -> 0.0
+  in
+  { system; alpha; kappa; d_alpha; d_kappa }
+
+let table ?(alpha = 1e-3) ?(kappa = 0.5) () =
+  let t =
+    Table.create ~headers:[ "system"; "EL"; "dlnEL/dln(alpha)"; "dlnEL/dln(kappa)" ]
+  in
+  List.iter
+    (fun system ->
+      let r = elasticity system ~alpha ~kappa in
+      Table.add_row t
+        [
+          Systems.system_to_string system;
+          Printf.sprintf "%.4g" (Systems.expected_lifetime system ~alpha ~kappa);
+          Printf.sprintf "%+.3f" r.d_alpha;
+          Printf.sprintf "%+.3f" r.d_kappa;
+        ])
+    Systems.all_systems;
+  t

@@ -1,0 +1,29 @@
+(** Local sensitivity of expected lifetime to the model parameters.
+
+    Reported as elasticities d ln EL / d ln theta (central finite
+    differences in log-space): the percentage change in lifetime per
+    percent change in the parameter. Geometric-lifetime systems have
+    elasticity -1 in alpha exactly; FORTRESS splits its sensitivity
+    between alpha and kappa, and the split quantifies how much of the
+    defence is re-randomization versus proxy throttling at a given
+    operating point. *)
+
+type row = {
+  system : Fortress_model.Systems.system;
+  alpha : float;
+  kappa : float;
+  d_alpha : float;  (** elasticity of EL with respect to alpha *)
+  d_kappa : float;  (** elasticity with respect to kappa; 0 for 1-tier systems *)
+}
+
+val elasticity :
+  ?rel_step:float ->
+  Fortress_model.Systems.system ->
+  alpha:float ->
+  kappa:float ->
+  row
+(** [rel_step] (default 1e-3) is the relative perturbation. *)
+
+val table : ?alpha:float -> ?kappa:float -> unit -> Fortress_util.Table.t
+(** All six systems at one operating point (defaults alpha 1e-3,
+    kappa 0.5). *)

@@ -1,0 +1,10 @@
+let log_spaced ~lo ~hi ~points =
+  if not (lo > 0.0 && hi > lo) then invalid_arg "Sweep.log_spaced: need 0 < lo < hi";
+  if points < 2 then invalid_arg "Sweep.log_spaced: need at least 2 points";
+  let llo = log10 lo and lhi = log10 hi in
+  List.init points (fun i ->
+      let frac = float_of_int i /. float_of_int (points - 1) in
+      10.0 ** (llo +. (frac *. (lhi -. llo))))
+
+let alpha_grid ?(points = 13) () = log_spaced ~lo:1e-5 ~hi:1e-2 ~points
+let paper_kappas = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]

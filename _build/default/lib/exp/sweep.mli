@@ -1,0 +1,14 @@
+(** Parameter grids shared by the experiments. *)
+
+val log_spaced : lo:float -> hi:float -> points:int -> float list
+(** [points] values equally spaced in log10 between [lo] and [hi]
+    inclusive. Raises [Invalid_argument] unless [0 < lo < hi] and
+    [points >= 2]. *)
+
+val alpha_grid : ?points:int -> unit -> float list
+(** The paper's realistic range, [1e-5, 1e-2]; default 13 points (four per
+    decade). *)
+
+val paper_kappas : float list
+(** The kappa values reported for Figure 2: 0, 0.1, 0.25, 0.5, 0.75, 0.9,
+    1.0. *)

@@ -1,0 +1,59 @@
+(** Cross-validation of the three fidelities (experiment V1).
+
+    For each system class the expected lifetime is computed three ways:
+    the analytic model, the step-level Monte-Carlo (events per step), and
+    the probe-level Monte-Carlo (real keys, alpha emergent as omega/chi).
+    Agreement within confidence intervals validates the alpha = omega/chi
+    reduction the paper's models rest on. *)
+
+type line = {
+  system : Fortress_model.Systems.system;
+  alpha : float;  (** the emergent probe-level alpha, used by all tiers *)
+  analytic : float;
+  step_mc : Fortress_mc.Trial.result;
+  probe_mc : Fortress_mc.Trial.result;
+}
+
+val run :
+  ?chi:int ->
+  ?omega:int ->
+  ?kappa:float ->
+  ?trials:int ->
+  ?systems:Fortress_model.Systems.system list ->
+  unit ->
+  line list
+
+val table : line list -> Fortress_util.Table.t
+
+val max_relative_error : line list -> float
+(** max over lines of |step_mc - analytic| / analytic — a single headline
+    agreement number. *)
+
+(** {1 V2: the full protocol stack against the models}
+
+    The strongest validation in the repository: expected lifetimes measured
+    by running complete packet-level attack campaigns (real proxies, real
+    PB servers, real probe messages, launch-pad escalation, rekeys on the
+    simulation clock) against FORTRESS deployments, compared with the
+    probe-level sampler and the analytic S2PO law at the emergent
+    alpha = omega/chi. *)
+
+type protocol_line = {
+  pl_alpha : float;
+  pl_kappa : float;
+  campaign : Fortress_mc.Trial.result;  (** packet-level deployments *)
+  pl_probe : Fortress_mc.Trial.result;
+  pl_analytic : float;
+}
+
+val protocol :
+  ?trials:int -> ?chi:int -> ?omega:int -> ?kappa:float -> ?seed:int -> unit -> protocol_line
+(** Defaults: 60 trials, chi = 256, omega = 8 (alpha = 1/32),
+    kappa = 0.5. Each trial builds a fresh deployment with its own seed and
+    runs the campaign to compromise. *)
+
+val protocol_table : protocol_line -> Fortress_util.Table.t
+
+val protocol_agrees : protocol_line -> bool
+(** The analytic value lies within (a slightly widened) campaign confidence
+    interval, and campaign and probe-level intervals overlap. *)

@@ -1,0 +1,1 @@
+lib/mc/limited.ml: Array Float Fortress_util Trial

@@ -1,0 +1,1 @@
+lib/mc/limited.mli: Fortress_util Trial

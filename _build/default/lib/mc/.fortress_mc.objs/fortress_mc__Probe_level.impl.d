@@ -1,0 +1,1 @@
+lib/mc/probe_level.ml: Array Float Fortress_attack Fortress_defense Fortress_model Fortress_util Fun List Trial

@@ -1,0 +1,1 @@
+lib/mc/probe_level.mli: Fortress_model Fortress_util Trial

@@ -1,0 +1,1 @@
+lib/mc/step_level.ml: Fortress_model Fortress_util Trial

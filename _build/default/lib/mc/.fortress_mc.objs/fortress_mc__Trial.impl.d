@@ -1,0 +1,1 @@
+lib/mc/trial.ml: Array Format Fortress_util List

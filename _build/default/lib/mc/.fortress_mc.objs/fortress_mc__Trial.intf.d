@@ -1,0 +1,1 @@
+lib/mc/trial.mli: Format Fortress_util

@@ -1,0 +1,30 @@
+module Prng = Fortress_util.Prng
+
+type config = { alpha : float; candidates : int; max_steps : int }
+
+let default = { alpha = 1e-3; candidates = 4; max_steps = 10_000_000 }
+
+let lifetime cfg prng =
+  if cfg.alpha < 0.0 || cfg.alpha > 1.0 then invalid_arg "Limited: alpha in [0,1]";
+  if cfg.candidates < 1 then invalid_arg "Limited: candidates >= 1";
+  (* eliminated fraction of each candidate's key space *)
+  let eliminated = Array.make cfg.candidates 0.0 in
+  let rec step i =
+    if i > cfg.max_steps then None
+    else begin
+      let v = Prng.int prng ~bound:cfg.candidates in
+      let denom = 1.0 -. eliminated.(v) in
+      let hazard = if denom <= cfg.alpha then 1.0 else cfg.alpha /. denom in
+      if Prng.bernoulli prng ~p:hazard then Some i
+      else begin
+        eliminated.(v) <- Float.min 0.999999 (eliminated.(v) +. cfg.alpha);
+        step (i + 1)
+      end
+    end
+  in
+  step 1
+
+let estimate ?(trials = 2000) ?(seed = 42) cfg =
+  Trial.run ~trials ~seed ~sampler:(lifetime cfg)
+
+let expected_lifetime ?trials ?seed cfg = (estimate ?trials ?seed cfg).Trial.mean

@@ -1,0 +1,29 @@
+(** Limited diversity (Sousa et al., PRDC 2007 — paper section 2.3).
+
+    Instead of recompiling with a fresh key every step, each re-boot picks
+    an executable from a small pre-compiled candidate set of size c. The
+    attacker's eliminations are per candidate and permanent, so a small
+    set is exhausted like SO while a huge one behaves like PO: the scheme
+    interpolates between the paper's two obfuscation regimes.
+
+    c = 1 is exactly S1SO; c -> infinity approaches S1PO. *)
+
+type config = {
+  alpha : float;  (** per-step success probability against a fresh variant *)
+  candidates : int;  (** size of the pre-compiled set, >= 1 *)
+  max_steps : int;
+}
+
+val default : config
+(** alpha 1e-3, 4 candidates, horizon 10^7. *)
+
+val lifetime : config -> Fortress_util.Prng.t -> int option
+(** One trial: each step the system runs a uniformly drawn candidate; the
+    attacker resumes that candidate's elimination campaign where it left
+    off. *)
+
+val estimate : ?trials:int -> ?seed:int -> config -> Trial.result
+
+val expected_lifetime : ?trials:int -> ?seed:int -> config -> float
+(** Monte-Carlo mean (there is no clean closed form: the per-candidate
+    exposure counts are random). *)

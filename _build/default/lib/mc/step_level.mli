@@ -1,0 +1,31 @@
+(** Step-level Monte-Carlo samplers for every system class.
+
+    These samplers draw the {e events} of each unit time-step explicitly —
+    which nodes fall, when within the step a proxy falls, whether its
+    launch pad converts — rather than using the closed-form one-step laws
+    from {!Fortress_model.Systems}. Agreement between the two is therefore
+    a meaningful cross-validation (exercised in the test suite and the
+    validation experiment), not a tautology. *)
+
+type config = {
+  alpha : float;  (** per-node, per-step direct success probability *)
+  kappa : float;  (** indirect coefficient (S2 only) *)
+  np : int;  (** proxies (S2 only) *)
+  launchpad : Fortress_model.Systems.launchpad;
+  max_steps : int;  (** censoring horizon *)
+}
+
+val default : config
+(** alpha 1e-3, kappa 0.5, np 3, Remaining, horizon 10^7. *)
+
+val sampler :
+  Fortress_model.Systems.system -> config -> Fortress_util.Prng.t -> int option
+(** One lifetime draw; [None] when censored at [max_steps]. *)
+
+val estimate :
+  ?trials:int ->
+  ?seed:int ->
+  Fortress_model.Systems.system ->
+  config ->
+  Trial.result
+(** [trials] defaults to 2000, [seed] to 42. *)

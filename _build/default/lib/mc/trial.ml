@@ -1,0 +1,41 @@
+module Prng = Fortress_util.Prng
+module Stats = Fortress_util.Stats
+
+type result = {
+  lifetimes : float array;
+  censored : int;
+  trials : int;
+  mean : float;
+  ci95 : float * float;
+  median : float;
+}
+
+let run ~trials ~seed ~sampler =
+  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  let root = Prng.create ~seed in
+  let acc = Stats.create () in
+  let observed = ref [] in
+  let censored = ref 0 in
+  for _ = 1 to trials do
+    let prng = Prng.split root in
+    match sampler prng with
+    | Some steps ->
+        let x = float_of_int steps in
+        Stats.add acc x;
+        observed := x :: !observed
+    | None -> incr censored
+  done;
+  let lifetimes = Array.of_list (List.rev !observed) in
+  {
+    lifetimes;
+    censored = !censored;
+    trials;
+    mean = Stats.mean acc;
+    ci95 = Stats.confidence_interval acc;
+    median = (if Array.length lifetimes = 0 then nan else Stats.median lifetimes);
+  }
+
+let pp_result ppf r =
+  let lo, hi = r.ci95 in
+  Format.fprintf ppf "EL=%.4g ci95=[%.4g, %.4g] median=%.4g (n=%d, censored=%d)" r.mean lo hi
+    r.median r.trials r.censored

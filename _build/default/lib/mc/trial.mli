@@ -1,0 +1,24 @@
+(** Seeded Monte-Carlo trial runner with censoring.
+
+    A sampler draws one system lifetime (in whole time-steps) per call;
+    [None] means the system survived past the trial horizon (censored).
+    Each trial gets an independent PRNG split from the run seed, so results
+    are reproducible and individual trials can be re-run in isolation. *)
+
+type result = {
+  lifetimes : float array;  (** uncensored observations *)
+  censored : int;  (** trials that outlived the horizon *)
+  trials : int;
+  mean : float;  (** mean of uncensored lifetimes; [nan] if all censored *)
+  ci95 : float * float;
+  median : float;
+}
+
+val run :
+  trials:int ->
+  seed:int ->
+  sampler:(Fortress_util.Prng.t -> int option) ->
+  result
+(** Raises [Invalid_argument] when [trials <= 0]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/model/markov.ml: Array Float Fortress_util Fun List

@@ -1,0 +1,1 @@
+lib/model/markov.mli: Fortress_util

@@ -1,0 +1,1 @@
+lib/model/systems.ml: Array Float Fortress_util Markov

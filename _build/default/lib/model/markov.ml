@@ -1,0 +1,146 @@
+module Matrix = Fortress_util.Matrix
+module Prng = Fortress_util.Prng
+
+type t = {
+  labels : string array;
+  absorbing : bool array;
+  p : Matrix.t;
+  transient_index : int array;  (** original index of each transient state *)
+}
+
+let create ~labels ~absorbing p =
+  let n = Array.length labels in
+  if Array.length absorbing <> n then invalid_arg "Markov.create: absorbing size mismatch";
+  if Matrix.rows p <> n || Matrix.cols p <> n then invalid_arg "Markov.create: matrix size mismatch";
+  for i = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      let v = Matrix.get p i j in
+      if v < -1e-12 then invalid_arg "Markov.create: negative transition probability";
+      sum := !sum +. v
+    done;
+    if Float.abs (!sum -. 1.0) > 1e-9 then invalid_arg "Markov.create: row does not sum to 1";
+    if absorbing.(i) && Float.abs (Matrix.get p i i -. 1.0) > 1e-9 then
+      invalid_arg "Markov.create: absorbing state must self-loop"
+  done;
+  let transient_index =
+    Array.of_list
+      (List.filter (fun i -> not absorbing.(i)) (List.init n Fun.id))
+  in
+  { labels; absorbing; p; transient_index }
+
+let size t = Array.length t.labels
+let labels t = t.labels
+let is_absorbing t i = t.absorbing.(i)
+let transition t i j = Matrix.get t.p i j
+
+let q_matrix t =
+  let m = Array.length t.transient_index in
+  if m = 0 then failwith "Markov: no transient states";
+  Matrix.init ~rows:m ~cols:m (fun i j ->
+      Matrix.get t.p t.transient_index.(i) t.transient_index.(j))
+
+let fundamental t =
+  let q = q_matrix t in
+  let m = Matrix.rows q in
+  let i_minus_q = Matrix.sub (Matrix.identity m) q in
+  try Matrix.inverse i_minus_q
+  with Failure _ -> failwith "Markov: absorption unreachable from some transient state"
+
+let transient_position t s =
+  let pos = ref (-1) in
+  Array.iteri (fun i orig -> if orig = s then pos := i) t.transient_index;
+  !pos
+
+let expected_steps t ~start =
+  if start < 0 || start >= size t then invalid_arg "Markov.expected_steps: bad state";
+  if t.absorbing.(start) then 0.0
+  else begin
+    let n = fundamental t in
+    let ones = Array.make (Matrix.rows n) 1.0 in
+    let times = Matrix.apply n ones in
+    times.(transient_position t start)
+  end
+
+let absorption_probabilities t ~start =
+  if start < 0 || start >= size t then invalid_arg "Markov.absorption_probabilities: bad state";
+  let n_states = size t in
+  let out = Array.make n_states 0.0 in
+  if t.absorbing.(start) then begin
+    out.(start) <- 1.0;
+    out
+  end
+  else begin
+    let absorbing_index =
+      Array.of_list (List.filter (fun i -> t.absorbing.(i)) (List.init n_states Fun.id))
+    in
+    let m = Array.length t.transient_index in
+    let r =
+      Matrix.init ~rows:m ~cols:(Array.length absorbing_index) (fun i j ->
+          Matrix.get t.p t.transient_index.(i) absorbing_index.(j))
+    in
+    let b = Matrix.mul (fundamental t) r in
+    let row = transient_position t start in
+    Array.iteri (fun j orig -> out.(orig) <- Matrix.get b row j) absorbing_index;
+    out
+  end
+
+let simulate t ~start ~prng ~max_steps =
+  let n = size t in
+  let rec go state step =
+    if t.absorbing.(state) then Some step
+    else if step >= max_steps then None
+    else begin
+      let u = Prng.float prng in
+      let rec pick j acc =
+        if j = n - 1 then j
+        else
+          let acc = acc +. Matrix.get t.p state j in
+          if u < acc then j else pick (j + 1) acc
+      in
+      go (pick 0 0.0) (step + 1)
+    end
+  in
+  go start 0
+
+let expected_steps_inhomogeneous ?(eps = 1e-12) ?(max_steps = 10_000_000) ~transient ~start
+    ~step_matrix () =
+  if transient <= 0 then invalid_arg "Markov: transient must be positive";
+  if start < 0 || start >= transient then invalid_arg "Markov: bad start state";
+  let dist = Array.make transient 0.0 in
+  dist.(start) <- 1.0;
+  let el = ref 0.0 in
+  let alive = ref 1.0 in
+  let k = ref 1 in
+  let finished = ref false in
+  while not !finished do
+    let m = step_matrix !k in
+    if Matrix.rows m <> transient || Matrix.cols m <> transient + 1 then
+      invalid_arg "Markov: step matrix has wrong shape";
+    let next = Array.make transient 0.0 in
+    let absorbed = ref 0.0 in
+    for i = 0 to transient - 1 do
+      if dist.(i) > 0.0 then begin
+        for j = 0 to transient - 1 do
+          next.(j) <- next.(j) +. (dist.(i) *. Matrix.get m i j)
+        done;
+        absorbed := !absorbed +. (dist.(i) *. Matrix.get m i transient)
+      end
+    done;
+    el := !el +. (float_of_int !k *. !absorbed);
+    alive := !alive -. !absorbed;
+    Array.blit next 0 dist 0 transient;
+    if !alive < eps then finished := true
+    else if !k >= max_steps then begin
+      (* bound the tail with the current per-step absorption hazard *)
+      let hazard = if !alive > 0.0 then !absorbed /. (!alive +. !absorbed) else 1.0 in
+      let tail =
+        if hazard <= 0.0 then infinity
+        else !alive *. (float_of_int !k +. ((1.0 -. hazard) /. hazard))
+      in
+      el := !el +. tail;
+      finished := true
+    end
+    else incr k
+  done;
+  !el

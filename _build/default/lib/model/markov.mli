@@ -1,0 +1,57 @@
+(** Absorbing Markov chains in discrete time.
+
+    The paper computes expected lifetimes with absorbing-chain methods when
+    the state space is small. For a chain with transient states T and
+    transition matrix P, write Q for P restricted to T; the fundamental
+    matrix N = (I - Q)^-1 gives the expected number of steps spent in each
+    transient state, and the expected absorption time from state s is the
+    s-th entry of N 1. Start-up-only obfuscation makes the chain
+    inhomogeneous (the hazard grows as keys are eliminated), which is
+    handled by forward propagation of the transient distribution. *)
+
+type t
+
+val create : labels:string array -> absorbing:bool array -> Fortress_util.Matrix.t -> t
+(** Raises [Invalid_argument] if dimensions disagree, a row does not sum to
+    1 (tolerance 1e-9), an entry is negative, or an absorbing state does
+    not self-loop with probability 1. *)
+
+val size : t -> int
+val labels : t -> string array
+val is_absorbing : t -> int -> bool
+val transition : t -> int -> int -> float
+
+val fundamental : t -> Fortress_util.Matrix.t
+(** N = (I - Q)^-1 over the transient states, indexed in their original
+    relative order. Raises [Failure] if no state is transient or the chain
+    cannot reach absorption. *)
+
+val expected_steps : t -> start:int -> float
+(** Expected number of steps to absorption from [start]. 0 when [start] is
+    absorbing. *)
+
+val absorption_probabilities : t -> start:int -> float array
+(** Probability of ending in each absorbing state (indexed over the full
+    state space; transient positions hold 0). *)
+
+val simulate : t -> start:int -> prng:Fortress_util.Prng.t -> max_steps:int -> int option
+(** Walk the chain; [Some k] if absorbed at step k <= max_steps. Used to
+    cross-validate the algebra in tests. *)
+
+(** {1 Inhomogeneous chains} *)
+
+val expected_steps_inhomogeneous :
+  ?eps:float ->
+  ?max_steps:int ->
+  transient:int ->
+  start:int ->
+  step_matrix:(int -> Fortress_util.Matrix.t) ->
+  unit ->
+  float
+(** [step_matrix k] (k >= 1) is a [transient x (transient + 1)] matrix: the
+    first [transient] columns are transitions among transient states at
+    step k, the last column is the probability of absorption during step
+    k. Rows must sum to 1. The expected absorption step is computed by
+    propagating the distribution until the surviving mass drops below
+    [eps] (default 1e-12) or [max_steps] (default 10^7) is hit, in which
+    case the tail is bounded using the final step's absorption rates. *)

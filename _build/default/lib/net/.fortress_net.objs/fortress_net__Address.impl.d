@@ -1,0 +1,1 @@
+lib/net/address.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,1 @@
+lib/net/address.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/net/conn.ml: Fortress_sim

@@ -1,0 +1,1 @@
+lib/net/conn.mli: Fortress_sim

@@ -1,0 +1,1 @@
+lib/net/network.ml: Address Fortress_sim Hashtbl Latency List Printf

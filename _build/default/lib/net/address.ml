@@ -1,0 +1,18 @@
+type t = int
+
+let make i = i
+let id t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let to_string t = Printf.sprintf "n%d" t
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

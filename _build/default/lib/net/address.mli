@@ -1,0 +1,17 @@
+(** Node addresses on the simulated network. *)
+
+type t
+
+val make : int -> t
+(** Addresses are small integers assigned by {!Network.register}; [make] is
+    exposed for tests. *)
+
+val id : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,48 @@
+module Engine = Fortress_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  on_server_receive : t -> string -> unit;
+  on_client_receive : t -> string -> unit;
+  on_client_close : unit -> unit;
+  on_server_close : unit -> unit;
+  mutable open_ : bool;
+  mutable in_flight : int;
+}
+
+let establish ?(latency = 1.0) ~on_server_receive ~on_client_receive ~on_client_close
+    ?(on_server_close = fun () -> ()) engine =
+  {
+    engine;
+    latency;
+    on_server_receive;
+    on_client_receive;
+    on_client_close;
+    on_server_close;
+    open_ = true;
+    in_flight = 0;
+  }
+
+let transmit t deliver payload =
+  if t.open_ then begin
+    t.in_flight <- t.in_flight + 1;
+    ignore
+      (Engine.schedule t.engine ~delay:t.latency (fun () ->
+           t.in_flight <- t.in_flight - 1;
+           if t.open_ then deliver t payload))
+  end
+
+let client_send t payload = transmit t (fun t p -> t.on_server_receive t p) payload
+let server_send t payload = transmit t (fun t p -> t.on_client_receive t p) payload
+
+let close_with t notify =
+  if t.open_ then begin
+    t.open_ <- false;
+    ignore (Engine.schedule t.engine ~delay:t.latency notify)
+  end
+
+let close_server t = close_with t t.on_client_close
+let close_client t = close_with t t.on_server_close
+let is_open t = t.open_
+let messages_in_flight t = t.in_flight

@@ -1,0 +1,36 @@
+(** TCP-like point-to-point connections.
+
+    De-randomization attacks (Shacham et al. 2004; Sovarel et al. 2005) rely
+    on one observable: when the probed child process crashes, the attacker's
+    TCP connection to it closes. This module models exactly that — a
+    bidirectional byte-message channel where closing one end notifies the
+    peer after the link latency. The FORTRESS proxy tier removes this
+    observable by terminating client connections at the proxy. *)
+
+type t
+
+val establish :
+  ?latency:float ->
+  on_server_receive:(t -> string -> unit) ->
+  on_client_receive:(t -> string -> unit) ->
+  on_client_close:(unit -> unit) ->
+  ?on_server_close:(unit -> unit) ->
+  Fortress_sim.Engine.t ->
+  t
+(** Create an open connection. [latency] (default 1.0) delays each message
+    and each close notification. [on_client_close] fires at the client when
+    the server end closes — the attacker's crash observation. *)
+
+val client_send : t -> string -> unit
+(** Deliver to the server end after the latency; silently lost if the
+    connection closed in flight. *)
+
+val server_send : t -> string -> unit
+
+val close_server : t -> unit
+(** Close from the server side (e.g. the serving child crashed). The client
+    learns via [on_client_close]. Idempotent. *)
+
+val close_client : t -> unit
+val is_open : t -> bool
+val messages_in_flight : t -> int

@@ -1,0 +1,11 @@
+type t = { base : float; jitter : float; drop : float }
+
+let default = { base = 1.0; jitter = 0.2; drop = 0.0 }
+let constant base = { base; jitter = 0.0; drop = 0.0 }
+let lossy t ~drop = { t with drop }
+
+let sample t prng =
+  if t.drop > 0.0 && Fortress_util.Prng.bernoulli prng ~p:t.drop then None
+  else
+    let extra = if t.jitter > 0.0 then Fortress_util.Prng.float prng *. t.jitter else 0.0 in
+    Some (t.base +. extra)

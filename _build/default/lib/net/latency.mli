@@ -1,0 +1,17 @@
+(** Link latency and loss models. *)
+
+type t = {
+  base : float;  (** minimum one-way delay *)
+  jitter : float;  (** uniform extra delay in [0, jitter) *)
+  drop : float;  (** independent loss probability per message *)
+}
+
+val default : t
+(** 1.0 base, 0.2 jitter, no loss — arbitrary simulation units, small
+    relative to the unit time-step used by obfuscation schedules. *)
+
+val constant : float -> t
+val lossy : t -> drop:float -> t
+val sample : t -> Fortress_util.Prng.t -> float option
+(** [sample t prng] is [None] when the message is dropped, otherwise the
+    sampled delay. *)

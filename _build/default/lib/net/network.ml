@@ -1,0 +1,96 @@
+module Engine = Fortress_sim.Engine
+
+type 'msg node = {
+  name : string;
+  mutable handler : src:Address.t -> 'msg -> unit;
+  mutable up : bool;
+  mutable epoch : int;  (** bumped on crash so in-flight deliveries are voided *)
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  default_latency : Latency.t;
+  nodes : (Address.t, 'msg node) Hashtbl.t;
+  link_latency : (int * int, Latency.t) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  mutable next_addr : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(latency = Latency.default) engine =
+  {
+    engine;
+    default_latency = latency;
+    nodes = Hashtbl.create 32;
+    link_latency = Hashtbl.create 16;
+    partitions = Hashtbl.create 16;
+    next_addr = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+
+let register t ~name ~handler =
+  let addr = Address.make t.next_addr in
+  t.next_addr <- t.next_addr + 1;
+  Hashtbl.replace t.nodes addr { name; handler; up = true; epoch = 0 };
+  addr
+
+let find t addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | Some node -> node
+  | None -> invalid_arg (Printf.sprintf "Network: unknown address %s" (Address.to_string addr))
+
+let set_handler t addr handler = (find t addr).handler <- handler
+let name t addr = (find t addr).name
+
+let nodes t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.nodes [] |> List.sort Address.compare
+
+let pair_key a b =
+  let ia = Address.id a and ib = Address.id b in
+  if ia <= ib then (ia, ib) else (ib, ia)
+
+let partitioned t a b = Hashtbl.mem t.partitions (pair_key a b)
+
+let latency_for t a b =
+  match Hashtbl.find_opt t.link_latency (pair_key a b) with
+  | Some l -> l
+  | None -> t.default_latency
+
+let send t ~src ~dst msg =
+  let dst_node = find t dst in
+  (* sender must exist too: catches stale addresses in protocols *)
+  let _ = find t src in
+  if partitioned t src dst then t.dropped <- t.dropped + 1
+  else
+    match Latency.sample (latency_for t src dst) (Engine.prng t.engine) with
+    | None -> t.dropped <- t.dropped + 1
+    | Some delay ->
+        let epoch_at_send = dst_node.epoch in
+        ignore
+          (Engine.schedule t.engine ~delay (fun () ->
+               if dst_node.up && dst_node.epoch = epoch_at_send then begin
+                 t.delivered <- t.delivered + 1;
+                 dst_node.handler ~src msg
+               end
+               else t.dropped <- t.dropped + 1))
+
+let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let set_down t addr =
+  let node = find t addr in
+  node.up <- false;
+  node.epoch <- node.epoch + 1
+
+let set_up t addr = (find t addr).up <- true
+let is_up t addr = (find t addr).up
+
+let partition t a b = Hashtbl.replace t.partitions (pair_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (pair_key a b)
+let heal_all t = Hashtbl.reset t.partitions
+let set_link_latency t a b l = Hashtbl.replace t.link_latency (pair_key a b) l
+let delivered t = t.delivered
+let dropped t = t.dropped

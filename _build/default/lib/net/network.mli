@@ -1,0 +1,53 @@
+(** The simulated message-passing network.
+
+    A network carries one message type ['msg]; protocols define a variant
+    covering all their message kinds. Delivery is asynchronous with sampled
+    latency, optional loss, node up/down state, and pairwise partitions.
+    Messages to a down or unreachable node vanish silently — exactly the
+    behaviour crash-observation attacks and failure detectors must cope
+    with. *)
+
+type 'msg t
+
+val create : ?latency:Latency.t -> Fortress_sim.Engine.t -> 'msg t
+val engine : 'msg t -> Fortress_sim.Engine.t
+
+val register :
+  'msg t -> name:string -> handler:(src:Address.t -> 'msg -> unit) -> Address.t
+(** Attach a node and return its fresh address. The handler runs at message
+    delivery time on the simulation engine. *)
+
+val set_handler : 'msg t -> Address.t -> (src:Address.t -> 'msg -> unit) -> unit
+(** Replace a node's handler (used when a node changes role, e.g. a backup
+    becoming primary). *)
+
+val name : 'msg t -> Address.t -> string
+val nodes : 'msg t -> Address.t list
+
+val send : 'msg t -> src:Address.t -> dst:Address.t -> 'msg -> unit
+(** Fire-and-forget. Unknown destinations raise [Invalid_argument]; down
+    nodes, sampled drops and partitions lose the message silently. *)
+
+val multicast : 'msg t -> src:Address.t -> dsts:Address.t list -> 'msg -> unit
+
+val set_down : 'msg t -> Address.t -> unit
+(** Crash a node: all queued and future deliveries to it are lost until
+    [set_up]. *)
+
+val set_up : 'msg t -> Address.t -> unit
+val is_up : 'msg t -> Address.t -> bool
+
+val partition : 'msg t -> Address.t -> Address.t -> unit
+(** Block both directions between the pair. *)
+
+val heal : 'msg t -> Address.t -> Address.t -> unit
+val heal_all : 'msg t -> unit
+
+val set_link_latency : 'msg t -> Address.t -> Address.t -> Latency.t -> unit
+(** Override the default latency for the (symmetric) pair. *)
+
+val delivered : 'msg t -> int
+(** Total messages delivered so far. *)
+
+val dropped : 'msg t -> int
+(** Messages lost to sampling, downed nodes, or partitions. *)

@@ -1,0 +1,1 @@
+lib/replication/dsm.ml: Fortress_crypto

@@ -1,0 +1,1 @@
+lib/replication/pb.ml: Array Dsm Fortress_crypto Fortress_net Fortress_sim Fortress_util Fun Hashtbl Int64 List Option Printf Storage String

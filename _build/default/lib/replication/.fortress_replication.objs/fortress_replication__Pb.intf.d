@@ -1,0 +1,1 @@
+lib/replication/pb.mli: Dsm Fortress_crypto Fortress_net Fortress_sim Storage

@@ -1,0 +1,1 @@
+lib/replication/services.ml: Dsm Fun Int64 List Map Printf String

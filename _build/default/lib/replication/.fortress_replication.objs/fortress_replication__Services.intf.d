@@ -1,0 +1,1 @@
+lib/replication/services.mli: Dsm

@@ -1,0 +1,1 @@
+lib/replication/smr.ml: Array Dsm Fortress_crypto Fortress_net Fortress_sim Fortress_util Fun Hashtbl Int List Option Printf Set

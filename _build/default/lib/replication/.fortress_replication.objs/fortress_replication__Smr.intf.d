@@ -1,0 +1,1 @@
+lib/replication/smr.mli: Dsm Fortress_crypto Fortress_net Fortress_sim

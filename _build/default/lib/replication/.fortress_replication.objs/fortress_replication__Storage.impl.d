@@ -1,0 +1,1 @@
+lib/replication/storage.ml: Bytes Char Fortress_crypto Hashtbl List Printf String

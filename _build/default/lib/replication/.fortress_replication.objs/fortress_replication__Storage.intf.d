@@ -1,0 +1,1 @@
+lib/replication/storage.mli:

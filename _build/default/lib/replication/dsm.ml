@@ -1,0 +1,30 @@
+module type SERVICE = sig
+  type state
+
+  val name : string
+  val init : state
+  val apply : state -> entropy:int64 -> string -> state * string
+  val snapshot : state -> string
+  val restore : string -> state
+end
+
+type t = (module SERVICE)
+
+module Instance = struct
+  type instance =
+    | Inst : (module SERVICE with type state = 's) * 's ref -> instance
+
+  let create (module S : SERVICE) = Inst ((module S), ref S.init)
+
+  let name (Inst ((module S), _)) = S.name
+
+  let apply (Inst ((module S), state)) ~entropy cmd =
+    let next, response = S.apply !state ~entropy cmd in
+    state := next;
+    response
+
+  let snapshot (Inst ((module S), state)) = S.snapshot !state
+  let restore (Inst ((module S), state)) s = state := S.restore s
+  let digest inst = Fortress_crypto.Sha256.digest (snapshot inst)
+  let reset (Inst ((module S), state)) = state := S.init
+end

@@ -1,0 +1,54 @@
+(** Service abstraction for both replication styles.
+
+    State machine replication requires a {e deterministic} state machine:
+    [apply] must be a pure function of state and command. Classical
+    primary-backup has no such constraint, because only the primary
+    executes. We capture the difference with an explicit [entropy]
+    parameter: all nondeterminism a service wants (random draws, timestamps)
+    must be derived from it. Under primary-backup, the primary picks the
+    entropy and ships it with the state update, so backups replay
+    identically; under SMR, each replica supplies {e its own} entropy, so a
+    service that actually consumes it diverges across replicas — the
+    paper's motivating problem, demonstrated in the test suite. *)
+
+module type SERVICE = sig
+  type state
+
+  val name : string
+  val init : state
+
+  val apply : state -> entropy:int64 -> string -> state * string
+  (** [apply state ~entropy cmd] returns the new state and the response.
+      Unknown commands should produce an ["err:..."] response rather than
+      raise. *)
+
+  val snapshot : state -> string
+  (** Serialize for state transfer and checkpoint digests. Must be
+      canonical: equal states yield equal snapshots. *)
+
+  val restore : string -> state
+  (** Inverse of [snapshot]. May raise [Invalid_argument] on garbage. *)
+end
+
+type t = (module SERVICE)
+
+module Instance : sig
+  (** A running service: a service module plus its current state. *)
+
+  type instance
+
+  val create : t -> instance
+  val name : instance -> string
+  val apply : instance -> entropy:int64 -> string -> string
+  (** Execute a command, mutating the held state, and return the
+      response. *)
+
+  val snapshot : instance -> string
+  val restore : instance -> string -> unit
+  val digest : instance -> string
+  (** SHA-256 of the snapshot: the checkpoint/divergence-detection
+      digest. *)
+
+  val reset : instance -> unit
+  (** Back to [init]. *)
+end

@@ -1,0 +1,134 @@
+(** Classical primary-backup replication (the paper's S1 server tier).
+
+    One replica, the primary, executes client commands; backups install the
+    primary's updates and therefore need no determinism from the service:
+    the primary draws the entropy each command consumes and ships it with
+    the update, so backups replay to the identical state. Crash of the
+    primary is detected by heartbeat timeout and the next index takes over
+    (view [v] is led by replica [v mod ns]).
+
+    Every replica signs the response together with its index (paper
+    section 3); the signed reply is sent to the request's [reply_to]
+    address, which is a proxy under FORTRESS or the client itself in a bare
+    S1 deployment.
+
+    The module is transport-agnostic: the host supplies [send] and wires
+    {!handle} into its network, so PB messages can be embedded into a larger
+    message type (as the FORTRESS deployment does). *)
+
+type config = {
+  ns : int;  (** number of replicas, >= 1 *)
+  heartbeat_period : float;
+  suspect_timeout : float;  (** no heartbeat for this long => view change *)
+  ack_quorum : int;  (** backup acks awaited before the primary replies *)
+  ack_timeout : float;  (** reply anyway after this long without acks *)
+  persist_interval : int;
+      (** with stable storage attached, snapshot every this many applied
+          commands (the update log covers the gap) *)
+}
+
+val default_config : config
+(** ns = 3, heartbeat 5.0, suspect 20.0, quorum 1, ack timeout 30.0 (in
+    simulation time units), persist every 8. *)
+
+type reply = {
+  request_id : string;
+  response : string;
+  server_index : int;
+  signature : Fortress_crypto.Sign.signature;
+}
+
+type msg =
+  | Request of { id : string; cmd : string; reply_to : Fortress_net.Address.t }
+  | Update of {
+      view : int;
+      seq : int;
+      id : string;
+      cmd : string;
+      entropy : int64;
+      reply_to : Fortress_net.Address.t;
+      response : string;
+    }
+  | Update_ack of { seq : int; index : int }
+  | Heartbeat of { view : int }
+  | Reply of reply
+  | Sync_req of { index : int }
+  | Sync_resp of {
+      view : int;
+      seq : int;
+      executed : (string * string) list;
+      snapshot : string;
+    }
+
+val reply_payload : id:string -> response:string -> server_index:int -> string
+(** The byte string a reply signature covers. *)
+
+val verify_reply : Fortress_crypto.Sign.public_key -> reply -> bool
+
+type replica
+
+val create :
+  ?storage:Storage.t ->
+  engine:Fortress_sim.Engine.t ->
+  config:config ->
+  index:int ->
+  service:Dsm.t ->
+  secret:Fortress_crypto.Sign.secret_key ->
+  self:Fortress_net.Address.t ->
+  addresses:Fortress_net.Address.t array ->
+  (dst:Fortress_net.Address.t -> msg -> unit) ->
+  replica
+(** [create ... send] — the final positional argument is the transport
+    callback. [addresses.(i)] is replica [i]'s network address;
+    [addresses.(index)] must equal [self]. With [storage], every applied command is appended to
+    a write-ahead log and a snapshot is taken every
+    [config.persist_interval] commands, enabling {!restart_from_storage}.
+    Commands, ids and responses must not contain the bytes 0x01/0x02 (our
+    services never produce them). *)
+
+val start : replica -> unit
+(** Arm heartbeat and suspicion timers. Idempotent. *)
+
+val stop : replica -> unit
+(** Crash the replica: timers stop and incoming messages are ignored until
+    [restart]. *)
+
+val restart : replica -> unit
+(** Bring a stopped replica back. It requests a state sync from the current
+    primary (snapshot, sequence number and request-dedup table), then
+    resumes as a backup; until the sync answer arrives it buffers updates.
+    Also usable for a fresh rejoin after proactive recovery. *)
+
+val restart_from_storage : replica -> bool
+(** Proactive recovery with local reload: wipe volatile state, restore the
+    last persisted snapshot and replay the intact prefix of the write-ahead
+    log, then rejoin (a network sync still reconciles anything past the
+    log). Returns [false] — falling back to a plain {!restart} — when no
+    storage is attached or the snapshot record is missing or damaged. *)
+
+val persisted_seq : replica -> int
+(** Highest sequence number recoverable from local storage alone; -1
+    without storage. *)
+
+val syncing : replica -> bool
+
+val handle : replica -> src:Fortress_net.Address.t -> msg -> unit
+
+(** {1 Introspection} *)
+
+val index : replica -> int
+val view : replica -> int
+val is_primary : replica -> bool
+val alive : replica -> bool
+val applied_seq : replica -> int
+val executed_count : replica -> int
+val service_digest : replica -> string
+val service_snapshot : replica -> string
+val public_key : replica -> Fortress_crypto.Sign.public_key
+
+val set_compromised : replica -> bool -> unit
+(** A compromised replica still signs (the intruder holds its key) but
+    returns attacker-chosen responses — used to demonstrate that PB alone
+    offers no intrusion tolerance. *)
+
+val compromised : replica -> bool

@@ -1,0 +1,198 @@
+module Smap = Map.Make (String)
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let valid_word w =
+  w <> ""
+  && not (String.exists (fun c -> c = ' ' || c = '=' || c = '\n') w)
+
+(* Canonical serialization shared by kv and bank: sorted "k=v" lines. *)
+let snapshot_map to_string m =
+  Smap.bindings m
+  |> List.map (fun (k, v) -> k ^ "=" ^ to_string v)
+  |> String.concat "\n"
+
+let restore_map of_string s =
+  if s = "" then Smap.empty
+  else
+    String.split_on_char '\n' s
+    |> List.fold_left
+         (fun acc line ->
+           match String.index_opt line '=' with
+           | None -> invalid_arg "Services: corrupt snapshot line"
+           | Some i ->
+               let k = String.sub line 0 i in
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               Smap.add k (of_string v) acc)
+         Smap.empty
+
+module Kv = struct
+  type state = string Smap.t
+
+  let name = "kv"
+  let init = Smap.empty
+
+  let apply state ~entropy:_ cmd =
+    match words cmd with
+    | [ "put"; k; v ] when valid_word k && valid_word v -> (Smap.add k v state, "ok")
+    | [ "get"; k ] -> (
+        match Smap.find_opt k state with
+        | Some v -> (state, v)
+        | None -> (state, "err:not_found"))
+    | [ "del"; k ] ->
+        if Smap.mem k state then (Smap.remove k state, "ok") else (state, "err:not_found")
+    | [ "cas"; k; old_v; new_v ] when valid_word new_v -> (
+        match Smap.find_opt k state with
+        | Some v when v = old_v -> (Smap.add k new_v state, "ok")
+        | Some _ -> (state, "err:mismatch")
+        | None -> (state, "err:not_found"))
+    | [ "size" ] -> (state, string_of_int (Smap.cardinal state))
+    | _ -> (state, "err:bad_command")
+
+  let snapshot state = snapshot_map Fun.id state
+  let restore s = restore_map Fun.id s
+end
+
+module Counter = struct
+  type state = int
+
+  let name = "counter"
+  let init = 0
+
+  let apply state ~entropy:_ cmd =
+    match words cmd with
+    | [ "incr" ] -> (state + 1, string_of_int (state + 1))
+    | [ "decr" ] -> (state - 1, string_of_int (state - 1))
+    | [ "add"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> (state + n, string_of_int (state + n))
+        | None -> (state, "err:bad_command"))
+    | [ "read" ] -> (state, string_of_int state)
+    | _ -> (state, "err:bad_command")
+
+  let snapshot = string_of_int
+
+  let restore s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg "Counter: corrupt snapshot"
+end
+
+module Bank = struct
+  type state = int Smap.t
+
+  let name = "bank"
+  let init = Smap.empty
+
+  let apply state ~entropy:_ cmd =
+    let balance a = Smap.find_opt a state in
+    match words cmd with
+    | [ "open"; a ] when valid_word a ->
+        if Smap.mem a state then (state, "err:exists") else (Smap.add a 0 state, "ok")
+    | [ "deposit"; a; n ] -> (
+        match (balance a, int_of_string_opt n) with
+        | Some b, Some n when n >= 0 -> (Smap.add a (b + n) state, "ok")
+        | None, _ -> (state, "err:no_account")
+        | _, _ -> (state, "err:bad_command"))
+    | [ "withdraw"; a; n ] -> (
+        match (balance a, int_of_string_opt n) with
+        | Some b, Some n when n >= 0 ->
+            if b >= n then (Smap.add a (b - n) state, "ok") else (state, "err:insufficient")
+        | None, _ -> (state, "err:no_account")
+        | _, _ -> (state, "err:bad_command"))
+    | [ "balance"; a ] -> (
+        match balance a with
+        | Some b -> (state, string_of_int b)
+        | None -> (state, "err:no_account"))
+    | [ "transfer"; a; b; n ] -> (
+        match (balance a, balance b, int_of_string_opt n) with
+        | Some ba, Some _, Some n when n >= 0 ->
+            if ba >= n then
+              let state = Smap.add a (ba - n) state in
+              let bb = Smap.find b state in
+              (Smap.add b (bb + n) state, "ok")
+            else (state, "err:insufficient")
+        | None, _, _ | _, None, _ -> (state, "err:no_account")
+        | _, _, _ -> (state, "err:bad_command"))
+    | _ -> (state, "err:bad_command")
+
+  let snapshot state = snapshot_map string_of_int state
+
+  let restore s =
+    restore_map
+      (fun v ->
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> invalid_arg "Bank: corrupt snapshot")
+      s
+end
+
+module Lottery = struct
+  type state = { draws : int; last : int }
+
+  let name = "lottery"
+  let init = { draws = 0; last = 0 }
+
+  let apply state ~entropy cmd =
+    match words cmd with
+    | [ "draw"; bound ] -> (
+        match int_of_string_opt bound with
+        | Some b when b > 0 ->
+            (* nondeterministic: depends on the executing node's entropy *)
+            let v = Int64.to_int (Int64.rem (Int64.logand entropy Int64.max_int) (Int64.of_int b)) in
+            ({ draws = state.draws + 1; last = v }, string_of_int v)
+        | _ -> (state, "err:bad_command"))
+    | [ "count" ] -> (state, string_of_int state.draws)
+    | [ "last" ] -> (state, string_of_int state.last)
+    | _ -> (state, "err:bad_command")
+
+  let snapshot state = Printf.sprintf "%d %d" state.draws state.last
+
+  let restore s =
+    match words s |> List.map int_of_string_opt with
+    | [ Some draws; Some last ] -> { draws; last }
+    | _ -> invalid_arg "Lottery: corrupt snapshot"
+end
+
+module Session = struct
+  (* A login service: the archetypal nondeterministic state machine — the
+     token minted at login must be unguessable, i.e. derived from entropy.
+     Under primary-backup the primary's token replicates verbatim; under
+     SMR each replica would mint a different token and the replies never
+     agree: the paper's motivating scenario with a security flavour. *)
+  type state = string Smap.t (* user -> live token *)
+
+  let name = "session"
+  let init = Smap.empty
+
+  let token_of_entropy entropy = Printf.sprintf "%016Lx" entropy
+
+  let apply state ~entropy cmd =
+    match words cmd with
+    | [ "login"; user ] when valid_word user ->
+        let token = token_of_entropy entropy in
+        (Smap.add user token state, token)
+    | [ "check"; user; token ] -> (
+        match Smap.find_opt user state with
+        | Some live when String.equal live token -> (state, "valid")
+        | Some _ | None -> (state, "err:invalid"))
+    | [ "logout"; user ] ->
+        if Smap.mem user state then (Smap.remove user state, "ok")
+        else (state, "err:no_session")
+    | [ "sessions" ] -> (state, string_of_int (Smap.cardinal state))
+    | _ -> (state, "err:bad_command")
+
+  let snapshot state = snapshot_map Fun.id state
+  let restore s = restore_map Fun.id s
+end
+
+let kv : Dsm.t = (module Kv)
+let counter : Dsm.t = (module Counter)
+let bank : Dsm.t = (module Bank)
+let lottery : Dsm.t = (module Lottery)
+let session : Dsm.t = (module Session)
+
+let all =
+  [ ("kv", kv); ("counter", counter); ("bank", bank); ("lottery", lottery);
+    ("session", session) ]
+let find name = List.assoc_opt name all

@@ -1,0 +1,31 @@
+(** Example services used by the examples, tests and benchmarks.
+
+    All commands are space-separated words; responses are ["ok..."],
+    a value, or ["err:..."]. *)
+
+val kv : Dsm.t
+(** Key-value store. Commands: [put k v], [get k], [del k], [cas k old new],
+    [size]. Keys and values must not contain spaces, ['='] or newlines. *)
+
+val counter : Dsm.t
+(** Single integer. Commands: [incr], [decr], [add n], [read]. *)
+
+val bank : Dsm.t
+(** Accounts with non-negative integer balances. Commands: [open a],
+    [deposit a n], [withdraw a n], [balance a], [transfer a b n]. Withdraw
+    and transfer fail (["err:insufficient"]) rather than overdraw. *)
+
+val lottery : Dsm.t
+(** A deliberately {e nondeterministic} service: [draw bound] consumes the
+    executing node's entropy. Under primary-backup all replicas agree
+    (entropy is the primary's); under SMR the replicas diverge — the
+    paper's motivation for FORTRESS. Also [count] and [last]. *)
+
+val session : Dsm.t
+(** A login service minting entropy-derived tokens — the archetypal
+    nondeterministic service a real deployment would want behind FORTRESS.
+    Commands: [login u] (returns the token), [check u token], [logout u],
+    [sessions]. *)
+
+val all : (string * Dsm.t) list
+val find : string -> Dsm.t option

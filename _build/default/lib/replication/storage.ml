@@ -1,0 +1,73 @@
+module Sha256 = Fortress_crypto.Sha256
+
+type record = { mutable payload : string; checksum : string }
+
+type t = { blobs : (string, record) Hashtbl.t; mutable write_count : int }
+
+let create () = { blobs = Hashtbl.create 32; write_count = 0 }
+
+let write t ~key payload =
+  t.write_count <- t.write_count + 1;
+  Hashtbl.replace t.blobs key { payload; checksum = Sha256.digest payload }
+
+let read t ~key =
+  match Hashtbl.find_opt t.blobs key with
+  | Some r when String.equal (Sha256.digest r.payload) r.checksum -> Some r.payload
+  | Some _ | None -> None
+
+let mem t ~key = read t ~key <> None
+let delete t ~key = Hashtbl.remove t.blobs key
+
+let keys t =
+  Hashtbl.fold (fun key _ acc -> if mem t ~key then key :: acc else acc) t.blobs []
+  |> List.sort String.compare
+
+let corrupt t ~key =
+  match Hashtbl.find_opt t.blobs key with
+  | None -> ()
+  | Some r ->
+      if String.length r.payload = 0 then r.payload <- "\x00"
+      else begin
+        let b = Bytes.of_string r.payload in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+        r.payload <- Bytes.to_string b
+      end
+
+let wipe t = Hashtbl.reset t.blobs
+let writes t = t.write_count
+
+module Log = struct
+  type store = t
+
+  type t = { store : store; name : string; mutable next : int }
+
+  let entry_key name i = Printf.sprintf "log:%s:%06d" name i
+
+  let attach store ~name =
+    (* recover the next index: first missing-or-damaged slot *)
+    let rec scan i = if mem store ~key:(entry_key name i) then scan (i + 1) else i in
+    { store; name; next = scan 0 }
+
+  let append t payload =
+    write t.store ~key:(entry_key t.name t.next) payload;
+    t.next <- t.next + 1
+
+  let length t = t.next
+
+  let entries t =
+    (* stop at the first hole: later entries are untrustworthy *)
+    let rec collect i acc =
+      if i >= t.next then List.rev acc
+      else
+        match read t.store ~key:(entry_key t.name i) with
+        | Some payload -> collect (i + 1) (payload :: acc)
+        | None -> List.rev acc
+    in
+    collect 0 []
+
+  let truncate t =
+    for i = 0 to t.next - 1 do
+      delete t.store ~key:(entry_key t.name i)
+    done;
+    t.next <- 0
+end

@@ -1,0 +1,58 @@
+(** Simulated stable storage.
+
+    Proactive recovery reboots a node from read-only media and reloads its
+    service state from local stable storage (Castro-Liskov), falling back
+    to peer state transfer only when the local copy is stale or damaged.
+    This module models that storage: a keyed blob store whose writes are
+    crash-atomic (a record is either fully present or absent — no torn
+    writes) and checksummed, so corruption injected by tests or by an
+    attacker is always detected rather than silently loaded. *)
+
+type t
+
+val create : unit -> t
+
+val write : t -> key:string -> string -> unit
+(** Atomically replace the record under [key]. *)
+
+val read : t -> key:string -> string option
+(** [None] when the key is absent {e or} its checksum fails — damaged
+    records are indistinguishable from missing ones, which is exactly how
+    recovery code must treat them. *)
+
+val mem : t -> key:string -> bool
+(** Present {e and} intact. *)
+
+val delete : t -> key:string -> unit
+val keys : t -> string list
+(** All keys with intact records, sorted. *)
+
+val corrupt : t -> key:string -> unit
+(** Damage the record in place (flips a byte past the checksum): [read]
+    will reject it. No-op when absent. Test/attack hook. *)
+
+val wipe : t -> unit
+(** Lose everything (disk replacement). *)
+
+val writes : t -> int
+(** Total write operations, for overhead accounting. *)
+
+(** {1 Append-only logs on top of the blob store} *)
+
+module Log : sig
+  type store := t
+  type t
+
+  val attach : store -> name:string -> t
+  (** Open (or re-open) the named log; surviving intact entries become
+      readable. *)
+
+  val append : t -> string -> unit
+  val length : t -> int
+  val entries : t -> string list
+  (** In append order. A damaged entry truncates the log from that point —
+      entries past a hole cannot be trusted. *)
+
+  val truncate : t -> unit
+  (** Drop all entries (e.g. after a checkpoint subsumes them). *)
+end

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Fortress_util Heap List Trace

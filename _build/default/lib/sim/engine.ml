@@ -1,0 +1,102 @@
+type event = { fire : unit -> unit; mutable cancelled : bool; mutable live : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : event Heap.t;
+  prng : Fortress_util.Prng.t;
+  trace : Trace.t;
+}
+
+let create ?trace ?prng () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let prng = match prng with Some p -> p | None -> Fortress_util.Prng.create ~seed:0 in
+  { clock = 0.0; seq = 0; queue = Heap.create (); prng; trace }
+
+let now t = t.clock
+let prng t = t.prng
+let trace t = t.trace
+
+let enqueue t ~time fire =
+  let ev = { fire; cancelled = false; live = true } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~priority:time ~seq:t.seq ev;
+  ev
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  enqueue t ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  enqueue t ~time f
+
+let cancel ev =
+  ev.cancelled <- true;
+  ev.live <- false
+
+let is_cancelled ev = ev.cancelled
+
+let every t ~period ?until f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  (* The returned handle outlives individual firings: it is re-armed by
+     pointing its [fire] at each successive scheduled event. We model this
+     with a control cell checked before each firing. *)
+  let control = { fire = (fun () -> ()); cancelled = false; live = true } in
+  let rec arm () =
+    let deadline = t.clock +. period in
+    let fire_once () =
+      if not control.cancelled then begin
+        f ();
+        match until with
+        | Some u when t.clock +. period > u -> ()
+        | _ -> arm ()
+      end
+    in
+    (match until with
+    | Some u when deadline > u -> ()
+    | _ -> ignore (enqueue t ~time:deadline fire_once))
+  in
+  arm ();
+  control
+
+let pending t =
+  (* count live events lazily: heap length may include cancelled ones *)
+  let count = ref 0 in
+  let rec drain acc =
+    match Heap.pop t.queue with
+    | None -> acc
+    | Some (p, s, ev) ->
+        if not ev.cancelled then incr count;
+        drain ((p, s, ev) :: acc)
+  in
+  let all = drain [] in
+  List.iter (fun (p, s, ev) -> Heap.push t.queue ~priority:p ~seq:s ev) all;
+  !count
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, ev) ->
+      if ev.cancelled then step t
+      else begin
+        assert (time >= t.clock);
+        t.clock <- time;
+        ev.live <- false;
+        ev.fire ();
+        true
+      end
+
+let rec run ?until t =
+  match until with
+  | None -> if step t then run t
+  | Some limit -> (
+      match Heap.peek t.queue with
+      | Some (time, _, _) when time <= limit ->
+          ignore (step t);
+          run ~until:limit t
+      | Some _ | None -> if t.clock < limit then t.clock <- limit)
+
+let record t ~label detail = Trace.record t.trace ~time:t.clock ~label detail

@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation engine.
+
+    Events are callbacks scheduled at virtual times; [run] executes them in
+    (time, insertion) order. All protocol simulations in this repository run
+    on this engine, so a fixed PRNG seed reproduces an entire execution
+    bit-for-bit. *)
+
+type t
+
+type handle
+(** A scheduled event; may be cancelled before it fires. *)
+
+val create : ?trace:Trace.t -> ?prng:Fortress_util.Prng.t -> unit -> t
+(** [create ()] starts the clock at 0. A shared [prng] (default seed 0) is
+    available to components via {!prng}; pass an explicit one to control the
+    seed of a whole execution. *)
+
+val now : t -> float
+val prng : t -> Fortress_util.Prng.t
+val trace : t -> Trace.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay]. Raises
+    [Invalid_argument] on a negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Raises [Invalid_argument] when [time] is in the past. *)
+
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> handle
+(** [every t ~period f] fires [f] at [now + period], [now + 2 period], ...
+    Cancelling the returned handle stops the series. With [until], the
+    series stops after that time. *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val is_cancelled : handle -> bool
+val pending : t -> int
+(** Number of scheduled, uncancelled events. *)
+
+val step : t -> bool
+(** Execute the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue; with [until], stop once the next event is
+    strictly later than [until] (the clock then advances to [until]). *)
+
+val record : t -> label:string -> string -> unit
+(** Convenience: record a trace entry at the current time. *)

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by [(priority, sequence)], giving stable FIFO
+    ordering among events scheduled for the same instant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> seq:int -> 'a -> unit
+(** Insert an element; [seq] breaks priority ties (lower first). *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum; [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+val clear : 'a t -> unit

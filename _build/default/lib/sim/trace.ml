@@ -1,0 +1,54 @@
+type entry = { time : float; label : string; detail : string }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable next : int;
+  mutable recorded : int;
+  counters : (string, int) Hashtbl.t;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; recorded = 0; counters = Hashtbl.create 16 }
+
+let record t ~time ~label detail =
+  t.ring.(t.next) <- Some { time; label; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.recorded <- t.recorded + 1
+
+let incr t name =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+  Hashtbl.replace t.counters name (current + 1)
+
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let entries t =
+  let retained = min t.recorded t.capacity in
+  let start = if t.recorded <= t.capacity then 0 else t.next in
+  List.init retained (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let length t = min t.recorded t.capacity
+let recorded t = t.recorded
+
+let pp_entry ppf e = Format.fprintf ppf "[%10.4f] %-18s %s" e.time e.label e.detail
+
+let dump ?limit t =
+  let es = entries t in
+  let es =
+    match limit with
+    | None -> es
+    | Some n ->
+        let len = List.length es in
+        if len <= n then es else List.filteri (fun i _ -> i >= len - n) es
+  in
+  let buf = Buffer.create 1024 in
+  List.iter (fun e -> Buffer.add_string buf (Format.asprintf "%a@." pp_entry e)) es;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Bounded event trace for simulation debugging and example output.
+
+    The trace keeps the most recent [capacity] entries plus named counters
+    that are never evicted, so long simulations can still report aggregate
+    event counts. *)
+
+type entry = { time : float; label : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 10_000 entries. *)
+
+val record : t -> time:float -> label:string -> string -> unit
+val incr : t -> string -> unit
+(** Bump the named counter by one. *)
+
+val counter : t -> string -> int
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+(** Number of retained entries (at most [capacity]). *)
+
+val recorded : t -> int
+(** Total entries ever recorded, including evicted ones. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val dump : ?limit:int -> t -> string
+(** Render the last [limit] (default all retained) entries. *)

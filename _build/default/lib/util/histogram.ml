@@ -1,0 +1,74 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create_linear: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create_linear: hi <= lo";
+  { scale = Linear; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins must be positive";
+  if not (lo > 0.0 && hi > lo) then invalid_arg "Histogram.create_log: need 0 < lo < hi";
+  { scale = Log; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let position t x =
+  match t.scale with
+  | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+  | Log -> if x <= 0.0 then -1.0 else (log x -. log t.lo) /. (log t.hi -. log t.lo)
+
+let add t x =
+  t.total <- t.total + 1;
+  let pos = position t x in
+  if pos < 0.0 then t.underflow <- t.underflow + 1
+  else if pos >= 1.0 then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float (pos *. float_of_int (Array.length t.counts)) in
+    let i = Stdlib.min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let bin_count t = Array.length t.counts
+
+let edge t frac =
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> exp (log t.lo +. (frac *. (log t.hi -. log t.lo)))
+
+let bin_edges t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_edges";
+  let n = float_of_int (Array.length t.counts) in
+  (edge t (float_of_int i /. n), edge t (float_of_int (i + 1) /. n))
+
+let bin_value t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_value";
+  t.counts.(i)
+
+let fraction t i =
+  if t.total = 0 then 0.0 else float_of_int (bin_value t i) /. float_of_int t.total
+
+let render ?(width = 50) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  for i = 0 to Array.length t.counts - 1 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bin_edges t i in
+      let bar = t.counts.(i) * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.4g, %10.4g) %6d %s\n" lo hi t.counts.(i) (String.make bar '#'))
+    end
+  done;
+  if t.underflow > 0 then Buffer.add_string buf (Printf.sprintf "underflow %d\n" t.underflow);
+  if t.overflow > 0 then Buffer.add_string buf (Printf.sprintf "overflow %d\n" t.overflow);
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Fixed-bin histograms over linear or logarithmic scales, used to inspect
+    lifetime distributions from Monte-Carlo runs. *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins covering [lo, hi). Raises [Invalid_argument] if
+    [bins <= 0] or [hi <= lo]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Bins whose edges are equally spaced in log-space; requires
+    [0 < lo < hi]. *)
+
+val add : t -> float -> unit
+(** Samples below [lo] land in an underflow counter, samples at or above
+    [hi] in an overflow counter. *)
+
+val count : t -> int
+(** Total samples added, including under/overflow. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_count : t -> int
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] are the inclusive-lo/exclusive-hi edges of bin [i]. *)
+
+val bin_value : t -> int -> int
+(** Number of samples in bin [i]. *)
+
+val fraction : t -> int -> float
+(** [bin_value] over total [count]; 0 when the histogram is empty. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per non-empty bin. *)

@@ -1,0 +1,171 @@
+type t = { rows : int; cols : int; data : float array }
+
+let make ~rows ~cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let init ~rows ~cols f =
+  let m = make ~rows ~cols 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_rows arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Matrix.of_rows: empty";
+  let cols = Array.length arr.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+    arr;
+  init ~rows ~cols (fun i j -> arr.(i).(j))
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix: index out of bounds"
+
+let get m i j =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j) <- v
+
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+let elementwise name op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg (name ^ ": dimension mismatch");
+  { a with data = Array.mapi (fun i x -> op x b.data.(i)) a.data }
+
+let add a b = elementwise "Matrix.add" ( +. ) a b
+let sub a b = elementwise "Matrix.sub" ( -. ) a b
+let scale m s = { m with data = Array.map (fun x -> x *. s) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let out = make ~rows:a.rows ~cols:b.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          out.data.((i * b.cols) + j) <-
+            out.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  out
+
+let apply m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.apply: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let apply_left v m =
+  if Array.length v <> m.rows then invalid_arg "Matrix.apply_left: dimension mismatch";
+  Array.init m.cols (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to m.rows - 1 do
+        acc := !acc +. (v.(i) *. m.data.((i * m.cols) + j))
+      done;
+      !acc)
+
+(* Gaussian elimination with partial pivoting on the augmented system
+   [a | b]; returns x column-wise. Shared by [solve] and [solve_many]. *)
+let eliminate a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve: matrix must be square";
+  if b.rows <> a.rows then invalid_arg "Matrix.solve: rhs dimension mismatch";
+  let n = a.rows and m = b.cols in
+  let lhs = copy a and rhs = copy b in
+  for col = 0 to n - 1 do
+    (* pivot selection *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs (get lhs r col) > Float.abs (get lhs !pivot col) then pivot := r
+    done;
+    if Float.abs (get lhs !pivot col) < 1e-12 then failwith "Matrix.solve: singular matrix";
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get lhs col j in
+        set lhs col j (get lhs !pivot j);
+        set lhs !pivot j tmp
+      done;
+      for j = 0 to m - 1 do
+        let tmp = get rhs col j in
+        set rhs col j (get rhs !pivot j);
+        set rhs !pivot j tmp
+      done
+    end;
+    let inv_p = 1.0 /. get lhs col col in
+    for r = col + 1 to n - 1 do
+      let factor = get lhs r col *. inv_p in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          set lhs r j (get lhs r j -. (factor *. get lhs col j))
+        done;
+        for j = 0 to m - 1 do
+          set rhs r j (get rhs r j -. (factor *. get rhs col j))
+        done
+      end
+    done
+  done;
+  (* back substitution *)
+  let x = make ~rows:n ~cols:m 0.0 in
+  for j = 0 to m - 1 do
+    for i = n - 1 downto 0 do
+      let acc = ref (get rhs i j) in
+      for k = i + 1 to n - 1 do
+        acc := !acc -. (get lhs i k *. get x k j)
+      done;
+      set x i j (!acc /. get lhs i i)
+    done
+  done;
+  x
+
+let solve_many a b = eliminate a b
+
+let solve a b =
+  let bm = init ~rows:(Array.length b) ~cols:1 (fun i _ -> b.(i)) in
+  let x = eliminate a bm in
+  Array.init (rows x) (fun i -> get x i 0)
+
+let inverse a = solve_many a (identity a.rows)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := Float.max !acc (Float.abs (x -. b.data.(i)))) a.data;
+  !acc
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= eps
+
+let row_sums m =
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. get m i j
+      done;
+      !acc)
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%8.4g" (get m i j)
+    done;
+    Format.fprintf ppf "]@."
+  done

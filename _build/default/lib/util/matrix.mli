@@ -1,0 +1,44 @@
+(** Small dense matrices over floats, sufficient for absorbing-Markov-chain
+    transient analysis (fundamental matrix, expected absorption times). *)
+
+type t
+
+val make : rows:int -> cols:int -> float -> t
+(** [make ~rows ~cols v] is a [rows * cols] matrix filled with [v]. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_rows : float array array -> t
+(** Raises [Invalid_argument] when rows have inconsistent lengths or the
+    input is empty. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : t -> float -> t
+
+val apply : t -> float array -> float array
+(** [apply m v] is the matrix-vector product [m v]. *)
+
+val apply_left : float array -> t -> float array
+(** [apply_left v m] is the row-vector product [v m]. *)
+
+val solve : t -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] on a (numerically) singular matrix. *)
+
+val solve_many : t -> t -> t
+(** [solve_many a b] solves [a x = b] column-wise; [inverse a] is
+    [solve_many a (identity n)]. *)
+
+val inverse : t -> t
+val max_abs_diff : t -> t -> float
+val equal : ?eps:float -> t -> t -> bool
+val row_sums : t -> float array
+val pp : Format.formatter -> t -> unit

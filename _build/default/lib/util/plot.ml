@@ -1,0 +1,99 @@
+type scale = Linear_scale | Log_scale
+
+type series = { name : string; glyph : char; points : (float * float) list }
+
+type t = {
+  width : int;
+  height : int;
+  x_scale : scale;
+  y_scale : scale;
+  x_label : string;
+  y_label : string;
+  mutable series : series list;  (** reverse order of addition *)
+}
+
+let create ?(width = 72) ?(height = 24) ?(x_scale = Log_scale) ?(y_scale = Log_scale)
+    ?(x_label = "x") ?(y_label = "y") () =
+  if width < 20 || height < 8 then invalid_arg "Plot.create: plot area too small";
+  { width; height; x_scale; y_scale; x_label; y_label; series = [] }
+
+let usable scale v = match scale with Linear_scale -> true | Log_scale -> v > 0.0
+
+let add_series t ~name ~glyph points =
+  if points = [] then invalid_arg "Plot.add_series: empty series";
+  if List.exists (fun s -> s.glyph = glyph) t.series then
+    invalid_arg "Plot.add_series: duplicate glyph";
+  t.series <- { name; glyph; points } :: t.series
+
+let transform scale v = match scale with Linear_scale -> v | Log_scale -> log10 v
+
+let render t =
+  let drawable =
+    List.concat_map
+      (fun s ->
+        List.filter (fun (x, y) -> usable t.x_scale x && usable t.y_scale y) s.points)
+      t.series
+  in
+  if drawable = [] then failwith "Plot.render: nothing to draw";
+  let xs = List.map (fun (x, _) -> transform t.x_scale x) drawable in
+  let ys = List.map (fun (_, y) -> transform t.y_scale y) drawable in
+  let fold f = List.fold_left f in
+  let x_min = fold Float.min infinity xs and x_max = fold Float.max neg_infinity xs in
+  let y_min = fold Float.min infinity ys and y_max = fold Float.max neg_infinity ys in
+  (* avoid a degenerate range *)
+  let pad v_min v_max = if v_max -. v_min < 1e-12 then (v_min -. 1.0, v_max +. 1.0) else (v_min, v_max) in
+  let x_min, x_max = pad x_min x_max in
+  let y_min, y_max = pad y_min y_max in
+  let grid = Array.make_matrix t.height t.width ' ' in
+  let place x y glyph =
+    if usable t.x_scale x && usable t.y_scale y then begin
+      let fx = (transform t.x_scale x -. x_min) /. (x_max -. x_min) in
+      let fy = (transform t.y_scale y -. y_min) /. (y_max -. y_min) in
+      let col = int_of_float (fx *. float_of_int (t.width - 1)) in
+      let row = t.height - 1 - int_of_float (fy *. float_of_int (t.height - 1)) in
+      grid.(row).(col) <- glyph
+    end
+  in
+  List.iter
+    (fun s -> List.iter (fun (x, y) -> place x y s.glyph) s.points)
+    (List.rev t.series);
+  let buf = Buffer.create (t.width * t.height * 2) in
+  let back scale v = match scale with Linear_scale -> v | Log_scale -> 10.0 ** v in
+  (* y-axis labels on the left edge, every quarter *)
+  let y_tick row =
+    let frac = 1.0 -. (float_of_int row /. float_of_int (t.height - 1)) in
+    back t.y_scale (y_min +. (frac *. (y_max -. y_min)))
+  in
+  Buffer.add_string buf (Printf.sprintf "%s\n" t.y_label);
+  for row = 0 to t.height - 1 do
+    let label =
+      if row mod ((t.height - 1) / 4) = 0 || row = t.height - 1 then
+        Printf.sprintf "%9.2g |" (y_tick row)
+      else String.make 9 ' ' ^ " |"
+    in
+    Buffer.add_string buf label;
+    Buffer.add_string buf (String.init t.width (fun col -> grid.(row).(col)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 10 ' ' ^ "+" ^ String.make t.width '-');
+  Buffer.add_char buf '\n';
+  (* x tick labels at the quarters *)
+  let x_tick frac = back t.x_scale (x_min +. (frac *. (x_max -. x_min))) in
+  let labels =
+    List.map (fun f -> Printf.sprintf "%.2g" (x_tick f)) [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let line = Bytes.make (t.width + 11) ' ' in
+  List.iteri
+    (fun i label ->
+      let pos = 11 + (i * (t.width - 1) / 4) - (String.length label / 2) in
+      let pos = max 0 (min pos (Bytes.length line - String.length label)) in
+      Bytes.blit_string label 0 line pos (String.length label))
+    labels;
+  Buffer.add_string buf (Bytes.to_string line);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make 10 ' ' ^ t.x_label ^ "\n");
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  %c  %s\n" s.glyph s.name))
+    (List.rev t.series);
+  Buffer.contents buf

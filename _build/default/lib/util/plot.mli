@@ -1,0 +1,29 @@
+(** ASCII line plots for terminal reproduction of the paper's figures.
+
+    Supports multiple named series over a shared x-axis, linear or
+    logarithmic on either axis (the paper's Figures 1 and 2 are log-log).
+    Each series is drawn with its own glyph; collisions show the glyph of
+    the last series drawn. Axis tick labels are printed in scientific
+    notation. *)
+
+type scale = Linear_scale | Log_scale
+
+type t
+
+val create :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  unit ->
+  t
+(** Default 72 x 24 plot area, log-log. *)
+
+val add_series : t -> name:string -> glyph:char -> (float * float) list -> unit
+(** Points with non-positive coordinates on a log axis are skipped.
+    Raises [Invalid_argument] on an empty series or a duplicate glyph. *)
+
+val render : t -> string
+(** Raises [Failure] when no drawable points exist. *)

@@ -1,0 +1,117 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let std_error t = if t.n = 0 then nan else stddev t /. sqrt (float_of_int t.n)
+let min t = t.min
+let max t = t.max
+let total t = t.total
+
+let confidence_interval ?(z = 1.96) t =
+  let m = mean t and se = std_error t in
+  (m -. (z *. se), m +. (z *. se))
+
+(* Chan et al. parallel-variance combination. *)
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let nf = float_of_int n in
+    let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    {
+      n;
+      mean;
+      m2;
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+      total = a.total +. b.total;
+    }
+  end
+
+let mean_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  mean t
+
+let variance_of xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  variance t
+
+let quantile xs ~q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs ~q:0.5
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95_lo : float;
+  ci95_hi : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty array";
+  let t = create () in
+  Array.iter (add t) xs;
+  let ci_lo, ci_hi = confidence_interval t in
+  {
+    n = count t;
+    mean = mean t;
+    stddev = (if count t < 2 then 0.0 else stddev t);
+    ci95_lo = ci_lo;
+    ci95_hi = ci_hi;
+    min = min t;
+    p25 = quantile xs ~q:0.25;
+    median = median xs;
+    p75 = quantile xs ~q:0.75;
+    max = max t;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g ci95=[%.4g, %.4g] min=%.4g med=%.4g max=%.4g" s.n
+    s.mean s.stddev s.ci95_lo s.ci95_hi s.min s.median s.max

@@ -1,0 +1,59 @@
+(** Streaming and batch descriptive statistics for Monte-Carlo output. *)
+
+type t
+(** A streaming accumulator (Welford's algorithm): numerically stable mean
+    and variance without storing samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observed samples; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+val stddev : t -> float
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val confidence_interval : ?z:float -> t -> float * float
+(** [confidence_interval ?z t] is the normal-approximation interval
+    [mean -/+ z * std_error]; [z] defaults to 1.96 (95%). *)
+
+val merge : t -> t -> t
+(** [merge a b] combines two accumulators as if all samples were fed to
+    one. Neither input is mutated. *)
+
+(** {1 Batch helpers} *)
+
+val mean_of : float array -> float
+val variance_of : float array -> float
+val quantile : float array -> q:float -> float
+(** [quantile xs ~q] is the linear-interpolation quantile, [q] in [0, 1].
+    The input need not be sorted. Raises [Invalid_argument] when empty or
+    [q] out of range. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95_lo : float;
+  ci95_hi : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Full batch summary. Raises [Invalid_argument] on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,76 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows_rev : string array list;
+  mutable count : int;
+}
+
+let create ~headers =
+  let headers = Array.of_list headers in
+  if Array.length headers = 0 then invalid_arg "Table.create: no headers";
+  { headers; aligns = Array.make (Array.length headers) Right; rows_rev = []; count = 0 }
+
+let set_align t i a =
+  if i < 0 || i >= Array.length t.aligns then invalid_arg "Table.set_align: bad column";
+  t.aligns.(i) <- a
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows_rev <- row :: t.rows_rev;
+  t.count <- t.count + 1
+
+let default_fmt v = Printf.sprintf "%.6g" v
+
+let add_float_row ?(fmt = default_fmt) t values = add_row t (List.map fmt values)
+
+let row_count t = t.count
+
+let render t =
+  let rows = List.rev t.rows_rev in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 512 in
+  let emit_row cells =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cells.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  for i = 0 to ncols - 1 do
+    if i > 0 then Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.make widths.(i) '-')
+  done;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.contains s ',' || String.contains s '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape (Array.to_list cells)));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter emit (List.rev t.rows_rev);
+  Buffer.contents buf

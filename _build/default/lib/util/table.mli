@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output (figure/table rows). *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers; columns default to
+    right-alignment, which suits numeric output. *)
+
+val set_align : t -> int -> align -> unit
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the row width differs from the header
+    width. *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> float list -> unit
+(** Formats each float (default [%.6g]) and appends the row. *)
+
+val row_count : t -> int
+val render : t -> string
+(** Column-aligned rendering with a header separator line. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (values containing commas are quoted). *)

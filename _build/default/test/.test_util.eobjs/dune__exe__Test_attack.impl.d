@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Campaign Derandomizer Fortress_attack Fortress_core Fortress_defense Fortress_model Fortress_sim Fortress_util Hashtbl Knowledge List Option Pacing Printf Smr_campaign

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Fortress_crypto Fortress_util Hmac List Nonce Printf QCheck QCheck_alcotest Sha256 Sign String Test

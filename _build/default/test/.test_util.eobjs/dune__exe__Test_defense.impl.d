@@ -1,0 +1,1 @@
+test/test_defense.ml: Alcotest Daemon Format Fortress_defense Fortress_sim Fortress_util Instance Keyspace List QCheck QCheck_alcotest String Test Threat

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Float Fortress_mc Fortress_model Fortress_util List Printf Probe_level QCheck QCheck_alcotest Step_level Test Trial

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Float Fortress_model Fortress_util List Markov Printf QCheck QCheck_alcotest Systems Test

@@ -1,0 +1,1 @@
+test/test_net.ml: Address Alcotest Conn Fortress_net Fortress_sim Fortress_util Latency List Network

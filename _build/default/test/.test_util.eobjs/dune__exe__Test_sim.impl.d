@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Fortress_sim Fortress_util Heap List String Trace

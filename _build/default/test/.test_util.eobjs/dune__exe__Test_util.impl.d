@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fortress_util Fun Gen Histogram List Matrix Plot Prng Probability QCheck QCheck_alcotest Stats String Table Test

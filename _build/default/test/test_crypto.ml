@@ -1,0 +1,211 @@
+open Fortress_crypto
+
+(* ---- SHA-256 NIST vectors ---- *)
+
+let test_sha256_empty () =
+  Alcotest.(check string) "empty string"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "")
+
+let test_sha256_abc () =
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc")
+
+let test_sha256_two_blocks () =
+  Alcotest.(check string) "448-bit message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_sha256_streaming () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "ab";
+  Sha256.feed ctx "c";
+  Alcotest.(check string) "chunked equals one-shot" (Sha256.hex "abc")
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_sha256_streaming_across_blocks () =
+  let msg = String.init 200 (fun i -> Char.chr (i mod 256)) in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx (String.sub msg 0 63);
+  Sha256.feed ctx (String.sub msg 63 2);
+  Sha256.feed ctx (String.sub msg 65 135);
+  Alcotest.(check string) "block-boundary chunking" (Sha256.hex msg)
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let test_sha256_length_55_56_57 () =
+  (* padding boundary cases around 56 bytes *)
+  List.iter
+    (fun n ->
+      let msg = String.make n 'x' in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx msg;
+      Alcotest.(check string)
+        (Printf.sprintf "length %d" n)
+        (Sha256.hex msg)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 55; 56; 57; 63; 64; 65 ]
+
+(* ---- HMAC RFC 4231 vectors ---- *)
+
+let test_hmac_rfc4231_case1 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac_hex ~key:(String.make 20 '\x0b') "Hi There")
+
+let test_hmac_rfc4231_case2 () =
+  Alcotest.(check string) "case 2 (Jefe)"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac_hex ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_rfc4231_case3 () =
+  Alcotest.(check string) "case 3 (0xaa/0xdd)"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.mac_hex ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_long_key () =
+  (* RFC 4231 case 6: 131-byte key is hashed down *)
+  Alcotest.(check string) "case 6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac_hex ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "hello" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "valid tag" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "wrong msg" false (Hmac.verify ~key ~msg:"hellO" ~tag);
+  Alcotest.(check bool) "wrong key" false (Hmac.verify ~key:"Secret" ~msg ~tag);
+  Alcotest.(check bool) "truncated tag" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+(* ---- Sign ---- *)
+
+let prng () = Fortress_util.Prng.create ~seed:2024
+
+let test_sign_roundtrip () =
+  let p = prng () in
+  let sk, pk = Sign.generate p in
+  let s = Sign.sign sk "attack at dawn" in
+  Alcotest.(check bool) "verifies" true (Sign.verify pk ~msg:"attack at dawn" s);
+  Alcotest.(check bool) "wrong msg rejected" false (Sign.verify pk ~msg:"attack at dusk" s)
+
+let test_sign_cross_key_rejection () =
+  let p = prng () in
+  let sk1, _pk1 = Sign.generate p in
+  let _sk2, pk2 = Sign.generate p in
+  let s = Sign.sign sk1 "msg" in
+  Alcotest.(check bool) "other key rejects" false (Sign.verify pk2 ~msg:"msg" s)
+
+let test_sign_forgery_rejected () =
+  let p = prng () in
+  let _sk, pk = Sign.generate p in
+  for _ = 1 to 100 do
+    let forged = Sign.forge p in
+    Alcotest.(check bool) "forgery rejected" false (Sign.verify pk ~msg:"msg" forged)
+  done
+
+let test_sign_public_of_secret () =
+  let p = prng () in
+  let sk, pk = Sign.generate p in
+  Alcotest.(check bool) "fingerprint matches" true
+    (Sign.equal_public pk (Sign.public_of_secret sk))
+
+let test_sign_distinct_keys () =
+  let p = prng () in
+  let _, pk1 = Sign.generate p in
+  let _, pk2 = Sign.generate p in
+  Alcotest.(check bool) "distinct" false (Sign.equal_public pk1 pk2)
+
+(* ---- Nonce ---- *)
+
+let test_nonce_unique_within_source () =
+  let p = prng () in
+  let src = Nonce.source p in
+  let ns = List.init 1000 (fun _ -> Nonce.fresh src) in
+  let distinct = List.sort_uniq Nonce.compare ns in
+  Alcotest.(check int) "all distinct" 1000 (List.length distinct)
+
+let test_nonce_unique_across_sources () =
+  let p = prng () in
+  let s1 = Nonce.source p and s2 = Nonce.source p in
+  let a = Nonce.fresh s1 and b = Nonce.fresh s2 in
+  Alcotest.(check bool) "different streams" false (Nonce.equal a b)
+
+let test_nonce_string_roundtrip () =
+  let p = prng () in
+  let src = Nonce.source p in
+  let a = Nonce.fresh src and b = Nonce.fresh src in
+  Alcotest.(check bool) "string ids differ" false (Nonce.to_string a = Nonce.to_string b)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sha256 is 32 bytes" ~count:200 string (fun s ->
+        String.length (Sha256.digest s) = 32);
+    Test.make ~name:"sha256 deterministic" ~count:200 string (fun s ->
+        Sha256.digest s = Sha256.digest s);
+    Test.make ~name:"hmac verify accepts own tag" ~count:200 (pair string string)
+      (fun (key, msg) -> Hmac.verify ~key ~msg ~tag:(Hmac.mac ~key msg));
+    Test.make ~name:"hmac differs per key" ~count:200 (triple string string string)
+      (fun (k1, k2, msg) ->
+        (* RFC 2104 pads short keys with zero bytes, so keys differing only
+           by trailing NULs are the same key; compare after normalization *)
+        let normalize k =
+          let k = if String.length k > 64 then Sha256.digest k else k in
+          k ^ String.make (64 - String.length k) '\x00'
+        in
+        assume (normalize k1 <> normalize k2);
+        (* collision would be a catastrophic HMAC break *)
+        Hmac.mac ~key:k1 msg <> Hmac.mac ~key:k2 msg);
+  ]
+
+let () =
+  Alcotest.run "fortress_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "empty vector" `Quick test_sha256_empty;
+          Alcotest.test_case "abc vector" `Quick test_sha256_abc;
+          Alcotest.test_case "two-block vector" `Quick test_sha256_two_blocks;
+          Alcotest.test_case "million a vector" `Slow test_sha256_million_a;
+          Alcotest.test_case "streaming" `Quick test_sha256_streaming;
+          Alcotest.test_case "streaming across blocks" `Quick test_sha256_streaming_across_blocks;
+          Alcotest.test_case "finalize once" `Quick test_sha256_finalize_once;
+          Alcotest.test_case "padding boundaries" `Quick test_sha256_length_55_56_57;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 case 1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 case 2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 case 3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 case 6 long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "sign",
+        [
+          Alcotest.test_case "sign/verify round-trip" `Quick test_sign_roundtrip;
+          Alcotest.test_case "cross-key rejection" `Quick test_sign_cross_key_rejection;
+          Alcotest.test_case "forgery rejected" `Quick test_sign_forgery_rejected;
+          Alcotest.test_case "public_of_secret" `Quick test_sign_public_of_secret;
+          Alcotest.test_case "distinct keys" `Quick test_sign_distinct_keys;
+        ] );
+      ( "nonce",
+        [
+          Alcotest.test_case "unique within source" `Quick test_nonce_unique_within_source;
+          Alcotest.test_case "unique across sources" `Quick test_nonce_unique_across_sources;
+          Alcotest.test_case "string ids" `Quick test_nonce_string_roundtrip;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

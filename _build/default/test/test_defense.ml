@@ -1,0 +1,357 @@
+open Fortress_defense
+module Engine = Fortress_sim.Engine
+module Prng = Fortress_util.Prng
+
+let prng () = Prng.create ~seed:7
+
+(* ---- Keyspace ---- *)
+
+let test_keyspace_entropy () =
+  let ks = Keyspace.of_entropy_bits 16 in
+  Alcotest.(check int) "2^16 keys" 65536 (Keyspace.size ks);
+  Alcotest.(check (float 1e-9)) "entropy bits" 16.0 (Keyspace.entropy_bits ks)
+
+let test_keyspace_bounds () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Keyspace.of_entropy_bits: need 1 <= bits <= 30") (fun () ->
+      ignore (Keyspace.of_entropy_bits 0));
+  Alcotest.check_raises "size too small" (Invalid_argument "Keyspace.of_size: need at least 2 keys")
+    (fun () -> ignore (Keyspace.of_size 1))
+
+let test_keyspace_contains () =
+  let ks = Keyspace.of_size 100 in
+  Alcotest.(check bool) "0 in" true (Keyspace.contains ks 0);
+  Alcotest.(check bool) "99 in" true (Keyspace.contains ks 99);
+  Alcotest.(check bool) "100 out" false (Keyspace.contains ks 100);
+  Alcotest.(check bool) "negative out" false (Keyspace.contains ks (-1))
+
+let test_keyspace_random_key () =
+  let ks = Keyspace.of_size 10 in
+  let p = prng () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "in space" true (Keyspace.contains ks (Keyspace.random_key ks p))
+  done
+
+let test_keyspace_default () =
+  Alcotest.(check int) "paper default" 65536 (Keyspace.size Keyspace.pax_aslr_32bit)
+
+(* ---- Instance ---- *)
+
+let test_instance_probe_semantics () =
+  let ks = Keyspace.of_size 50 in
+  let p = prng () in
+  let inst = Instance.create ks p in
+  let key = Instance.key inst in
+  Alcotest.(check bool) "correct guess intrudes" true
+    (Instance.probe inst ~guess:key = Instance.Intrusion);
+  let wrong = (key + 1) mod 50 in
+  Alcotest.(check bool) "wrong guess crashes" true
+    (Instance.probe inst ~guess:wrong = Instance.Crash)
+
+let test_instance_probe_out_of_space () =
+  let ks = Keyspace.of_size 50 in
+  let inst = Instance.create ks (prng ()) in
+  Alcotest.check_raises "bad guess" (Invalid_argument "Instance.probe: guess outside the key space")
+    (fun () -> ignore (Instance.probe inst ~guess:50))
+
+let test_instance_rekey_changes_epoch () =
+  let ks = Keyspace.of_entropy_bits 16 in
+  let p = prng () in
+  let inst = Instance.create ks p in
+  Alcotest.(check int) "epoch 0" 0 (Instance.epoch inst);
+  Instance.rekey inst p;
+  Alcotest.(check int) "epoch 1" 1 (Instance.epoch inst)
+
+let test_instance_rekey_usually_changes_key () =
+  let ks = Keyspace.of_entropy_bits 16 in
+  let p = prng () in
+  let inst = Instance.create ks p in
+  let changed = ref 0 in
+  for _ = 1 to 100 do
+    let before = Instance.key inst in
+    Instance.rekey inst p;
+    if Instance.key inst <> before then incr changed
+  done;
+  Alcotest.(check bool) "almost always fresh" true (!changed >= 99)
+
+let test_instance_recover_keeps_key () =
+  let ks = Keyspace.of_entropy_bits 16 in
+  let inst = Instance.create ks (prng ()) in
+  let before = Instance.key inst in
+  Instance.recover inst;
+  Alcotest.(check int) "same key" before (Instance.key inst);
+  Alcotest.(check int) "epoch advanced" 1 (Instance.epoch inst)
+
+let test_instance_schemes () =
+  Alcotest.(check int) "four schemes" 4 (List.length Instance.all_schemes);
+  List.iter
+    (fun s ->
+      let str = Format.asprintf "%a" Instance.pp_scheme s in
+      match Instance.scheme_of_string str with
+      | Some s' -> Alcotest.(check bool) "round-trips" true (s = s')
+      | None -> Alcotest.fail "scheme name did not round-trip")
+    Instance.all_schemes
+
+(* ---- Daemon: the forking-server attack surface ---- *)
+
+let setup_daemon ?(keys = 16) () =
+  let engine = Engine.create ~prng:(Prng.create ~seed:11) () in
+  let ks = Keyspace.of_size keys in
+  let inst = Instance.create ks (Engine.prng engine) in
+  let daemon = Daemon.create engine ~instance:inst in
+  (engine, daemon)
+
+let test_daemon_legit_request () =
+  let engine, daemon = setup_daemon () in
+  let reply = ref "" in
+  let submit, _ =
+    Daemon.accept daemon ~on_reply:(fun r -> reply := r) ~on_crash_observed:(fun () -> ())
+  in
+  submit (Daemon.Legit "hello");
+  Engine.run engine;
+  Alcotest.(check string) "echoed" "ok:hello" !reply;
+  Alcotest.(check int) "served" 1 (Daemon.request_count daemon)
+
+let test_daemon_wrong_probe_crashes_child () =
+  let engine, daemon = setup_daemon () in
+  let crashed = ref false in
+  let key = Instance.key (Daemon.instance daemon) in
+  let wrong = (key + 1) mod 16 in
+  let submit, is_open =
+    Daemon.accept daemon ~on_reply:(fun _ -> ()) ~on_crash_observed:(fun () -> crashed := true)
+  in
+  submit (Daemon.Probe wrong);
+  Engine.run engine;
+  Alcotest.(check bool) "attacker observes the crash" true !crashed;
+  Alcotest.(check bool) "connection closed" false (is_open ());
+  Alcotest.(check int) "crash counted" 1 (Daemon.crash_count daemon);
+  Alcotest.(check bool) "daemon itself survives" false (Daemon.compromised daemon)
+
+let test_daemon_correct_probe_compromises () =
+  let engine, daemon = setup_daemon () in
+  let reply = ref "" in
+  let key = Instance.key (Daemon.instance daemon) in
+  let submit, is_open =
+    Daemon.accept daemon ~on_reply:(fun r -> reply := r) ~on_crash_observed:(fun () -> ())
+  in
+  submit (Daemon.Probe key);
+  Engine.run engine;
+  Alcotest.(check bool) "compromised" true (Daemon.compromised daemon);
+  Alcotest.(check string) "attacker gets a shell" "shell" !reply;
+  Alcotest.(check bool) "connection stays open" true (is_open ())
+
+let test_daemon_forks_replacement () =
+  let engine, daemon = setup_daemon () in
+  let key = Instance.key (Daemon.instance daemon) in
+  let wrong = (key + 1) mod 16 in
+  let submit, _ =
+    Daemon.accept daemon ~on_reply:(fun _ -> ()) ~on_crash_observed:(fun () -> ())
+  in
+  submit (Daemon.Probe wrong);
+  Engine.run engine;
+  Alcotest.(check int) "forked a replacement" 2 (Daemon.fork_count daemon);
+  (* a new connection works after the crash *)
+  let reply = ref "" in
+  let submit2, _ =
+    Daemon.accept daemon ~on_reply:(fun r -> reply := r) ~on_crash_observed:(fun () -> ())
+  in
+  submit2 (Daemon.Legit "again");
+  Engine.run engine;
+  Alcotest.(check string) "still serving" "ok:again" !reply
+
+let test_daemon_rekey_clears_compromise () =
+  let engine, daemon = setup_daemon () in
+  let key = Instance.key (Daemon.instance daemon) in
+  let submit, _ =
+    Daemon.accept daemon ~on_reply:(fun _ -> ()) ~on_crash_observed:(fun () -> ())
+  in
+  submit (Daemon.Probe key);
+  Engine.run engine;
+  Alcotest.(check bool) "compromised" true (Daemon.compromised daemon);
+  Daemon.rekey daemon (Engine.prng engine);
+  Alcotest.(check bool) "rekey evicts the attacker" false (Daemon.compromised daemon)
+
+let test_daemon_recover_clears_compromise_same_key () =
+  let engine, daemon = setup_daemon () in
+  let key = Instance.key (Daemon.instance daemon) in
+  let submit, _ =
+    Daemon.accept daemon ~on_reply:(fun _ -> ()) ~on_crash_observed:(fun () -> ())
+  in
+  submit (Daemon.Probe key);
+  Engine.run engine;
+  Daemon.recover daemon;
+  Alcotest.(check bool) "attacker evicted" false (Daemon.compromised daemon);
+  (* but with proactive recovery the key is unchanged: the attacker walks
+     straight back in *)
+  let submit2, _ =
+    Daemon.accept daemon ~on_reply:(fun _ -> ()) ~on_crash_observed:(fun () -> ())
+  in
+  submit2 (Daemon.Probe key);
+  Engine.run engine;
+  Alcotest.(check bool) "recovery without rekey is no defence" true (Daemon.compromised daemon)
+
+let test_daemon_exhaustive_derandomization () =
+  (* the Shacham-style phase-1 loop over a tiny key space *)
+  let engine, daemon = setup_daemon ~keys:32 () in
+  let compromised_after = ref (-1) in
+  let rec probe guess =
+    if guess < 32 && !compromised_after < 0 then begin
+      let submit, _ =
+        Daemon.accept daemon
+          ~on_reply:(fun r -> if r = "shell" then compromised_after := guess)
+          ~on_crash_observed:(fun () -> probe (guess + 1))
+      in
+      submit (Daemon.Probe guess)
+    end
+  in
+  probe 0;
+  Engine.run engine;
+  Alcotest.(check bool) "key found within the space" true (!compromised_after >= 0);
+  Alcotest.(check int) "every miss crashed a child" !compromised_after
+    (Daemon.crash_count daemon)
+
+let test_request_codec () =
+  let cases = [ Daemon.Probe 42; Daemon.Legit "body" ] in
+  List.iter
+    (fun r ->
+      match Daemon.decode_request (Daemon.encode_request r) with
+      | Some r' -> Alcotest.(check bool) "round-trip" true (r = r')
+      | None -> Alcotest.fail "codec failed")
+    cases;
+  Alcotest.(check bool) "garbage rejected" true (Daemon.decode_request "nonsense" = None);
+  Alcotest.(check bool) "bad probe rejected" true (Daemon.decode_request "probe:xyz" = None)
+
+(* ---- Threat matrix (paper section 2.1) ---- *)
+
+let ks16 = Keyspace.of_entropy_bits 16
+
+let test_threat_wxorx_bypassed () =
+  (* W^X alone: injection is dead, but return-to-libc walks straight in *)
+  let stack = [ Threat.W_xor_x ] in
+  let inj = Threat.assess stack Threat.Code_injection in
+  Alcotest.(check bool) "injection blocked" true inj.Threat.blocked;
+  match Threat.best_vector stack with
+  | Some a ->
+      Alcotest.(check bool) "attacker switches to ret2libc" true
+        (a.Threat.vector = Threat.Return_to_libc);
+      Alcotest.(check (float 0.0)) "no key needed" 1.0 a.Threat.effective_keys
+  | None -> Alcotest.fail "ret2libc should remain"
+
+let test_threat_isr_and_heap_also_bypassed () =
+  (* the paper: W^X, ISR and heap randomization are all bypassed by
+     return-to-libc *)
+  List.iter
+    (fun stack ->
+      match Threat.best_vector stack with
+      | Some a ->
+          Alcotest.(check bool) "ret2libc unimpeded" true
+            (a.Threat.vector = Threat.Return_to_libc && a.Threat.effective_keys = 1.0)
+      | None -> Alcotest.fail "should not be blocked")
+    [ [ Threat.Isr ks16 ]; [ Threat.Heap_randomization ks16 ];
+      [ Threat.W_xor_x; Threat.Isr ks16; Threat.Heap_randomization ks16 ] ]
+
+let test_threat_aslr_degrades_both () =
+  let stack = [ Threat.Aslr ks16 ] in
+  List.iter
+    (fun vector ->
+      let a = Threat.assess stack vector in
+      Alcotest.(check bool) "keyed, not blocked" true
+        ((not a.Threat.blocked) && a.Threat.effective_keys = 65536.0))
+    Threat.all_vectors
+
+let test_threat_layering_multiplies_entropy () =
+  (* stacking ASLR and GOT randomization: the attacker must guess both
+     keys to land a return-to-libc *)
+  let stack = [ Threat.W_xor_x; Threat.Aslr ks16; Threat.Got_randomization ks16 ] in
+  match Threat.best_vector stack with
+  | Some a ->
+      Alcotest.(check bool) "only ret2libc remains" true
+        (a.Threat.vector = Threat.Return_to_libc);
+      Alcotest.(check (float 1.0)) "32 bits effective" (65536.0 *. 65536.0)
+        a.Threat.effective_keys
+  | None -> Alcotest.fail "ret2libc should remain keyed, not blocked"
+
+let test_threat_alpha_against () =
+  Alcotest.(check (float 1e-12)) "paper operating point: omega/chi"
+    (256.0 /. 65536.0)
+    (Threat.alpha_against [ Threat.Aslr ks16 ] ~omega:256);
+  Alcotest.(check (float 0.0)) "undefended: certain compromise" 1.0
+    (Threat.alpha_against [] ~omega:256);
+  Alcotest.(check (float 0.0)) "w^x alone does not slow ret2libc" 1.0
+    (Threat.alpha_against [ Threat.W_xor_x ] ~omega:256)
+
+let test_threat_matrix_table () =
+  let table =
+    Threat.matrix_table
+      [ []; [ Threat.W_xor_x ]; [ Threat.Aslr ks16 ];
+        [ Threat.W_xor_x; Threat.Aslr ks16; Threat.Got_randomization ks16 ] ]
+  in
+  Alcotest.(check bool) "renders" true
+    (String.length (Fortress_util.Table.render table) > 0)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"probe intrudes iff guess equals key" ~count:500
+      (pair (int_range 2 1000) small_int)
+      (fun (size, seed) ->
+        let ks = Keyspace.of_size size in
+        let p = Prng.create ~seed in
+        let inst = Instance.create ks p in
+        let guess = Prng.int p ~bound:size in
+        let outcome = Instance.probe inst ~guess in
+        (outcome = Instance.Intrusion) = (guess = Instance.key inst));
+    Test.make ~name:"rekey keeps key inside the space" ~count:500 small_int (fun seed ->
+        let ks = Keyspace.of_size 17 in
+        let p = Prng.create ~seed in
+        let inst = Instance.create ks p in
+        Instance.rekey inst p;
+        Keyspace.contains ks (Instance.key inst));
+  ]
+
+let () =
+  Alcotest.run "fortress_defense"
+    [
+      ( "keyspace",
+        [
+          Alcotest.test_case "entropy" `Quick test_keyspace_entropy;
+          Alcotest.test_case "bounds" `Quick test_keyspace_bounds;
+          Alcotest.test_case "contains" `Quick test_keyspace_contains;
+          Alcotest.test_case "random key" `Quick test_keyspace_random_key;
+          Alcotest.test_case "paper default" `Quick test_keyspace_default;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "probe semantics" `Quick test_instance_probe_semantics;
+          Alcotest.test_case "probe out of space" `Quick test_instance_probe_out_of_space;
+          Alcotest.test_case "rekey epoch" `Quick test_instance_rekey_changes_epoch;
+          Alcotest.test_case "rekey freshness" `Quick test_instance_rekey_usually_changes_key;
+          Alcotest.test_case "recover keeps key" `Quick test_instance_recover_keeps_key;
+          Alcotest.test_case "schemes round-trip" `Quick test_instance_schemes;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "legit request" `Quick test_daemon_legit_request;
+          Alcotest.test_case "wrong probe crashes child" `Quick test_daemon_wrong_probe_crashes_child;
+          Alcotest.test_case "correct probe compromises" `Quick test_daemon_correct_probe_compromises;
+          Alcotest.test_case "forks replacement" `Quick test_daemon_forks_replacement;
+          Alcotest.test_case "rekey evicts attacker" `Quick test_daemon_rekey_clears_compromise;
+          Alcotest.test_case "recovery without rekey" `Quick
+            test_daemon_recover_clears_compromise_same_key;
+          Alcotest.test_case "exhaustive de-randomization" `Quick
+            test_daemon_exhaustive_derandomization;
+          Alcotest.test_case "request codec" `Quick test_request_codec;
+        ] );
+      ( "threat-matrix",
+        [
+          Alcotest.test_case "w^x bypassed by ret2libc" `Quick test_threat_wxorx_bypassed;
+          Alcotest.test_case "isr and heap-rand bypassed" `Quick
+            test_threat_isr_and_heap_also_bypassed;
+          Alcotest.test_case "aslr degrades both vectors" `Quick test_threat_aslr_degrades_both;
+          Alcotest.test_case "layering multiplies entropy" `Quick
+            test_threat_layering_multiplies_entropy;
+          Alcotest.test_case "alpha against stacks" `Quick test_threat_alpha_against;
+          Alcotest.test_case "matrix table" `Quick test_threat_matrix_table;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,302 @@
+open Fortress_net
+module Engine = Fortress_sim.Engine
+
+type msg = Ping of int | Pong of int
+
+let setup ?latency () =
+  let engine = Engine.create ~prng:(Fortress_util.Prng.create ~seed:1) () in
+  let net = Network.create ?latency engine in
+  (engine, net)
+
+let register_sink net name log =
+  Network.register net ~name ~handler:(fun ~src msg -> log := (src, msg) :: !log)
+
+(* ---- Network ---- *)
+
+let test_basic_delivery () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  match !log with
+  | [ (src, Ping 1) ] -> Alcotest.(check bool) "src" true (Address.equal src a)
+  | _ -> Alcotest.fail "expected one ping"
+
+let test_latency_applied () =
+  let engine, net = setup ~latency:(Latency.constant 3.0) () in
+  let arrival = ref 0.0 in
+  let a = register_sink net "a" (ref []) in
+  let b =
+    Network.register net ~name:"b" ~handler:(fun ~src:_ _ -> arrival := Engine.now engine)
+  in
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "constant latency" 3.0 !arrival
+
+let test_down_node_loses_messages () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_down net b;
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !log);
+  Alcotest.(check int) "counted dropped" 1 (Network.dropped net)
+
+let test_crash_voids_in_flight () =
+  let engine, net = setup ~latency:(Latency.constant 5.0) () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.send net ~src:a ~dst:b (Ping 1);
+  (* crash while the message is in flight, then recover before delivery *)
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         Network.set_down net b;
+         Network.set_up net b));
+  Engine.run engine;
+  Alcotest.(check int) "in-flight message died with the crash" 0 (List.length !log)
+
+let test_recovery_receives_again () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_down net b;
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Network.set_up net b;
+  Network.send net ~src:a ~dst:b (Ping 2);
+  Engine.run engine;
+  (match !log with
+  | [ (_, Ping 2) ] -> ()
+  | _ -> Alcotest.fail "expected only the post-recovery ping");
+  Alcotest.(check bool) "up again" true (Network.is_up net b)
+
+let test_partition_and_heal () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.partition net a b;
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "partitioned" 0 (List.length !log);
+  Network.heal net a b;
+  Network.send net ~src:a ~dst:b (Ping 2);
+  Engine.run engine;
+  Alcotest.(check int) "healed" 1 (List.length !log)
+
+let test_partition_symmetric () =
+  let engine, net = setup () in
+  let la = ref [] and lb = ref [] in
+  let a = register_sink net "a" la in
+  let b = register_sink net "b" lb in
+  Network.partition net b a;
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Network.send net ~src:b ~dst:a (Pong 1);
+  Engine.run engine;
+  Alcotest.(check int) "a->b blocked" 0 (List.length !lb);
+  Alcotest.(check int) "b->a blocked" 0 (List.length !la)
+
+let test_multicast () =
+  let engine, net = setup () in
+  let lb = ref [] and lc = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" lb in
+  let c = register_sink net "c" lc in
+  Network.multicast net ~src:a ~dsts:[ b; c ] (Ping 7);
+  Engine.run engine;
+  Alcotest.(check int) "b got it" 1 (List.length !lb);
+  Alcotest.(check int) "c got it" 1 (List.length !lc);
+  Alcotest.(check int) "delivered count" 2 (Network.delivered net)
+
+let test_lossy_link () =
+  let engine, net = setup ~latency:(Latency.lossy (Latency.constant 1.0) ~drop:0.5) () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  for _ = 1 to 1000 do
+    Network.send net ~src:a ~dst:b (Ping 0)
+  done;
+  Engine.run engine;
+  let got = List.length !log in
+  Alcotest.(check bool) "roughly half lost" true (got > 400 && got < 600)
+
+let test_per_link_latency () =
+  let engine, net = setup ~latency:(Latency.constant 1.0) () in
+  let t_b = ref 0.0 and t_c = ref 0.0 in
+  let a = register_sink net "a" (ref []) in
+  let b = Network.register net ~name:"b" ~handler:(fun ~src:_ _ -> t_b := Engine.now engine) in
+  let c = Network.register net ~name:"c" ~handler:(fun ~src:_ _ -> t_c := Engine.now engine) in
+  Network.set_link_latency net a c (Latency.constant 10.0);
+  Network.send net ~src:a ~dst:b (Ping 0);
+  Network.send net ~src:a ~dst:c (Ping 0);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "default link" 1.0 !t_b;
+  Alcotest.(check (float 1e-9)) "overridden link" 10.0 !t_c
+
+let test_unknown_destination () =
+  let _, net = setup () in
+  let a = register_sink net "a" (ref []) in
+  Alcotest.check_raises "unknown dst" (Invalid_argument "Network: unknown address n99")
+    (fun () -> Network.send net ~src:a ~dst:(Address.make 99) (Ping 0))
+
+let test_set_handler_swap () =
+  let engine, net = setup () in
+  let first = ref 0 and second = ref 0 in
+  let a = register_sink net "a" (ref []) in
+  let b = Network.register net ~name:"b" ~handler:(fun ~src:_ _ -> incr first) in
+  Network.send net ~src:a ~dst:b (Ping 0);
+  Engine.run engine;
+  Network.set_handler net b (fun ~src:_ _ -> incr second);
+  Network.send net ~src:a ~dst:b (Ping 0);
+  Engine.run engine;
+  Alcotest.(check int) "old handler once" 1 !first;
+  Alcotest.(check int) "new handler once" 1 !second
+
+let test_node_listing () =
+  let _, net = setup () in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" (ref []) in
+  Alcotest.(check int) "two nodes" 2 (List.length (Network.nodes net));
+  Alcotest.(check string) "names" "a" (Network.name net a);
+  Alcotest.(check string) "names" "b" (Network.name net b)
+
+let test_address_collections () =
+  let a = Address.make 1 and b = Address.make 2 in
+  let set = Address.Set.of_list [ a; b; a ] in
+  Alcotest.(check int) "set dedups" 2 (Address.Set.cardinal set);
+  let map = Address.Map.(empty |> add a "one" |> add b "two") in
+  Alcotest.(check (option string)) "map lookup" (Some "one") (Address.Map.find_opt a map);
+  Alcotest.(check string) "printable" "n1" (Address.to_string a)
+
+let test_latency_sampling () =
+  let prng = Fortress_util.Prng.create ~seed:3 in
+  (* constant link: exact delay, never dropped *)
+  for _ = 1 to 100 do
+    match Latency.sample (Latency.constant 2.5) prng with
+    | Some d -> Alcotest.(check (float 1e-12)) "constant" 2.5 d
+    | None -> Alcotest.fail "constant link must not drop"
+  done;
+  (* jittered link: delay in [base, base + jitter) *)
+  let jittered = { Latency.base = 1.0; jitter = 0.5; drop = 0.0 } in
+  for _ = 1 to 1000 do
+    match Latency.sample jittered prng with
+    | Some d -> Alcotest.(check bool) "within jitter band" true (d >= 1.0 && d < 1.5)
+    | None -> Alcotest.fail "lossless link must not drop"
+  done;
+  (* fully lossy link: always dropped *)
+  let black_hole = Latency.lossy (Latency.constant 1.0) ~drop:1.0 in
+  Alcotest.(check bool) "always dropped" true (Latency.sample black_hole prng = None)
+
+(* ---- Conn: the crash-observation channel ---- *)
+
+let test_conn_roundtrip () =
+  let engine = Engine.create () in
+  let server_got = ref [] and client_got = ref [] in
+  let conn =
+    Conn.establish engine ~latency:1.0
+      ~on_server_receive:(fun c payload ->
+        server_got := payload :: !server_got;
+        Conn.server_send c ("echo:" ^ payload))
+      ~on_client_receive:(fun _ payload -> client_got := payload :: !client_got)
+      ~on_client_close:(fun () -> ())
+  in
+  Conn.client_send conn "hello";
+  Engine.run engine;
+  Alcotest.(check (list string)) "server" [ "hello" ] !server_got;
+  Alcotest.(check (list string)) "client" [ "echo:hello" ] !client_got
+
+let test_conn_close_observed () =
+  let engine = Engine.create () in
+  let observed_at = ref nan in
+  let conn =
+    Conn.establish engine ~latency:2.0
+      ~on_server_receive:(fun c _ -> Conn.close_server c)
+      ~on_client_receive:(fun _ _ -> ())
+      ~on_client_close:(fun () -> observed_at := Engine.now engine)
+  in
+  Conn.client_send conn "probe";
+  Engine.run engine;
+  (* send takes 2.0, close notification another 2.0 *)
+  Alcotest.(check (float 1e-9)) "client observes crash after latency" 4.0 !observed_at;
+  Alcotest.(check bool) "closed" false (Conn.is_open conn)
+
+let test_conn_messages_lost_after_close () =
+  let engine = Engine.create () in
+  let server_got = ref 0 in
+  let conn =
+    Conn.establish engine ~latency:1.0
+      ~on_server_receive:(fun _ _ -> incr server_got)
+      ~on_client_receive:(fun _ _ -> ())
+      ~on_client_close:(fun () -> ())
+  in
+  Conn.client_send conn "one";
+  Conn.close_server conn;
+  Conn.client_send conn "two";
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered after close" 0 !server_got
+
+let test_conn_close_idempotent () =
+  let engine = Engine.create () in
+  let closes = ref 0 in
+  let conn =
+    Conn.establish engine
+      ~on_server_receive:(fun _ _ -> ())
+      ~on_client_receive:(fun _ _ -> ())
+      ~on_client_close:(fun () -> incr closes)
+  in
+  Conn.close_server conn;
+  Conn.close_server conn;
+  Engine.run engine;
+  Alcotest.(check int) "one notification" 1 !closes
+
+let test_conn_client_close_notifies_server () =
+  let engine = Engine.create () in
+  let server_saw_close = ref false in
+  let conn =
+    Conn.establish engine
+      ~on_server_receive:(fun _ _ -> ())
+      ~on_client_receive:(fun _ _ -> ())
+      ~on_client_close:(fun () -> ())
+      ~on_server_close:(fun () -> server_saw_close := true)
+  in
+  Conn.close_client conn;
+  Engine.run engine;
+  Alcotest.(check bool) "server notified" true !server_saw_close
+
+let () =
+  Alcotest.run "fortress_net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+          Alcotest.test_case "latency" `Quick test_latency_applied;
+          Alcotest.test_case "down node" `Quick test_down_node_loses_messages;
+          Alcotest.test_case "crash voids in-flight" `Quick test_crash_voids_in_flight;
+          Alcotest.test_case "recovery" `Quick test_recovery_receives_again;
+          Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "partition symmetric" `Quick test_partition_symmetric;
+          Alcotest.test_case "multicast" `Quick test_multicast;
+          Alcotest.test_case "lossy link" `Quick test_lossy_link;
+          Alcotest.test_case "per-link latency" `Quick test_per_link_latency;
+          Alcotest.test_case "unknown destination" `Quick test_unknown_destination;
+          Alcotest.test_case "handler swap" `Quick test_set_handler_swap;
+          Alcotest.test_case "node listing" `Quick test_node_listing;
+          Alcotest.test_case "address collections" `Quick test_address_collections;
+          Alcotest.test_case "latency sampling" `Quick test_latency_sampling;
+        ] );
+      ( "conn",
+        [
+          Alcotest.test_case "round-trip" `Quick test_conn_roundtrip;
+          Alcotest.test_case "crash observation" `Quick test_conn_close_observed;
+          Alcotest.test_case "loss after close" `Quick test_conn_messages_lost_after_close;
+          Alcotest.test_case "idempotent close" `Quick test_conn_close_idempotent;
+          Alcotest.test_case "client close notifies server" `Quick
+            test_conn_client_close_notifies_server;
+        ] );
+    ]
