@@ -170,77 +170,120 @@ let benchmark () =
          in
          Printf.printf "  %-45s %s\n" name ns)
 
-let () =
-  print_endline "== micro-benchmarks (bechamel, monotonic clock) ==";
-  benchmark ();
-  print_endline "";
-  print_endline "== Figure 1: expected lifetime comparison (analytic, kappa = 0.5) ==";
-  print_string (Fortress_util.Table.render (Figures.figure1_table ~points:13 ()));
-  print_endline "";
-  print_endline "== Figure 2: S2PO expected lifetime as kappa varies ==";
-  print_string (Fortress_util.Table.render (Figures.figure2_table ~points:13 ()));
-  print_endline "";
-  print_endline "== Ordering check (paper section 6 summary chain) ==";
-  print_string (Fortress_util.Table.render (Figures.ordering_table ~points:7 ()));
-  print_endline "";
-  print_endline "== Ablation A1: proxy count ==";
-  print_string (Fortress_util.Table.render (Ablations.proxy_count_table ~points:5 ()));
-  print_endline "";
-  print_endline "== Ablation A2: key entropy under SO (probe-level) ==";
-  print_string (Fortress_util.Table.render (Ablations.entropy_table ~trials:100 ()));
-  print_endline "";
-  print_endline "== Ablation A3: launch-pad discipline (alpha = 0.005) ==";
-  print_string (Fortress_util.Table.render (Ablations.launchpad_table ()));
-  print_endline "";
-  print_endline "== Ablation A4: proxy detection threshold -> effective kappa ==";
-  print_string (Fortress_util.Table.render (Ablations.detection_table ()));
-  print_endline "";
-  print_endline "== Ablation A5: limited diversity (candidate-set size) ==";
-  print_string
-    (Fortress_util.Table.render (Ablations.limited_diversity_table ~trials:1000 ()));
-  print_endline "";
-  print_endline "== Ablation A6: proxy overhead on the request path ==";
-  print_string (Fortress_util.Table.render (Ablations.overhead_table ()));
-  print_endline "";
-  print_endline "== Ablation A7: optimizing attacker budget split ==";
-  print_string (Fortress_util.Table.render (Ablations.budget_split_table ()));
-  print_endline "";
-  print_endline "== Service quality under attack (degradation) ==";
-  print_string (Fortress_util.Table.render (Fortress_exp.Degradation.table (Fortress_exp.Degradation.run ())));
-  print_endline "";
-  print_endline "== PODC 2009 claim: fortified PB vs SMR with proactive recovery ==";
-  print_string (Fortress_util.Table.render (Figures.podc_claim_table ~points:7 ()));
-  print_endline "";
-  print_endline "== Lifetime distribution shapes (alpha = 0.002, kappa = 0.5) ==";
-  let shape_profiles =
-    List.map
-      (fun s -> Fortress_exp.Distributions.profile ~trials:2000 s ~alpha:0.002 ~kappa:0.5)
-      [ Systems.S1_PO; Systems.S2_PO; Systems.S1_SO; Systems.S0_SO ]
+(* ---- wall-clock section timings and the machine-readable report ---- *)
+
+let sections : (string * float) list ref = ref []
+
+let section name f =
+  Printf.printf "== %s ==\n" name;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  sections := (name, dt) :: !sections;
+  print_endline ""
+
+(* Event throughput of the instrumented stack: one packet-level campaign
+   with a counting subscriber attached, timed on the wall clock. *)
+let measure_event_throughput () =
+  let module Sink = Fortress_obs.Sink in
+  let events = ref 0 in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (fun ~time:_ _ -> incr events));
+  let t0 = Unix.gettimeofday () in
+  ignore (Validation.campaign_lifetime ~sink ~chi:256 ~omega:8 ~kappa:0.5 ~seed:11 ());
+  let dt = Unix.gettimeofday () -. t0 in
+  (!events, dt)
+
+let write_bench_json ~path ~wall_seconds ~events ~event_seconds =
+  let module J = Fortress_obs.Json in
+  let secs =
+    List.rev_map
+      (fun (name, dt) -> J.Obj [ ("name", J.Str name); ("seconds", J.Num dt) ])
+      !sections
   in
-  print_string (Fortress_util.Table.render (Fortress_exp.Distributions.table shape_profiles));
-  print_endline "";
-  print_endline "== Threat matrix (paper section 2.1) ==";
-  (let module Threat = Fortress_defense.Threat in
-   let module Keyspace = Fortress_defense.Keyspace in
-   let ks = Keyspace.pax_aslr_32bit in
-   print_string
-     (Fortress_util.Table.render
-        (Threat.matrix_table
-           [ []; [ Threat.W_xor_x ]; [ Threat.W_xor_x; Threat.Isr ks ];
-             [ Threat.Aslr ks ]; [ Threat.W_xor_x; Threat.Aslr ks ];
-             [ Threat.W_xor_x; Threat.Aslr ks; Threat.Got_randomization ks ] ])));
-  print_endline "";
-  print_endline "== Sensitivity: elasticities at alpha = 1e-3, kappa = 0.5 ==";
-  print_string (Fortress_util.Table.render (Fortress_exp.Sensitivity.table ()));
-  print_endline "";
-  print_endline "== Validation V1: analytic vs step-level vs probe-level ==";
-  let lines = Validation.run ~trials:200 () in
-  print_string (Fortress_util.Table.render (Validation.table lines));
-  Printf.printf "max |step-MC - analytic| / analytic = %.3f\n"
-    (Validation.max_relative_error lines);
-  print_endline "";
-  print_endline "== Validation V2: full packet-level stack vs the models ==";
-  let line = Validation.protocol ~trials:60 () in
-  print_string (Fortress_util.Table.render (Validation.protocol_table line));
-  Printf.printf "stack agreement: %s\n"
-    (if Validation.protocol_agrees line then "holds" else "FAILS")
+  let json =
+    J.Obj
+      [
+        ("benchmark", J.Str "fortress");
+        ("wall_seconds", J.Num wall_seconds);
+        ("events_emitted", J.Num (float_of_int events));
+        ("event_seconds", J.Num event_seconds);
+        ( "events_per_sec",
+          J.Num (if event_seconds > 0.0 then float_of_int events /. event_seconds else 0.0) );
+        ("sections", J.List secs);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let () =
+  let t_start = Unix.gettimeofday () in
+  section "micro-benchmarks (bechamel, monotonic clock)" benchmark;
+  section "Figure 1: expected lifetime comparison (analytic, kappa = 0.5)" (fun () ->
+      print_string (Fortress_util.Table.render (Figures.figure1_table ~points:13 ())));
+  section "Figure 2: S2PO expected lifetime as kappa varies" (fun () ->
+      print_string (Fortress_util.Table.render (Figures.figure2_table ~points:13 ())));
+  section "Ordering check (paper section 6 summary chain)" (fun () ->
+      print_string (Fortress_util.Table.render (Figures.ordering_table ~points:7 ())));
+  section "Ablation A1: proxy count" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.proxy_count_table ~points:5 ())));
+  section "Ablation A2: key entropy under SO (probe-level)" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.entropy_table ~trials:100 ())));
+  section "Ablation A3: launch-pad discipline (alpha = 0.005)" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.launchpad_table ())));
+  section "Ablation A4: proxy detection threshold -> effective kappa" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.detection_table ())));
+  section "Ablation A5: limited diversity (candidate-set size)" (fun () ->
+      print_string
+        (Fortress_util.Table.render (Ablations.limited_diversity_table ~trials:1000 ())));
+  section "Ablation A6: proxy overhead on the request path" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.overhead_table ())));
+  section "Ablation A7: optimizing attacker budget split" (fun () ->
+      print_string (Fortress_util.Table.render (Ablations.budget_split_table ())));
+  section "Service quality under attack (degradation)" (fun () ->
+      print_string
+        (Fortress_util.Table.render
+           (Fortress_exp.Degradation.table (Fortress_exp.Degradation.run ()))));
+  section "PODC 2009 claim: fortified PB vs SMR with proactive recovery" (fun () ->
+      print_string (Fortress_util.Table.render (Figures.podc_claim_table ~points:7 ())));
+  section "Lifetime distribution shapes (alpha = 0.002, kappa = 0.5)" (fun () ->
+      let shape_profiles =
+        List.map
+          (fun s -> Fortress_exp.Distributions.profile ~trials:2000 s ~alpha:0.002 ~kappa:0.5)
+          [ Systems.S1_PO; Systems.S2_PO; Systems.S1_SO; Systems.S0_SO ]
+      in
+      print_string
+        (Fortress_util.Table.render (Fortress_exp.Distributions.table shape_profiles)));
+  section "Threat matrix (paper section 2.1)" (fun () ->
+      let module Threat = Fortress_defense.Threat in
+      let module Keyspace = Fortress_defense.Keyspace in
+      let ks = Keyspace.pax_aslr_32bit in
+      print_string
+        (Fortress_util.Table.render
+           (Threat.matrix_table
+              [ []; [ Threat.W_xor_x ]; [ Threat.W_xor_x; Threat.Isr ks ];
+                [ Threat.Aslr ks ]; [ Threat.W_xor_x; Threat.Aslr ks ];
+                [ Threat.W_xor_x; Threat.Aslr ks; Threat.Got_randomization ks ] ])));
+  section "Sensitivity: elasticities at alpha = 1e-3, kappa = 0.5" (fun () ->
+      print_string (Fortress_util.Table.render (Fortress_exp.Sensitivity.table ())));
+  section "Validation V1: analytic vs step-level vs probe-level" (fun () ->
+      let lines = Validation.run ~trials:200 () in
+      print_string (Fortress_util.Table.render (Validation.table lines));
+      Printf.printf "max |step-MC - analytic| / analytic = %.3f\n"
+        (Validation.max_relative_error lines));
+  section "Validation V2: full packet-level stack vs the models" (fun () ->
+      let line = Validation.protocol ~trials:60 () in
+      print_string (Fortress_util.Table.render (Validation.protocol_table line));
+      Printf.printf "stack agreement: %s\n"
+        (if Validation.protocol_agrees line then "holds" else "FAILS"));
+  let events, event_seconds = measure_event_throughput () in
+  Printf.printf "== observability throughput ==\n";
+  Printf.printf "instrumented campaign emitted %d events in %.3f s (%.0f events/sec)\n\n" events
+    event_seconds
+    (if event_seconds > 0.0 then float_of_int events /. event_seconds else 0.0);
+  let wall_seconds = Unix.gettimeofday () -. t_start in
+  let path = "BENCH_fortress.json" in
+  write_bench_json ~path ~wall_seconds ~events ~event_seconds;
+  Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

@@ -54,6 +54,38 @@ let system_arg =
 let print_table ~csv table =
   print_string (if csv then Table.to_csv table else Table.render table)
 
+(* ---- observability plumbing ---- *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the structured event stream as JSON Lines to $(docv). Inspect it with the $(b,obs) subcommand.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Print the metrics registry when the run finishes.")
+
+let open_trace path =
+  try open_out path
+  with Sys_error msg ->
+    Printf.eprintf "fortress-cli: cannot open trace file: %s\n" msg;
+    exit 1
+
+(* Run [f] against a sink wired to the requested consumers; the trace file
+   is closed (and metrics printed) even when [f] raises. *)
+let with_obs ~trace_out ~metrics f =
+  let module Obs = Fortress_obs in
+  let sink = Obs.Sink.create () in
+  let registry = Obs.Metrics.create () in
+  if metrics then ignore (Obs.Sink.attach sink (Obs.Sink.counting registry));
+  let oc = Option.map open_trace trace_out in
+  Option.iter (fun oc -> ignore (Obs.Sink.attach sink (Obs.Sink.jsonl_channel oc))) oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter close_out oc;
+      if metrics then print_string (Obs.Metrics.render registry))
+    (fun () -> f sink)
+
 (* ---- el ---- *)
 
 let el_cmd =
@@ -120,33 +152,41 @@ let ordering_cmd =
 
 let validate_cmd =
   let chi_arg =
-    Arg.(value & opt int 4096 & info [ "chi" ] ~docv:"CHI" ~doc:"Key-space size for probe-level MC.")
+    Arg.(value & opt (some int) None
+         & info [ "chi" ] ~docv:"CHI"
+             ~doc:"Key-space size (default 4096; 256 with $(b,--protocol)).")
   in
   let omega_arg =
-    Arg.(value & opt int 16 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
+    Arg.(value & opt (some int) None
+         & info [ "omega" ] ~docv:"OMEGA"
+             ~doc:"Probes per channel per step (default 16; 8 with $(b,--protocol)).")
   in
   let protocol_arg =
     Arg.(value & flag
          & info [ "protocol" ]
              ~doc:"Validate the full packet-level protocol stack instead of the samplers.")
   in
-  let run chi omega kappa trials csv protocol =
-    if protocol then begin
-      let line = Validation.protocol ~trials:(min trials 100) ~kappa () in
-      print_table ~csv (Validation.protocol_table line);
-      Printf.printf "\nstack agreement: %s\n"
-        (if Validation.protocol_agrees line then "holds" else "FAILS")
-    end
-    else begin
-      let lines = Validation.run ~chi ~omega ~kappa ~trials () in
-      print_table ~csv (Validation.table lines);
-      Printf.printf "\nmax |step-MC - analytic| / analytic = %.3f\n"
-        (Validation.max_relative_error lines)
-    end
+  let run chi omega kappa trials csv protocol trace_out metrics =
+    let chi = Option.value chi ~default:(if protocol then 256 else 4096) in
+    let omega = Option.value omega ~default:(if protocol then 8 else 16) in
+    with_obs ~trace_out ~metrics (fun sink ->
+        if protocol then begin
+          let line = Validation.protocol ~sink ~trials:(min trials 100) ~chi ~omega ~kappa () in
+          print_table ~csv (Validation.protocol_table line);
+          Printf.printf "\noperating point: chi=%d omega=%d kappa=%g\n" chi omega kappa;
+          Printf.printf "stack agreement: %s\n"
+            (if Validation.protocol_agrees line then "holds" else "FAILS")
+        end
+        else begin
+          let lines = Validation.run ~sink ~chi ~omega ~kappa ~trials () in
+          print_table ~csv (Validation.table lines);
+          Printf.printf "\nmax |step-MC - analytic| / analytic = %.3f\n"
+            (Validation.max_relative_error lines)
+        end)
   in
   let term =
     Term.(const run $ chi_arg $ omega_arg $ kappa_arg $ trials_arg ~default:400 $ csv_arg
-          $ protocol_arg)
+          $ protocol_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "validate"
@@ -254,7 +294,7 @@ let simulate_cmd =
   let trace_arg =
     Arg.(value & opt int 10 & info [ "trace" ] ~docv:"N" ~doc:"Trace lines to print at the end.")
   in
-  let run service np ns steps mode omega chi seed rate kappa trace_lines =
+  let run service np ns steps mode omega chi seed rate kappa trace_lines trace_out metrics =
     match Fortress_replication.Services.find service with
     | None ->
         prerr_endline ("unknown service: " ^ service);
@@ -267,6 +307,13 @@ let simulate_cmd =
               keyspace = Keyspace.of_size chi; seed }
         in
         let engine = Deployment.engine deployment in
+        let trace_oc = Option.map open_trace trace_out in
+        Option.iter
+          (fun oc ->
+            ignore
+              (Fortress_obs.Sink.attach (Engine.sink engine)
+                 (Fortress_obs.Sink.jsonl_channel oc)))
+          trace_oc;
         ignore (Obfuscation.attach deployment ~mode ~period);
         let client = Deployment.new_client deployment ~name:"workload" in
         let served = ref 0 and sent = ref 0 in
@@ -306,15 +353,55 @@ let simulate_cmd =
         if trace_lines > 0 then begin
           print_endline "trace tail:";
           print_string (Trace.dump ~limit:trace_lines (Engine.trace engine))
-        end
+        end;
+        Option.iter close_out trace_oc;
+        if metrics then print_string (Fortress_obs.Metrics.render (Engine.metrics engine))
   in
   let term =
     Term.(const run $ service_arg $ np_sim $ ns_sim $ steps_arg $ mode_arg $ omega_sim
-          $ chi_sim $ seed_arg $ rate_arg $ kappa_arg $ trace_arg)
+          $ chi_sim $ seed_arg $ rate_arg $ kappa_arg $ trace_arg $ trace_out_arg
+          $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Drive a configurable FORTRESS deployment end to end and summarise what happened.")
+    term
+
+(* ---- obs ---- *)
+
+let obs_cmd =
+  let module Summary = Fortress_obs.Summary in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"JSONL trace file written by $(b,--trace-out).")
+  in
+  let opt_int name doc = Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc) in
+  let omega_obs = opt_int "omega" "Probes per channel per step the trace was recorded at." in
+  let chi_obs = opt_int "chi" "Key-space size the trace was recorded at." in
+  let run file omega chi kappa csv =
+    let summary = Summary.of_file file in
+    if csv then print_string (Table.to_csv (Summary.table summary))
+    else print_string (Summary.render summary);
+    match (omega, chi) with
+    | Some omega, Some chi ->
+        let checks = Summary.consistency ~omega ~chi ~kappa summary in
+        print_newline ();
+        print_table ~csv (Summary.check_table checks);
+        if List.for_all (fun c -> c.Summary.ok) checks then
+          print_endline "\ntrace consistent with the analytic per-step laws"
+        else begin
+          print_endline "\ntrace INCONSISTENT with the analytic per-step laws";
+          exit 1
+        end
+    | Some _, None | None, Some _ ->
+        prerr_endline "consistency check needs both --omega and --chi";
+        exit 2
+    | None, None -> ()
+  in
+  let term = Term.(const run $ file_arg $ omega_obs $ chi_obs $ kappa_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Summarise a JSONL event trace; with --omega/--chi, cross-check measured per-step rates against the analytic laws.")
     term
 
 (* ---- report ---- *)
@@ -438,7 +525,7 @@ let main_cmd =
   let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
-      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; export_cmd; sensitivity_cmd;
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; obs_cmd; export_cmd; sensitivity_cmd;
       threats_cmd; choose_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -8,6 +8,7 @@ module Message = Fortress_core.Message
 module Obfuscation = Fortress_core.Obfuscation
 module Pb = Fortress_replication.Pb
 module Prng = Fortress_util.Prng
+module Event = Fortress_obs.Event
 
 type launchpad = Within_step | Next_step
 
@@ -111,17 +112,26 @@ let primary_server_index t =
   Array.iteri (fun i r -> if Pb.is_primary r then found := i) servers;
   !found
 
+let emit_probe t ~kind ~tier ~target outcome =
+  Engine.emit
+    (Deployment.engine t.deployment)
+    (Event.Probe { kind; tier; target; outcome })
+
 (* A probe against the shared server key, whether indirect (through a
    proxy) or over a captured launch pad. *)
-let probe_server t =
+let probe_server t ~kind =
   let insts = Deployment.server_instances t.deployment in
   sync_track t t.server_track insts.(0);
   let guess = Knowledge.next_guess t.server_track.knowledge t.prng in
+  let target = primary_server_index t in
   match Instance.probe insts.(0) ~guess with
-  | Instance.Crash -> Knowledge.observe_crash t.server_track.knowledge ~guess
+  | Instance.Crash ->
+      Knowledge.observe_crash t.server_track.knowledge ~guess;
+      emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Crashed
   | Instance.Intrusion ->
       Knowledge.observe_intrusion t.server_track.knowledge ~guess;
-      Deployment.compromise_server t.deployment (primary_server_index t);
+      emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Intruded;
+      Deployment.compromise_server t.deployment target;
       note_if_compromised t
 
 let probe_proxy t j =
@@ -130,9 +140,12 @@ let probe_proxy t j =
   sync_track t track insts.(j);
   let guess = Knowledge.next_guess track.knowledge t.prng in
   match Instance.probe insts.(j) ~guess with
-  | Instance.Crash -> Knowledge.observe_crash track.knowledge ~guess
+  | Instance.Crash ->
+      Knowledge.observe_crash track.knowledge ~guess;
+      emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Crashed
   | Instance.Intrusion ->
       Knowledge.observe_intrusion track.knowledge ~guess;
+      emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Intruded;
       Deployment.compromise_proxy t.deployment j;
       if t.proxy_fell_at.(j) = None then t.proxy_fell_at.(j) <- Some t.current_step;
       note_if_compromised t
@@ -145,7 +158,7 @@ let direct_probe_slot t j =
     let np = Array.length (Deployment.proxies t.deployment) in
     if np = 0 then begin
       t.direct_sent <- t.direct_sent + 1;
-      probe_server t
+      probe_server t ~kind:Event.Direct
     end
     else if not (Deployment.proxy_compromised t.deployment j) then begin
       t.direct_sent <- t.direct_sent + 1;
@@ -165,7 +178,7 @@ let direct_probe_slot t j =
       in
       if usable then begin
         t.launchpad_sent <- t.launchpad_sent + 1;
-        probe_server t
+        probe_server t ~kind:Event.Launchpad
       end
     end
   end
@@ -195,12 +208,14 @@ let indirect_probe_slot t =
         (Engine.schedule engine ~delay:2.0 (fun () ->
              if Proxy.is_blocked proxy src then begin
                t.indirect_blocked <- t.indirect_blocked + 1;
+               emit_probe t ~kind:Event.Indirect ~tier:Event.Proxy_tier ~target:j Event.Blocked;
                if t.cfg.rotate_sources then begin
                  t.sources_burned <- t.sources_burned + 1;
-                 t.source <- new_source t
+                 t.source <- new_source t;
+                 Engine.emit engine (Event.Source_rotated { burned = t.sources_burned })
                end
              end
-             else if t.compromised_at = None then probe_server t))
+             else if t.compromised_at = None then probe_server t ~kind:Event.Indirect))
     end
   end
 
@@ -215,6 +230,9 @@ let arm t =
   let rec arm_step () =
     if t.compromised_at = None then begin
       let base = Engine.now engine in
+      Engine.emit engine (Event.Step { n = t.current_step });
+      let step_span = Engine.span engine "attack.step" in
+      Fortress_obs.Span.set_attr step_span "step" (string_of_int t.current_step);
       let direct_offsets = Pacing.offsets t.cfg.pacing ~budget:t.cfg.omega ~period:t.cfg.period in
       List.iteri
         (fun s offset ->
@@ -230,6 +248,7 @@ let arm t =
         direct_offsets;
       ignore
         (Engine.schedule_at engine ~time:(base +. t.cfg.period) (fun () ->
+             Engine.finish_span engine step_span;
              t.current_step <- t.current_step + 1;
              arm_step ()))
     end

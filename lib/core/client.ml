@@ -3,12 +3,17 @@ module Address = Fortress_net.Address
 module Sign = Fortress_crypto.Sign
 module Pb = Fortress_replication.Pb
 module Nonce = Fortress_crypto.Nonce
+module Event = Fortress_obs.Event
 
 type mode =
   | Via_proxies of Nameserver.record
   | Direct_servers of { addresses : Address.t array; keys : Sign.public_key array }
 
-type request_state = { mutable response : string option; on_response : string -> unit }
+type request_state = {
+  mutable response : string option;
+  on_response : string -> unit;
+  span : Fortress_obs.Span.span;  (** open from submit until the first accepted reply *)
+}
 
 type t = {
   engine : Fortress_sim.Engine.t;
@@ -53,7 +58,10 @@ let transmit t ~id ~cmd =
 
 let submit t ~cmd ~on_response =
   let id = Nonce.to_string (Nonce.fresh t.nonce_source) in
-  Hashtbl.replace t.requests id { response = None; on_response };
+  let span = Engine.span t.engine "client.request" in
+  Fortress_obs.Span.set_attr span "id" id;
+  Hashtbl.replace t.requests id { response = None; on_response; span };
+  Engine.emit t.engine (Event.Request_submitted { id });
   transmit t ~id ~cmd;
   (* requests are idempotent end to end, so retry until answered *)
   let rec arm_retry remaining =
@@ -88,11 +96,17 @@ let deliver t ~id ~response =
       | None ->
           r.response <- Some response;
           t.accepted <- t.accepted + 1;
+          Engine.finish_span t.engine r.span;
+          Engine.emit t.engine (Event.Request_completed { id; accepted = true });
           r.on_response response)
+
+let reject t (reply : Pb.reply) =
+  t.rejected <- t.rejected + 1;
+  Engine.emit t.engine (Event.Reply_rejected { id = reply.Pb.request_id })
 
 let handle_doubly_signed t ~reply ~proxy_index ~proxy_signature =
   match t.mode with
-  | Direct_servers _ -> t.rejected <- t.rejected + 1
+  | Direct_servers _ -> reject t reply
   | Via_proxies record ->
       let proxy_ok =
         proxy_index >= 0
@@ -109,18 +123,18 @@ let handle_doubly_signed t ~reply ~proxy_index ~proxy_signature =
       in
       if proxy_ok && server_ok then
         deliver t ~id:reply.Pb.request_id ~response:reply.Pb.response
-      else t.rejected <- t.rejected + 1
+      else reject t reply
 
 let handle_direct t (reply : Pb.reply) =
   match t.mode with
   | Via_proxies _ ->
       (* a fortified client never accepts a singly-signed reply *)
-      t.rejected <- t.rejected + 1
+      reject t reply
   | Direct_servers _ -> (
       match server_key_for t reply.Pb.server_index with
       | Some pk when Pb.verify_reply pk reply ->
           deliver t ~id:reply.Pb.request_id ~response:reply.Pb.response
-      | Some _ | None -> t.rejected <- t.rejected + 1)
+      | Some _ | None -> reject t reply)
 
 let handle t ~src:_ msg =
   match msg with

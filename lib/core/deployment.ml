@@ -8,6 +8,7 @@ module Dsm = Fortress_replication.Dsm
 module Keyspace = Fortress_defense.Keyspace
 module Instance = Fortress_defense.Instance
 module Prng = Fortress_util.Prng
+module Event = Fortress_obs.Event
 
 type config = {
   np : int;
@@ -201,23 +202,23 @@ let rekey t =
       Instance.set_key inst k)
     t.proxy_instances;
   clear_compromises t;
-  Engine.record t.engine ~label:"obfuscation" "rekeyed all nodes (proactive obfuscation)"
+  Engine.emit t.engine (Event.Rekey { nodes = t.cfg.ns + t.cfg.np })
 
 let recover t =
   Array.iter Instance.recover t.server_instances;
   Array.iter Instance.recover t.proxy_instances;
   clear_compromises t;
-  Engine.record t.engine ~label:"obfuscation" "recovered all nodes (same keys)"
+  Engine.emit t.engine (Event.Recover { nodes = t.cfg.ns + t.cfg.np })
 
 let compromise_server t i =
   t.server_comp.(i) <- true;
   Pb.set_compromised t.servers.(i) true;
-  Engine.record t.engine ~label:"attack" (Printf.sprintf "server %d compromised" i)
+  Engine.emit t.engine (Event.Compromise { tier = Event.Server_tier; index = i })
 
 let compromise_proxy t i =
   t.proxy_comp.(i) <- true;
   Proxy.set_compromised t.proxies.(i) true;
-  Engine.record t.engine ~label:"attack" (Printf.sprintf "proxy %d compromised" i)
+  Engine.emit t.engine (Event.Compromise { tier = Event.Proxy_tier; index = i })
 
 let server_compromised t i = t.server_comp.(i)
 let proxy_compromised t i = t.cfg.np > 0 && t.proxy_comp.(i)

@@ -2,6 +2,7 @@ module Engine = Fortress_sim.Engine
 module Address = Fortress_net.Address
 module Sign = Fortress_crypto.Sign
 module Pb = Fortress_replication.Pb
+module Event = Fortress_obs.Event
 
 type config = {
   detection_window : float;
@@ -76,6 +77,7 @@ let compromised t = t.p_compromised
    window holds more than the threshold. *)
 let note_invalid t src =
   t.invalid_total <- t.invalid_total + 1;
+  Engine.emit t.engine (Event.Invalid_observed { proxy = t.p_index });
   let now = Engine.now t.engine in
   let q =
     match Hashtbl.find_opt t.invalid_log src with
@@ -91,9 +93,7 @@ let note_invalid t src =
   done;
   if Queue.length q > t.config.detection_threshold then begin
     Hashtbl.replace t.blocked src ();
-    Engine.record t.engine ~label:"proxy"
-      (Printf.sprintf "proxy %d blocks %s (%d invalid in window)" t.p_index
-         (Address.to_string src) (Queue.length q))
+    Engine.emit t.engine (Event.Source_blocked { proxy = t.p_index; source = Address.id src })
   end
 
 let relay_to t ~client (reply, proxy_signature) =

@@ -189,7 +189,8 @@ let attach_schedule ?(stagger = true) t ~mode ~period =
 let compromise t i =
   t.comp.(i) <- true;
   Smr.set_compromised t.replicas.(i) true;
-  Engine.record t.engine ~label:"attack" (Printf.sprintf "smr replica %d compromised" i)
+  Engine.emit t.engine
+    (Fortress_obs.Event.Compromise { tier = Fortress_obs.Event.Server_tier; index = i })
 
 let compromised t i = t.comp.(i)
 let compromised_count t = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.comp

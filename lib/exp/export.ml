@@ -41,8 +41,20 @@ let artefacts () =
     ("figure2.gp", gnuplot_figure2);
   ]
 
+(* [Sys.mkdir] fails with ENOENT when the parent is missing: create the
+   whole chain, tolerating components that already exist (or races that
+   create them first). *)
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"))
+
 let write_all ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  ensure_dir dir;
   List.map
     (fun (name, contents) ->
       let path = Filename.concat dir name in

@@ -9,7 +9,11 @@ val artefacts : unit -> (string * string) list
     ordering table, ablations A1/A3 and the PODC claim, plus
     [figure1.gp] / [figure2.gp] gnuplot scripts referencing them. *)
 
+val ensure_dir : string -> unit
+(** Create [dir] and any missing parents (like [mkdir -p]). Raises
+    [Sys_error] when a component exists but is not a directory. *)
+
 val write_all : dir:string -> (string * int) list
-(** Create [dir] if needed and write every artefact; returns
-    [(path, bytes)] per file written. Raises [Sys_error] on an unwritable
-    destination. *)
+(** Create [dir] (and any missing parents) if needed and write every
+    artefact; returns [(path, bytes)] per file written. Raises [Sys_error]
+    on an unwritable destination. *)

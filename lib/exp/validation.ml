@@ -3,6 +3,7 @@ module Step_level = Fortress_mc.Step_level
 module Probe_level = Fortress_mc.Probe_level
 module Trial = Fortress_mc.Trial
 module Table = Fortress_util.Table
+module Sink = Fortress_obs.Sink
 
 type line = {
   system : Systems.system;
@@ -12,7 +13,7 @@ type line = {
   probe_mc : Trial.result;
 }
 
-let run ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?systems () =
+let run ?sink ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?systems () =
   let systems =
     match systems with Some s -> s | None -> Systems.all_systems
   in
@@ -25,8 +26,8 @@ let run ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?systems () =
         system;
         alpha;
         analytic = Systems.expected_lifetime system ~alpha ~kappa;
-        step_mc = Step_level.estimate ~trials system step_cfg;
-        probe_mc = Probe_level.estimate ~trials system probe_cfg;
+        step_mc = Step_level.estimate ?sink ~trials system step_cfg;
+        probe_mc = Probe_level.estimate ?sink ~trials system probe_cfg;
       })
     systems
 
@@ -63,7 +64,7 @@ type protocol_line = {
   pl_analytic : float;
 }
 
-let campaign_lifetime ~chi ~omega ~kappa ~seed () =
+let campaign_lifetime ?sink ~chi ~omega ~kappa ~seed () =
   let module Deployment = Fortress_core.Deployment in
   let module Obfuscation = Fortress_core.Obfuscation in
   let module Campaign = Fortress_attack.Campaign in
@@ -80,6 +81,15 @@ let campaign_lifetime ~chi ~omega ~kappa ~seed () =
         proxy = { Proxy.default_config with detection_threshold = max_int - 1 };
       }
   in
+  (* splice the deployment's own event stream into the caller's sink, so
+     one JSONL trace covers every trial of a validation run *)
+  (match sink with
+  | None -> ()
+  | Some downstream ->
+      ignore
+        (Sink.attach
+           (Fortress_sim.Engine.sink (Deployment.engine deployment))
+           (Sink.forward downstream)));
   ignore (Obfuscation.attach deployment ~mode:Obfuscation.PO ~period);
   let campaign =
     Campaign.launch deployment
@@ -87,13 +97,15 @@ let campaign_lifetime ~chi ~omega ~kappa ~seed () =
   in
   Campaign.run_until_compromise campaign ~max_steps:10_000
 
-let protocol ?(trials = 60) ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) ?(seed = 1) () =
+let protocol ?sink ?(trials = 60) ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) ?(seed = 1) () =
   let alpha = float_of_int omega /. float_of_int chi in
   let campaign =
     let counter = ref (seed * 1000) in
-    Trial.run ~trials ~seed ~sampler:(fun _prng ->
+    Trial.run ?sink ~trials ~seed
+      ~sampler:(fun _prng ->
         incr counter;
-        campaign_lifetime ~chi ~omega ~kappa ~seed:!counter ())
+        campaign_lifetime ?sink ~chi ~omega ~kappa ~seed:!counter ())
+      ()
   in
   let probe_cfg = { Probe_level.default with chi; omega; kappa; max_steps = 10_000 } in
   let pl_probe = Probe_level.estimate ~trials:(4 * trials) ~seed Systems.S2_PO probe_cfg in

@@ -15,6 +15,7 @@ type line = {
 }
 
 val run :
+  ?sink:Fortress_obs.Sink.t ->
   ?chi:int ->
   ?omega:int ->
   ?kappa:float ->
@@ -22,6 +23,8 @@ val run :
   ?systems:Fortress_model.Systems.system list ->
   unit ->
   line list
+(** With [sink], per-trial progress events from both Monte-Carlo tiers are
+    streamed to it (see {!Fortress_mc.Trial.run}). *)
 
 val table : line list -> Fortress_util.Table.t
 
@@ -46,11 +49,33 @@ type protocol_line = {
   pl_analytic : float;
 }
 
+val campaign_lifetime :
+  ?sink:Fortress_obs.Sink.t ->
+  chi:int ->
+  omega:int ->
+  kappa:float ->
+  seed:int ->
+  unit ->
+  int option
+(** One packet-level campaign against a fresh PO deployment (detection
+    disabled, period 100, horizon 10^4 steps): the step at which the system
+    fell, or [None] if it survived. With [sink], the deployment's engine
+    events are forwarded to it. *)
+
 val protocol :
-  ?trials:int -> ?chi:int -> ?omega:int -> ?kappa:float -> ?seed:int -> unit -> protocol_line
+  ?sink:Fortress_obs.Sink.t ->
+  ?trials:int ->
+  ?chi:int ->
+  ?omega:int ->
+  ?kappa:float ->
+  ?seed:int ->
+  unit ->
+  protocol_line
 (** Defaults: 60 trials, chi = 256, omega = 8 (alpha = 1/32),
     kappa = 0.5. Each trial builds a fresh deployment with its own seed and
-    runs the campaign to compromise. *)
+    runs the campaign to compromise. With [sink], every deployment's event
+    stream (probes, rekeys, compromises, message traffic) plus per-trial
+    progress is forwarded to it — one sink sees the whole run. *)
 
 val protocol_table : protocol_line -> Fortress_util.Table.t
 

@@ -25,6 +25,6 @@ let lifetime cfg prng =
   step 1
 
 let estimate ?(trials = 2000) ?(seed = 42) cfg =
-  Trial.run ~trials ~seed ~sampler:(lifetime cfg)
+  Trial.run ~trials ~seed ~sampler:(lifetime cfg) ()
 
 let expected_lifetime ?trials ?seed cfg = (estimate ?trials ?seed cfg).Trial.mean

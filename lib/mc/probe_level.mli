@@ -36,4 +36,9 @@ val lifetime :
     layout with indirect and launch-pad streams. *)
 
 val estimate :
-  ?trials:int -> ?seed:int -> Fortress_model.Systems.system -> config -> Trial.result
+  ?sink:Fortress_obs.Sink.t ->
+  ?trials:int ->
+  ?seed:int ->
+  Fortress_model.Systems.system ->
+  config ->
+  Trial.result

@@ -23,9 +23,11 @@ val sampler :
 (** One lifetime draw; [None] when censored at [max_steps]. *)
 
 val estimate :
+  ?sink:Fortress_obs.Sink.t ->
   ?trials:int ->
   ?seed:int ->
   Fortress_model.Systems.system ->
   config ->
   Trial.result
-(** [trials] defaults to 2000, [seed] to 42. *)
+(** [trials] defaults to 2000, [seed] to 42. [sink] receives per-trial
+    progress events (see {!Trial.run}). *)

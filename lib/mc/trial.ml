@@ -1,5 +1,6 @@
 module Prng = Fortress_util.Prng
 module Stats = Fortress_util.Stats
+module Obs = Fortress_obs
 
 type result = {
   lifetimes : float array;
@@ -10,20 +11,31 @@ type result = {
   median : float;
 }
 
-let run ~trials ~seed ~sampler =
+let run ?sink ~trials ~seed ~sampler () =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
   let root = Prng.create ~seed in
   let acc = Stats.create () in
   let observed = ref [] in
   let censored = ref 0 in
-  for _ = 1 to trials do
+  (* trial progress events: stream index i derives from the run seed, so
+     (seed, index) identifies a trial's PRNG exactly *)
+  let emit_trial i lifetime =
+    match sink with
+    | None -> ()
+    | Some sink ->
+        Obs.Sink.emit sink ~time:(float_of_int i) (Obs.Event.Trial { index = i; seed; lifetime })
+  in
+  for i = 1 to trials do
     let prng = Prng.split root in
     match sampler prng with
     | Some steps ->
         let x = float_of_int steps in
         Stats.add acc x;
-        observed := x :: !observed
-    | None -> incr censored
+        observed := x :: !observed;
+        emit_trial i (Some x)
+    | None ->
+        incr censored;
+        emit_trial i None
   done;
   let lifetimes = Array.of_list (List.rev !observed) in
   {

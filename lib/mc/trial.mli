@@ -15,10 +15,15 @@ type result = {
 }
 
 val run :
+  ?sink:Fortress_obs.Sink.t ->
   trials:int ->
   seed:int ->
   sampler:(Fortress_util.Prng.t -> int option) ->
+  unit ->
   result
-(** Raises [Invalid_argument] when [trials <= 0]. *)
+(** Raises [Invalid_argument] when [trials <= 0]. With [sink], a
+    {!Fortress_obs.Event.Trial} progress event is emitted per trial at
+    time = trial index; [(seed, index)] identifies the trial's PRNG
+    split exactly, so any single trial can be re-run in isolation. *)
 
 val pp_result : Format.formatter -> result -> unit

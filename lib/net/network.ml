@@ -1,4 +1,5 @@
 module Engine = Fortress_sim.Engine
+module Event = Fortress_obs.Event
 
 type 'msg node = {
   name : string;
@@ -60,23 +61,30 @@ let latency_for t a b =
   | Some l -> l
   | None -> t.default_latency
 
+let drop t ~src ~dst ~reason =
+  t.dropped <- t.dropped + 1;
+  Engine.emit t.engine
+    (Event.Msg_dropped { src = Address.id src; dst = Address.id dst; reason })
+
 let send t ~src ~dst msg =
   let dst_node = find t dst in
   (* sender must exist too: catches stale addresses in protocols *)
   let _ = find t src in
-  if partitioned t src dst then t.dropped <- t.dropped + 1
+  if partitioned t src dst then drop t ~src ~dst ~reason:"partition"
   else
     match Latency.sample (latency_for t src dst) (Engine.prng t.engine) with
-    | None -> t.dropped <- t.dropped + 1
+    | None -> drop t ~src ~dst ~reason:"loss"
     | Some delay ->
         let epoch_at_send = dst_node.epoch in
         ignore
           (Engine.schedule t.engine ~delay (fun () ->
                if dst_node.up && dst_node.epoch = epoch_at_send then begin
                  t.delivered <- t.delivered + 1;
+                 Engine.emit t.engine
+                   (Event.Msg_delivered { src = Address.id src; dst = Address.id dst });
                  dst_node.handler ~src msg
                end
-               else t.dropped <- t.dropped + 1))
+               else drop t ~src ~dst ~reason:"down"))
 
 let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 

@@ -1,0 +1,34 @@
+(** Minimal JSON tree, emitter and parser.
+
+    Kept dependency-free so the observability layer can serialize events
+    without pulling a JSON package into the substrate libraries. The parser
+    accepts standard JSON (objects, arrays, strings with escapes, numbers,
+    booleans, null) and is used by the [obs] trace summarizer and the
+    round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral [Num] values print without a
+    decimal point so counters stay readable. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, trailing
+    garbage is an error. The error string carries a character offset. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the value bound to [key], if any. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+val bool : t -> bool option
+val list : t -> t list option

@@ -1,0 +1,129 @@
+module Histo = Fortress_util.Histogram
+module Table = Fortress_util.Table
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_log : bool;
+  h_lo : float;
+  h_hi : float;
+  h_bins : int;
+  mutable h_data : Histo.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make match_existing =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match match_existing m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered as a %s" name (kind_name m)))
+  | None ->
+      let v, m = make () in
+      Hashtbl.replace t.tbl name m;
+      v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_value = 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_value = 0.0 } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let make_histo ~log_scale ~lo ~hi ~bins =
+  if log_scale then Histo.create_log ~lo ~hi ~bins else Histo.create_linear ~lo ~hi ~bins
+
+let histogram t ?(log_scale = false) ~lo ~hi ~bins name =
+  register t name
+    (fun () ->
+      let h =
+        {
+          h_log = log_scale;
+          h_lo = lo;
+          h_hi = hi;
+          h_bins = bins;
+          h_data = make_histo ~log_scale ~lo ~hi ~bins;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let set g v = g.g_value <- v
+let observe h x = Histo.add h.h_data x
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+let histogram_data h = h.h_data
+
+let find_counter t name =
+  match Hashtbl.find_opt t.tbl name with Some (C c) -> c.c_value | _ -> 0
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; underflow : int; overflow : int }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | C c -> Counter c.c_value
+        | G g -> Gauge g.g_value
+        | H h ->
+            Histogram
+              {
+                count = Histo.count h.h_data;
+                underflow = Histo.underflow h.h_data;
+                overflow = Histo.overflow h.h_data;
+              }
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_value <- 0
+      | G g -> g.g_value <- 0.0
+      | H h -> h.h_data <- make_histo ~log_scale:h.h_log ~lo:h.h_lo ~hi:h.h_hi ~bins:h.h_bins)
+    t.tbl
+
+let to_table t =
+  let table = Table.create ~headers:[ "metric"; "kind"; "value" ] in
+  Table.set_align table 0 Table.Left;
+  Table.set_align table 1 Table.Left;
+  List.iter
+    (fun (name, v) ->
+      let kind, rendered =
+        match v with
+        | Counter n -> ("counter", string_of_int n)
+        | Gauge x -> ("gauge", Printf.sprintf "%.6g" x)
+        | Histogram { count; underflow; overflow } ->
+            ("histogram", Printf.sprintf "n=%d under=%d over=%d" count underflow overflow)
+      in
+      Table.add_row table [ name; kind; rendered ])
+    (snapshot t);
+  table
+
+let render t = Table.render (to_table t)

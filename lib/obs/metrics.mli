@@ -1,0 +1,57 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    Handles are obtained once (registering the metric on first lookup) and
+    then updated through field mutation only, so [incr] and [observe] on a
+    held handle allocate nothing — safe for the probe/message hot paths.
+    Histograms reuse {!Fortress_util.Histogram}. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration — idempotent per name}
+
+    Looking a name up again returns the same handle. Registering a name that
+    already exists with a different metric kind raises [Invalid_argument]. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+
+val histogram :
+  t -> ?log_scale:bool -> lo:float -> hi:float -> bins:int -> string -> histogram
+(** Linear bins by default; [log_scale] requires [0 < lo < hi]. The shape
+    arguments are only consulted on first registration. *)
+
+(** {2 Hot-path updates} *)
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Reads} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_data : histogram -> Fortress_util.Histogram.t
+
+val find_counter : t -> string -> int
+(** Value of the named counter, or 0 when it was never registered. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; underflow : int; overflow : int }
+
+val snapshot : t -> (string * value) list
+(** All registered metrics, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every counter and gauge and empty every histogram; registrations
+    (and handles already held) survive. *)
+
+val to_table : t -> Fortress_util.Table.t
+val render : t -> string

@@ -1,0 +1,89 @@
+type subscriber = time:float -> Event.t -> unit
+type handle = int
+
+type t = {
+  mutable subs : (handle * subscriber) list;  (** attachment order *)
+  mutable next_handle : int;
+  mutable emitted : int;
+}
+
+let create () = { subs = []; next_handle = 0; emitted = 0 }
+
+let attach t sub =
+  t.next_handle <- t.next_handle + 1;
+  t.subs <- t.subs @ [ (t.next_handle, sub) ];
+  t.next_handle
+
+let detach t handle = t.subs <- List.filter (fun (h, _) -> h <> handle) t.subs
+let subscriber_count t = List.length t.subs
+
+let emit t ~time ev =
+  t.emitted <- t.emitted + 1;
+  List.iter (fun (_, sub) -> sub ~time ev) t.subs
+
+let emitted t = t.emitted
+let forward downstream ~time ev = emit downstream ~time ev
+
+(* ---- stock subscribers ---- *)
+
+let counting metrics =
+  (* cache handles so the steady state is one Hashtbl lookup per event *)
+  let by_label = Hashtbl.create 16 in
+  let counter_for name =
+    match Hashtbl.find_opt by_label name with
+    | Some c -> c
+    | None ->
+        let c = Metrics.counter metrics name in
+        Hashtbl.replace by_label name c;
+        c
+  in
+  fun ~time:_ ev ->
+    Metrics.incr (counter_for ("events." ^ Event.label ev));
+    match ev with
+    | Event.Probe { kind; outcome; _ } ->
+        Metrics.incr (counter_for ("probe." ^ Event.kind_to_string kind));
+        Metrics.incr (counter_for ("probe." ^ Event.outcome_to_string outcome))
+    | _ -> ()
+
+let memory ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Sink.memory: capacity must be positive";
+  let ring = Array.make capacity None in
+  let next = ref 0 in
+  let stored = ref 0 in
+  let sub ~time ev =
+    ring.(!next) <- Some (time, ev);
+    next := (!next + 1) mod capacity;
+    incr stored
+  in
+  let read () =
+    let retained = min !stored capacity in
+    let start = if !stored <= capacity then 0 else !next in
+    List.init retained (fun i ->
+        match ring.((start + i) mod capacity) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  (sub, read)
+
+let line ~time ev =
+  match Event.to_json ev with
+  | Json.Obj fields -> Json.to_string (Json.Obj (("t", Json.Num time) :: fields))
+  | other -> Json.to_string other
+
+let jsonl write ~time ev = write (line ~time ev)
+
+let jsonl_channel oc ~time ev =
+  output_string oc (line ~time ev);
+  output_char oc '\n'
+
+let parse_line s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok json -> (
+      match Event.of_json json with
+      | Error e -> Error e
+      | Ok ev ->
+          let time =
+            Option.value ~default:0.0 (Option.bind (Json.member "t" json) Json.num)
+          in
+          Ok (time, ev))

@@ -1,0 +1,52 @@
+(** Structured event sink with pluggable subscribers.
+
+    Components emit {!Event.t} values stamped with virtual time; every
+    attached subscriber sees every event. Stock subscribers cover the three
+    standard consumers: a counting subscriber feeding a {!Metrics.t}
+    registry, a bounded in-memory collector, and a JSONL writer whose lines
+    {!parse_line} inverts. *)
+
+type t
+
+type subscriber = time:float -> Event.t -> unit
+type handle
+
+val create : unit -> t
+val attach : t -> subscriber -> handle
+val detach : t -> handle -> unit
+(** Detaching an unknown or already-detached handle is a no-op. *)
+
+val subscriber_count : t -> int
+
+val emit : t -> time:float -> Event.t -> unit
+
+val emitted : t -> int
+(** Total events emitted through this sink since creation. *)
+
+val forward : t -> subscriber
+(** [forward downstream] is a subscriber that re-emits into [downstream] —
+    used to splice a per-engine sink into a run-wide one. *)
+
+(** {2 Stock subscribers} *)
+
+val counting : Metrics.t -> subscriber
+(** Bumps ["events.<label>"] for every event, plus refined
+    ["probe.<kind>"] / ["probe.<outcome>"] counters for probes. *)
+
+val memory : ?capacity:int -> unit -> subscriber * (unit -> (float * Event.t) list)
+(** Keeps the most recent [capacity] (default 65536) events; the closure
+    returns them oldest first. *)
+
+val jsonl : (string -> unit) -> subscriber
+(** Renders each event as one JSON line (no trailing newline) and hands it
+    to the writer. *)
+
+val jsonl_channel : out_channel -> subscriber
+(** [jsonl] wired to an [out_channel], newline-terminated. *)
+
+(** {2 JSONL codec} *)
+
+val line : time:float -> Event.t -> string
+(** [{"t": <time>, "event": ..., ...}] — one trace line. *)
+
+val parse_line : string -> (float * Event.t, string) result

@@ -1,0 +1,60 @@
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start : float;
+  mutable sp_attrs : (string * string) list;
+  mutable sp_finished : bool;
+}
+
+type ctx = {
+  mutable now : unit -> float;
+  mutable on_finish : Event.t -> unit;
+  mutable next_id : int;
+  mutable active : int;
+  mutable finished : int;
+}
+
+let create ~now () = { now; on_finish = ignore; next_id = 0; active = 0; finished = 0 }
+let set_clock ctx now = ctx.now <- now
+let set_on_finish ctx f = ctx.on_finish <- f
+
+let start ctx ?parent name =
+  ctx.next_id <- ctx.next_id + 1;
+  ctx.active <- ctx.active + 1;
+  {
+    sp_id = ctx.next_id;
+    sp_parent = Option.map (fun p -> p.sp_id) parent;
+    sp_name = name;
+    sp_start = ctx.now ();
+    sp_attrs = [];
+    sp_finished = false;
+  }
+
+let set_attr sp key value = sp.sp_attrs <- (key, value) :: List.remove_assoc key sp.sp_attrs
+
+let finish ctx sp =
+  if not sp.sp_finished then begin
+    sp.sp_finished <- true;
+    ctx.active <- ctx.active - 1;
+    ctx.finished <- ctx.finished + 1;
+    ctx.on_finish
+      (Event.Span_finished
+         {
+           id = sp.sp_id;
+           parent = sp.sp_parent;
+           name = sp.sp_name;
+           start_time = sp.sp_start;
+           duration = ctx.now () -. sp.sp_start;
+           attrs = List.rev sp.sp_attrs;
+         })
+  end
+
+let id sp = sp.sp_id
+let name sp = sp.sp_name
+let parent_id sp = sp.sp_parent
+let start_time sp = sp.sp_start
+let attrs sp = List.rev sp.sp_attrs
+let is_finished sp = sp.sp_finished
+let active_count ctx = ctx.active
+let finished_count ctx = ctx.finished

@@ -1,0 +1,44 @@
+(** Virtual-time spans.
+
+    A span brackets an interval of simulated time — a request's
+    proxy->server->reply path, an attack campaign's step — with optional
+    parent links and string attributes, so causally related events can be
+    stitched back together from a trace. Timestamps come from the clock the
+    context was created with (the simulation engine's [now]), never from
+    wall time. Finishing a span produces an {!Event.Span_finished} through
+    the context's [on_finish] hook. *)
+
+type ctx
+type span
+
+val create : now:(unit -> float) -> unit -> ctx
+
+val set_clock : ctx -> (unit -> float) -> unit
+(** Replace the clock; used by the engine to close the knot between the
+    span context and its own mutable clock. *)
+
+val set_on_finish : ctx -> (Event.t -> unit) -> unit
+(** Install the hook that receives each finished span (typically
+    [Sink.emit]). Replaces any previous hook. *)
+
+val start : ctx -> ?parent:span -> string -> span
+(** Opens a span at the current clock reading. *)
+
+val set_attr : span -> string -> string -> unit
+(** Attach or overwrite a string attribute. *)
+
+val finish : ctx -> span -> unit
+(** Stamp the end time and emit the [Span_finished] event. Finishing twice
+    is a no-op. *)
+
+val id : span -> int
+val name : span -> string
+val parent_id : span -> int option
+val start_time : span -> float
+val attrs : span -> (string * string) list
+val is_finished : span -> bool
+
+val active_count : ctx -> int
+(** Spans started but not yet finished. *)
+
+val finished_count : ctx -> int

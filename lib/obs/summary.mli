@@ -1,0 +1,52 @@
+(** Aggregate view of a structured event stream (usually a JSONL trace).
+
+    Folds a stream of (time, event) pairs into per-label counts, probe
+    breakdowns, span statistics and per-step rates, and can cross-check the
+    measured per-step event rates against the paper's analytic laws at an
+    (omega, chi, kappa) operating point. *)
+
+type t = {
+  total : int;
+  malformed : int;  (** lines that failed to parse (files only) *)
+  t_min : float;
+  t_max : float;
+  by_label : (string * int) list;  (** sorted by label *)
+  steps : int;  (** campaign step boundaries observed *)
+  rekeys : int;
+  recovers : int;
+  probes_direct : int;
+  probes_indirect : int;
+  probes_launchpad : int;
+  probes_crashed : int;
+  probes_intruded : int;
+  probes_blocked : int;
+  proxy_probes : int;  (** probes aimed at the proxy tier *)
+  server_probes : int;  (** probes aimed at the server tier *)
+  proxies_seen : int;  (** distinct proxy-tier probe targets *)
+  compromises_proxy : int;
+  compromises_server : int;
+  trials : int;
+  trials_censored : int;
+  trial_lifetime_sum : float;
+  spans : (string * int * float) list;  (** name, count, total virtual duration *)
+}
+
+val of_events : (float * Event.t) list -> t
+val of_lines : ?on_malformed:(string -> unit) -> string Seq.t -> t
+val of_file : string -> t
+
+val table : t -> Fortress_util.Table.t
+val render : t -> string
+(** Overview plus per-label counts, probe breakdown, per-step rates and
+    span statistics. *)
+
+type check = { metric : string; measured : float; expected : float; ok : bool }
+
+val consistency : omega:int -> chi:int -> kappa:float -> t -> check list
+(** Compare measured per-step rates against the analytic laws: direct proxy
+    probes/step vs np*omega, server-aimed probes/step vs kappa*omega,
+    rekeys/step vs 1, and the per-probe intrusion fraction vs the sampling
+    law at key-space size chi. A check passes within a generous tolerance
+    that accounts for Monte-Carlo noise and edge steps. *)
+
+val check_table : check list -> Fortress_util.Table.t

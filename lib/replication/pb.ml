@@ -1,6 +1,7 @@
 module Engine = Fortress_sim.Engine
 module Address = Fortress_net.Address
 module Sign = Fortress_crypto.Sign
+module Event = Fortress_obs.Event
 
 type config = {
   ns : int;
@@ -256,7 +257,13 @@ let execute_as_primary t ~id ~cmd ~reply_to =
     ignore
       (Engine.schedule t.engine ~delay:t.config.ack_timeout (fun () ->
            if t.rep_alive && not ip.ip_done then begin
-             Engine.record t.engine ~label:"pb" (Printf.sprintf "ack timeout seq=%d" ip.ip_seq);
+             Engine.emit t.engine
+               (Event.Repl
+                  {
+                    proto = "pb";
+                    kind = "ack_timeout";
+                    detail = Printf.sprintf "seq=%d" ip.ip_seq;
+                  });
              complete t ip
            end))
 
@@ -280,8 +287,13 @@ let rec apply_ready_updates t =
       t.seq <- seq;
       let local_response = Dsm.Instance.apply t.service ~entropy cmd in
       if local_response <> response then
-        Engine.record t.engine ~label:"pb"
-          (Printf.sprintf "replica %d: response divergence on %s" t.rep_index id);
+        Engine.emit t.engine
+          (Event.Repl
+             {
+               proto = "pb";
+               kind = "divergence";
+               detail = Printf.sprintf "replica %d: response divergence on %s" t.rep_index id;
+             });
       Hashtbl.replace t.executed id response;
       Hashtbl.remove t.buffered_requests id;
       persist_apply t ~seq ~id ~cmd ~entropy ~response;
@@ -331,8 +343,8 @@ let handle_ack t ~seq ~index:backup_index =
 (* ---- view management ---- *)
 
 let become_primary t =
-  Engine.record t.engine ~label:"pb"
-    (Printf.sprintf "replica %d takes over as primary (view %d)" t.rep_index t.rep_view);
+  Engine.emit t.engine
+    (Event.Failover { proto = "pb"; replica = t.rep_index; view = t.rep_view });
   (* execute everything buffered and not yet known executed *)
   let pending = Hashtbl.fold (fun id (cmd, rt) acc -> (id, cmd, rt) :: acc) t.buffered_requests [] in
   Hashtbl.reset t.buffered_requests;
@@ -347,8 +359,15 @@ let check_suspicion t =
     if elapsed > t.config.suspect_timeout then begin
       t.rep_view <- t.rep_view + 1;
       t.last_heartbeat <- Engine.now t.engine;
-      Engine.record t.engine ~label:"pb"
-        (Printf.sprintf "replica %d suspects primary; moves to view %d" t.rep_index t.rep_view);
+      Engine.emit t.engine
+        (Event.Repl
+           {
+             proto = "pb";
+             kind = "suspect";
+             detail =
+               Printf.sprintf "replica %d suspects primary; moves to view %d" t.rep_index
+                 t.rep_view;
+           });
       if is_primary t then become_primary t
     end
   end
@@ -387,8 +406,14 @@ let handle_sync_resp t ~view ~seq ~executed ~snapshot =
     t.last_heartbeat <- Engine.now t.engine;
     (* bring stable storage in line with the installed state *)
     Option.iter (fun p -> write_snapshot t p) t.persistence;
-    Engine.record t.engine ~label:"pb"
-      (Printf.sprintf "replica %d synced to seq %d (view %d)" t.rep_index seq t.rep_view);
+    Engine.emit t.engine
+      (Event.Repl
+         {
+           proto = "pb";
+           kind = "sync";
+           detail =
+             Printf.sprintf "replica %d synced to seq %d (view %d)" t.rep_index seq t.rep_view;
+         });
     apply_ready_updates t
   end
 
@@ -445,8 +470,15 @@ let restart t =
          if t.rep_alive && t.rep_syncing then begin
            t.rep_syncing <- false;
            t.last_heartbeat <- Engine.now t.engine;
-           Engine.record t.engine ~label:"pb"
-             (Printf.sprintf "replica %d sync timed out; resuming on local state" t.rep_index)
+           Engine.emit t.engine
+             (Event.Repl
+                {
+                  proto = "pb";
+                  kind = "sync_timeout";
+                  detail =
+                    Printf.sprintf "replica %d sync timed out; resuming on local state"
+                      t.rep_index;
+                })
          end))
 
 (* Reboot after losing volatile state: reload the last snapshot, replay the
@@ -478,7 +510,14 @@ let restart_from_storage t =
                   Hashtbl.replace t.executed id response
               | Some _ | None -> ())
             (Storage.Log.entries p.wal);
-          Engine.record t.engine ~label:"pb"
-            (Printf.sprintf "replica %d reloaded seq %d from stable storage" t.rep_index t.seq);
+          Engine.emit t.engine
+            (Event.Repl
+               {
+                 proto = "pb";
+                 kind = "reload";
+                 detail =
+                   Printf.sprintf "replica %d reloaded seq %d from stable storage" t.rep_index
+                     t.seq;
+               });
           restart t;
           true)

@@ -2,6 +2,7 @@ module Engine = Fortress_sim.Engine
 module Address = Fortress_net.Address
 module Sign = Fortress_crypto.Sign
 module Sha256 = Fortress_crypto.Sha256
+module Event = Fortress_obs.Event
 
 type config = {
   n : int;
@@ -327,8 +328,8 @@ let adopt_view t new_view =
     (fun seq e -> if (not e.e_committed) && e.e_view < new_view then Hashtbl.remove t.log seq)
     (Hashtbl.copy t.log);
   if is_leader t then begin
-    Engine.record t.engine ~label:"smr"
-      (Printf.sprintf "replica %d leads view %d" t.rep_index new_view);
+    Engine.emit t.engine
+      (Event.Failover { proto = "smr"; replica = t.rep_index; view = new_view });
     t.next_seq <- Hashtbl.fold (fun seq _ acc -> max acc seq) t.log t.last_exec;
     (* re-propose everything pending and unexecuted *)
     Hashtbl.iter
@@ -391,9 +392,15 @@ let watchdog t =
         t.pending false
     in
     if stuck then begin
-      Engine.record t.engine ~label:"smr"
-        (Printf.sprintf "replica %d: request timeout, demanding view %d" t.rep_index
-           (t.rep_view + 1));
+      Engine.emit t.engine
+        (Event.Repl
+           {
+             proto = "smr";
+             kind = "view_demand";
+             detail =
+               Printf.sprintf "replica %d: request timeout, demanding view %d" t.rep_index
+                 (t.rep_view + 1);
+           });
       (* refresh timers so we do not spam view changes every tick *)
       Hashtbl.iter
         (fun id p ->
@@ -443,8 +450,13 @@ let handle_state_resp t ~seq ~snapshot ~index:voter =
       t.next_seq <- seq;
       t.stable_checkpoint <- seq;
       t.transferring <- false;
-      Engine.record t.engine ~label:"smr"
-        (Printf.sprintf "replica %d restored state at seq %d" t.rep_index seq)
+      Engine.emit t.engine
+        (Event.Repl
+           {
+             proto = "smr";
+             kind = "restore";
+             detail = Printf.sprintf "replica %d restored state at seq %d" t.rep_index seq;
+           })
     end
   end
 

@@ -1,3 +1,5 @@
+module Obs = Fortress_obs
+
 type event = { fire : unit -> unit; mutable cancelled : bool; mutable live : bool }
 
 type handle = event
@@ -8,16 +10,53 @@ type t = {
   queue : event Heap.t;
   prng : Fortress_util.Prng.t;
   trace : Trace.t;
+  sink : Obs.Sink.t;
+  metrics : Obs.Metrics.t;
+  spans : Obs.Span.ctx;
 }
 
-let create ?trace ?prng () =
+(* Bridge structured events into the legacy trace ring: every event bumps
+   its label counter; only `Info events (bounded rate) occupy ring slots,
+   so per-probe/per-message `Debug noise cannot evict the interesting
+   entries. *)
+let trace_bridge trace ~time ev =
+  Trace.incr trace (Obs.Event.label ev);
+  match Obs.Event.verbosity ev with
+  | `Info -> Trace.record trace ~time ~label:(Obs.Event.label ev) (Obs.Event.detail ev)
+  | `Debug -> ()
+
+let create ?trace ?prng ?sink ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let prng = match prng with Some p -> p | None -> Fortress_util.Prng.create ~seed:0 in
-  { clock = 0.0; seq = 0; queue = Heap.create (); prng; trace }
+  let sink = match sink with Some s -> s | None -> Obs.Sink.create () in
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  ignore (Obs.Sink.attach sink (Obs.Sink.counting metrics));
+  ignore (Obs.Sink.attach sink (trace_bridge trace));
+  let t =
+    {
+      clock = 0.0;
+      seq = 0;
+      queue = Heap.create ();
+      prng;
+      trace;
+      sink;
+      metrics;
+      spans = Obs.Span.create ~now:(fun () -> 0.0) ();
+    }
+  in
+  Obs.Span.set_clock t.spans (fun () -> t.clock);
+  Obs.Span.set_on_finish t.spans (fun ev -> Obs.Sink.emit t.sink ~time:t.clock ev);
+  t
 
 let now t = t.clock
 let prng t = t.prng
 let trace t = t.trace
+let sink t = t.sink
+let metrics t = t.metrics
+let spans t = t.spans
+let emit t ev = Obs.Sink.emit t.sink ~time:t.clock ev
+let span t ?parent name = Obs.Span.start t.spans ?parent name
+let finish_span t sp = Obs.Span.finish t.spans sp
 
 let enqueue t ~time fire =
   let ev = { fire; cancelled = false; live = true } in
@@ -99,4 +138,4 @@ let rec run ?until t =
           run ~until:limit t
       | Some _ | None -> if t.clock < limit then t.clock <- limit)
 
-let record t ~label detail = Trace.record t.trace ~time:t.clock ~label detail
+let record t ~label detail = emit t (Obs.Event.Note { label; detail })

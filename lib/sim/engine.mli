@@ -10,14 +10,40 @@ type t
 type handle
 (** A scheduled event; may be cancelled before it fires. *)
 
-val create : ?trace:Trace.t -> ?prng:Fortress_util.Prng.t -> unit -> t
+val create :
+  ?trace:Trace.t ->
+  ?prng:Fortress_util.Prng.t ->
+  ?sink:Fortress_obs.Sink.t ->
+  ?metrics:Fortress_obs.Metrics.t ->
+  unit ->
+  t
 (** [create ()] starts the clock at 0. A shared [prng] (default seed 0) is
     available to components via {!prng}; pass an explicit one to control the
-    seed of a whole execution. *)
+    seed of a whole execution. The engine owns an observability {!sink}
+    (with a counting subscriber into {!metrics} and a bridge into the
+    legacy {!trace} ring pre-attached) and a virtual-time span context. *)
 
 val now : t -> float
 val prng : t -> Fortress_util.Prng.t
 val trace : t -> Trace.t
+
+val sink : t -> Fortress_obs.Sink.t
+(** Attach further subscribers (JSONL writers, forwarders) here. *)
+
+val metrics : t -> Fortress_obs.Metrics.t
+(** Per-event-label counters maintained by the built-in counting
+    subscriber, plus whatever components register directly. *)
+
+val emit : t -> Fortress_obs.Event.t -> unit
+(** Emit a structured event stamped with the current virtual time. *)
+
+val spans : t -> Fortress_obs.Span.ctx
+
+val span : t -> ?parent:Fortress_obs.Span.span -> string -> Fortress_obs.Span.span
+(** Open a virtual-time span at [now t]. *)
+
+val finish_span : t -> Fortress_obs.Span.span -> unit
+(** Close a span; the finished span is emitted through {!sink}. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] fires [f] at [now t +. delay]. Raises
@@ -46,4 +72,5 @@ val run : ?until:float -> t -> unit
     strictly later than [until] (the clock then advances to [until]). *)
 
 val record : t -> label:string -> string -> unit
-(** Convenience: record a trace entry at the current time. *)
+(** Convenience: emit a free-form {!Fortress_obs.Event.Note} at the current
+    time; the trace bridge records it in the ring as before. *)

@@ -289,6 +289,25 @@ let test_export_write_all () =
     written;
   List.iter (fun (path, _) -> Sys.remove path) written
 
+let test_export_write_all_nested_dir () =
+  (* regression: write_all used a single mkdir and failed with ENOENT when
+     the parent of [dir] did not exist *)
+  let root =
+    let f = Filename.temp_file "fortress-export-nested" "" in
+    Sys.remove f;
+    f
+  in
+  let dir = Filename.concat (Filename.concat root "a") "b" in
+  let written = Export.write_all ~dir in
+  Alcotest.(check int) "nine files in nested dir" 9 (List.length written);
+  List.iter
+    (fun (path, _) -> Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path))
+    written;
+  List.iter (fun (path, _) -> Sys.remove path) written;
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.concat root "a");
+  Sys.rmdir root
+
 (* ---- Choice map ---- *)
 
 let test_choice_map_matches_paper_conclusion () =
@@ -463,6 +482,7 @@ let () =
         [
           Alcotest.test_case "artefacts" `Quick test_export_artefacts;
           Alcotest.test_case "write_all" `Quick test_export_write_all;
+          Alcotest.test_case "write_all nested dir" `Quick test_export_write_all_nested_dir;
         ] );
       ( "degradation",
         [

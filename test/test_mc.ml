@@ -5,7 +5,7 @@ module Prng = Fortress_util.Prng
 (* ---- Trial runner ---- *)
 
 let test_trial_deterministic_sampler () =
-  let r = Trial.run ~trials:100 ~seed:1 ~sampler:(fun _ -> Some 7) in
+  let r = Trial.run ~trials:100 ~seed:1 ~sampler:(fun _ -> Some 7) () in
   Alcotest.(check (float 1e-9)) "mean" 7.0 r.Trial.mean;
   Alcotest.(check int) "censored" 0 r.Trial.censored;
   Alcotest.(check int) "trials" 100 r.Trial.trials
@@ -16,21 +16,21 @@ let test_trial_censoring () =
     incr count;
     if !count mod 2 = 0 then None else Some 3
   in
-  let r = Trial.run ~trials:10 ~seed:1 ~sampler in
+  let r = Trial.run ~trials:10 ~seed:1 ~sampler () in
   Alcotest.(check int) "half censored" 5 r.Trial.censored;
   Alcotest.(check int) "observed" 5 (Array.length r.Trial.lifetimes)
 
 let test_trial_reproducible () =
   let sampler prng = Some (1 + Prng.int prng ~bound:100) in
-  let a = Trial.run ~trials:50 ~seed:9 ~sampler in
-  let b = Trial.run ~trials:50 ~seed:9 ~sampler in
+  let a = Trial.run ~trials:50 ~seed:9 ~sampler () in
+  let b = Trial.run ~trials:50 ~seed:9 ~sampler () in
   Alcotest.(check (array (float 0.0))) "same lifetimes" a.Trial.lifetimes b.Trial.lifetimes;
-  let c = Trial.run ~trials:50 ~seed:10 ~sampler in
+  let c = Trial.run ~trials:50 ~seed:10 ~sampler () in
   Alcotest.(check bool) "different seed differs" false (a.Trial.lifetimes = c.Trial.lifetimes)
 
 let test_trial_invalid () =
   Alcotest.check_raises "no trials" (Invalid_argument "Trial.run: trials must be positive")
-    (fun () -> ignore (Trial.run ~trials:0 ~seed:1 ~sampler:(fun _ -> Some 1)))
+    (fun () -> ignore (Trial.run ~trials:0 ~seed:1 ~sampler:(fun _ -> Some 1) ()))
 
 (* ---- step-level vs analytic ---- *)
 

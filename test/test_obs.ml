@@ -1,0 +1,407 @@
+module Json = Fortress_obs.Json
+module Event = Fortress_obs.Event
+module Metrics = Fortress_obs.Metrics
+module Span = Fortress_obs.Span
+module Sink = Fortress_obs.Sink
+module Summary = Fortress_obs.Summary
+module Engine = Fortress_sim.Engine
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("i", Json.Num 42.0);
+        ("f", Json.Num 1.5);
+        ("s", Json.Str "a \"quoted\"\nline\twith\\escapes");
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Num 1.0; Json.Str "x"; Json.Bool false ]);
+        ("o", Json.Obj [ ("nested", Json.Num (-3.0)) ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round-trips" true (doc = doc')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_integers_compact () =
+  Alcotest.(check string) "integral floats have no point" "{\"t\":300}"
+    (Json.to_string (Json.Obj [ ("t", Json.Num 300.0) ]));
+  Alcotest.(check string) "non-integral keeps fraction" "0.5" (Json.to_string (Json.Num 0.5))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> Alcotest.fail ("accepted: " ^ s) | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "\"unterminated"
+
+let test_json_accessors () =
+  match Json.parse "{\"a\": 7, \"b\": \"x\", \"c\": [1,2]}" with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+      Alcotest.(check (option int)) "int member" (Some 7)
+        (Option.bind (Json.member "a" doc) Json.int);
+      Alcotest.(check (option string)) "str member" (Some "x")
+        (Option.bind (Json.member "b" doc) Json.str);
+      Alcotest.(check int) "list member" 2
+        (List.length (Option.get (Option.bind (Json.member "c" doc) Json.list)));
+      Alcotest.(check (option int)) "missing member" None
+        (Option.bind (Json.member "zzz" doc) Json.int)
+
+(* ---- Event ---- *)
+
+let all_events =
+  [
+    Event.Probe
+      { kind = Event.Direct; tier = Event.Proxy_tier; target = 2; outcome = Event.Crashed };
+    Event.Probe
+      { kind = Event.Indirect; tier = Event.Server_tier; target = 0; outcome = Event.Intruded };
+    Event.Probe
+      { kind = Event.Launchpad; tier = Event.Server_tier; target = 1; outcome = Event.Blocked };
+    Event.Compromise { tier = Event.Proxy_tier; index = 1 };
+    Event.Rekey { nodes = 6 };
+    Event.Recover { nodes = 4 };
+    Event.Step { n = 17 };
+    Event.Invalid_observed { proxy = 0 };
+    Event.Source_blocked { proxy = 2; source = 31 };
+    Event.Source_rotated { burned = 5 };
+    Event.Request_submitted { id = "r-1" };
+    Event.Request_completed { id = "r-1"; accepted = true };
+    Event.Reply_rejected { id = "r-2" };
+    Event.Msg_delivered { src = 3; dst = 9 };
+    Event.Msg_dropped { src = 3; dst = 9; reason = "partition" };
+    Event.Failover { proto = "pb"; replica = 1; view = 4 };
+    Event.Repl { proto = "smr"; kind = "restore"; detail = "replica 2 restored" };
+    Event.Trial { index = 12; seed = 42; lifetime = Some 33.0 };
+    Event.Trial { index = 13; seed = 42; lifetime = None };
+    Event.Span_finished
+      {
+        id = 3;
+        parent = Some 1;
+        name = "client.request";
+        start_time = 10.0;
+        duration = 2.5;
+        attrs = [ ("id", "r-1") ];
+      };
+    Event.Note { label = "daemon"; detail = "intrusion: correct key probed" };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Event.of_json (Event.to_json ev) with
+      | Ok ev' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trips %s" (Event.label ev))
+            true (ev = ev')
+      | Error e -> Alcotest.fail (Event.label ev ^ ": " ^ e))
+    all_events
+
+let test_event_labels_and_verbosity () =
+  Alcotest.(check string) "probe label" "probe"
+    (Event.label (List.hd all_events));
+  Alcotest.(check string) "note uses embedded label" "daemon"
+    (Event.label (Event.Note { label = "daemon"; detail = "d" }));
+  (* high-rate events must not take trace-ring slots *)
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        (Event.label ev ^ " is debug")
+        true
+        (Event.verbosity ev = `Debug))
+    [
+      List.hd all_events;
+      Event.Msg_delivered { src = 0; dst = 1 };
+      Event.Request_submitted { id = "x" };
+      Event.Invalid_observed { proxy = 0 };
+    ];
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) (Event.label ev ^ " is info") true (Event.verbosity ev = `Info))
+    [ Event.Rekey { nodes = 3 }; Event.Compromise { tier = Event.Server_tier; index = 0 } ]
+
+(* ---- Metrics ---- *)
+
+let test_metrics_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "events.probe" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "same handle on re-registration" 5
+    (Metrics.counter_value (Metrics.counter m "events.probe"));
+  Alcotest.(check int) "find_counter" 5 (Metrics.find_counter m "events.probe");
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.find_counter m "nope");
+  let g = Metrics.gauge m "clock" in
+  Metrics.set g 12.5;
+  Alcotest.(check (float 0.0)) "gauge" 12.5 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"events.probe\" is already registered as a counter")
+    (fun () -> ignore (Metrics.gauge m "events.probe"))
+
+let test_metrics_histogram_snapshot_reset () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~lo:0.0 ~hi:10.0 ~bins:5 "lifetimes" in
+  List.iter (Metrics.observe h) [ 1.0; 3.0; 7.0; 42.0 ];
+  let c = Metrics.counter m "n" in
+  Metrics.incr c;
+  (match Metrics.snapshot m with
+  | [ ("lifetimes", Metrics.Histogram { count; overflow; _ }); ("n", Metrics.Counter 1) ] ->
+      Alcotest.(check int) "histogram count" 4 count;
+      Alcotest.(check int) "overflow" 1 overflow
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  Metrics.reset m;
+  Alcotest.(check int) "counter zeroed, handle survives" 0 (Metrics.counter_value c);
+  (match Metrics.snapshot m with
+  | [ ("lifetimes", Metrics.Histogram { count; _ }); ("n", Metrics.Counter 0) ] ->
+      Alcotest.(check int) "histogram emptied" 0 count
+  | _ -> Alcotest.fail "registrations must survive reset");
+  Alcotest.(check bool) "renders" true (String.length (Metrics.render m) > 0)
+
+(* ---- Span ---- *)
+
+let test_span_lifecycle () =
+  let clock = ref 0.0 in
+  let ctx = Span.create ~now:(fun () -> !clock) () in
+  let finished = ref [] in
+  Span.set_on_finish ctx (fun ev -> finished := ev :: !finished);
+  let root = Span.start ctx "step" in
+  clock := 5.0;
+  let child = Span.start ctx ~parent:root "request" in
+  Span.set_attr child "id" "r-9";
+  Alcotest.(check int) "two active" 2 (Span.active_count ctx);
+  clock := 8.0;
+  Span.finish ctx child;
+  Span.finish ctx child;
+  (* idempotent *)
+  clock := 10.0;
+  Span.finish ctx root;
+  Alcotest.(check int) "none active" 0 (Span.active_count ctx);
+  Alcotest.(check int) "two finished" 2 (Span.finished_count ctx);
+  match List.rev !finished with
+  | [
+   Event.Span_finished { name; start_time; duration; parent; attrs; _ };
+   Event.Span_finished { duration = root_duration; _ };
+  ] ->
+      Alcotest.(check string) "child name" "request" name;
+      Alcotest.(check (float 0.0)) "child start" 5.0 start_time;
+      Alcotest.(check (float 0.0)) "child duration" 3.0 duration;
+      Alcotest.(check (option int)) "parent link" (Some (Span.id root)) parent;
+      Alcotest.(check (list (pair string string))) "attrs" [ ("id", "r-9") ] attrs;
+      Alcotest.(check (float 0.0)) "root duration" 10.0 root_duration
+  | _ -> Alcotest.fail "expected exactly two Span_finished events"
+
+(* ---- Sink ---- *)
+
+let test_sink_subscribers_and_detach () =
+  let sink = Sink.create () in
+  let a = ref 0 and b = ref 0 in
+  let ha = Sink.attach sink (fun ~time:_ _ -> incr a) in
+  ignore (Sink.attach sink (fun ~time:_ _ -> incr b));
+  Sink.emit sink ~time:1.0 (Event.Rekey { nodes = 3 });
+  Sink.detach sink ha;
+  Sink.detach sink ha;
+  (* double detach is a no-op *)
+  Sink.emit sink ~time:2.0 (Event.Rekey { nodes = 3 });
+  Alcotest.(check int) "detached saw one" 1 !a;
+  Alcotest.(check int) "live saw both" 2 !b;
+  Alcotest.(check int) "emitted total" 2 (Sink.emitted sink)
+
+let test_sink_jsonl_roundtrip () =
+  let lines = ref [] in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Sink.jsonl (fun l -> lines := l :: !lines)));
+  List.iteri (fun i ev -> Sink.emit sink ~time:(float_of_int i) ev) all_events;
+  let parsed = List.rev_map Sink.parse_line !lines in
+  Alcotest.(check int) "all lines parse" (List.length all_events) (List.length parsed);
+  List.iteri
+    (fun i -> function
+      | Ok (t, ev) ->
+          Alcotest.(check (float 0.0)) "time preserved" (float_of_int i) t;
+          Alcotest.(check bool)
+            (Event.label ev ^ " round-trips")
+            true
+            (ev = List.nth all_events i)
+      | Error e -> Alcotest.fail e)
+    parsed
+
+let test_sink_counting_and_memory () =
+  let m = Metrics.create () in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Sink.counting m));
+  let mem, recent = Sink.memory ~capacity:2 () in
+  ignore (Sink.attach sink mem);
+  Sink.emit sink ~time:0.0
+    (Event.Probe
+       { kind = Event.Direct; tier = Event.Proxy_tier; target = 0; outcome = Event.Crashed });
+  Sink.emit sink ~time:1.0
+    (Event.Probe
+       { kind = Event.Indirect; tier = Event.Server_tier; target = 0; outcome = Event.Intruded });
+  Sink.emit sink ~time:2.0 (Event.Rekey { nodes = 6 });
+  Alcotest.(check int) "probe label counted" 2 (Metrics.find_counter m "events.probe");
+  Alcotest.(check int) "kind counted" 1 (Metrics.find_counter m "probe.direct");
+  Alcotest.(check int) "outcome counted" 1 (Metrics.find_counter m "probe.intrusion");
+  Alcotest.(check int) "rekey counted" 1 (Metrics.find_counter m "events.rekey");
+  match recent () with
+  | [ (1.0, Event.Probe _); (2.0, Event.Rekey _) ] -> ()
+  | l -> Alcotest.fail (Printf.sprintf "memory ring kept %d unexpected events" (List.length l))
+
+(* ---- Engine integration ---- *)
+
+let test_engine_emit_feeds_metrics_and_trace () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         Engine.emit e (Event.Rekey { nodes = 6 });
+         Engine.emit e (Event.Msg_delivered { src = 0; dst = 1 })));
+  Engine.run e;
+  Alcotest.(check int) "metrics counted both" 1
+    (Fortress_obs.Metrics.find_counter (Engine.metrics e) "events.rekey");
+  Alcotest.(check int) "debug event counted too" 1
+    (Fortress_obs.Metrics.find_counter (Engine.metrics e) "events.msg_delivered");
+  (* only the `Info event takes a ring slot; both bump trace counters *)
+  Alcotest.(check int) "one ring entry" 1 (Fortress_sim.Trace.length (Engine.trace e));
+  Alcotest.(check int) "trace counter for debug event" 1
+    (Fortress_sim.Trace.counter (Engine.trace e) "msg_delivered")
+
+let test_engine_spans_use_virtual_time () =
+  let e = Engine.create () in
+  let mem, recent = Sink.memory () in
+  ignore (Sink.attach (Engine.sink e) mem);
+  let sp = ref None in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> sp := Some (Engine.span e "phase")));
+  ignore (Engine.schedule e ~delay:7.0 (fun () -> Engine.finish_span e (Option.get !sp)));
+  Engine.run e;
+  Alcotest.(check int) "span event counted" 1
+    (Fortress_obs.Metrics.find_counter (Engine.metrics e) "events.span");
+  match recent () with
+  | [ (7.0, Event.Span_finished { name; start_time; duration; _ }) ] ->
+      Alcotest.(check string) "name" "phase" name;
+      Alcotest.(check (float 0.0)) "started at virtual t=2" 2.0 start_time;
+      Alcotest.(check (float 0.0)) "virtual duration" 5.0 duration
+  | _ -> Alcotest.fail "expected one Span_finished at t=7"
+
+(* ---- Summary ---- *)
+
+let campaign_trace () =
+  let sink = Sink.create () in
+  let mem, recent = Sink.memory ~capacity:200_000 () in
+  ignore (Sink.attach sink mem);
+  let lifetime =
+    Fortress_exp.Validation.campaign_lifetime ~sink ~chi:256 ~omega:8 ~kappa:0.5 ~seed:3 ()
+  in
+  (lifetime, recent ())
+
+let test_summary_of_campaign_consistent () =
+  let lifetime, events = campaign_trace () in
+  Alcotest.(check bool) "campaign ended" true (lifetime <> None);
+  let summary = Summary.of_events events in
+  Alcotest.(check bool) "saw steps" true (summary.Summary.steps > 0);
+  Alcotest.(check bool) "saw probes" true (summary.Summary.probes_direct > 0);
+  Alcotest.(check bool) "renders" true (String.length (Summary.render summary) > 0);
+  let checks = Summary.consistency ~omega:8 ~chi:256 ~kappa:0.5 summary in
+  Alcotest.(check bool) "has checks" true (List.length checks >= 4);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: measured %.3f vs expected %.3f" c.Summary.metric
+           c.Summary.measured c.Summary.expected)
+        true c.Summary.ok)
+    checks
+
+let test_summary_jsonl_file_roundtrip () =
+  let lifetime, events = campaign_trace () in
+  ignore lifetime;
+  let path = Filename.temp_file "fortress-obs" ".jsonl" in
+  let oc = open_out path in
+  List.iter (fun (t, ev) -> output_string oc (Sink.line ~time:t ev ^ "\n")) events;
+  close_out oc;
+  let from_file = Summary.of_file path in
+  let from_events = Summary.of_events events in
+  Sys.remove path;
+  Alcotest.(check int) "same totals" from_events.Summary.total from_file.Summary.total;
+  Alcotest.(check int) "nothing malformed" 0 from_file.Summary.malformed;
+  Alcotest.(check (list (pair string int)))
+    "same label histogram" from_events.Summary.by_label from_file.Summary.by_label
+
+let test_summary_malformed_lines () =
+  let path = Filename.temp_file "fortress-obs" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (Sink.line ~time:1.0 (Event.Rekey { nodes = 3 }) ^ "\n");
+  output_string oc "this is not json\n\n";
+  output_string oc (Sink.line ~time:2.0 (Event.Step { n = 1 }) ^ "\n");
+  close_out oc;
+  let s = Summary.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "two parsed" 2 s.Summary.total;
+  Alcotest.(check int) "one malformed (blank skipped)" 1 s.Summary.malformed
+
+(* ---- Validation sink threading ---- *)
+
+let test_trial_events_through_validation () =
+  let sink = Sink.create () in
+  let trials = ref 0 in
+  ignore
+    (Sink.attach sink (fun ~time:_ ev ->
+         match ev with Event.Trial _ -> incr trials | _ -> ()));
+  let lines =
+    Fortress_exp.Validation.run ~sink ~chi:512 ~omega:8 ~trials:5
+      ~systems:[ Fortress_model.Systems.S1_PO ] ()
+  in
+  Alcotest.(check int) "one line" 1 (List.length lines);
+  (* 5 step-level + 5 probe-level trials *)
+  Alcotest.(check int) "trial events from both tiers" 10 !trials
+
+let () =
+  Alcotest.run "fortress_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "integers compact" `Quick test_json_integers_compact;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "labels and verbosity" `Quick test_event_labels_and_verbosity;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
+          Alcotest.test_case "histogram, snapshot, reset" `Quick
+            test_metrics_histogram_snapshot_reset;
+        ] );
+      ( "span",
+        [ Alcotest.test_case "lifecycle" `Quick test_span_lifecycle ] );
+      ( "sink",
+        [
+          Alcotest.test_case "subscribers and detach" `Quick test_sink_subscribers_and_detach;
+          Alcotest.test_case "jsonl round-trip" `Quick test_sink_jsonl_roundtrip;
+          Alcotest.test_case "counting and memory" `Quick test_sink_counting_and_memory;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "emit feeds metrics and trace" `Quick
+            test_engine_emit_feeds_metrics_and_trace;
+          Alcotest.test_case "spans on virtual time" `Quick test_engine_spans_use_virtual_time;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "campaign trace consistent with laws" `Quick
+            test_summary_of_campaign_consistent;
+          Alcotest.test_case "jsonl file round-trip" `Quick test_summary_jsonl_file_roundtrip;
+          Alcotest.test_case "malformed lines" `Quick test_summary_malformed_lines;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "trial events through sink" `Quick
+            test_trial_events_through_validation;
+        ] );
+    ]

@@ -241,6 +241,31 @@ let test_trace_counters () =
     [ ("crashes", 1); ("probes", 2) ]
     (Trace.counters tr)
 
+let test_trace_wraparound_ordering () =
+  (* after several full wraps, entries still come back oldest first *)
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 11 do
+    Trace.record tr ~time:(float_of_int i) ~label:"w" (string_of_int i)
+  done;
+  Alcotest.(check int) "ring full" 4 (Trace.length tr);
+  let details = List.map (fun e -> e.Trace.detail) (Trace.entries tr) in
+  Alcotest.(check (list string)) "oldest-to-newest across the wrap"
+    [ "8"; "9"; "10"; "11" ] details;
+  let times = List.map (fun e -> e.Trace.time) (Trace.entries tr) in
+  Alcotest.(check bool) "times non-decreasing" true
+    (List.sort compare times = times)
+
+let test_trace_counters_survive_eviction () =
+  (* the ring forgets, the counters do not *)
+  let tr = Trace.create ~capacity:2 () in
+  for i = 1 to 50 do
+    Trace.incr tr "probe";
+    Trace.record tr ~time:(float_of_int i) ~label:"probe" "sent"
+  done;
+  Alcotest.(check int) "only capacity entries retained" 2 (Trace.length tr);
+  Alcotest.(check int) "all records counted" 50 (Trace.recorded tr);
+  Alcotest.(check int) "counter unaffected by eviction" 50 (Trace.counter tr "probe")
+
 let test_trace_dump_limit () =
   let tr = Trace.create () in
   for i = 1 to 10 do
@@ -287,6 +312,9 @@ let () =
           Alcotest.test_case "record and read" `Quick test_trace_record;
           Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
           Alcotest.test_case "counters" `Quick test_trace_counters;
+          Alcotest.test_case "wraparound ordering" `Quick test_trace_wraparound_ordering;
+          Alcotest.test_case "counters survive eviction" `Quick
+            test_trace_counters_survive_eviction;
           Alcotest.test_case "dump limit" `Quick test_trace_dump_limit;
         ] );
     ]
