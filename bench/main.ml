@@ -194,7 +194,53 @@ let measure_event_throughput () =
   let dt = Unix.gettimeofday () -. t0 in
   (!events, dt)
 
-let write_bench_json ~path ~wall_seconds ~events ~event_seconds =
+(* Interceptor overhead on the hot [Network.send] path: per-message cost of
+   the fault layer in its three configurations — absent (no plan installed),
+   installed but always [Pass], and the lossy built-in's link spec. Minor-
+   heap words per message show what each layer allocates; the no-plan row is
+   the pre-fault-subsystem send path, so pass/lossy deltas against it are
+   the whole cost of the feature. *)
+let measure_interceptor_overhead () =
+  let module Engine = Fortress_sim.Engine in
+  let module Network = Fortress_net.Network in
+  let module Latency = Fortress_net.Latency in
+  let module Injector = Fortress_faults.Injector in
+  let module Plan = Fortress_faults.Plan in
+  let messages = 200_000 in
+  let run name config =
+    let engine = Engine.create ~prng:(Fortress_util.Prng.create ~seed:9) () in
+    let net = Network.create ~latency:(Latency.constant 0.1) engine in
+    let a = Network.register net ~name:"a" ~handler:(fun ~src:_ (_ : int) -> ()) in
+    let b = Network.register net ~name:"b" ~handler:(fun ~src:_ (_ : int) -> ()) in
+    (match config with
+    | `No_plan -> ()
+    | `Pass -> Network.set_interceptor net (Some (fun ~src:_ ~dst:_ _ -> Network.Pass))
+    | `Lossy ->
+        let stats = Injector.fresh_stats () in
+        let prng = Injector.derive_prng ~seed:9 in
+        Network.set_interceptor net
+          (Some (Injector.link_interceptor ~engine ~prng ~stats Plan.lossy.Plan.link)));
+    (* warm-up round so both paths are compiled and caches primed *)
+    for i = 1 to 1_000 do
+      Network.send net ~src:a ~dst:b i
+    done;
+    Engine.run engine;
+    Gc.minor ();
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to messages do
+      Network.send net ~src:a ~dst:b i;
+      (* drain in batches so the event heap stays small and resident *)
+      if i land 4095 = 0 then Engine.run engine
+    done;
+    Engine.run engine;
+    let dt = Unix.gettimeofday () -. t0 in
+    let words = (Gc.minor_words () -. words0) /. float_of_int messages in
+    (name, dt /. float_of_int messages *. 1e9, words)
+  in
+  [ run "no-plan" `No_plan; run "pass-interceptor" `Pass; run "lossy-link" `Lossy ]
+
+let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -210,6 +256,17 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds =
         ("event_seconds", J.Num event_seconds);
         ( "events_per_sec",
           J.Num (if event_seconds > 0.0 then float_of_int events /. event_seconds else 0.0) );
+        ( "interceptor_overhead",
+          J.List
+            (List.map
+               (fun (name, ns, words) ->
+                 J.Obj
+                   [
+                     ("config", J.Str name);
+                     ("ns_per_message", J.Num ns);
+                     ("minor_words_per_message", J.Num words);
+                   ])
+               interceptor) );
         ("sections", J.List secs);
       ]
   in
@@ -278,12 +335,38 @@ let () =
       print_string (Fortress_util.Table.render (Validation.protocol_table line));
       Printf.printf "stack agreement: %s\n"
         (if Validation.protocol_agrees line then "holds" else "FAILS"));
+  section "Fault-injection campaign: EL under the built-in plan ladder" (fun () ->
+      let module Inject = Fortress_exp.Inject in
+      let module Plan = Fortress_faults.Plan in
+      let config = { Inject.default_config with trials = 6 } in
+      let report =
+        Inject.run ~config ~plans:[ Plan.lossy; Plan.partition; Plan.crashy; Plan.chaos ] ()
+      in
+      print_string (Fortress_util.Table.render (Inject.table report));
+      Printf.printf "escalation ordering (EL non-increasing): %s\n"
+        (if Inject.monotone_non_increasing report then "holds" else "FAILS"));
   let events, event_seconds = measure_event_throughput () in
   Printf.printf "== observability throughput ==\n";
   Printf.printf "instrumented campaign emitted %d events in %.3f s (%.0f events/sec)\n\n" events
     event_seconds
     (if event_seconds > 0.0 then float_of_int events /. event_seconds else 0.0);
+  let interceptor = measure_interceptor_overhead () in
+  Printf.printf "== fault interceptor overhead (hot Network.send path) ==\n";
+  List.iter
+    (fun (name, ns, words) ->
+      Printf.printf "%-18s %8.1f ns/message  %6.1f minor words/message\n" name ns words)
+    interceptor;
+  (match interceptor with
+  | (_, _, base_words) :: rest ->
+      let worst =
+        List.fold_left (fun acc (_, _, w) -> Float.max acc (w -. base_words)) 0.0 rest
+      in
+      Printf.printf
+        "no-plan path allocates nothing for the fault layer; worst configured delta %+.1f \
+         words/message\n\n"
+        worst
+  | [] -> print_newline ());
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
-  write_bench_json ~path ~wall_seconds ~events ~event_seconds;
+  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

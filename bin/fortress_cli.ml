@@ -367,6 +367,66 @@ let simulate_cmd =
        ~doc:"Drive a configurable FORTRESS deployment end to end and summarise what happened.")
     term
 
+(* ---- inject ---- *)
+
+let inject_cmd =
+  let module Plan = Fortress_faults.Plan in
+  let module Inject = Fortress_exp.Inject in
+  let plan_arg =
+    let doc =
+      "Fault plan: none | lossy | partition | crashy | chaos | all (the whole escalation ladder)."
+    in
+    Arg.(value & opt string "chaos" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let chi_arg =
+    Arg.(value & opt int 256 & info [ "chi" ] ~docv:"CHI" ~doc:"Key-space size.")
+  in
+  let omega_arg =
+    Arg.(value & opt int 8 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 400 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Campaign horizon in unit time-steps.")
+  in
+  let run plan trials seed chi omega kappa steps csv trace_out metrics =
+    let plans =
+      match plan with
+      | "all" -> List.filter (fun (p : Plan.t) -> p.Plan.name <> "none") Plan.builtins
+      | name -> (
+          match Plan.find name with
+          | Some p -> [ p ]
+          | None ->
+              Printf.eprintf "fortress-cli: unknown fault plan %S (try none | lossy | partition | crashy | chaos | all)\n" name;
+              exit 2)
+    in
+    with_obs ~trace_out ~metrics (fun sink ->
+        let config = { Inject.default_config with trials; seed; chi; omega; kappa;
+                       max_steps = steps } in
+        let report = Inject.run ~sink ~config ~plans () in
+        print_table ~csv (Inject.table report);
+        print_newline ();
+        print_table ~csv (Inject.fault_breakdown report);
+        Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d\n" chi
+          omega kappa trials seed;
+        (* stable one-line-per-plan digests, for reproducibility diffing *)
+        List.iter
+          (fun (r : Inject.run) -> Printf.printf "digest %s %s\n" r.Inject.plan_name r.Inject.digest)
+          (report.Inject.baseline :: report.Inject.runs);
+        if List.length plans > 1 then
+          Printf.printf "escalation ordering (EL non-increasing): %s\n"
+            (if Inject.monotone_non_increasing report then "holds" else "FAILS"))
+  in
+  let term =
+    Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
+          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ csv_arg $ trace_out_arg
+          $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run protocol-level attack campaigns under a named fault plan and report expected-lifetime and availability deltas against the fault-free baseline.")
+    term
+
 (* ---- obs ---- *)
 
 let obs_cmd =
@@ -525,7 +585,25 @@ let main_cmd =
   let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
-      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; obs_cmd; export_cmd; sensitivity_cmd;
-      threats_cmd; choose_cmd ]
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; export_cmd;
+      sensitivity_cmd; threats_cmd; choose_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Degenerate operating points surface as typed exceptions from the linear
+   algebra; report them as user errors, not crashes. *)
+let () =
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Fortress_util.Matrix.Singular { dim; col } ->
+      Printf.eprintf
+        "fortress-cli: the %dx%d linear system is singular (no pivot in column %d); this operating point has no finite solution\n"
+        dim dim col;
+      exit 3
+  | exception Fortress_model.Markov.No_transient_states ->
+      prerr_endline
+        "fortress-cli: the chain has no transient states; every state is already absorbing at this operating point";
+      exit 3
+  | exception Fortress_model.Markov.Absorption_unreachable { state } ->
+      Printf.eprintf
+        "fortress-cli: absorption is unreachable from transient state %d; expected lifetime is infinite at this operating point\n"
+        state;
+      exit 3

@@ -35,7 +35,11 @@ let default_config =
     seed = 0;
   }
 
-type tracked = { knowledge : Knowledge.t; mutable epoch_seen : int }
+type tracked = {
+  knowledge : Knowledge.t;
+  mutable epoch_seen : int;
+  mutable exhausted_noted : bool;  (** one trace line per exhausted epoch *)
+}
 
 type t = {
   deployment : Deployment.t;
@@ -52,6 +56,7 @@ type t = {
   mutable indirect_blocked : int;
   mutable launchpad_sent : int;
   mutable sources_burned : int;
+  mutable exhausted_slots : int;  (** probe slots skipped for want of untried keys *)
   mutable rr : int;  (** round-robin proxy cursor for indirect probes *)
 }
 
@@ -65,7 +70,11 @@ let make deployment cfg =
   let keyspace = ks.Deployment.keyspace in
   let np = Array.length (Deployment.proxies deployment) in
   let track inst =
-    { knowledge = Knowledge.create keyspace; epoch_seen = Instance.epoch inst }
+    {
+      knowledge = Knowledge.create keyspace;
+      epoch_seen = Instance.epoch inst;
+      exhausted_noted = false;
+    }
   in
   let proxy_instances = Deployment.proxy_instances deployment in
   let server_instances = Deployment.server_instances deployment in
@@ -85,6 +94,7 @@ let make deployment cfg =
       indirect_blocked = 0;
       launchpad_sent = 0;
       sources_burned = 0;
+      exhausted_slots = 0;
       rr = 0;
     }
   in
@@ -97,9 +107,26 @@ let sync_track t track inst =
   let epoch = Instance.epoch inst in
   if epoch <> track.epoch_seen then begin
     track.epoch_seen <- epoch;
+    track.exhausted_noted <- false;
     match t.cfg.target_mode with
     | Obfuscation.PO -> Knowledge.on_target_rekeyed track.knowledge
     | Obfuscation.SO -> Knowledge.on_target_recovered track.knowledge
+  end
+
+(* The attacker has eliminated the whole key space without a hit: the
+   target's key changed under it. Skip the slot and keep waiting for the
+   epoch change the next sync will pick up. *)
+let note_exhausted t track ~what =
+  t.exhausted_slots <- t.exhausted_slots + 1;
+  if not track.exhausted_noted then begin
+    track.exhausted_noted <- true;
+    Engine.emit
+      (Deployment.engine t.deployment)
+      (Event.Note
+         {
+           label = "attacker_exhausted";
+           detail = Printf.sprintf "key space exhausted against %s; attacker idles" what;
+         })
   end
 
 let note_if_compromised t =
@@ -122,33 +149,37 @@ let emit_probe t ~kind ~tier ~target outcome =
 let probe_server t ~kind =
   let insts = Deployment.server_instances t.deployment in
   sync_track t t.server_track insts.(0);
-  let guess = Knowledge.next_guess t.server_track.knowledge t.prng in
-  let target = primary_server_index t in
-  match Instance.probe insts.(0) ~guess with
-  | Instance.Crash ->
-      Knowledge.observe_crash t.server_track.knowledge ~guess;
-      emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Crashed
-  | Instance.Intrusion ->
-      Knowledge.observe_intrusion t.server_track.knowledge ~guess;
-      emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Intruded;
-      Deployment.compromise_server t.deployment target;
-      note_if_compromised t
+  match Knowledge.next_guess t.server_track.knowledge t.prng with
+  | None -> note_exhausted t t.server_track ~what:"server tier"
+  | Some guess -> (
+      let target = primary_server_index t in
+      match Instance.probe insts.(0) ~guess with
+      | Instance.Crash ->
+          Knowledge.observe_crash t.server_track.knowledge ~guess;
+          emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Crashed
+      | Instance.Intrusion ->
+          Knowledge.observe_intrusion t.server_track.knowledge ~guess;
+          emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Intruded;
+          Deployment.compromise_server t.deployment target;
+          note_if_compromised t)
 
 let probe_proxy t j =
   let insts = Deployment.proxy_instances t.deployment in
   let track = t.proxy_tracks.(j) in
   sync_track t track insts.(j);
-  let guess = Knowledge.next_guess track.knowledge t.prng in
-  match Instance.probe insts.(j) ~guess with
-  | Instance.Crash ->
-      Knowledge.observe_crash track.knowledge ~guess;
-      emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Crashed
-  | Instance.Intrusion ->
-      Knowledge.observe_intrusion track.knowledge ~guess;
-      emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Intruded;
-      Deployment.compromise_proxy t.deployment j;
-      if t.proxy_fell_at.(j) = None then t.proxy_fell_at.(j) <- Some t.current_step;
-      note_if_compromised t
+  match Knowledge.next_guess track.knowledge t.prng with
+  | None -> note_exhausted t track ~what:(Printf.sprintf "proxy %d" j)
+  | Some guess -> (
+      match Instance.probe insts.(j) ~guess with
+      | Instance.Crash ->
+          Knowledge.observe_crash track.knowledge ~guess;
+          emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Crashed
+      | Instance.Intrusion ->
+          Knowledge.observe_intrusion track.knowledge ~guess;
+          emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Intruded;
+          Deployment.compromise_proxy t.deployment j;
+          if t.proxy_fell_at.(j) = None then t.proxy_fell_at.(j) <- Some t.current_step;
+          note_if_compromised t)
 
 (* Direct probe slot aimed at proxy [j] (or at a server directly when there
    are no proxies). A fallen proxy turns its remaining slots into
@@ -197,25 +228,29 @@ let indirect_probe_slot t =
       let proxy = proxies.(j) in
       let net = Deployment.network t.deployment in
       let engine = Deployment.engine t.deployment in
-      let guess = Knowledge.next_guess t.server_track.knowledge t.prng in
-      let cmd = Printf.sprintf "probe:%d" guess in
-      let src = t.source in
-      t.indirect_sent <- t.indirect_sent + 1;
-      Network.send net ~src ~dst:(Deployment.proxy_addresses t.deployment).(j)
-        (Message.Client_request { id = Printf.sprintf "atk-%d" t.indirect_sent; cmd; client = src });
-      (* evaluate after the proxy has processed the request *)
-      ignore
-        (Engine.schedule engine ~delay:2.0 (fun () ->
-             if Proxy.is_blocked proxy src then begin
-               t.indirect_blocked <- t.indirect_blocked + 1;
-               emit_probe t ~kind:Event.Indirect ~tier:Event.Proxy_tier ~target:j Event.Blocked;
-               if t.cfg.rotate_sources then begin
-                 t.sources_burned <- t.sources_burned + 1;
-                 t.source <- new_source t;
-                 Engine.emit engine (Event.Source_rotated { burned = t.sources_burned })
-               end
-             end
-             else if t.compromised_at = None then probe_server t ~kind:Event.Indirect))
+      match Knowledge.next_guess t.server_track.knowledge t.prng with
+      | None -> note_exhausted t t.server_track ~what:"server tier"
+      | Some guess ->
+          let cmd = Printf.sprintf "probe:%d" guess in
+          let src = t.source in
+          t.indirect_sent <- t.indirect_sent + 1;
+          Network.send net ~src ~dst:(Deployment.proxy_addresses t.deployment).(j)
+            (Message.Client_request
+               { id = Printf.sprintf "atk-%d" t.indirect_sent; cmd; client = src });
+          (* evaluate after the proxy has processed the request *)
+          ignore
+            (Engine.schedule engine ~delay:2.0 (fun () ->
+                 if Proxy.is_blocked proxy src then begin
+                   t.indirect_blocked <- t.indirect_blocked + 1;
+                   emit_probe t ~kind:Event.Indirect ~tier:Event.Proxy_tier ~target:j
+                     Event.Blocked;
+                   if t.cfg.rotate_sources then begin
+                     t.sources_burned <- t.sources_burned + 1;
+                     t.source <- new_source t;
+                     Engine.emit engine (Event.Source_rotated { burned = t.sources_burned })
+                   end
+                 end
+                 else if t.compromised_at = None then probe_server t ~kind:Event.Indirect))
     end
   end
 
@@ -282,6 +317,7 @@ let indirect_probes_sent t = t.indirect_sent
 let indirect_probes_blocked t = t.indirect_blocked
 let launchpad_probes_sent t = t.launchpad_sent
 let sources_burned t = t.sources_burned
+let exhausted_slots t = t.exhausted_slots
 
 let effective_kappa t =
   let intended = t.cfg.kappa *. float_of_int t.cfg.omega *. float_of_int t.current_step in

@@ -60,6 +60,12 @@ val launchpad_probes_sent : t -> int
 val sources_burned : t -> int
 (** Attacker addresses that got blocked by proxies. *)
 
+val exhausted_slots : t -> int
+(** Probe slots skipped because the attacker had eliminated every key in
+    the current epoch without a hit (possible only when the target changed
+    keys unobserved, e.g. under fault injection). The attacker idles and
+    resumes at the next epoch change. *)
+
 val effective_kappa : t -> float
 (** Delivered indirect probes over [kappa * omega * steps]: how much of the
     attacker's intended indirect rate survived proxy detection. *)

@@ -24,22 +24,23 @@ let run ~engine ~daemon ~prng ?max_probes ~on_done () =
   in
   let rec attempt () =
     if !probes >= budget then finish None
-    else begin
-      let guess = Knowledge.next_guess knowledge prng in
-      incr probes;
-      let submit, _is_open =
-        Daemon.accept daemon
-          ~on_reply:(fun reply ->
-            if reply = "shell" then begin
-              Knowledge.observe_intrusion knowledge ~guess;
-              finish (Some guess)
-            end)
-          ~on_crash_observed:(fun () ->
-            incr crashes;
-            Knowledge.observe_crash knowledge ~guess;
-            attempt ())
-      in
-      submit (Daemon.Probe guess)
-    end
+    else
+      match Knowledge.next_guess knowledge prng with
+      | None -> finish None (* key space exhausted: the attacker gives up *)
+      | Some guess ->
+          incr probes;
+          let submit, _is_open =
+            Daemon.accept daemon
+              ~on_reply:(fun reply ->
+                if reply = "shell" then begin
+                  Knowledge.observe_intrusion knowledge ~guess;
+                  finish (Some guess)
+                end)
+              ~on_crash_observed:(fun () ->
+                incr crashes;
+                Knowledge.observe_crash knowledge ~guess;
+                attempt ())
+          in
+          submit (Daemon.Probe guess)
   in
   attempt ()

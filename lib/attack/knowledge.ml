@@ -15,18 +15,22 @@ let known_key t = t.key
 
 let next_guess t prng =
   match t.key with
-  | Some k -> k
+  | Some k -> Some k
   | None ->
       let n = Keyspace.size t.ks in
       let left = remaining t in
-      if left <= 0 then failwith "Knowledge.next_guess: key space exhausted"
+      if left <= 0 then
+        (* every key eliminated with none confirmed: only possible when the
+           target changed keys under us (e.g. missed a rekey signal under
+           faults) — the attacker is exhausted, not the program wrong *)
+        None
       else if left > n / 2 then begin
         (* rejection sampling is cheap while most keys are untried *)
         let rec draw () =
           let g = Prng.int prng ~bound:n in
           if Hashtbl.mem t.tried g then draw () else g
         in
-        draw ()
+        Some (draw ())
       end
       else begin
         (* few keys left: walk to the j-th untried key *)
@@ -44,7 +48,7 @@ let next_guess t prng =
            done
          with Exit -> ());
         assert (!result >= 0);
-        !result
+        Some !result
       end
 
 let observe_crash t ~guess = Hashtbl.replace t.tried guess ()

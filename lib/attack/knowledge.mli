@@ -22,10 +22,13 @@ val known_key : t -> int option
     Survives proactive recovery — the key did not change — but is discarded
     on re-randomization. *)
 
-val next_guess : t -> Fortress_util.Prng.t -> int
+val next_guess : t -> Fortress_util.Prng.t -> int option
 (** A uniformly random not-yet-eliminated key; the confirmed key when one
-    is known. Raises [Failure] if every key has been eliminated (cannot
-    happen against a live target: the last remaining key is the key). *)
+    is known. [None] when every key has been eliminated — the attacker is
+    exhausted. Against an unfaulted live target this cannot happen (the
+    last remaining key is the key), but under fault injection a target can
+    change keys without the attacker noticing, so campaigns must treat
+    exhaustion as a graceful outcome. *)
 
 val observe_crash : t -> guess:int -> unit
 (** The probe [guess] crashed the child: that key is ruled out. *)

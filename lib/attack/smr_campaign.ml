@@ -61,17 +61,17 @@ let probe_replica t i =
     sync_track t track inst;
     if not (Smr_deployment.compromised t.deployment i) then begin
       t.probes <- t.probes + 1;
-      if Knowledge.remaining track.knowledge > 0 then begin
-        let guess = Knowledge.next_guess track.knowledge t.prng in
-        match Instance.probe inst ~guess with
-        | Instance.Crash -> Knowledge.observe_crash track.knowledge ~guess
-        | Instance.Intrusion ->
-            Knowledge.observe_intrusion track.knowledge ~guess;
-            t.intrusions <- t.intrusions + 1;
-            Smr_deployment.compromise t.deployment i;
-            if Smr_deployment.system_compromised t.deployment then
-              t.compromised_at <- Some t.current_step
-      end
+      match Knowledge.next_guess track.knowledge t.prng with
+      | None -> () (* exhausted: idle until the next epoch change *)
+      | Some guess -> (
+          match Instance.probe inst ~guess with
+          | Instance.Crash -> Knowledge.observe_crash track.knowledge ~guess
+          | Instance.Intrusion ->
+              Knowledge.observe_intrusion track.knowledge ~guess;
+              t.intrusions <- t.intrusions + 1;
+              Smr_deployment.compromise t.deployment i;
+              if Smr_deployment.system_compromised t.deployment then
+                t.compromised_at <- Some t.current_step)
     end
     else if Knowledge.known_key track.knowledge <> None then begin
       (* SO: the key is known and recovery did not change it — instant

@@ -49,6 +49,11 @@ type t = {
   server_addresses : Address.t array;
   server_comp : bool array;
   proxy_comp : bool array;
+  key_prng : Prng.t;
+      (* obfuscation key draws live on their own stream, decoupled from the
+         engine's: network-level perturbations (fault injection, extra
+         clients) never change which keys the defense rotates through, so
+         runs under different fault plans stay pairwise comparable *)
   mutable client_count : int;
 }
 
@@ -62,6 +67,7 @@ let create cfg =
   if cfg.ns < 1 then invalid_arg "Deployment.create: ns must be >= 1";
   let engine = Engine.create ~prng:(Prng.create ~seed:cfg.seed) () in
   let prng = Engine.prng engine in
+  let key_prng = Prng.create ~seed:(cfg.seed lxor 0x6b657973) in
   let net = Network.create ~latency:cfg.latency engine in
   (* addresses first, handlers wired once the nodes exist *)
   let server_addresses =
@@ -73,18 +79,18 @@ let create cfg =
         Network.register net ~name:(Printf.sprintf "proxy%d" i) ~handler:(fun ~src:_ _ -> ()))
   in
   (* randomization: one shared key for the servers, a distinct key per proxy *)
-  let server_key = Keyspace.random_key cfg.keyspace prng in
+  let server_key = Keyspace.random_key cfg.keyspace key_prng in
   let server_instances =
     Array.init cfg.ns (fun _ ->
-        let inst = Instance.create cfg.keyspace prng in
+        let inst = Instance.create cfg.keyspace key_prng in
         Instance.set_key inst server_key;
         inst)
   in
   let proxy_keys = ref [ server_key ] in
   let proxy_instances =
     Array.init cfg.np (fun _ ->
-        let inst = Instance.create cfg.keyspace prng in
-        let k = fresh_key cfg.keyspace prng !proxy_keys in
+        let inst = Instance.create cfg.keyspace key_prng in
+        let k = fresh_key cfg.keyspace key_prng !proxy_keys in
         proxy_keys := k :: !proxy_keys;
         Instance.set_key inst k;
         inst)
@@ -147,6 +153,7 @@ let create cfg =
     server_addresses;
     server_comp = Array.make cfg.ns false;
     proxy_comp = Array.make (max cfg.np 1) false;
+    key_prng;
     client_count = 0;
   }
 
@@ -190,25 +197,95 @@ let clear_compromises t =
   Array.iter (fun p -> Proxy.set_compromised p false) t.proxies;
   Array.fill t.proxy_comp 0 (Array.length t.proxy_comp) false
 
+(* An obfuscation boundary only reaches nodes that are up: a crashed node
+   cannot re-randomize, so it keeps its stale key (and the attacker's
+   accumulated knowledge about it) until it is rekeyed after restart. *)
 let rekey t =
-  let prng = Engine.prng t.engine in
+  let prng = t.key_prng in
   let server_key = Keyspace.random_key t.cfg.keyspace prng in
-  Array.iter (fun inst -> Instance.set_key inst server_key) t.server_instances;
+  let missed = ref 0 in
+  Array.iteri
+    (fun i inst ->
+      if Network.is_up t.net t.server_addresses.(i) then Instance.set_key inst server_key
+      else incr missed)
+    t.server_instances;
   let used = ref [ server_key ] in
-  Array.iter
-    (fun inst ->
+  Array.iteri
+    (fun i inst ->
       let k = fresh_key t.cfg.keyspace prng !used in
       used := k :: !used;
-      Instance.set_key inst k)
+      if Network.is_up t.net t.proxy_addresses.(i) then Instance.set_key inst k
+      else incr missed)
     t.proxy_instances;
   clear_compromises t;
-  Engine.emit t.engine (Event.Rekey { nodes = t.cfg.ns + t.cfg.np })
+  if !missed > 0 then
+    Engine.emit t.engine
+      (Event.Fault
+         {
+           action = "rekey_miss";
+           target = "deployment";
+           detail = Printf.sprintf "%d down nodes kept stale keys" !missed;
+         });
+  Engine.emit t.engine (Event.Rekey { nodes = t.cfg.ns + t.cfg.np - !missed })
 
 let recover t =
-  Array.iter Instance.recover t.server_instances;
-  Array.iter Instance.recover t.proxy_instances;
+  let missed = ref 0 in
+  Array.iteri
+    (fun i inst ->
+      if Network.is_up t.net t.server_addresses.(i) then Instance.recover inst
+      else incr missed)
+    t.server_instances;
+  Array.iteri
+    (fun i inst ->
+      if Network.is_up t.net t.proxy_addresses.(i) then Instance.recover inst
+      else incr missed)
+    t.proxy_instances;
   clear_compromises t;
-  Engine.emit t.engine (Event.Recover { nodes = t.cfg.ns + t.cfg.np })
+  if !missed > 0 then
+    Engine.emit t.engine
+      (Event.Fault
+         {
+           action = "recover_miss";
+           target = "deployment";
+           detail = Printf.sprintf "%d down nodes not recovered" !missed;
+         });
+  Engine.emit t.engine (Event.Recover { nodes = t.cfg.ns + t.cfg.np - !missed })
+
+(* ---- crash faults ---- *)
+
+let fault t ~action ~target ~detail = Engine.emit t.engine (Event.Fault { action; target; detail })
+
+let crash_server t i =
+  (* the process dies: the intruder's foothold dies with it *)
+  Network.set_down t.net t.server_addresses.(i);
+  Pb.crash t.servers.(i);
+  t.server_comp.(i) <- false;
+  Pb.set_compromised t.servers.(i) false;
+  fault t ~action:"crash" ~target:(Printf.sprintf "server%d" i) ~detail:""
+
+let restart_server t i =
+  Network.set_up t.net t.server_addresses.(i);
+  Pb.restart t.servers.(i);
+  fault t ~action:"restart" ~target:(Printf.sprintf "server%d" i) ~detail:"network resync"
+
+let crash_proxy t i =
+  Network.set_down t.net t.proxy_addresses.(i);
+  Proxy.crash_reset t.proxies.(i);
+  t.proxy_comp.(i) <- false;
+  Proxy.set_compromised t.proxies.(i) false;
+  fault t ~action:"crash" ~target:(Printf.sprintf "proxy%d" i) ~detail:""
+
+let restart_proxy t i =
+  Network.set_up t.net t.proxy_addresses.(i);
+  fault t ~action:"restart" ~target:(Printf.sprintf "proxy%d" i) ~detail:"blocklist forgotten"
+
+let crash_nameserver t =
+  Nameserver.set_down t.nameserver;
+  fault t ~action:"crash" ~target:"nameserver" ~detail:""
+
+let restart_nameserver t =
+  Nameserver.set_up t.nameserver;
+  fault t ~action:"restart" ~target:"nameserver" ~detail:""
 
 let compromise_server t i =
   t.server_comp.(i) <- true;

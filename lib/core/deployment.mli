@@ -60,6 +60,29 @@ val recover : t -> unit
 (** Proactive recovery step: reinstall the same executables (keys
     unchanged), evicting intruders. *)
 
+(** {1 Crash faults (driven by the fault-injection subsystem)} *)
+
+val crash_server : t -> int -> unit
+(** Crash server [i]: its network node goes down (in-flight deliveries
+    voided), the replica loses volatile state, and any intrusion on it
+    dies with the process. While down it misses obfuscation boundaries —
+    {!rekey} / {!recover} skip down nodes, leaving stale keys behind. *)
+
+val restart_server : t -> int -> unit
+(** Bring server [i] back up; it resyncs over the network from the current
+    primary. *)
+
+val crash_proxy : t -> int -> unit
+(** Crash proxy [i]: node down, pending requests orphaned, suspicion
+    window and blocklist forgotten. *)
+
+val restart_proxy : t -> int -> unit
+
+val crash_nameserver : t -> unit
+(** Lookups fail until restart; new clients cannot discover the service. *)
+
+val restart_nameserver : t -> unit
+
 (** {1 Compromise bookkeeping (driven by attack campaigns)} *)
 
 val compromise_server : t -> int -> unit

@@ -12,9 +12,13 @@ type record = {
   replication : replication;
 }
 
-type t = { records : (string, record) Hashtbl.t }
+type t = { records : (string, record) Hashtbl.t; mutable up : bool }
 
-let create () = { records = Hashtbl.create 8 }
+let create () = { records = Hashtbl.create 8; up = true }
+
+let set_down t = t.up <- false
+let set_up t = t.up <- true
+let is_up t = t.up
 
 let publish t record =
   if Array.length record.proxy_addresses <> Array.length record.proxy_keys then
@@ -23,7 +27,7 @@ let publish t record =
     invalid_arg "Nameserver.publish: server index/key mismatch";
   Hashtbl.replace t.records record.service record
 
-let lookup t name = Hashtbl.find_opt t.records name
+let lookup t name = if t.up then Hashtbl.find_opt t.records name else None
 
 let services t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.records [] |> List.sort String.compare

@@ -26,7 +26,15 @@ val publish : t -> record -> unit
     [Invalid_argument] when array lengths are inconsistent. *)
 
 val lookup : t -> string -> record option
-(** Client-side read. *)
+(** Client-side read; [None] for unknown services and whenever the
+    nameserver is down. *)
+
+val set_down : t -> unit
+(** Crash the nameserver: lookups fail until {!set_up}. Records survive —
+    the store is stable, only availability is lost. *)
+
+val set_up : t -> unit
+val is_up : t -> bool
 
 val services : t -> string list
 

@@ -1,4 +1,5 @@
 module Engine = Fortress_sim.Engine
+module Event = Fortress_obs.Event
 
 type mode = PO | SO
 
@@ -9,24 +10,45 @@ type t = {
   obf_mode : mode;
   obf_period : float;
   mutable steps : int;
+  mutable obf_stalled : bool;
+  mutable skipped : int;
   handle : Engine.handle;
 }
 
 let attach deployment ~mode ~period =
   if period <= 0.0 then invalid_arg "Obfuscation.attach: period must be positive";
   let t_ref = ref None in
+  let engine = Deployment.engine deployment in
   let handle =
-    Engine.every (Deployment.engine deployment) ~period (fun () ->
-        (match mode with
-        | PO -> Deployment.rekey deployment
-        | SO -> Deployment.recover deployment);
-        match !t_ref with Some t -> t.steps <- t.steps + 1 | None -> ())
+    Engine.every engine ~period (fun () ->
+        match !t_ref with
+        | Some t when t.obf_stalled ->
+            (* the daemon is wedged: the boundary silently does not happen,
+               so every key stays exactly as exposed as it already was *)
+            t.skipped <- t.skipped + 1;
+            Engine.emit engine
+              (Event.Fault
+                 {
+                   action = "stall_skip";
+                   target = "obfuscation";
+                   detail = Printf.sprintf "%s boundary skipped" (mode_to_string mode);
+                 })
+        | (Some _ | None) as r -> (
+            (match mode with
+            | PO -> Deployment.rekey deployment
+            | SO -> Deployment.recover deployment);
+            match r with Some t -> t.steps <- t.steps + 1 | None -> ()))
   in
-  let t = { obf_mode = mode; obf_period = period; steps = 0; handle } in
+  let t =
+    { obf_mode = mode; obf_period = period; steps = 0; obf_stalled = false; skipped = 0; handle }
+  in
   t_ref := Some t;
   t
 
 let mode t = t.obf_mode
 let period t = t.obf_period
 let steps_completed t = t.steps
+let set_stalled t v = t.obf_stalled <- v
+let stalled t = t.obf_stalled
+let skipped_boundaries t = t.skipped
 let detach t = Engine.cancel t.handle

@@ -23,5 +23,15 @@ val attach : Deployment.t -> mode:mode -> period:float -> t
 val mode : t -> mode
 val period : t -> float
 val steps_completed : t -> int
+
+val set_stalled : t -> bool -> unit
+(** Fault hook: while stalled, boundaries fire but perform no rekey /
+    recovery — the daemon is wedged, keys stay exposed, and each skipped
+    boundary emits a ["stall_skip"] fault event. *)
+
+val stalled : t -> bool
+val skipped_boundaries : t -> int
+(** Boundaries that elapsed while stalled. *)
+
 val detach : t -> unit
 (** Stop future boundaries (used when tearing an experiment down). *)

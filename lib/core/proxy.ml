@@ -73,6 +73,15 @@ let unblock_all t = Hashtbl.reset t.blocked
 let set_compromised t v = t.p_compromised <- v
 let compromised t = t.p_compromised
 
+(* A proxy crash wipes every volatile table: pending requests are orphaned
+   (clients must retry), the suspicion window forgets its evidence and —
+   crucially for the attacker — blocked sources become unblocked. Lifetime
+   counters are kept: they are measurement state, not process state. *)
+let crash_reset t =
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.invalid_log;
+  Hashtbl.reset t.blocked
+
 (* Log an invalid request from [src]; block the source once the sliding
    window holds more than the threshold. *)
 let note_invalid t src =

@@ -63,6 +63,12 @@ val unblock_all : t -> unit
 (** Operator action: clear the blocklist (e.g. at a re-randomization
     boundary). *)
 
+val crash_reset : t -> unit
+(** Crash with amnesia: pending requests, the invalid-request sliding
+    window and the blocklist are wiped (lifetime counters survive — they
+    are measurement, not process state). The restarted proxy answers
+    again immediately but has forgotten every suspect. *)
+
 val set_compromised : t -> bool -> unit
 (** A compromised proxy stops serving clients (it is the attacker's launch
     pad now); it cannot forge server signatures, so integrity is preserved

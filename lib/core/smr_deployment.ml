@@ -186,6 +186,23 @@ let attach_schedule ?(stagger = true) t ~mode ~period =
                     | Obfuscation.SO -> recover_batch t batch)))
            bs))
 
+let crash_replica t i =
+  Network.set_down t.net t.addresses.(i);
+  Smr.crash t.replicas.(i);
+  t.comp.(i) <- false;
+  Smr.set_compromised t.replicas.(i) false;
+  Engine.emit t.engine
+    (Fortress_obs.Event.Fault
+       { action = "crash"; target = Printf.sprintf "replica%d" i; detail = "" })
+
+let restart_replica t i =
+  Network.set_up t.net t.addresses.(i);
+  Smr.restart t.replicas.(i);
+  Smr.begin_state_transfer t.replicas.(i);
+  Engine.emit t.engine
+    (Fortress_obs.Event.Fault
+       { action = "restart"; target = Printf.sprintf "replica%d" i; detail = "state transfer" })
+
 let compromise t i =
   t.comp.(i) <- true;
   Smr.set_compromised t.replicas.(i) true;

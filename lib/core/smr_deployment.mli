@@ -60,6 +60,15 @@ val attach_schedule : ?stagger:bool -> t -> mode:Obfuscation.mode -> period:floa
     stronger against the simultaneity condition (see EXPERIMENTS.md V3) but
     only deployable when recovery is fast enough to overlap. *)
 
+(** {1 Crash faults} *)
+
+val crash_replica : t -> int -> unit
+(** Crash replica [i] with amnesia: node down, volatile ordering state
+    lost, any intrusion on it dies with the process. *)
+
+val restart_replica : t -> int -> unit
+(** Bring replica [i] back and rejoin via state transfer. *)
+
 (** {1 Compromise bookkeeping} *)
 
 val compromise : t -> int -> unit

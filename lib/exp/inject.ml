@@ -1,0 +1,183 @@
+module Deployment = Fortress_core.Deployment
+module Obfuscation = Fortress_core.Obfuscation
+module Client = Fortress_core.Client
+module Campaign = Fortress_attack.Campaign
+module Keyspace = Fortress_defense.Keyspace
+module Engine = Fortress_sim.Engine
+module Plan = Fortress_faults.Plan
+module Wiring = Fortress_faults.Wiring
+module Injector = Fortress_faults.Injector
+module Trial = Fortress_mc.Trial
+module Sink = Fortress_obs.Sink
+module Table = Fortress_util.Table
+
+type config = {
+  trials : int;
+  chi : int;
+  omega : int;
+  kappa : float;
+  max_steps : int;
+  workload_period : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    trials = 12;
+    chi = 256;
+    omega = 8;
+    kappa = 0.5;
+    max_steps = 400;
+    workload_period = 20.0;
+    seed = 1;
+  }
+
+type run = {
+  plan_name : string;
+  el : Trial.result;
+  requests_issued : int;
+  requests_answered : int;
+  availability : float;
+  faults : Injector.stats;  (** summed over all trials *)
+  digest : string;
+}
+
+let accumulate (acc : Injector.stats) (s : Injector.stats) =
+  acc.Injector.dropped <- acc.Injector.dropped + s.Injector.dropped;
+  acc.Injector.duplicated <- acc.Injector.duplicated + s.Injector.duplicated;
+  acc.Injector.reordered <- acc.Injector.reordered + s.Injector.reordered;
+  acc.Injector.corrupted <- acc.Injector.corrupted + s.Injector.corrupted;
+  acc.Injector.delayed <- acc.Injector.delayed + s.Injector.delayed;
+  acc.Injector.timeline_fired <- acc.Injector.timeline_fired + s.Injector.timeline_fired
+
+(* One campaign under the plan: the attacker hunts the key while a benign
+   client polls the service; the trial's lifetime is the campaign's, the
+   availability sample is answered / issued over the same horizon. *)
+let one_trial cfg plan ~digest ~faults ~issued ~answered ~seed =
+  let period = 100.0 in
+  let deployment =
+    Deployment.create
+      { Deployment.default_config with keyspace = Keyspace.of_size cfg.chi; seed }
+  in
+  let engine = Deployment.engine deployment in
+  ignore (Sink.attach (Engine.sink engine) digest);
+  let obfuscation = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period in
+  let handle = Wiring.install plan ~deployment ~obfuscation ~seed () in
+  let client = Deployment.new_client deployment ~name:"workload" in
+  let n = ref 0 in
+  ignore
+    (Engine.every engine ~period:cfg.workload_period (fun () ->
+         incr n;
+         incr issued;
+         ignore
+           (Client.submit client
+              ~cmd:(Printf.sprintf "get health%d" !n)
+              ~on_response:(fun _ -> incr answered))));
+  let campaign =
+    Campaign.launch deployment
+      { Campaign.default_config with omega = cfg.omega; kappa = cfg.kappa; period;
+        seed = seed + 7919 }
+  in
+  let lifetime = Campaign.run_until_compromise campaign ~max_steps:cfg.max_steps in
+  accumulate faults (Wiring.stats handle);
+  lifetime
+
+let run_plan ?sink cfg plan =
+  let digest, finalize = Sink.digesting () in
+  let faults = Injector.fresh_stats () in
+  let issued = ref 0 and answered = ref 0 in
+  (* counter-based per-trial seeds, as in Validation.protocol: every plan
+     replays the same seed sequence, so deltas are paired comparisons *)
+  let counter = ref (cfg.seed * 1000) in
+  let el =
+    Trial.run ?sink ~trials:cfg.trials ~seed:cfg.seed
+      ~sampler:(fun _prng ->
+        incr counter;
+        one_trial cfg plan ~digest ~faults ~issued ~answered ~seed:!counter)
+      ()
+  in
+  {
+    plan_name = plan.Plan.name;
+    el;
+    requests_issued = !issued;
+    requests_answered = !answered;
+    availability =
+      (if !issued = 0 then 1.0 else float_of_int !answered /. float_of_int !issued);
+    faults;
+    digest = finalize ();
+  }
+
+type report = { config : config; baseline : run; runs : run list }
+
+let run ?sink ?(config = default_config) ~plans () =
+  let baseline = run_plan ?sink config Plan.none in
+  let runs = List.map (run_plan ?sink config) plans in
+  { config; baseline; runs }
+
+(* Mean EL treating an all-censored run as the horizon itself: a plan so
+   gentle the system always survives is "at least max_steps". *)
+let mean_el cfg (r : run) =
+  if Float.is_nan r.el.Trial.mean then float_of_int cfg.max_steps else r.el.Trial.mean
+
+let el_means report =
+  List.map
+    (fun r -> (r.plan_name, mean_el report.config r))
+    (report.baseline :: report.runs)
+
+let monotone_non_increasing report =
+  let rec check = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && check rest
+    | _ -> true
+  in
+  check (List.map snd (el_means report))
+
+let table report =
+  let t =
+    Table.create
+      ~headers:
+        [ "plan"; "EL (steps)"; "ci95"; "dEL"; "censored"; "avail"; "davail"; "link faults";
+          "timeline"; "trace digest" ]
+  in
+  let base_el = mean_el report.config report.baseline in
+  let base_av = report.baseline.availability in
+  let row (r : run) =
+    let lo, hi = r.el.Trial.ci95 in
+    let el = mean_el report.config r in
+    Table.add_row t
+      [
+        r.plan_name;
+        Printf.sprintf "%.1f" el;
+        Printf.sprintf "[%.1f, %.1f]" lo hi;
+        (if r == report.baseline then "-" else Printf.sprintf "%+.1f" (el -. base_el));
+        string_of_int r.el.Trial.censored;
+        Printf.sprintf "%.3f" r.availability;
+        (if r == report.baseline then "-"
+         else Printf.sprintf "%+.3f" (r.availability -. base_av));
+        string_of_int (Injector.stats_total r.faults);
+        string_of_int r.faults.Injector.timeline_fired;
+        r.digest;
+      ]
+  in
+  row report.baseline;
+  List.iter row report.runs;
+  t
+
+let fault_breakdown report =
+  let t =
+    Table.create
+      ~headers:[ "plan"; "dropped"; "duplicated"; "reordered"; "corrupted"; "delayed" ]
+  in
+  List.iter
+    (fun (r : run) ->
+      let s = r.faults in
+      Table.add_row t
+        [
+          r.plan_name;
+          string_of_int s.Injector.dropped;
+          string_of_int s.Injector.duplicated;
+          string_of_int s.Injector.reordered;
+          string_of_int s.Injector.corrupted;
+          string_of_int s.Injector.delayed;
+        ])
+    (report.baseline :: report.runs);
+  t

@@ -1,0 +1,58 @@
+(** Fault-injection campaigns: expected lifetime and availability under the
+    built-in fault plans, against a fault-free baseline.
+
+    Every plan replays the same per-trial seed sequence, so the reported
+    deltas are paired comparisons: the organic randomness (latencies, key
+    draws, attacker behaviour) is identical across plans, and only the
+    injected faults differ. Each run also folds its full event trace —
+    including every injected-fault event — into an FNV-1a digest; identical
+    (plan, seed, config) reproduce the digest bit for bit. *)
+
+type config = {
+  trials : int;
+  chi : int;  (** key-space size *)
+  omega : int;  (** probes per channel per step *)
+  kappa : float;
+  max_steps : int;  (** campaign horizon in unit time-steps *)
+  workload_period : float;  (** one availability probe every this many time units *)
+  seed : int;
+}
+
+val default_config : config
+(** trials 12, chi 256, omega 8, kappa 0.5, horizon 400 steps, workload
+    every 20.0, seed 1 — the protocol-validation operating point. *)
+
+type run = {
+  plan_name : string;
+  el : Fortress_mc.Trial.result;
+  requests_issued : int;
+  requests_answered : int;
+  availability : float;  (** answered / issued, pooled over all trials *)
+  faults : Fortress_faults.Injector.stats;  (** summed over all trials *)
+  digest : string;  (** FNV-1a digest of the concatenated trial traces *)
+}
+
+val run_plan : ?sink:Fortress_obs.Sink.t -> config -> Fortress_faults.Plan.t -> run
+
+type report = { config : config; baseline : run; runs : run list }
+
+val run :
+  ?sink:Fortress_obs.Sink.t ->
+  ?config:config ->
+  plans:Fortress_faults.Plan.t list ->
+  unit ->
+  report
+(** The baseline is always {!Fortress_faults.Plan.none}. *)
+
+val mean_el : config -> run -> float
+(** Mean uncensored lifetime; an all-censored run counts as the horizon. *)
+
+val el_means : report -> (string * float) list
+(** Baseline first, then the requested plans in order. *)
+
+val monotone_non_increasing : report -> bool
+(** Whether EL never increases along [baseline :: runs] — the escalation
+    property the built-in ladder is tuned for. *)
+
+val table : report -> Fortress_util.Table.t
+val fault_breakdown : report -> Fortress_util.Table.t

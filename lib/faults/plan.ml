@@ -1,0 +1,163 @@
+type link = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_delay : float;
+  corrupt : float;
+  extra_latency : float;
+  jitter : float;
+}
+
+let calm =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_delay = 0.0;
+    corrupt = 0.0;
+    extra_latency = 0.0;
+    jitter = 0.0;
+  }
+
+let link_is_calm l = l = calm
+
+type target = Server of int | Proxy of int | Nameserver
+
+let target_to_string = function
+  | Server i -> Printf.sprintf "server%d" i
+  | Proxy i -> Printf.sprintf "proxy%d" i
+  | Nameserver -> "nameserver"
+
+type action =
+  | Crash of target
+  | Restart of target
+  | Partition of target * target
+  | Heal_all
+  | Stall_obfuscation
+  | Resume_obfuscation
+  | Slowdown of float
+
+let action_to_string = function
+  | Crash t -> "crash " ^ target_to_string t
+  | Restart t -> "restart " ^ target_to_string t
+  | Partition (a, b) ->
+      Printf.sprintf "partition %s | %s" (target_to_string a) (target_to_string b)
+  | Heal_all -> "heal all"
+  | Stall_obfuscation -> "stall obfuscation"
+  | Resume_obfuscation -> "resume obfuscation"
+  | Slowdown f -> Printf.sprintf "slowdown x%g" f
+
+type entry = { at : float; every : float option; action : action }
+
+let once ~at action = { at; every = None; action }
+let repeat ~at ~every action = { at; every = Some every; action }
+
+type t = { name : string; link : link; timeline : entry list }
+
+let validate t =
+  if t.name = "" then invalid_arg "Plan: name must be non-empty";
+  let rate what r =
+    if r < 0.0 || r > 1.0 then invalid_arg (Printf.sprintf "Plan %s: %s in [0,1]" t.name what)
+  in
+  rate "drop" t.link.drop;
+  rate "duplicate" t.link.duplicate;
+  rate "reorder" t.link.reorder;
+  rate "corrupt" t.link.corrupt;
+  if t.link.reorder_delay < 0.0 || t.link.extra_latency < 0.0 || t.link.jitter < 0.0 then
+    invalid_arg (Printf.sprintf "Plan %s: delays must be non-negative" t.name);
+  List.iter
+    (fun e ->
+      if e.at < 0.0 then invalid_arg (Printf.sprintf "Plan %s: entry in the past" t.name);
+      (match e.every with
+      | Some p when p <= 0.0 ->
+          invalid_arg (Printf.sprintf "Plan %s: repeat period must be positive" t.name)
+      | _ -> ());
+      match e.action with
+      | Slowdown f when f <= 0.0 ->
+          invalid_arg (Printf.sprintf "Plan %s: slowdown factor must be positive" t.name)
+      | Partition (Nameserver, _) | Partition (_, Nameserver) ->
+          invalid_arg (Printf.sprintf "Plan %s: the nameserver is not a network node" t.name)
+      | _ -> ())
+    t.timeline
+
+(* ---- built-in plans ----
+
+   The four built-ins form an escalation ladder: each is its predecessor
+   plus strictly more hostility, which is what makes the EL ordering
+   lossy >= partition >= crashy >= chaos meaningful at the default
+   operating point (obfuscation period 100.0 time units — timeline entries
+   below are phrased against that period). *)
+
+let none = { name = "none"; link = calm; timeline = [] }
+
+let lossy_link =
+  {
+    drop = 0.06;
+    duplicate = 0.03;
+    reorder = 0.06;
+    reorder_delay = 1.5;
+    corrupt = 0.02;
+    extra_latency = 0.2;
+    jitter = 0.4;
+  }
+
+let lossy = { name = "lossy"; link = lossy_link; timeline = [] }
+
+(* Mid-step partition windows: proxy0 loses the whole server tier and the
+   primary loses its backups for 30 time units out of every 100, plus a
+   heavier loss rate on every link. *)
+let partition_timeline =
+  [
+    repeat ~at:35.0 ~every:100.0 (Partition (Proxy 0, Server 0));
+    repeat ~at:35.0 ~every:100.0 (Partition (Proxy 0, Server 1));
+    repeat ~at:35.0 ~every:100.0 (Partition (Proxy 0, Server 2));
+    repeat ~at:35.0 ~every:100.0 (Partition (Server 0, Server 1));
+    repeat ~at:35.0 ~every:100.0 (Partition (Server 0, Server 2));
+    repeat ~at:65.0 ~every:100.0 Heal_all;
+  ]
+
+let partition =
+  {
+    name = "partition";
+    link = { lossy_link with drop = 0.10 };
+    timeline = partition_timeline;
+  }
+
+(* Crashes on top: server0 goes down shortly before every obfuscation
+   boundary and comes back after it, so it misses every rekey and keeps its
+   stale key — the attacker's eliminations against the server tier survive
+   each boundary, turning the hunt into straight key-space exhaustion.
+   Proxy 1 crashes on a slower cycle, forgetting its blocklist. *)
+let crashy_timeline =
+  partition_timeline
+  @ [
+      repeat ~at:90.0 ~every:100.0 (Crash (Server 0));
+      repeat ~at:125.0 ~every:100.0 (Restart (Server 0));
+      repeat ~at:55.0 ~every:300.0 (Crash (Proxy 1));
+      repeat ~at:80.0 ~every:300.0 (Restart (Proxy 1));
+    ]
+
+let crashy =
+  { name = "crashy"; link = { lossy_link with drop = 0.10 }; timeline = crashy_timeline }
+
+(* Everything above, heavier, plus a rekey daemon that wedges for good
+   early in the run: from then on no boundary fires at all, so proxy keys,
+   proxy compromise flags and the attacker's knowledge at every tier
+   persist — launch pads accumulate instead of being evicted. A global
+   1.5x slowdown and nameserver outages round it off. *)
+let chaos =
+  {
+    name = "chaos";
+    link = { lossy_link with drop = 0.12; corrupt = 0.05; jitter = 0.8 };
+    timeline =
+      crashy_timeline
+      @ [
+          once ~at:5.0 (Slowdown 1.5);
+          once ~at:140.0 Stall_obfuscation;
+          repeat ~at:150.0 ~every:500.0 (Crash Nameserver);
+          repeat ~at:210.0 ~every:500.0 (Restart Nameserver);
+        ];
+  }
+
+let builtins = [ none; lossy; partition; crashy; chaos ]
+let find name = List.find_opt (fun p -> p.name = name) builtins

@@ -1,0 +1,83 @@
+(** Declarative, seeded, virtual-time fault plans.
+
+    A plan has two parts. The {b link layer} is a set of per-message fault
+    rates sampled independently for every [Network.send] — drop, duplicate,
+    reorder (an extra copy-free delay), corrupt, plus deterministic extra
+    latency and uniform jitter. The {b timeline} is a list of entries fired
+    at absolute virtual times (optionally repeating): process crash /
+    restart, pairwise partitions with scheduled heal, rekey-daemon stalls
+    and a global scheduling slowdown.
+
+    Plans are pure data; {!Wiring.install} compiles one onto a live
+    FORTRESS deployment. Identical (plan, seed) pairs reproduce bit-equal
+    traces — nothing in a plan consults wall-clock time or global state. *)
+
+type link = {
+  drop : float;  (** per-message loss probability added by the fault layer *)
+  duplicate : float;  (** probability a message is delivered twice *)
+  reorder : float;
+      (** probability a message is held back [reorder_delay] longer, letting
+          later sends overtake it *)
+  reorder_delay : float;
+  corrupt : float;  (** probability the payload is mangled in flight *)
+  extra_latency : float;  (** deterministic latency added to every message *)
+  jitter : float;  (** extra uniform latency in [0, jitter) per message *)
+}
+
+val calm : link
+(** All rates and delays zero. *)
+
+val link_is_calm : link -> bool
+
+type target = Server of int | Proxy of int | Nameserver
+
+val target_to_string : target -> string
+
+type action =
+  | Crash of target
+  | Restart of target
+  | Partition of target * target  (** nameserver targets are rejected *)
+  | Heal_all
+  | Stall_obfuscation  (** boundaries elapse without rekey / recovery *)
+  | Resume_obfuscation
+  | Slowdown of float
+      (** multiply every relative scheduling delay by this factor
+          (1.0 restores normal speed) *)
+
+val action_to_string : action -> string
+
+type entry = { at : float; every : float option; action : action }
+
+val once : at:float -> action -> entry
+val repeat : at:float -> every:float -> action -> entry
+(** First firing at [at], then every [every] time units forever (until the
+    plan is uninstalled). *)
+
+type t = { name : string; link : link; timeline : entry list }
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range rates, negative delays or
+    times, non-positive repeat periods or slowdown factors, and partitions
+    naming the nameserver. *)
+
+(** {2 Built-in plans}
+
+    An escalation ladder — each plan is its predecessor plus strictly more
+    hostility, phrased against the default operating point (obfuscation
+    period 100.0): [lossy] is link noise only; [partition] raises the loss
+    rate and adds mid-step partition windows; [crashy] adds server crashes
+    timed to miss rekey boundaries (stale keys survive) and proxy crashes
+    that forget blocklists; [chaos] turns everything up and wedges the
+    rekey daemon one boundary in four. *)
+
+val none : t
+val lossy : t
+val partition : t
+val crashy : t
+val chaos : t
+
+val builtins : t list
+(** [none; lossy; partition; crashy; chaos] in escalation order. *)
+
+val find : string -> t option
+(** Look a built-in up by name. *)

@@ -1,0 +1,138 @@
+module Engine = Fortress_sim.Engine
+module Network = Fortress_net.Network
+module Deployment = Fortress_core.Deployment
+module Message = Fortress_core.Message
+module Obfuscation = Fortress_core.Obfuscation
+module Event = Fortress_obs.Event
+
+type handle = {
+  stats : Injector.stats;
+  mutable active : bool;
+  deployment : Deployment.t;
+  obfuscation : Obfuscation.t option;
+}
+
+(* Corrupting a client request mangles the command in flight; the proxy
+   still parses the frame and forwards garbage (our proxies log, they do
+   not deep-inspect). Protocol-internal messages and signed replies fail
+   their integrity checks instead, which the network models as a drop. *)
+let corrupter = function
+  | Message.Client_request { id; cmd; client } ->
+      Some (Message.Client_request { id; cmd = "corrupt:" ^ cmd; client })
+  | Message.Server _ | Message.Client_reply _ -> None
+
+let resolve_address deployment = function
+  | Plan.Server i ->
+      let a = Deployment.server_addresses deployment in
+      if i < 0 || i >= Array.length a then
+        invalid_arg (Printf.sprintf "Wiring: no server %d in this deployment" i);
+      a.(i)
+  | Plan.Proxy i ->
+      let a = Deployment.proxy_addresses deployment in
+      if i < 0 || i >= Array.length a then
+        invalid_arg (Printf.sprintf "Wiring: no proxy %d in this deployment" i);
+      a.(i)
+  | Plan.Nameserver -> invalid_arg "Wiring: the nameserver is not a network node"
+
+let check_target deployment = function
+  | Plan.Nameserver -> ()
+  | t -> ignore (resolve_address deployment t)
+
+let apply_action h action =
+  let deployment = h.deployment in
+  let engine = Deployment.engine deployment in
+  let net = Deployment.network deployment in
+  h.stats.Injector.timeline_fired <- h.stats.Injector.timeline_fired + 1;
+  match action with
+  | Plan.Crash (Plan.Server i) -> Deployment.crash_server deployment i
+  | Plan.Crash (Plan.Proxy i) -> Deployment.crash_proxy deployment i
+  | Plan.Crash Plan.Nameserver -> Deployment.crash_nameserver deployment
+  | Plan.Restart (Plan.Server i) -> Deployment.restart_server deployment i
+  | Plan.Restart (Plan.Proxy i) -> Deployment.restart_proxy deployment i
+  | Plan.Restart Plan.Nameserver -> Deployment.restart_nameserver deployment
+  | Plan.Partition (a, b) ->
+      Network.partition net (resolve_address deployment a) (resolve_address deployment b);
+      Engine.emit engine
+        (Event.Fault
+           {
+             action = "partition";
+             target =
+               Printf.sprintf "%s|%s" (Plan.target_to_string a) (Plan.target_to_string b);
+             detail = "";
+           })
+  | Plan.Heal_all ->
+      Network.heal_all net;
+      Engine.emit engine (Event.Fault { action = "heal"; target = "network"; detail = "all" })
+  | Plan.Stall_obfuscation ->
+      Option.iter (fun o -> Obfuscation.set_stalled o true) h.obfuscation;
+      Engine.emit engine
+        (Event.Fault { action = "stall"; target = "obfuscation"; detail = "daemon wedged" })
+  | Plan.Resume_obfuscation ->
+      Option.iter (fun o -> Obfuscation.set_stalled o false) h.obfuscation;
+      Engine.emit engine
+        (Event.Fault { action = "resume"; target = "obfuscation"; detail = "" })
+  | Plan.Slowdown f ->
+      Engine.set_delay_interceptor engine
+        (if f = 1.0 then None else Some (fun d -> d *. f));
+      Engine.emit engine
+        (Event.Fault
+           { action = "slowdown"; target = "engine"; detail = Printf.sprintf "x%g" f })
+
+let schedule_entry h (e : Plan.entry) =
+  let engine = Deployment.engine h.deployment in
+  let rec arm time =
+    ignore
+      (Engine.schedule_at engine ~time (fun () ->
+           if h.active then begin
+             apply_action h e.Plan.action;
+             match e.Plan.every with
+             | Some period -> arm (Engine.now engine +. period)
+             | None -> ()
+           end))
+  in
+  if e.Plan.at >= Engine.now engine then arm e.Plan.at
+  else invalid_arg "Wiring: timeline entry scheduled in the past"
+
+let install plan ~deployment ?obfuscation ~seed () =
+  Plan.validate plan;
+  (* fail before touching anything if the plan names absent nodes *)
+  List.iter
+    (fun (e : Plan.entry) ->
+      match e.Plan.action with
+      | Plan.Crash t | Plan.Restart t -> check_target deployment t
+      | Plan.Partition (a, b) ->
+          check_target deployment a;
+          check_target deployment b
+      | Plan.Heal_all | Plan.Stall_obfuscation | Plan.Resume_obfuscation | Plan.Slowdown _ -> ())
+    plan.Plan.timeline;
+  let engine = Deployment.engine deployment in
+  let net = Deployment.network deployment in
+  let stats = Injector.fresh_stats () in
+  let h = { stats; active = true; deployment; obfuscation } in
+  let prng = Injector.derive_prng ~seed in
+  Injector.install_link ~engine ~net ~prng ~stats plan.Plan.link;
+  if plan.Plan.link.Plan.corrupt > 0.0 then Network.set_corrupter net (Some corrupter);
+  List.iter (schedule_entry h) plan.Plan.timeline;
+  Engine.emit engine
+    (Event.Fault
+       {
+         action = "plan_installed";
+         target = plan.Plan.name;
+         detail = Printf.sprintf "%d timeline entries" (List.length plan.Plan.timeline);
+       });
+  h
+
+let stats h = h.stats
+
+let uninstall h =
+  if h.active then begin
+    h.active <- false;
+    let net = Deployment.network h.deployment in
+    let engine = Deployment.engine h.deployment in
+    Network.set_interceptor net None;
+    Network.set_corrupter net None;
+    Engine.set_delay_interceptor engine None;
+    Option.iter (fun o -> Obfuscation.set_stalled o false) h.obfuscation;
+    Engine.emit engine
+      (Event.Fault { action = "plan_uninstalled"; target = "deployment"; detail = "" })
+  end

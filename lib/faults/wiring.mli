@@ -1,0 +1,30 @@
+(** Bind a fault plan to a live FORTRESS deployment.
+
+    Installs the link interceptor and Message corrupter on the deployment's
+    network, schedules every timeline entry on the engine (via absolute
+    [schedule_at], so the fault timeline itself is exempt from its own
+    slowdown), and routes crash / restart / stall actions into the
+    deployment and obfuscation hooks. *)
+
+type handle
+
+val install :
+  Plan.t ->
+  deployment:Fortress_core.Deployment.t ->
+  ?obfuscation:Fortress_core.Obfuscation.t ->
+  seed:int ->
+  unit ->
+  handle
+(** Validates the plan (including that every named node exists in this
+    deployment) before touching anything. [seed] drives the injector's own
+    salted PRNG — it does not perturb the engine's stream, so a faulted run
+    samples the same organic randomness as the baseline. Pass
+    [?obfuscation] to let [Stall_obfuscation] actions reach the rekey
+    daemon; without it they emit their events but wedge nothing. *)
+
+val stats : handle -> Injector.stats
+
+val uninstall : handle -> unit
+(** Remove the interceptors, restore engine speed, unwedge the daemon and
+    stop future timeline firings (in-flight scheduled entries become
+    no-ops). Already-applied crashes and partitions are {e not} undone. *)

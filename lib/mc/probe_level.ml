@@ -68,15 +68,17 @@ let one_tier ~nkeys ~fail_at cfg prng =
       let m = ref 0 in
       while (not !compromised) && !m < budget do
         incr m;
-        let guess = Knowledge.next_guess !knowledge prng in
-        Knowledge.observe_crash !knowledge ~guess;
-        for n = 0 to nkeys - 1 do
-          if (not found.(n)) && keys.(n) = guess then begin
-            found.(n) <- true;
-            incr found_count
-          end
-        done;
-        if !found_count >= fail_at then compromised := true
+        match Knowledge.next_guess !knowledge prng with
+        | None -> () (* unreachable: budget <= remaining *)
+        | Some guess ->
+            Knowledge.observe_crash !knowledge ~guess;
+            for n = 0 to nkeys - 1 do
+              if (not found.(n)) && keys.(n) = guess then begin
+                found.(n) <- true;
+                incr found_count
+              end
+            done;
+            if !found_count >= fail_at then compromised := true
       done;
       if !compromised then Some i
       else begin
@@ -123,12 +125,14 @@ let s2 cfg prng =
     let m = ref 0 in
     while (not !server_found) && !m < n && Knowledge.remaining !server_knowledge > 0 do
       incr m;
-      let guess = Knowledge.next_guess !server_knowledge prng in
-      if guess = !server_key then begin
-        Knowledge.observe_intrusion !server_knowledge ~guess;
-        server_found := true
-      end
-      else Knowledge.observe_crash !server_knowledge ~guess
+      match Knowledge.next_guess !server_knowledge prng with
+      | None -> () (* unreachable: the loop guard checks [remaining] *)
+      | Some guess ->
+          if guess = !server_key then begin
+            Knowledge.observe_intrusion !server_knowledge ~guess;
+            server_found := true
+          end
+          else Knowledge.observe_crash !server_knowledge ~guess
     done
   in
   let rec step i =
@@ -150,12 +154,14 @@ let s2 cfg prng =
             let fell_at = ref None in
             while !fell_at = None && !m < budget do
               incr m;
-              let guess = Knowledge.next_guess kn prng in
-              if guess = proxy_keys.(j) then begin
-                Knowledge.observe_intrusion kn ~guess;
-                fell_at := Some !m
-              end
-              else Knowledge.observe_crash kn ~guess
+              match Knowledge.next_guess kn prng with
+              | None -> () (* unreachable: budget <= remaining *)
+              | Some guess ->
+                  if guess = proxy_keys.(j) then begin
+                    Knowledge.observe_intrusion kn ~guess;
+                    fell_at := Some !m
+                  end
+                  else Knowledge.observe_crash kn ~guess
             done;
             match !fell_at with
             | None -> ()

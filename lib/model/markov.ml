@@ -1,6 +1,19 @@
 module Matrix = Fortress_util.Matrix
 module Prng = Fortress_util.Prng
 
+exception No_transient_states
+exception Absorption_unreachable of { state : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_transient_states -> Some "Markov.No_transient_states: every state is absorbing"
+    | Absorption_unreachable { state } ->
+        Some
+          (Printf.sprintf
+             "Markov.Absorption_unreachable: absorption unreachable from transient state %d"
+             state)
+    | _ -> None)
+
 type t = {
   labels : string array;
   absorbing : bool array;
@@ -36,7 +49,7 @@ let transition t i j = Matrix.get t.p i j
 
 let q_matrix t =
   let m = Array.length t.transient_index in
-  if m = 0 then failwith "Markov: no transient states";
+  if m = 0 then raise No_transient_states;
   Matrix.init ~rows:m ~cols:m (fun i j ->
       Matrix.get t.p t.transient_index.(i) t.transient_index.(j))
 
@@ -45,7 +58,8 @@ let fundamental t =
   let m = Matrix.rows q in
   let i_minus_q = Matrix.sub (Matrix.identity m) q in
   try Matrix.inverse i_minus_q
-  with Failure _ -> failwith "Markov: absorption unreachable from some transient state"
+  with Matrix.Singular { col; _ } ->
+    raise (Absorption_unreachable { state = t.transient_index.(col) })
 
 let transient_position t s =
   let pos = ref (-1) in

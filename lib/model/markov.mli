@@ -11,6 +11,15 @@
 
 type t
 
+exception No_transient_states
+(** Raised by {!fundamental} / {!expected_steps} when every state of the
+    chain is absorbing, so there is no transient dynamics to analyse. *)
+
+exception Absorption_unreachable of { state : int }
+(** Raised by {!fundamental} when (I - Q) is singular, i.e. the chain can
+    loop forever without absorbing. [state] is the original index of a
+    transient state implicated by the failing elimination column. *)
+
 val create : labels:string array -> absorbing:bool array -> Fortress_util.Matrix.t -> t
 (** Raises [Invalid_argument] if dimensions disagree, a row does not sum to
     1 (tolerance 1e-9), an entry is negative, or an absorbing state does
@@ -23,8 +32,8 @@ val transition : t -> int -> int -> float
 
 val fundamental : t -> Fortress_util.Matrix.t
 (** N = (I - Q)^-1 over the transient states, indexed in their original
-    relative order. Raises [Failure] if no state is transient or the chain
-    cannot reach absorption. *)
+    relative order. Raises {!No_transient_states} if no state is transient
+    and {!Absorption_unreachable} if the chain cannot reach absorption. *)
 
 val expected_steps : t -> start:int -> float
 (** Expected number of steps to absorption from [start]. 0 when [start] is

@@ -8,6 +8,15 @@ type 'msg node = {
   mutable epoch : int;  (** bumped on crash so in-flight deliveries are voided *)
 }
 
+type delivery = { extra_delay : float; corrupt : bool }
+
+type verdict =
+  | Pass
+  | Drop of string
+  | Deliver of delivery list
+
+type 'msg interceptor = src:Address.t -> dst:Address.t -> 'msg -> verdict
+
 type 'msg t = {
   engine : Engine.t;
   default_latency : Latency.t;
@@ -17,6 +26,8 @@ type 'msg t = {
   mutable next_addr : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable interceptor : 'msg interceptor option;
+  mutable corrupter : ('msg -> 'msg option) option;
 }
 
 let create ?(latency = Latency.default) engine =
@@ -29,7 +40,12 @@ let create ?(latency = Latency.default) engine =
     next_addr = 0;
     delivered = 0;
     dropped = 0;
+    interceptor = None;
+    corrupter = None;
   }
+
+let set_interceptor t i = t.interceptor <- i
+let set_corrupter t c = t.corrupter <- c
 
 let engine t = t.engine
 
@@ -66,25 +82,47 @@ let drop t ~src ~dst ~reason =
   Engine.emit t.engine
     (Event.Msg_dropped { src = Address.id src; dst = Address.id dst; reason })
 
+(* One physical transmission attempt: sample latency, add [extra], deliver
+   unless the destination went down (or crashed and came back) in flight. *)
+let transmit t ~src ~dst dst_node ~extra msg =
+  match Latency.sample (latency_for t src dst) (Engine.prng t.engine) with
+  | None -> drop t ~src ~dst ~reason:"loss"
+  | Some delay ->
+      let epoch_at_send = dst_node.epoch in
+      ignore
+        (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
+             if dst_node.up && dst_node.epoch = epoch_at_send then begin
+               t.delivered <- t.delivered + 1;
+               Engine.emit t.engine
+                 (Event.Msg_delivered { src = Address.id src; dst = Address.id dst });
+               dst_node.handler ~src msg
+             end
+             else drop t ~src ~dst ~reason:"down"))
+
 let send t ~src ~dst msg =
   let dst_node = find t dst in
   (* sender must exist too: catches stale addresses in protocols *)
   let _ = find t src in
   if partitioned t src dst then drop t ~src ~dst ~reason:"partition"
   else
-    match Latency.sample (latency_for t src dst) (Engine.prng t.engine) with
-    | None -> drop t ~src ~dst ~reason:"loss"
-    | Some delay ->
-        let epoch_at_send = dst_node.epoch in
-        ignore
-          (Engine.schedule t.engine ~delay (fun () ->
-               if dst_node.up && dst_node.epoch = epoch_at_send then begin
-                 t.delivered <- t.delivered + 1;
-                 Engine.emit t.engine
-                   (Event.Msg_delivered { src = Address.id src; dst = Address.id dst });
-                 dst_node.handler ~src msg
-               end
-               else drop t ~src ~dst ~reason:"down"))
+    match t.interceptor with
+    | None -> transmit t ~src ~dst dst_node ~extra:0.0 msg
+    | Some intercept -> (
+        match intercept ~src ~dst msg with
+        | Pass -> transmit t ~src ~dst dst_node ~extra:0.0 msg
+        | Drop reason -> drop t ~src ~dst ~reason
+        | Deliver deliveries ->
+            List.iter
+              (fun { extra_delay; corrupt } ->
+                if not corrupt then transmit t ~src ~dst dst_node ~extra:extra_delay msg
+                else
+                  match Option.bind t.corrupter (fun f -> f msg) with
+                  | Some msg' -> transmit t ~src ~dst dst_node ~extra:extra_delay msg'
+                  | None ->
+                      (* no corrupter (or message kind not corruptible):
+                         the mangled bytes fail framing and are lost *)
+                      drop t ~src ~dst ~reason:"fault:corrupt")
+              deliveries)
 
 let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 

@@ -9,6 +9,24 @@
 
 type 'msg t
 
+type delivery = { extra_delay : float; corrupt : bool }
+(** One copy the interceptor wants delivered: [extra_delay] is added on top
+    of the sampled link latency; [corrupt] routes the message through the
+    network's corrupter first. *)
+
+type verdict =
+  | Pass  (** normal path, exactly as if no interceptor were installed *)
+  | Drop of string  (** lose the message, counting it with this reason *)
+  | Deliver of delivery list
+      (** replace the single normal delivery: two entries duplicate the
+          message, reordering is expressed through unequal extra delays, and
+          [[]] delivers nothing (prefer [Drop] so the loss is counted) *)
+
+type 'msg interceptor = src:Address.t -> dst:Address.t -> 'msg -> verdict
+(** Consulted once per [send] after the partition check but before latency
+    sampling, so a [Pass] verdict leaves the PRNG consumption — and hence
+    the trace — identical to the interceptor-free network. *)
+
 val create : ?latency:Latency.t -> Fortress_sim.Engine.t -> 'msg t
 val engine : 'msg t -> Fortress_sim.Engine.t
 
@@ -45,6 +63,16 @@ val heal_all : 'msg t -> unit
 
 val set_link_latency : 'msg t -> Address.t -> Address.t -> Latency.t -> unit
 (** Override the default latency for the (symmetric) pair. *)
+
+val set_interceptor : 'msg t -> 'msg interceptor option -> unit
+(** Install (or with [None] remove) the fault interceptor. With no
+    interceptor the send path allocates nothing extra and behaves exactly
+    as before. *)
+
+val set_corrupter : 'msg t -> ('msg -> 'msg option) option -> unit
+(** How to mangle a message the interceptor marked [corrupt]. Returning
+    [None] (or having no corrupter) turns the corruption into a drop with
+    reason ["fault:corrupt"]. *)
 
 val delivered : 'msg t -> int
 (** Total messages delivered so far. *)

@@ -27,6 +27,7 @@ type t =
       duration : float;
       attrs : (string * string) list;
     }
+  | Fault of { action : string; target : string; detail : string }
   | Note of { label : string; detail : string }
 
 let tier_to_string = function Proxy_tier -> "proxy" | Server_tier -> "server"
@@ -70,6 +71,7 @@ let label = function
   | Repl _ -> "repl"
   | Trial _ -> "trial"
   | Span_finished _ -> "span"
+  | Fault _ -> "fault"
   | Note { label; _ } -> label
 
 let detail = function
@@ -98,12 +100,19 @@ let detail = function
       | None -> Printf.sprintf "trial %d (seed %d): censored" index seed)
   | Span_finished { id; name; start_time; duration; _ } ->
       Printf.sprintf "span %s#%d [%g, %g]" name id start_time (start_time +. duration)
+  | Fault { action; target; detail } ->
+      if detail = "" then Printf.sprintf "fault %s on %s" action target
+      else Printf.sprintf "fault %s on %s (%s)" action target detail
   | Note { detail; _ } -> detail
 
 let verbosity = function
   | Probe _ | Invalid_observed _ | Request_submitted _ | Request_completed _ | Reply_rejected _
   | Msg_delivered _ | Msg_dropped _ | Span_finished _ ->
       `Debug
+  (* per-message link faults fire at message rate; lifecycle faults
+     (crash/restart/partition/heal/stall) are rare and belong in the ring *)
+  | Fault { action = "drop" | "duplicate" | "reorder" | "corrupt" | "delay"; _ } -> `Debug
+  | Fault _ -> `Info
   | Compromise _ | Rekey _ | Recover _ | Step _ | Source_blocked _ | Source_rotated _
   | Failover _ | Repl _ | Trial _ | Note _ ->
       `Info
@@ -166,6 +175,13 @@ let to_json ev =
           ("start", Json.Num start_time);
           ("duration", Json.Num duration);
           ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs));
+        ]
+  | Fault { action; target; detail } ->
+      tag
+        [
+          ("action", Json.Str action);
+          ("target", Json.Str target);
+          ("detail", Json.Str detail);
         ]
   | Note { label; detail } -> Json.Obj [ ("event", Json.Str label); ("detail", Json.Str detail) ]
 
@@ -274,6 +290,11 @@ let of_json json =
             | _ -> []
           in
           Ok (Span_finished { id; parent; name; start_time; duration; attrs })
+      | "fault" ->
+          let* action = str_field "action" in
+          let* target = str_field "target" in
+          let* detail = str_field "detail" in
+          Ok (Fault { action; target; detail })
       | label ->
           (* any unrecognized tag round-trips as a note *)
           let detail =

@@ -43,6 +43,10 @@ type t =
       duration : float;
       attrs : (string * string) list;
     }
+  | Fault of { action : string; target : string; detail : string }
+      (** injected by the fault subsystem: [action] is the fault kind
+          ("drop", "crash", "partition", "stall_skip", ...), [target] the
+          link / node / daemon it hit *)
   | Note of { label : string; detail : string }
 
 val tier_to_string : tier -> string

@@ -76,6 +76,19 @@ let jsonl_channel oc ~time ev =
   output_string oc (line ~time ev);
   output_char oc '\n'
 
+let digesting () =
+  (* FNV-1a 64-bit over the JSONL rendering of every event, newline
+     included, so the digest equals a hash of the equivalent trace file.
+     Kept here (not in crypto) so determinism checks need no extra deps. *)
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let feed_char c = h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime in
+  let sub ~time ev =
+    String.iter feed_char (line ~time ev);
+    feed_char '\n'
+  in
+  (sub, fun () -> Printf.sprintf "%016Lx" !h)
+
 let parse_line s =
   match Json.parse s with
   | Error e -> Error e

@@ -44,6 +44,12 @@ val jsonl : (string -> unit) -> subscriber
 val jsonl_channel : out_channel -> subscriber
 (** [jsonl] wired to an [out_channel], newline-terminated. *)
 
+val digesting : unit -> subscriber * (unit -> string)
+(** Streaming FNV-1a 64-bit digest of the newline-terminated JSONL
+    rendering of every event seen. The closure returns the current digest
+    as 16 lowercase hex digits; two runs are trace-identical iff their
+    digests match. *)
+
 (** {2 JSONL codec} *)
 
 val line : time:float -> Event.t -> string

@@ -11,20 +11,30 @@ end
 type t = (module SERVICE)
 
 module Instance = struct
+  type meta = { mutable applied : int; mutable generation : int }
+
   type instance =
-    | Inst : (module SERVICE with type state = 's) * 's ref -> instance
+    | Inst : (module SERVICE with type state = 's) * 's ref * meta -> instance
 
-  let create (module S : SERVICE) = Inst ((module S), ref S.init)
+  let create (module S : SERVICE) =
+    Inst ((module S), ref S.init, { applied = 0; generation = 0 })
 
-  let name (Inst ((module S), _)) = S.name
+  let name (Inst ((module S), _, _)) = S.name
 
-  let apply (Inst ((module S), state)) ~entropy cmd =
+  let apply (Inst ((module S), state, meta)) ~entropy cmd =
     let next, response = S.apply !state ~entropy cmd in
     state := next;
+    meta.applied <- meta.applied + 1;
     response
 
-  let snapshot (Inst ((module S), state)) = S.snapshot !state
-  let restore (Inst ((module S), state)) s = state := S.restore s
+  let snapshot (Inst ((module S), state, _)) = S.snapshot !state
+  let restore (Inst ((module S), state, _)) s = state := S.restore s
   let digest inst = Fortress_crypto.Sha256.digest (snapshot inst)
-  let reset (Inst ((module S), state)) = state := S.init
+
+  let reset (Inst ((module S), state, meta)) =
+    state := S.init;
+    meta.generation <- meta.generation + 1
+
+  let applied (Inst (_, _, meta)) = meta.applied
+  let generation (Inst (_, _, meta)) = meta.generation
 end

@@ -50,5 +50,14 @@ module Instance : sig
       digest. *)
 
   val reset : instance -> unit
-  (** Back to [init]. *)
+  (** Back to [init]; bumps the {!generation} counter. *)
+
+  val applied : instance -> int
+  (** Commands executed over this instance's whole life (survives
+      resets) — lets fault accounting compare work done across crash
+      generations. *)
+
+  val generation : instance -> int
+  (** How many times this instance was wiped ([reset]): 0 for an
+      uncrashed, never-recovered instance. *)
 end

@@ -455,6 +455,21 @@ let start t =
 let stop t = t.rep_alive <- false
 let syncing t = t.rep_syncing
 
+(* A crash, unlike [stop], loses volatile state: the service memory image,
+   the dedup table and everything buffered or in flight. Only the view
+   number survives (it is re-learned from heartbeats anyway, keeping it
+   avoids a spurious extra view change on restart). *)
+let crash t =
+  t.rep_alive <- false;
+  t.rep_syncing <- false;
+  Dsm.Instance.reset t.service;
+  Hashtbl.reset t.executed;
+  Hashtbl.reset t.in_progress;
+  Hashtbl.reset t.buffered_requests;
+  Hashtbl.reset t.pending_updates;
+  t.seq <- 0;
+  t.applies_since_snapshot <- 0
+
 let restart t =
   t.rep_alive <- true;
   t.last_heartbeat <- Engine.now t.engine;

@@ -93,6 +93,12 @@ val stop : replica -> unit
 (** Crash the replica: timers stop and incoming messages are ignored until
     [restart]. *)
 
+val crash : replica -> unit
+(** Crash with amnesia: like {!stop} but volatile state (service memory,
+    dedup table, buffered and in-flight work) is lost. A subsequent
+    {!restart} resyncs over the network; {!restart_from_storage} reloads
+    locally first when storage is attached. *)
+
 val restart : replica -> unit
 (** Bring a stopped replica back. It requests a state sync from the current
     primary (snapshot, sequence number and request-dedup table), then

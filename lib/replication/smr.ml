@@ -491,6 +491,25 @@ let start t =
 let stop t = t.rep_alive <- false
 let restart t = t.rep_alive <- true
 
+(* Crash with amnesia: volatile ordering state is gone. The replica keeps
+   its view number (cheaply re-learned) and rejoins via state transfer. *)
+let crash t =
+  t.rep_alive <- false;
+  t.transferring <- false;
+  Dsm.Instance.reset t.service;
+  Hashtbl.reset t.log;
+  Hashtbl.reset t.executed;
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.checkpoints;
+  Hashtbl.reset t.own_snapshots;
+  Hashtbl.reset t.viewchange_votes;
+  Hashtbl.reset t.state_votes;
+  Hashtbl.reset t.state_payload;
+  t.next_seq <- 0;
+  t.last_exec <- 0;
+  t.stable_checkpoint <- 0;
+  t.exec_since_checkpoint <- 0
+
 module Voter = struct
   type vote = { mutable replies : (int * string) list; mutable result : string option }
 

@@ -79,6 +79,11 @@ val stop : replica -> unit
 val restart : replica -> unit
 (** Rejoin with state intact. *)
 
+val crash : replica -> unit
+(** Crash with amnesia: like {!stop} but all volatile ordering and service
+    state is lost; rejoin with {!restart} followed by
+    {!begin_state_transfer}. *)
+
 val begin_state_transfer : replica -> unit
 (** Rejoin after losing state (proactive recovery wipes the process):
     request snapshots from peers and install the [f + 1]-matching one. The

@@ -13,6 +13,7 @@ type t = {
   sink : Obs.Sink.t;
   metrics : Obs.Metrics.t;
   spans : Obs.Span.ctx;
+  mutable delay_xform : (float -> float) option;
 }
 
 (* Bridge structured events into the legacy trace ring: every event bumps
@@ -42,6 +43,7 @@ let create ?trace ?prng ?sink ?metrics () =
       sink;
       metrics;
       spans = Obs.Span.create ~now:(fun () -> 0.0) ();
+      delay_xform = None;
     }
   in
   Obs.Span.set_clock t.spans (fun () -> t.clock);
@@ -64,8 +66,13 @@ let enqueue t ~time fire =
   Heap.push t.queue ~priority:time ~seq:t.seq ev;
   ev
 
+let set_delay_interceptor t x = t.delay_xform <- x
+
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  let delay =
+    match t.delay_xform with None -> delay | Some x -> Float.max 0.0 (x delay)
+  in
   enqueue t ~time:(t.clock +. delay) f
 
 let schedule_at t ~time f =

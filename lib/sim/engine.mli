@@ -50,7 +50,16 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
     [Invalid_argument] on a negative delay. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
-(** Raises [Invalid_argument] when [time] is in the past. *)
+(** Raises [Invalid_argument] when [time] is in the past. Exempt from the
+    delay interceptor — fault timelines use this to stay on schedule while
+    slowing everyone else down. *)
+
+val set_delay_interceptor : t -> (float -> float) option -> unit
+(** Install (or with [None] remove) a transform applied to every relative
+    delay passed to {!schedule} — the fault subsystem's "slowdown" hook.
+    The transformed delay is clamped to be non-negative. {!schedule_at} and
+    {!every} are exempt: absolute timelines and periodic daemons keep their
+    cadence. *)
 
 val every : t -> period:float -> ?until:float -> (unit -> unit) -> handle
 (** [every t ~period f] fires [f] at [now + period], [now + 2 period], ...

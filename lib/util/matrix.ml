@@ -82,6 +82,16 @@ let apply_left v m =
       done;
       !acc)
 
+exception Singular of { dim : int; col : int }
+
+let () =
+  Printexc.register_printer (function
+    | Singular { dim; col } ->
+        Some
+          (Printf.sprintf "Matrix.Singular: %dx%d matrix has no usable pivot in column %d" dim
+             dim col)
+    | _ -> None)
+
 (* Gaussian elimination with partial pivoting on the augmented system
    [a | b]; returns x column-wise. Shared by [solve] and [solve_many]. *)
 let eliminate a b =
@@ -95,7 +105,7 @@ let eliminate a b =
     for r = col + 1 to n - 1 do
       if Float.abs (get lhs r col) > Float.abs (get lhs !pivot col) then pivot := r
     done;
-    if Float.abs (get lhs !pivot col) < 1e-12 then failwith "Matrix.solve: singular matrix";
+    if Float.abs (get lhs !pivot col) < 1e-12 then raise (Singular { dim = n; col });
     if !pivot <> col then begin
       for j = 0 to n - 1 do
         let tmp = get lhs col j in

@@ -29,9 +29,14 @@ val apply : t -> float array -> float array
 val apply_left : float array -> t -> float array
 (** [apply_left v m] is the row-vector product [v m]. *)
 
+exception Singular of { dim : int; col : int }
+(** Raised by {!solve} / {!solve_many} / {!inverse} when partial pivoting
+    finds no usable pivot: the [dim * dim] system is (numerically) singular
+    at elimination column [col]. *)
+
 val solve : t -> float array -> float array
 (** [solve a b] solves [a x = b] by Gaussian elimination with partial
-    pivoting. Raises [Failure] on a (numerically) singular matrix. *)
+    pivoting. Raises {!Singular} on a (numerically) singular matrix. *)
 
 val solve_many : t -> t -> t
 (** [solve_many a b] solves [a x = b] column-wise; [inverse a] is

@@ -25,22 +25,25 @@ let test_knowledge_never_repeats () =
   let prng = Prng.create ~seed:1 in
   let seen = Hashtbl.create 64 in
   for _ = 1 to 50 do
-    let g = Knowledge.next_guess k prng in
+    let g = Option.get (Knowledge.next_guess k prng) in
     Alcotest.(check bool) "fresh guess" false (Hashtbl.mem seen g);
     Hashtbl.replace seen g ();
     Knowledge.observe_crash k ~guess:g
   done;
   Alcotest.(check int) "space exhausted" 0 (Knowledge.remaining k)
 
-let test_knowledge_exhaustion_raises () =
+let test_knowledge_exhaustion_graceful () =
   let ks = Keyspace.of_size 3 in
   let k = Knowledge.create ks in
   let prng = Prng.create ~seed:2 in
   for _ = 1 to 3 do
-    Knowledge.observe_crash k ~guess:(Knowledge.next_guess k prng)
+    Knowledge.observe_crash k ~guess:(Option.get (Knowledge.next_guess k prng))
   done;
-  Alcotest.check_raises "exhausted" (Failure "Knowledge.next_guess: key space exhausted")
-    (fun () -> ignore (Knowledge.next_guess k prng))
+  Alcotest.(check bool) "exhausted yields None" true (Knowledge.next_guess k prng = None);
+  (* a rekey refills the space: the attacker resumes *)
+  Knowledge.on_target_rekeyed k;
+  Alcotest.(check bool) "guessing resumes after rekey" true
+    (Knowledge.next_guess k prng <> None)
 
 let test_knowledge_confirmed_key_sticks () =
   let ks = Keyspace.of_size 50 in
@@ -48,7 +51,7 @@ let test_knowledge_confirmed_key_sticks () =
   let prng = Prng.create ~seed:3 in
   Knowledge.observe_intrusion k ~guess:42;
   Alcotest.(check bool) "known" true (Knowledge.known_key k = Some 42);
-  Alcotest.(check int) "reuses the key" 42 (Knowledge.next_guess k prng);
+  Alcotest.(check bool) "reuses the key" true (Knowledge.next_guess k prng = Some 42);
   Knowledge.on_target_recovered k;
   Alcotest.(check bool) "recovery does not hide the key" true (Knowledge.known_key k = Some 42);
   Knowledge.on_target_rekeyed k;
@@ -64,7 +67,7 @@ let test_knowledge_dense_tail () =
   for g = 0 to 7 do
     Knowledge.observe_crash k ~guess:g
   done;
-  let g1 = Knowledge.next_guess k prng in
+  let g1 = Option.get (Knowledge.next_guess k prng) in
   Alcotest.(check bool) "one of the remaining two" true (g1 = 8 || g1 = 9)
 
 (* ---- Derandomizer against the forking daemon ---- *)
@@ -411,7 +414,7 @@ let () =
         [
           Alcotest.test_case "elimination accounting" `Quick test_knowledge_elimination;
           Alcotest.test_case "never repeats a guess" `Quick test_knowledge_never_repeats;
-          Alcotest.test_case "exhaustion raises" `Quick test_knowledge_exhaustion_raises;
+          Alcotest.test_case "exhaustion graceful" `Quick test_knowledge_exhaustion_graceful;
           Alcotest.test_case "confirmed key semantics" `Quick test_knowledge_confirmed_key_sticks;
           Alcotest.test_case "dense tail sampling" `Quick test_knowledge_dense_tail;
         ] );

@@ -193,6 +193,143 @@ let test_latency_sampling () =
   let black_hole = Latency.lossy (Latency.constant 1.0) ~drop:1.0 in
   Alcotest.(check bool) "always dropped" true (Latency.sample black_hole prng = None)
 
+(* ---- fault-injection interceptor points ---- *)
+
+let ping_value = function Ping i -> i | Pong i -> i
+
+let test_zero_latency_ordering () =
+  let engine, net = setup ~latency:(Latency.constant 0.0) () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  for i = 1 to 8 do
+    Network.send net ~src:a ~dst:b (Ping i)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo at equal timestamps" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (List.rev_map (fun (_, m) -> ping_value m) !log)
+
+let test_interceptor_pass_transparent () =
+  let engine, net = setup ~latency:(Latency.constant 2.0) () in
+  let arrival = ref nan in
+  let a = register_sink net "a" (ref []) in
+  let b =
+    Network.register net ~name:"b" ~handler:(fun ~src:_ _ -> arrival := Engine.now engine)
+  in
+  Network.set_interceptor net (Some (fun ~src:_ ~dst:_ _ -> Network.Pass));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "same latency as no interceptor" 2.0 !arrival;
+  Alcotest.(check int) "delivered once" 1 (Network.delivered net)
+
+let test_interceptor_drop_counted () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_interceptor net (Some (fun ~src:_ ~dst:_ _ -> Network.Drop "fault:drop"));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !log);
+  Alcotest.(check int) "counted as dropped" 1 (Network.dropped net)
+
+let test_duplicate_then_drop () =
+  let engine, net = setup ~latency:(Latency.constant 1.0) () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  let n = ref 0 in
+  Network.set_interceptor net
+    (Some
+       (fun ~src:_ ~dst:_ _ ->
+         incr n;
+         if !n = 1 then
+           Network.Deliver
+             [
+               { Network.extra_delay = 0.0; corrupt = false };
+               { Network.extra_delay = 1.0; corrupt = false };
+             ]
+         else Network.Drop "fault:drop"));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Network.send net ~src:a ~dst:b (Ping 2);
+  Engine.run engine;
+  Alcotest.(check (list int)) "first duplicated, second lost" [ 1; 1 ]
+    (List.rev_map (fun (_, m) -> ping_value m) !log);
+  Alcotest.(check int) "two deliveries" 2 (Network.delivered net);
+  Alcotest.(check int) "one drop" 1 (Network.dropped net)
+
+let test_deliver_to_crashed_is_void () =
+  let engine, net = setup ~latency:(Latency.constant 1.0) () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_interceptor net
+    (Some
+       (fun ~src:_ ~dst:_ _ ->
+         Network.Deliver [ { Network.extra_delay = 5.0; corrupt = false } ]));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  ignore (Engine.schedule engine ~delay:2.0 (fun () -> Network.set_down net b));
+  Engine.run engine;
+  Alcotest.(check int) "held-back delivery voided by the crash" 0 (List.length !log);
+  Alcotest.(check int) "counted as dropped" 1 (Network.dropped net)
+
+let test_corrupt_without_corrupter_drops () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_interceptor net
+    (Some
+       (fun ~src:_ ~dst:_ _ ->
+         Network.Deliver [ { Network.extra_delay = 0.0; corrupt = true } ]));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "mangled frame lost" 0 (List.length !log);
+  Alcotest.(check int) "counted as dropped" 1 (Network.dropped net)
+
+let test_corrupter_applied () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_interceptor net
+    (Some
+       (fun ~src:_ ~dst:_ _ ->
+         Network.Deliver [ { Network.extra_delay = 0.0; corrupt = true } ]));
+  Network.set_corrupter net (Some (function Ping i -> Some (Ping (i + 100)) | Pong _ -> None));
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check (list int)) "payload mangled in flight" [ 101 ]
+    (List.rev_map (fun (_, m) -> ping_value m) !log)
+
+let test_partition_beats_interceptor_then_heals () =
+  let engine, net = setup () in
+  let log = ref [] in
+  let consulted = ref 0 in
+  let a = register_sink net "a" (ref []) in
+  let b = register_sink net "b" log in
+  Network.set_interceptor net
+    (Some
+       (fun ~src:_ ~dst:_ _ ->
+         incr consulted;
+         Network.Pass));
+  Network.partition net a b;
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "partition drop precedes the interceptor" 0 !consulted;
+  Network.heal_all net;
+  Network.send net ~src:a ~dst:b (Ping 2);
+  Engine.run engine;
+  Alcotest.(check (list int)) "delivered after heal" [ 2 ]
+    (List.rev_map (fun (_, m) -> ping_value m) !log);
+  Alcotest.(check int) "interceptor back in the path" 1 !consulted
+
+let test_unknown_source () =
+  let _, net = setup () in
+  let a = register_sink net "a" (ref []) in
+  Alcotest.check_raises "unknown src" (Invalid_argument "Network: unknown address n42")
+    (fun () -> Network.send net ~src:(Address.make 42) ~dst:a (Ping 0))
+
 (* ---- Conn: the crash-observation channel ---- *)
 
 let test_conn_roundtrip () =
@@ -289,6 +426,21 @@ let () =
           Alcotest.test_case "node listing" `Quick test_node_listing;
           Alcotest.test_case "address collections" `Quick test_address_collections;
           Alcotest.test_case "latency sampling" `Quick test_latency_sampling;
+        ] );
+      ( "interceptor",
+        [
+          Alcotest.test_case "zero-latency ordering" `Quick test_zero_latency_ordering;
+          Alcotest.test_case "pass is transparent" `Quick test_interceptor_pass_transparent;
+          Alcotest.test_case "drop counted" `Quick test_interceptor_drop_counted;
+          Alcotest.test_case "duplicate then drop" `Quick test_duplicate_then_drop;
+          Alcotest.test_case "delivery to crashed node voided" `Quick
+            test_deliver_to_crashed_is_void;
+          Alcotest.test_case "corrupt without corrupter drops" `Quick
+            test_corrupt_without_corrupter_drops;
+          Alcotest.test_case "corrupter applied" `Quick test_corrupter_applied;
+          Alcotest.test_case "partition precedes interceptor, heal re-delivers" `Quick
+            test_partition_beats_interceptor_then_heals;
+          Alcotest.test_case "unknown source" `Quick test_unknown_source;
         ] );
       ( "conn",
         [

@@ -263,8 +263,11 @@ let test_matrix_inverse_roundtrip () =
 
 let test_matrix_singular () =
   let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
-  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular matrix") (fun () ->
-      ignore (Matrix.inverse a))
+  match Matrix.inverse a with
+  | _ -> Alcotest.fail "singular matrix inverted"
+  | exception Matrix.Singular { dim; col } ->
+      Alcotest.(check int) "dim carried" 2 dim;
+      Alcotest.(check bool) "col in range" true (col >= 0 && col < 2)
 
 let test_matrix_apply () =
   let a = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
