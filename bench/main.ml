@@ -240,7 +240,52 @@ let measure_interceptor_overhead () =
   in
   [ run "no-plan" `No_plan; run "pass-interceptor" `Pass; run "lossy-link" `Lossy ]
 
-let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor =
+(* Profiler overhead at an instrumented call site, in its three
+   configurations — disabled (the default), enabled, and enabled with the
+   sample ring on. The workload allocates nothing itself, so the disabled
+   row's minor-words column is the entire per-call allocation cost of
+   compiling the profiler in: it must be zero (the guard is one bool read
+   and no closure), which is what keeps seeded runs byte-identical whether
+   or not fortress_prof is linked. *)
+let measure_profiler_overhead () =
+  let module Prof = Fortress_prof.Profiler in
+  let phase = Prof.register "bench.overhead" in
+  let calls = 1_000_000 in
+  let acc = ref 0 in
+  let work () = acc := Sys.opaque_identity (!acc + 1) in
+  let run name config =
+    (match config with
+    | `Disabled ->
+        Prof.disable ();
+        Prof.set_sample_capacity 0
+    | `Enabled ->
+        Prof.reset ();
+        Prof.set_sample_capacity 0;
+        Prof.enable ()
+    | `Sampling ->
+        Prof.reset ();
+        Prof.set_sample_capacity 4096;
+        Prof.enable ());
+    (* the guard below is the exact shape of every instrumented site *)
+    let site () = if Prof.is_enabled () then Prof.record phase work else work () in
+    for _ = 1 to 1_000 do
+      site ()
+    done;
+    Gc.minor ();
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to calls do
+      site ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let words = (Gc.minor_words () -. words0) /. float_of_int calls in
+    Prof.disable ();
+    Prof.reset ();
+    (name, dt /. float_of_int calls *. 1e9, words)
+  in
+  [ run "disabled" `Disabled; run "enabled" `Enabled; run "enabled+sampling" `Sampling ]
+
+let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -267,6 +312,17 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor =
                      ("minor_words_per_message", J.Num words);
                    ])
                interceptor) );
+        ( "profiler_overhead",
+          J.List
+            (List.map
+               (fun (name, ns, words) ->
+                 J.Obj
+                   [
+                     ("config", J.Str name);
+                     ("ns_per_call", J.Num ns);
+                     ("minor_words_per_call", J.Num words);
+                   ])
+               profiler) );
         ("sections", J.List secs);
       ]
   in
@@ -366,7 +422,18 @@ let () =
          words/message\n\n"
         worst
   | [] -> print_newline ());
+  let profiler = measure_profiler_overhead () in
+  Printf.printf "== phase profiler overhead (per instrumented call) ==\n";
+  List.iter
+    (fun (name, ns, words) ->
+      Printf.printf "%-18s %8.1f ns/call  %6.1f minor words/call\n" name ns words)
+    profiler;
+  (match profiler with
+  | ("disabled", _, words) :: _ ->
+      Printf.printf "disabled path allocates %s per call\n\n"
+        (if words < 0.5 then "nothing" else Printf.sprintf "%.1f words (REGRESSION)" words)
+  | _ -> print_newline ());
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
-  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor;
+  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

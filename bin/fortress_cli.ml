@@ -65,24 +65,31 @@ let metrics_arg =
   Arg.(value & flag
        & info [ "metrics" ] ~doc:"Print the metrics registry when the run finishes.")
 
+(* the (subscriber, flush-and-close) pair of [Sink.file] *)
 let open_trace path =
-  try open_out path
+  try Fortress_obs.Sink.file path
   with Sys_error msg ->
     Printf.eprintf "fortress-cli: cannot open trace file: %s\n" msg;
     exit 1
 
 (* Run [f] against a sink wired to the requested consumers; the trace file
-   is closed (and metrics printed) even when [f] raises. *)
+   is flushed and closed (and metrics printed) even when [f] raises. *)
 let with_obs ~trace_out ~metrics f =
   let module Obs = Fortress_obs in
   let sink = Obs.Sink.create () in
   let registry = Obs.Metrics.create () in
   if metrics then ignore (Obs.Sink.attach sink (Obs.Sink.counting registry));
-  let oc = Option.map open_trace trace_out in
-  Option.iter (fun oc -> ignore (Obs.Sink.attach sink (Obs.Sink.jsonl_channel oc))) oc;
+  let close_trace =
+    match trace_out with
+    | None -> Fun.id
+    | Some path ->
+        let sub, close = open_trace path in
+        ignore (Obs.Sink.attach sink sub);
+        close
+  in
   Fun.protect
     ~finally:(fun () ->
-      Option.iter close_out oc;
+      close_trace ();
       if metrics then print_string (Obs.Metrics.render registry))
     (fun () -> f sink)
 
@@ -307,13 +314,14 @@ let simulate_cmd =
               keyspace = Keyspace.of_size chi; seed }
         in
         let engine = Deployment.engine deployment in
-        let trace_oc = Option.map open_trace trace_out in
-        Option.iter
-          (fun oc ->
-            ignore
-              (Fortress_obs.Sink.attach (Engine.sink engine)
-                 (Fortress_obs.Sink.jsonl_channel oc)))
-          trace_oc;
+        let close_trace =
+          match trace_out with
+          | None -> Fun.id
+          | Some path ->
+              let sub, close = open_trace path in
+              ignore (Fortress_obs.Sink.attach (Engine.sink engine) sub);
+              close
+        in
         ignore (Obfuscation.attach deployment ~mode ~period);
         let client = Deployment.new_client deployment ~name:"workload" in
         let served = ref 0 and sent = ref 0 in
@@ -354,7 +362,7 @@ let simulate_cmd =
           print_endline "trace tail:";
           print_string (Trace.dump ~limit:trace_lines (Engine.trace engine))
         end;
-        Option.iter close_out trace_oc;
+        close_trace ();
         if metrics then print_string (Fortress_obs.Metrics.render (Engine.metrics engine))
   in
   let term =
@@ -462,6 +470,59 @@ let obs_cmd =
   Cmd.v
     (Cmd.info "obs"
        ~doc:"Summarise a JSONL event trace; with --omega/--chi, cross-check measured per-step rates against the analytic laws.")
+    term
+
+(* ---- prof ---- *)
+
+let prof_cmd =
+  let module Profiling = Fortress_exp.Profiling in
+  let module Json = Fortress_obs.Json in
+  let outdir_arg =
+    Arg.(value & opt string "prof-artifacts" & info [ "outdir" ] ~docv:"DIR"
+           ~doc:"Directory for trace.json and profile.json.")
+  in
+  let target_arg =
+    Arg.(value & opt float 0.05 & info [ "target" ] ~docv:"REL"
+           ~doc:"Target relative ci95 half-width (0.05 = ±5%).")
+  in
+  let batch_arg =
+    Arg.(value & opt int 25 & info [ "batch" ] ~docv:"N"
+           ~doc:"Trials per convergence checkpoint.")
+  in
+  let early_stop_arg =
+    Arg.(value & flag
+         & info [ "early-stop" ] ~doc:"Stop each class at its first converged checkpoint.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let chi_arg =
+    Arg.(value & opt int 256 & info [ "chi" ] ~docv:"CHI" ~doc:"Key-space size.")
+  in
+  let omega_arg =
+    Arg.(value & opt int 8 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
+  in
+  let run trials seed target batch early_stop outdir chi omega kappa =
+    let t =
+      Profiling.run ~trials ~seed ~target_rel:target ~batch ~early_stop ~chi ~omega ~kappa ()
+    in
+    print_string (Profiling.render t);
+    (try if not (Sys.is_directory outdir) then failwith (outdir ^ " is not a directory")
+     with Sys_error _ -> Sys.mkdir outdir 0o755);
+    let write name json =
+      let path = Filename.concat outdir name in
+      Fortress_prof.Trace_export.write ~path json;
+      Printf.printf "wrote %s\n" path
+    in
+    write "trace.json" t.Profiling.trace;
+    write "profile.json" t.Profiling.profile;
+    Printf.printf "open trace.json at https://ui.perfetto.dev (or chrome://tracing)\n"
+  in
+  let term =
+    Term.(const run $ trials_arg ~default:200 $ seed_arg $ target_arg $ batch_arg
+          $ early_stop_arg $ outdir_arg $ chi_arg $ omega_arg $ kappa_arg)
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Profile the simulation hot paths and report Monte-Carlo convergence per system class; writes Chrome trace.json + profile.json.")
     term
 
 (* ---- report ---- *)
@@ -585,7 +646,7 @@ let main_cmd =
   let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
-      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; export_cmd;
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; prof_cmd; export_cmd;
       sensitivity_cmd; threats_cmd; choose_cmd ]
 
 (* Degenerate operating points surface as typed exceptions from the linear

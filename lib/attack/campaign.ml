@@ -9,6 +9,9 @@ module Obfuscation = Fortress_core.Obfuscation
 module Pb = Fortress_replication.Pb
 module Prng = Fortress_util.Prng
 module Event = Fortress_obs.Event
+module Prof = Fortress_prof.Profiler
+
+let probe_phase = Prof.register "attack.probe"
 
 type launchpad = Within_step | Next_step
 
@@ -184,7 +187,7 @@ let probe_proxy t j =
 (* Direct probe slot aimed at proxy [j] (or at a server directly when there
    are no proxies). A fallen proxy turns its remaining slots into
    launch-pad probes, subject to the launchpad discipline. *)
-let direct_probe_slot t j =
+let direct_probe_slot_unprofiled t j =
   if t.compromised_at = None then begin
     let np = Array.length (Deployment.proxies t.deployment) in
     if np = 0 then begin
@@ -218,7 +221,11 @@ let direct_probe_slot t j =
    logs it as an invalid request (and may block the source); if the source
    was not blocked, the probe reaches the server tier and tests the shared
    server key. *)
-let indirect_probe_slot t =
+let direct_probe_slot t j =
+  if Prof.is_enabled () then Prof.record probe_phase (fun () -> direct_probe_slot_unprofiled t j)
+  else direct_probe_slot_unprofiled t j
+
+let indirect_probe_slot_unprofiled t =
   if t.compromised_at = None then begin
     let proxies = Deployment.proxies t.deployment in
     let np = Array.length proxies in
@@ -253,6 +260,10 @@ let indirect_probe_slot t =
                  else if t.compromised_at = None then probe_server t ~kind:Event.Indirect))
     end
   end
+
+let indirect_probe_slot t =
+  if Prof.is_enabled () then Prof.record probe_phase (fun () -> indirect_probe_slot_unprofiled t)
+  else indirect_probe_slot_unprofiled t
 
 let arm t =
   let engine = Deployment.engine t.deployment in

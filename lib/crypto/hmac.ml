@@ -8,12 +8,19 @@ let normalize_key key =
 let xor_with pad key =
   String.mapi (fun i a -> Char.chr (Char.code a lxor Char.code key.[i])) pad
 
-let mac ~key msg =
+let mac_phase = Fortress_prof.Profiler.register "crypto.hmac"
+
+let mac_unprofiled ~key msg =
   let key = normalize_key key in
   let ipad = String.make block_size '\x36' in
   let opad = String.make block_size '\x5c' in
   let inner = Sha256.digest (xor_with ipad key ^ msg) in
   Sha256.digest (xor_with opad key ^ inner)
+
+let mac ~key msg =
+  if Fortress_prof.Profiler.is_enabled () then
+    Fortress_prof.Profiler.record mac_phase (fun () -> mac_unprofiled ~key msg)
+  else mac_unprofiled ~key msg
 
 let mac_hex ~key msg = Sha256.to_hex (mac ~key msg)
 

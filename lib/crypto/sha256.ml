@@ -127,10 +127,17 @@ let finalize ctx =
   done;
   Bytes.to_string out
 
-let digest s =
+let digest_phase = Fortress_prof.Profiler.register "crypto.sha256"
+
+let digest_unprofiled s =
   let ctx = init () in
   feed ctx s;
   finalize ctx
+
+let digest s =
+  if Fortress_prof.Profiler.is_enabled () then
+    Fortress_prof.Profiler.record digest_phase (fun () -> digest_unprofiled s)
+  else digest_unprofiled s
 
 let to_hex raw =
   let buf = Buffer.create (2 * String.length raw) in

@@ -1,0 +1,145 @@
+module Systems = Fortress_model.Systems
+module Step_level = Fortress_mc.Step_level
+module Trial = Fortress_mc.Trial
+module Profiler = Fortress_prof.Profiler
+module Convergence = Fortress_prof.Convergence
+module Trace_export = Fortress_prof.Trace_export
+module Table = Fortress_util.Table
+module Json = Fortress_obs.Json
+module Sink = Fortress_obs.Sink
+
+(* The paper's five system classes (table 2); S2_SO is the repository's
+   own extension and is excluded so the convergence report matches the
+   paper's grid. *)
+let paper_classes = [ Systems.S0_SO; Systems.S1_SO; Systems.S0_PO; Systems.S1_PO; Systems.S2_PO ]
+
+type class_report = {
+  system : Systems.system;
+  result : Trial.result;
+  monitor : Convergence.t;
+}
+
+type t = {
+  classes : class_report list;
+  phases : Profiler.entry list;
+  trace : Json.t;  (** Chrome trace-event document *)
+  profile : Json.t;  (** phases + per-class convergence, for profile.json *)
+  campaign_events : int;  (** events captured from the packet-level workload *)
+}
+
+let run ?(trials = 200) ?(seed = 42) ?(target_rel = 0.05) ?(batch = 25) ?(early_stop = false)
+    ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) () =
+  if trials <= 0 then invalid_arg "Profiling.run: trials must be positive";
+  Profiler.reset ();
+  Profiler.set_sample_capacity 8192;
+  Profiler.enable ();
+  Fun.protect ~finally:Profiler.disable (fun () ->
+      (* packet-level workload: one full campaign exercises the engine,
+         network delivery, crypto, and probe hot paths, and its span events
+         become the virtual-time lanes of trace.json *)
+      let sink = Sink.create () in
+      let mem, read_events = Sink.memory () in
+      ignore (Sink.attach sink mem);
+      ignore (Validation.campaign_lifetime ~sink ~chi ~omega ~kappa ~seed ());
+      let campaign_events = read_events () in
+      (* convergence: step-level sampler per paper class at the emergent
+         alpha = omega/chi, monitored per trial batch *)
+      let alpha = float_of_int omega /. float_of_int chi in
+      let cfg = { Step_level.default with alpha; kappa; max_steps = 100_000 } in
+      let classes =
+        List.map
+          (fun system ->
+            let monitor = Convergence.create ~batch ~target_rel () in
+            let result = Step_level.estimate ~monitor ~early_stop ~trials ~seed system cfg in
+            { system; result; monitor })
+          paper_classes
+      in
+      let samples = Profiler.samples () in
+      let phases = Profiler.snapshot () in
+      let trace = Trace_export.make ~samples campaign_events in
+      let profile =
+        Json.Obj
+          [
+            ( "params",
+              Json.Obj
+                [
+                  ("trials", Json.Num (float_of_int trials));
+                  ("seed", Json.Num (float_of_int seed));
+                  ("alpha", Json.Num alpha);
+                  ("kappa", Json.Num kappa);
+                  ("chi", Json.Num (float_of_int chi));
+                  ("omega", Json.Num (float_of_int omega));
+                  ("target_rel_half_width", Json.Num target_rel);
+                  ("batch", Json.Num (float_of_int batch));
+                  ("early_stop", Json.Bool early_stop);
+                ] );
+            ("phases", Profiler.to_json ());
+            ( "convergence",
+              Json.Obj
+                (List.map
+                   (fun c -> (Systems.system_to_string c.system, Convergence.to_json c.monitor))
+                   classes) );
+          ]
+      in
+      { classes; phases; trace; profile; campaign_events = List.length campaign_events })
+
+let phase_table t =
+  let tbl =
+    Table.create ~headers:[ "phase"; "count"; "self (s)"; "total (s)"; "self minor words" ]
+  in
+  Table.set_align tbl 0 Table.Left;
+  List.iter
+    (fun (e : Profiler.entry) ->
+      Table.add_row tbl
+        [
+          e.name;
+          string_of_int e.count;
+          Printf.sprintf "%.6f" e.self_s;
+          Printf.sprintf "%.6f" e.total_s;
+          Printf.sprintf "%.0f" e.self_minor_words;
+        ])
+    t.phases;
+  tbl
+
+let convergence_table t =
+  let tbl =
+    Table.create
+      ~headers:
+        [ "system"; "trials"; "mean EL"; "rel ci95"; "converged@"; "projected to target" ]
+  in
+  Table.set_align tbl 0 Table.Left;
+  List.iter
+    (fun c ->
+      let rel = Convergence.rel_half_width c.monitor in
+      Table.add_row tbl
+        [
+          Systems.system_to_string c.system;
+          string_of_int c.result.Trial.trials;
+          Printf.sprintf "%.4g" c.result.Trial.mean;
+          (if Float.is_nan rel then "-" else Printf.sprintf "%.1f%%" (100.0 *. rel));
+          (match Convergence.converged_at c.monitor with
+          | Some n -> string_of_int n
+          | None -> "-");
+          (match Convergence.projected_trials c.monitor with
+          | Some n -> string_of_int n
+          | None -> "-");
+        ])
+    t.classes;
+  tbl
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "== phase profile (wall clock) ==\n";
+  Buffer.add_string buf (Table.render (phase_table t));
+  Buffer.add_string buf "\n== Monte-Carlo convergence (target ";
+  (match t.classes with
+  | c :: _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "±%g%% relative ci95" (100.0 *. Convergence.target_rel c.monitor))
+  | [] -> Buffer.add_string buf "-");
+  Buffer.add_string buf ") ==\n";
+  Buffer.add_string buf (Table.render (convergence_table t));
+  Buffer.add_string buf
+    (Printf.sprintf "\ncampaign workload: %d events captured for trace.json\n"
+       t.campaign_events);
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Profiling and Monte-Carlo convergence experiment (backs
+    [fortress_cli prof]).
+
+    Two questions the headline numbers depend on: {e where does
+    wall-clock time go} in the packet-level simulation, and {e how many
+    trials does the lifetime CI actually need} per system class. The run
+    enables the {!Fortress_prof.Profiler}, drives one full packet-level
+    campaign (engine, network, crypto, and probe hot paths all lit), then
+    runs the step-level sampler for each of the paper's five system
+    classes under a {!Fortress_prof.Convergence} monitor. *)
+
+type class_report = {
+  system : Fortress_model.Systems.system;
+  result : Fortress_mc.Trial.result;
+  monitor : Fortress_prof.Convergence.t;
+}
+
+type t = {
+  classes : class_report list;
+  phases : Fortress_prof.Profiler.entry list;  (** snapshot at end of run *)
+  trace : Fortress_obs.Json.t;  (** Chrome trace-event document *)
+  profile : Fortress_obs.Json.t;  (** params + phases + convergence *)
+  campaign_events : int;  (** events captured from the campaign workload *)
+}
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?target_rel:float ->
+  ?batch:int ->
+  ?early_stop:bool ->
+  ?chi:int ->
+  ?omega:int ->
+  ?kappa:float ->
+  unit ->
+  t
+(** Defaults: 200 trials per class, seed 42, ±5% target at batch 25, no
+    early stop, chi = 256 / omega = 8 (alpha = 1/32), kappa = 0.5. The
+    profiler is enabled for the duration of the run and disabled on exit,
+    even on exception. Raises [Invalid_argument] when [trials <= 0]. *)
+
+val phase_table : t -> Fortress_util.Table.t
+val convergence_table : t -> Fortress_util.Table.t
+(** One row per class: trials run, mean lifetime, relative ci95
+    half-width, the trial count at which the target was first met (["-"]
+    if never), and the projected trials needed to reach it. *)
+
+val render : t -> string
+(** Both tables, ready for the terminal. *)

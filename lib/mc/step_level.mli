@@ -24,10 +24,13 @@ val sampler :
 
 val estimate :
   ?sink:Fortress_obs.Sink.t ->
+  ?monitor:Fortress_prof.Convergence.t ->
+  ?early_stop:bool ->
   ?trials:int ->
   ?seed:int ->
   Fortress_model.Systems.system ->
   config ->
   Trial.result
 (** [trials] defaults to 2000, [seed] to 42. [sink] receives per-trial
-    progress events (see {!Trial.run}). *)
+    progress events; [monitor]/[early_stop] are passed through to
+    {!Trial.run}. *)

@@ -1,6 +1,8 @@
 module Prng = Fortress_util.Prng
 module Stats = Fortress_util.Stats
 module Obs = Fortress_obs
+module Profiler = Fortress_prof.Profiler
+module Convergence = Fortress_prof.Convergence
 
 type result = {
   lifetimes : float array;
@@ -11,7 +13,9 @@ type result = {
   median : float;
 }
 
-let run ?sink ~trials ~seed ~sampler () =
+let trial_phase = Profiler.register "mc.trial"
+
+let run ?sink ?monitor ?(early_stop = false) ~trials ~seed ~sampler () =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
   let root = Prng.create ~seed in
   let acc = Stats.create () in
@@ -19,29 +23,50 @@ let run ?sink ~trials ~seed ~sampler () =
   let censored = ref 0 in
   (* trial progress events: stream index i derives from the run seed, so
      (seed, index) identifies a trial's PRNG exactly *)
-  let emit_trial i lifetime =
-    match sink with
-    | None -> ()
-    | Some sink ->
-        Obs.Sink.emit sink ~time:(float_of_int i) (Obs.Event.Trial { index = i; seed; lifetime })
+  let emit i ev =
+    match sink with None -> () | Some sink -> Obs.Sink.emit sink ~time:(float_of_int i) ev
   in
-  for i = 1 to trials do
+  let emit_trial i lifetime = emit i (Obs.Event.Trial { index = i; seed; lifetime }) in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < trials do
+    incr i;
+    let i = !i in
+    (* split unconditionally, whether or not the trial runs to completion,
+       so trial i's PRNG is the same with and without early stopping *)
     let prng = Prng.split root in
-    match sampler prng with
-    | Some steps ->
-        let x = float_of_int steps in
-        Stats.add acc x;
-        observed := x :: !observed;
-        emit_trial i (Some x)
-    | None ->
-        incr censored;
-        emit_trial i None
+    let outcome =
+      if Profiler.is_enabled () then Profiler.record trial_phase (fun () -> sampler prng)
+      else sampler prng
+    in
+    let lifetime =
+      match outcome with
+      | Some steps ->
+          let x = float_of_int steps in
+          Stats.add acc x;
+          observed := x :: !observed;
+          Some x
+      | None ->
+          incr censored;
+          None
+    in
+    emit_trial i lifetime;
+    match monitor with
+    | None -> ()
+    | Some m -> (
+        match Convergence.observe m lifetime with
+        | None -> ()
+        | Some cp ->
+            emit i
+              (Obs.Event.Note
+                 { label = "convergence"; detail = Convergence.checkpoint_detail cp });
+            if early_stop && Convergence.converged m then stop := true)
   done;
   let lifetimes = Array.of_list (List.rev !observed) in
   {
     lifetimes;
     censored = !censored;
-    trials;
+    trials = !i;
     mean = Stats.mean acc;
     ci95 = Stats.confidence_interval acc;
     median = (if Array.length lifetimes = 0 then nan else Stats.median lifetimes);

@@ -8,7 +8,7 @@
 type result = {
   lifetimes : float array;  (** uncensored observations *)
   censored : int;  (** trials that outlived the horizon *)
-  trials : int;
+  trials : int;  (** trials actually run (< the budget under early stop) *)
   mean : float;  (** mean of uncensored lifetimes; [nan] if all censored *)
   ci95 : float * float;
   median : float;
@@ -16,6 +16,8 @@ type result = {
 
 val run :
   ?sink:Fortress_obs.Sink.t ->
+  ?monitor:Fortress_prof.Convergence.t ->
+  ?early_stop:bool ->
   trials:int ->
   seed:int ->
   sampler:(Fortress_util.Prng.t -> int option) ->
@@ -24,6 +26,16 @@ val run :
 (** Raises [Invalid_argument] when [trials <= 0]. With [sink], a
     {!Fortress_obs.Event.Trial} progress event is emitted per trial at
     time = trial index; [(seed, index)] identifies the trial's PRNG
-    split exactly, so any single trial can be re-run in isolation. *)
+    split exactly, so any single trial can be re-run in isolation.
+
+    With [monitor], every trial outcome is fed to the convergence monitor
+    and each batch checkpoint is emitted as a ["convergence"]
+    {!Fortress_obs.Event.Note}; with [early_stop:true] (default [false])
+    the loop additionally stops at the first converged checkpoint. The
+    per-trial PRNG split is unconditional, so enabling the monitor alone
+    never changes any trial's randomness, and early stopping only
+    truncates the sequence — prefixes stay bit-identical. When the
+    {!Fortress_prof.Profiler} is enabled, each sampler call is recorded
+    under the ["mc.trial"] phase. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,5 +1,9 @@
 module Engine = Fortress_sim.Engine
 module Event = Fortress_obs.Event
+module Prof = Fortress_prof.Profiler
+
+let send_phase = Prof.register "net.send"
+let deliver_phase = Prof.register "net.deliver"
 
 type 'msg node = {
   name : string;
@@ -95,11 +99,13 @@ let transmit t ~src ~dst dst_node ~extra msg =
                t.delivered <- t.delivered + 1;
                Engine.emit t.engine
                  (Event.Msg_delivered { src = Address.id src; dst = Address.id dst });
-               dst_node.handler ~src msg
+               if Prof.is_enabled () then
+                 Prof.record deliver_phase (fun () -> dst_node.handler ~src msg)
+               else dst_node.handler ~src msg
              end
              else drop t ~src ~dst ~reason:"down"))
 
-let send t ~src ~dst msg =
+let send_unprofiled t ~src ~dst msg =
   let dst_node = find t dst in
   (* sender must exist too: catches stale addresses in protocols *)
   let _ = find t src in
@@ -123,6 +129,11 @@ let send t ~src ~dst msg =
                          the mangled bytes fail framing and are lost *)
                       drop t ~src ~dst ~reason:"fault:corrupt")
               deliveries)
+
+let send t ~src ~dst msg =
+  if Prof.is_enabled () then
+    Prof.record send_phase (fun () -> send_unprofiled t ~src ~dst msg)
+  else send_unprofiled t ~src ~dst msg
 
 let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
 

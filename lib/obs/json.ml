@@ -91,9 +91,24 @@ let parse s =
   in
   let hex4 () =
     if !pos + 4 > n then fail "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    (* strict hex only: int_of_string's 0x syntax would raise Failure past
+       the parser's own exception, and also tolerates '_' separators *)
+    let v = ref 0 in
+    for k = 0 to 3 do
+      let d =
+        match s.[!pos + k] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ ->
+            pos := !pos + k;
+            (* the offset names the offending digit *)
+            fail "invalid \\u escape"
+      in
+      v := (!v lsl 4) lor d
+    done;
     pos := !pos + 4;
-    v
+    !v
   in
   let parse_string () =
     expect '"';
@@ -133,7 +148,10 @@ let parse s =
                   in
                   if Uchar.is_valid code then Buffer.add_utf_8_uchar buf (Uchar.of_int code)
                   else Buffer.add_utf_8_uchar buf Uchar.rep
-              | _ -> fail "unknown escape"));
+              | _ ->
+                  (* point at the offending escape character *)
+                  decr pos;
+                  fail "unknown escape"));
           go ()
       | Some c ->
           advance ();

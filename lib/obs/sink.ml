@@ -76,6 +76,19 @@ let jsonl_channel oc ~time ev =
   output_string oc (line ~time ev);
   output_char oc '\n'
 
+let file path =
+  let oc = open_out path in
+  let closed = ref false in
+  let sub ~time ev = if not !closed then jsonl_channel oc ~time ev in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      flush oc;
+      close_out oc
+    end
+  in
+  (sub, close)
+
 let digesting () =
   (* FNV-1a 64-bit over the JSONL rendering of every event, newline
      included, so the digest equals a hash of the equivalent trace file.

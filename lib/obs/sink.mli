@@ -44,6 +44,12 @@ val jsonl : (string -> unit) -> subscriber
 val jsonl_channel : out_channel -> subscriber
 (** [jsonl] wired to an [out_channel], newline-terminated. *)
 
+val file : string -> subscriber * (unit -> unit)
+(** [file path] opens (truncating) a JSONL trace file and returns the
+    writing subscriber with its teardown closure, which flushes and closes
+    the file. Closing twice is a no-op; events arriving after close are
+    dropped rather than written to a dead descriptor. *)
+
 val digesting : unit -> subscriber * (unit -> string)
 (** Streaming FNV-1a 64-bit digest of the newline-terminated JSONL
     rendering of every event seen. The closure returns the current digest

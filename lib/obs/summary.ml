@@ -24,6 +24,7 @@ type t = {
   trials_censored : int;
   trial_lifetime_sum : float;
   spans : (string * int * float) list;
+  faults : (string * int) list;
 }
 
 type acc = {
@@ -50,6 +51,7 @@ type acc = {
   mutable a_censored : int;
   mutable a_lifetime_sum : float;
   span_stats : (string, (int * float) ref) Hashtbl.t;
+  fault_actions : (string, int ref) Hashtbl.t;
 }
 
 let fresh () =
@@ -77,6 +79,7 @@ let fresh () =
     a_censored = 0;
     a_lifetime_sum = 0.0;
     span_stats = Hashtbl.create 8;
+    fault_actions = Hashtbl.create 8;
   }
 
 let bump tbl key =
@@ -120,6 +123,7 @@ let add acc time (ev : Event.t) =
           let n, d = !r in
           r := (n + 1, d +. duration)
       | None -> Hashtbl.replace acc.span_stats name (ref (1, duration)))
+  | Event.Fault { action; _ } -> bump acc.fault_actions action
   | _ -> ()
 
 let finalize acc =
@@ -151,6 +155,9 @@ let finalize acc =
     spans =
       Hashtbl.fold (fun name r l -> (name, fst !r, snd !r) :: l) acc.span_stats []
       |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
+    faults =
+      Hashtbl.fold (fun k r l -> (k, !r) :: l) acc.fault_actions []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 let of_events events =
@@ -237,6 +244,12 @@ let span_table s =
     s.spans;
   t
 
+let fault_table s =
+  let t = Table.create ~headers:[ "fault action"; "count" ] in
+  Table.set_align t 0 Table.Left;
+  List.iter (fun (action, n) -> Table.add_row t [ action; string_of_int n ]) s.faults;
+  t
+
 let by_label_table s =
   let t = Table.create ~headers:[ "event"; "count" ] in
   Table.set_align t 0 Table.Left;
@@ -248,6 +261,10 @@ let render s =
   Buffer.add_string buf (Table.render (table s));
   Buffer.add_string buf "\nevents by label:\n";
   Buffer.add_string buf (Table.render (by_label_table s));
+  if s.faults <> [] then begin
+    Buffer.add_string buf "\ninjected faults by action:\n";
+    Buffer.add_string buf (Table.render (fault_table s))
+  end;
   if s.spans <> [] then begin
     Buffer.add_string buf "\nspans (virtual-time durations):\n";
     Buffer.add_string buf (Table.render (span_table s))

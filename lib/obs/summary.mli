@@ -29,6 +29,7 @@ type t = {
   trials_censored : int;
   trial_lifetime_sum : float;
   spans : (string * int * float) list;  (** name, count, total virtual duration *)
+  faults : (string * int) list;  (** injected-fault counts per action, sorted *)
 }
 
 val of_events : (float * Event.t) list -> t
@@ -36,9 +37,14 @@ val of_lines : ?on_malformed:(string -> unit) -> string Seq.t -> t
 val of_file : string -> t
 
 val table : t -> Fortress_util.Table.t
+
+val fault_table : t -> Fortress_util.Table.t
+(** Per-action injected-fault counts ({!Event.Fault} events, e.g. "drop",
+    "crash", "partition"). Empty for traces recorded without a plan. *)
+
 val render : t -> string
-(** Overview plus per-label counts, probe breakdown, per-step rates and
-    span statistics. *)
+(** Overview plus per-label counts, probe breakdown, per-step rates,
+    fault breakdown and span statistics. *)
 
 type check = { metric : string; measured : float; expected : float; ok : bool }
 

@@ -1,0 +1,146 @@
+module Stats = Fortress_util.Stats
+module Table = Fortress_util.Table
+module Json = Fortress_obs.Json
+
+type checkpoint = {
+  after : int;
+  observed : int;
+  mean : float;
+  half_width : float;
+  rel_half_width : float;
+}
+
+type t = {
+  stats : Stats.t;
+  batch : int;
+  target_rel : float;
+  z : float;
+  mutable total : int;
+  mutable censored : int;
+  mutable checkpoints : checkpoint list;  (** newest first *)
+  mutable converged_at : int option;
+}
+
+let create ?(batch = 25) ?(target_rel = 0.05) ?(z = 1.96) () =
+  if batch <= 0 then invalid_arg "Convergence.create: batch must be positive";
+  if target_rel <= 0.0 then invalid_arg "Convergence.create: target_rel must be positive";
+  {
+    stats = Stats.create ();
+    batch;
+    target_rel;
+    z;
+    total = 0;
+    censored = 0;
+    checkpoints = [];
+    converged_at = None;
+  }
+
+let total t = t.total
+let censored t = t.censored
+let observed t = Stats.count t.stats
+let mean t = Stats.mean t.stats
+let target_rel t = t.target_rel
+let batch t = t.batch
+
+let half_width t =
+  if Stats.count t.stats < 2 then nan else t.z *. Stats.std_error t.stats
+
+let rel_half_width t =
+  let m = mean t in
+  let hw = half_width t in
+  if Float.is_nan m || Float.is_nan hw || m = 0.0 then nan else hw /. Float.abs m
+
+let converged t =
+  let rel = rel_half_width t in
+  (not (Float.is_nan rel)) && rel <= t.target_rel
+
+let converged_at t = t.converged_at
+
+(* The Welford accumulator gives sd and mean at any point; assuming the
+   per-trial coefficient of variation is stable, the trial count needed to
+   reach the target relative half-width is (z * sd / (target * |mean|))^2.
+   This is what "how many trials does the CI actually need" means before
+   the run has reached it. *)
+let projected_trials t =
+  let m = mean t in
+  if Stats.count t.stats < 2 || Float.is_nan m || m = 0.0 then None
+  else
+    let sd = Stats.stddev t.stats in
+    let n = (t.z *. sd /. (t.target_rel *. Float.abs m)) ** 2.0 in
+    Some (max 2 (int_of_float (Float.ceil n)))
+
+let observe t outcome =
+  t.total <- t.total + 1;
+  (match outcome with
+  | Some x -> Stats.add t.stats x
+  | None -> t.censored <- t.censored + 1);
+  if t.total mod t.batch = 0 then begin
+    let cp =
+      {
+        after = t.total;
+        observed = Stats.count t.stats;
+        mean = mean t;
+        half_width = half_width t;
+        rel_half_width = rel_half_width t;
+      }
+    in
+    t.checkpoints <- cp :: t.checkpoints;
+    if t.converged_at = None && converged t then t.converged_at <- Some t.total;
+    Some cp
+  end
+  else None
+
+let checkpoints t = List.rev t.checkpoints
+
+let checkpoint_detail cp =
+  Printf.sprintf "after %d trials (%d observed): mean=%.6g hw95=%.4g rel=%.4g" cp.after
+    cp.observed cp.mean cp.half_width cp.rel_half_width
+
+let table t =
+  let tbl =
+    Table.create ~headers:[ "trials"; "observed"; "mean"; "ci95 half-width"; "relative" ]
+  in
+  List.iter
+    (fun cp ->
+      Table.add_row tbl
+        [
+          string_of_int cp.after;
+          string_of_int cp.observed;
+          Printf.sprintf "%.5g" cp.mean;
+          Printf.sprintf "%.4g" cp.half_width;
+          Printf.sprintf "%.4g" cp.rel_half_width;
+        ])
+    (checkpoints t);
+  tbl
+
+let num x = if Float.is_nan x then Json.Null else Json.Num x
+
+let to_json t =
+  Json.Obj
+    [
+      ("trials", Json.Num (float_of_int t.total));
+      ("observed", Json.Num (float_of_int (observed t)));
+      ("censored", Json.Num (float_of_int t.censored));
+      ("mean", num (mean t));
+      ("half_width", num (half_width t));
+      ("rel_half_width", num (rel_half_width t));
+      ("target_rel_half_width", Json.Num t.target_rel);
+      ( "converged_at",
+        match t.converged_at with Some n -> Json.Num (float_of_int n) | None -> Json.Null );
+      ( "projected_trials",
+        match projected_trials t with Some n -> Json.Num (float_of_int n) | None -> Json.Null
+      );
+      ( "checkpoints",
+        Json.List
+          (List.map
+             (fun cp ->
+               Json.Obj
+                 [
+                   ("after", Json.Num (float_of_int cp.after));
+                   ("observed", Json.Num (float_of_int cp.observed));
+                   ("mean", num cp.mean);
+                   ("half_width", num cp.half_width);
+                   ("rel_half_width", num cp.rel_half_width);
+                 ])
+             (checkpoints t)) );
+    ]

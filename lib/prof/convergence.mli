@@ -1,0 +1,58 @@
+(** Online Monte-Carlo convergence monitor.
+
+    Wraps the Welford accumulator of {!Fortress_util.Stats} with a
+    batch-checkpoint discipline: every [batch] trials it records the
+    running mean and 95%-CI half-width, decides whether the estimate has
+    reached the target {e relative} half-width (default ±5% of the mean),
+    and projects how many trials the target will need if it has not.
+    [Mc.Trial.run] feeds one outcome per trial; censored trials (no
+    observed lifetime) count toward the trial budget but not the mean. *)
+
+type checkpoint = {
+  after : int;  (** trials consumed when the checkpoint was taken *)
+  observed : int;  (** uncensored trials among them *)
+  mean : float;
+  half_width : float;  (** z * standard error; [nan] below 2 observations *)
+  rel_half_width : float;  (** half-width / |mean|; [nan] when undefined *)
+}
+
+type t
+
+val create : ?batch:int -> ?target_rel:float -> ?z:float -> unit -> t
+(** [create ()] monitors with checkpoints every [batch] (default 25)
+    trials, targeting a relative half-width of [target_rel] (default
+    0.05) at confidence [z] (default 1.96, i.e. 95%). Raises
+    [Invalid_argument] on a non-positive [batch] or [target_rel]. *)
+
+val observe : t -> float option -> checkpoint option
+(** [observe t outcome] feeds one trial result ([None] = censored).
+    Returns the new checkpoint when this trial completes a batch. *)
+
+val total : t -> int
+val observed : t -> int
+val censored : t -> int
+val batch : t -> int
+val target_rel : t -> float
+val mean : t -> float
+val half_width : t -> float
+val rel_half_width : t -> float
+
+val converged : t -> bool
+(** Whether the current relative half-width is at or below the target. *)
+
+val converged_at : t -> int option
+(** Trial count of the first checkpoint at which the target held. *)
+
+val projected_trials : t -> int option
+(** Estimated total trials needed to reach the target, extrapolating from
+    the current sample standard deviation: [ceil ((z*sd/(target*|mean|))^2)].
+    [None] below 2 observations or with a zero mean. *)
+
+val checkpoints : t -> checkpoint list
+(** All checkpoints, oldest first. *)
+
+val checkpoint_detail : checkpoint -> string
+(** One-line rendering used as the [Note] event detail in trial streams. *)
+
+val table : t -> Fortress_util.Table.t
+val to_json : t -> Fortress_obs.Json.t

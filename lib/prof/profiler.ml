@@ -1,0 +1,209 @@
+module Table = Fortress_util.Table
+module Json = Fortress_obs.Json
+
+type phase = {
+  p_name : string;
+  mutable p_count : int;
+  mutable p_total : float;
+  mutable p_self : float;
+  mutable p_self_words : float;
+  mutable p_depth : int;  (** frames of this phase currently on the stack *)
+}
+
+type frame = {
+  f_phase : phase;
+  f_start : float;
+  f_words : float;
+  mutable f_child_time : float;
+  mutable f_child_words : float;
+}
+
+type sample = { s_phase : string; s_start : float; s_dur : float }
+
+(* The profiler is a process-wide singleton on purpose: the hot paths it
+   brackets (engine dispatch, network delivery, crypto) are scattered
+   across libraries that share no common context object, and threading one
+   through every call chain would cost more than the feature. All state
+   below is only touched when [enabled]; the disabled fast path is a
+   single immediate [bool ref] read and performs no allocation. *)
+
+let enabled = ref false
+let registry : (string, phase) Hashtbl.t = Hashtbl.create 32
+let order : phase list ref = ref []
+let default_clock = Unix.gettimeofday
+let clock = ref default_clock
+let stack : frame list ref = ref []
+let epoch = ref 0.0
+
+(* bounded ring of finished-phase samples for the timeline export *)
+let sample_cap = ref 0
+let ring : sample array ref = ref [||]
+let ring_next = ref 0
+let ring_stored = ref 0
+
+let is_enabled () = !enabled
+
+let register name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None ->
+      let p =
+        { p_name = name; p_count = 0; p_total = 0.0; p_self = 0.0; p_self_words = 0.0;
+          p_depth = 0 }
+      in
+      Hashtbl.replace registry name p;
+      order := !order @ [ p ];
+      p
+
+let phase_name p = p.p_name
+
+let clear_counters () =
+  List.iter
+    (fun p ->
+      p.p_count <- 0;
+      p.p_total <- 0.0;
+      p.p_self <- 0.0;
+      p.p_self_words <- 0.0;
+      p.p_depth <- 0)
+    !order;
+  stack := [];
+  ring_next := 0;
+  ring_stored := 0;
+  epoch := !clock ()
+
+let reset () = clear_counters ()
+
+let enable () =
+  if not !enabled then begin
+    (* stale frames from a previous enabled period would mis-attribute
+       time; start from a clean stack *)
+    stack := [];
+    epoch := !clock ();
+    enabled := true
+  end
+
+let disable () =
+  enabled := false;
+  stack := []
+
+let set_clock f = clock := f
+let set_sample_capacity n =
+  if n < 0 then invalid_arg "Profiler.set_sample_capacity: negative capacity";
+  sample_cap := n;
+  ring := (if n = 0 then [||] else Array.make n { s_phase = ""; s_start = 0.0; s_dur = 0.0 });
+  ring_next := 0;
+  ring_stored := 0
+
+let samples () =
+  let cap = !sample_cap in
+  if cap = 0 || !ring_stored = 0 then []
+  else begin
+    let retained = min !ring_stored cap in
+    let start = if !ring_stored <= cap then 0 else !ring_next in
+    List.init retained (fun i -> !ring.((start + i) mod cap))
+  end
+
+let push_sample name ~start ~dur =
+  let cap = !sample_cap in
+  if cap > 0 then begin
+    !ring.(!ring_next) <- { s_phase = name; s_start = start -. !epoch; s_dur = dur };
+    ring_next := (!ring_next + 1) mod cap;
+    incr ring_stored
+  end
+
+let enter p =
+  if !enabled then begin
+    p.p_depth <- p.p_depth + 1;
+    stack :=
+      { f_phase = p; f_start = !clock (); f_words = Gc.minor_words ();
+        f_child_time = 0.0; f_child_words = 0.0 }
+      :: !stack
+  end
+
+let leave p =
+  if !enabled then
+    match !stack with
+    | f :: rest when f.f_phase == p ->
+        stack := rest;
+        let dt = !clock () -. f.f_start in
+        let dw = Gc.minor_words () -. f.f_words in
+        p.p_count <- p.p_count + 1;
+        p.p_self <- p.p_self +. (dt -. f.f_child_time);
+        p.p_self_words <- p.p_self_words +. (dw -. f.f_child_words);
+        p.p_depth <- p.p_depth - 1;
+        (* recursive re-entry would double-count inclusive time; only the
+           outermost frame of a phase contributes to its total *)
+        if p.p_depth = 0 then p.p_total <- p.p_total +. dt;
+        (match rest with
+        | parent :: _ ->
+            parent.f_child_time <- parent.f_child_time +. dt;
+            parent.f_child_words <- parent.f_child_words +. dw
+        | [] -> ());
+        push_sample p.p_name ~start:f.f_start ~dur:dt
+    | _ -> () (* mismatched leave (exception unwound past a frame): drop it *)
+
+let record p f =
+  if !enabled then begin
+    enter p;
+    match f () with
+    | v ->
+        leave p;
+        v
+    | exception e ->
+        leave p;
+        raise e
+  end
+  else f ()
+
+type entry = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  self_minor_words : float;
+}
+
+let snapshot () =
+  List.filter_map
+    (fun p ->
+      if p.p_count = 0 then None
+      else
+        Some
+          { name = p.p_name; count = p.p_count; total_s = p.p_total; self_s = p.p_self;
+            self_minor_words = p.p_self_words })
+    !order
+  |> List.sort (fun a b -> compare b.self_s a.self_s)
+
+let table () =
+  let t =
+    Table.create ~headers:[ "phase"; "count"; "self (s)"; "total (s)"; "self minor words" ]
+  in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun e ->
+      Table.add_row t
+        [
+          e.name;
+          string_of_int e.count;
+          Printf.sprintf "%.6f" e.self_s;
+          Printf.sprintf "%.6f" e.total_s;
+          Printf.sprintf "%.0f" e.self_minor_words;
+        ])
+    (snapshot ());
+  t
+
+let render () = Table.render (table ())
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("phase", Json.Str e.name);
+             ("count", Json.Num (float_of_int e.count));
+             ("self_s", Json.Num e.self_s);
+             ("total_s", Json.Num e.total_s);
+             ("self_minor_words", Json.Num e.self_minor_words);
+           ])
+       (snapshot ()))

@@ -1,0 +1,99 @@
+(** Wall-clock phase profiler for the simulation hot paths.
+
+    A process-wide registry of named {e phases}. Instrumented code brackets
+    its hot sections with {!enter}/{!leave} (or the scoped {!record}) on a
+    pre-registered phase handle; the profiler maintains per-phase counts,
+    inclusive ("total") and exclusive ("self") wall-clock time, and minor-
+    heap words allocated, using a frame stack so nested phases attribute
+    correctly (e.g. [crypto.sha256] under [net.deliver] under
+    [engine.fire]).
+
+    Disabled (the default) the whole feature is one [bool ref] read per
+    instrumented site and allocates nothing — measured in [bench/main.exe]
+    and reported in [BENCH_fortress.json] under [profiler_overhead]. Times
+    here are {e wall-clock} seconds, deliberately distinct from the
+    virtual-time spans of {!Fortress_obs.Span}: spans answer "how long did
+    this take in the simulated world", the profiler answers "where does the
+    simulator spend real CPU time". *)
+
+type phase
+(** A registered phase handle. Registration interns by name, so modules can
+    register at initialization and share handles. *)
+
+val register : string -> phase
+(** [register name] returns the phase named [name], creating it on first
+    use. Conventional names are dot-scoped: ["engine.fire"],
+    ["net.send"], ["crypto.sha256"], ["mc.trial"]. *)
+
+val phase_name : phase -> string
+
+val is_enabled : unit -> bool
+val enable : unit -> unit
+(** Start profiling: clears the frame stack and stamps the sample-ring
+    epoch. Counters accumulated earlier are kept (call {!reset} first for
+    a fresh run). *)
+
+val disable : unit -> unit
+(** Stop profiling; open frames are discarded. *)
+
+val reset : unit -> unit
+(** Zero every phase's counters and drop collected samples. Registered
+    handles stay valid. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the clock (default [Unix.gettimeofday]) — for deterministic
+    tests. *)
+
+val enter : phase -> unit
+(** Open a frame; no-op when disabled. *)
+
+val leave : phase -> unit
+(** Close the innermost frame if it belongs to this phase, attributing
+    elapsed time and allocated words; a mismatched or spurious [leave] is
+    ignored. No-op when disabled. *)
+
+val record : phase -> (unit -> 'a) -> 'a
+(** [record p f] runs [f] inside phase [p], exception-safely. When
+    disabled, just calls [f]. *)
+
+(** {1 Timeline samples}
+
+    With a non-zero sample capacity, every finished frame is also logged as
+    an individual (start, duration) sample in a bounded ring — the raw
+    material for the Chrome-trace wall-clock lanes
+    ({!Trace_export.make}). *)
+
+type sample = {
+  s_phase : string;
+  s_start : float;  (** seconds since the enable/reset epoch *)
+  s_dur : float;  (** seconds *)
+}
+
+val set_sample_capacity : int -> unit
+(** Resize the sample ring ([0] — the default — disables sampling; the
+    ring keeps the most recent [n] frames). Raises [Invalid_argument] on a
+    negative capacity. *)
+
+val samples : unit -> sample list
+(** Collected samples, oldest first. *)
+
+(** {1 Reporting} *)
+
+type entry = {
+  name : string;
+  count : int;
+  total_s : float;  (** inclusive wall-clock seconds *)
+  self_s : float;  (** exclusive wall-clock seconds *)
+  self_minor_words : float;  (** minor words allocated, children excluded *)
+}
+
+val snapshot : unit -> entry list
+(** Phases with at least one finished frame, sorted by self time,
+    descending. *)
+
+val table : unit -> Fortress_util.Table.t
+val render : unit -> string
+
+val to_json : unit -> Fortress_obs.Json.t
+(** The snapshot as a JSON list — the ["phases"] section of
+    [profile.json]. *)

@@ -1,0 +1,141 @@
+module Event = Fortress_obs.Event
+module Json = Fortress_obs.Json
+
+(* Chrome trace-event ("Trace Event Format") export, the JSON-array flavour
+   accepted by chrome://tracing and by Perfetto's legacy-JSON importer.
+
+   Two processes keep the two clocks apart:
+     pid 1 — the simulated world: Span_finished events on the virtual
+             clock, one thread lane per node (span attr "node", falling
+             back to the name prefix before the first '.');
+     pid 2 — the simulator itself: profiler wall-clock samples, one lane
+             per top-level phase scope.
+   Timestamps are microseconds, so virtual time units are scaled by
+   [scale] (default 1e6: one virtual time unit renders as one second). *)
+
+let default_scale = 1_000_000.0
+
+let name_prefix name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let span_lane ~attrs ~name =
+  match List.assoc_opt "node" attrs with
+  | Some node -> node
+  | None -> name_prefix name
+
+(* trace viewers sort thread lanes by tid; intern lanes in first-seen
+   order so the layout is deterministic for a given event stream *)
+type lanes = { tbl : (string, int) Hashtbl.t; mutable rev : (string * int) list }
+
+let lanes_create () = { tbl = Hashtbl.create 16; rev = [] }
+
+let lane_id lanes name =
+  match Hashtbl.find_opt lanes.tbl name with
+  | Some tid -> tid
+  | None ->
+      let tid = Hashtbl.length lanes.tbl + 1 in
+      Hashtbl.replace lanes.tbl name tid;
+      lanes.rev <- (name, tid) :: lanes.rev;
+      tid
+
+let lanes_sorted lanes = List.rev lanes.rev
+
+let str k v = (k, Json.Str v)
+let num k v = (k, Json.Num v)
+
+let metadata ~pid ?tid ~name ~value () =
+  Json.Obj
+    ([ str "name" name; str "ph" "M"; num "pid" (float_of_int pid) ]
+    @ (match tid with Some t -> [ num "tid" (float_of_int t) ] | None -> [])
+    @ [ ("args", Json.Obj [ str "name" value ]) ])
+
+let complete ~pid ~tid ~name ~ts ~dur ~args =
+  Json.Obj
+    [
+      str "name" name;
+      str "ph" "X";
+      num "pid" (float_of_int pid);
+      num "tid" (float_of_int tid);
+      num "ts" ts;
+      num "dur" dur;
+      ("args", Json.Obj args);
+    ]
+
+let instant ~pid ~tid ~name ~ts ~args =
+  Json.Obj
+    [
+      str "name" name;
+      str "ph" "i";
+      str "s" "t";
+      num "pid" (float_of_int pid);
+      num "tid" (float_of_int tid);
+      num "ts" ts;
+      ("args", Json.Obj args);
+    ]
+
+let sim_pid = 1
+let prof_pid = 2
+
+let make ?(scale = default_scale) ?(samples = []) events =
+  let sim_lanes = lanes_create () in
+  let prof_lanes = lanes_create () in
+  let rows = ref [] in
+  let push row = rows := row :: !rows in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Event.Span_finished { name; start_time; duration; attrs; id; parent } ->
+          let tid = lane_id sim_lanes (span_lane ~attrs ~name) in
+          let args =
+            [ num "id" (float_of_int id) ]
+            @ (match parent with
+              | Some p -> [ num "parent" (float_of_int p) ]
+              | None -> [])
+            @ List.map (fun (k, v) -> str k v) attrs
+          in
+          push
+            (complete ~pid:sim_pid ~tid ~name ~ts:(start_time *. scale)
+               ~dur:(duration *. scale) ~args)
+      | ev when Event.verbosity ev = `Info ->
+          (* milestones (compromises, failovers, faults, notes) render as
+             instants on an "events" lane so they line up against spans *)
+          let tid = lane_id sim_lanes "events" in
+          push
+            (instant ~pid:sim_pid ~tid ~name:(Event.label ev) ~ts:(time *. scale)
+               ~args:[ str "detail" (Event.detail ev) ])
+      | _ -> ())
+    events;
+  List.iter
+    (fun (s : Profiler.sample) ->
+      let tid = lane_id prof_lanes (name_prefix s.Profiler.s_phase) in
+      push
+        (complete ~pid:prof_pid ~tid ~name:s.Profiler.s_phase
+           ~ts:(s.Profiler.s_start *. 1e6) ~dur:(s.Profiler.s_dur *. 1e6) ~args:[]))
+    samples;
+  let meta =
+    metadata ~pid:sim_pid ~name:"process_name" ~value:"simulation (virtual time)" ()
+    :: metadata ~pid:prof_pid ~name:"process_name" ~value:"profiler (wall clock)" ()
+    :: List.map
+         (fun (lane, tid) ->
+           metadata ~pid:sim_pid ~tid ~name:"thread_name" ~value:lane ())
+         (lanes_sorted sim_lanes)
+    @ List.map
+        (fun (lane, tid) ->
+          metadata ~pid:prof_pid ~tid ~name:"thread_name" ~value:lane ())
+        (lanes_sorted prof_lanes)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.rev !rows));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

@@ -1,0 +1,26 @@
+(** Chrome trace-event export ([trace.json]).
+
+    Renders a recorded event stream and profiler timeline samples in the
+    Trace Event Format understood by [chrome://tracing] and Perfetto's
+    legacy-JSON importer ({{:https://ui.perfetto.dev} ui.perfetto.dev} →
+    "Open trace file"). Two processes separate the two clocks: pid 1
+    carries {!Fortress_obs.Event.Span_finished} spans in {e virtual}
+    time, one thread lane per node (span attr ["node"], else the span
+    name's prefix before the first ['.']) plus an ["events"] lane of
+    [`Info]-level instants; pid 2 carries {!Profiler} wall-clock samples,
+    one lane per phase scope. *)
+
+val make :
+  ?scale:float -> ?samples:Profiler.sample list -> (float * Fortress_obs.Event.t) list ->
+  Fortress_obs.Json.t
+(** [make events] builds the trace document
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] from timestamped
+    events (as captured by {!Fortress_obs.Sink.memory}). [scale] converts
+    virtual time units to trace microseconds (default [1e6]: one virtual
+    unit renders as a second). [samples] adds profiler lanes (wall-clock
+    seconds, scaled to microseconds). Lane ids are assigned in first-seen
+    order, so the same stream always yields the same document. *)
+
+val write : path:string -> Fortress_obs.Json.t -> unit
+(** Serialize to [path] (trailing newline), closing the file even on
+    error. *)

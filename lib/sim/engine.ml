@@ -1,4 +1,7 @@
 module Obs = Fortress_obs
+module Prof = Fortress_prof.Profiler
+
+let fire_phase = Prof.register "engine.fire"
 
 type event = { fire : unit -> unit; mutable cancelled : bool; mutable live : bool }
 
@@ -131,7 +134,7 @@ let rec step t =
         assert (time >= t.clock);
         t.clock <- time;
         ev.live <- false;
-        ev.fire ();
+        if Prof.is_enabled () then Prof.record fire_phase ev.fire else ev.fire ();
         true
       end
 

@@ -40,6 +40,67 @@ let test_json_parse_errors () =
   bad "{\"a\":1} trailing";
   bad "\"unterminated"
 
+let parse_str s =
+  match Json.parse s with
+  | Ok (Json.Str v) -> v
+  | Ok _ -> Alcotest.failf "parsed %s to a non-string" s
+  | Error e -> Alcotest.failf "rejected %s: %s" s e
+
+let test_json_unicode_escapes () =
+  Alcotest.(check string) "BMP escape" "A" (parse_str {|"\u0041"|});
+  Alcotest.(check string) "non-ASCII BMP escape" "\xc3\xa9" (parse_str {|"\u00e9"|});
+  Alcotest.(check string) "case-insensitive hex" "\xc3\xa9" (parse_str {|"\u00E9"|});
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" (parse_str {|"\ud83d\ude00"|});
+  (* a lone high surrogate is not a scalar value: replacement character *)
+  Alcotest.(check string) "lone high surrogate" "\xef\xbf\xbdx" (parse_str {|"\ud800x"|});
+  Alcotest.(check string) "unpaired high surrogate before plain char" "\xef\xbf\xbdA"
+    (parse_str {|"\ud83dA"|});
+  (* a high surrogate followed by a \u escape that is not a low surrogate *)
+  (match Json.parse "\"\\ud83d\\u0041\"" with
+  | Ok _ -> Alcotest.fail "accepted a malformed surrogate pair"
+  | Error e ->
+      Alcotest.(check bool) "low surrogate error" true
+        (String.length e > 0 && String.ends_with ~suffix:"invalid low surrogate" e));
+  (* non-hex digits are a parse error, not an uncaught exception *)
+  match Json.parse {|"ab\uZZZZ"|} with
+  | Ok _ -> Alcotest.fail "accepted non-hex \\u escape"
+  | Error e -> Alcotest.(check string) "offset names offending char" "at 5: invalid \\u escape" e
+
+let test_json_nested_depth () =
+  let depth = 256 in
+  let s =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "depth %d rejected: %s" depth e
+  | Ok doc ->
+      let rec unwrap n = function
+        | Json.List [ inner ] -> unwrap (n + 1) inner
+        | Json.Num 1.0 -> n
+        | _ -> Alcotest.fail "unexpected shape"
+      in
+      Alcotest.(check int) "full depth preserved" depth (unwrap 0 doc);
+      Alcotest.(check string) "re-emits identically" s (Json.to_string doc)
+
+let test_json_error_offsets () =
+  let offset_of s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted: %s" s
+    | Error e -> (
+        (* errors are "at <offset>: <message>" *)
+        match String.index_opt e ':' with
+        | Some i -> int_of_string (String.sub e 3 (i - 3))
+        | None -> Alcotest.failf "unparseable error: %s" e)
+  in
+  Alcotest.(check int) "missing array element" 3 (offset_of "[1,]");
+  Alcotest.(check int) "missing object value" 5 (offset_of {|{"a":}|});
+  Alcotest.(check int) "bare comma at start" 0 (offset_of ",");
+  Alcotest.(check int) "trailing garbage" 7 (offset_of {|{"a":1}x|});
+  Alcotest.(check int) "unknown escape" 3 (offset_of {|"a\q"|});
+  Alcotest.(check int) "truncated input" 1 (offset_of "[")
+
 let test_json_accessors () =
   match Json.parse "{\"a\": 7, \"b\": \"x\", \"c\": [1,2]}" with
   | Error e -> Alcotest.fail e
@@ -251,6 +312,41 @@ let test_sink_counting_and_memory () =
   | [ (1.0, Event.Probe _); (2.0, Event.Rekey _) ] -> ()
   | l -> Alcotest.fail (Printf.sprintf "memory ring kept %d unexpected events" (List.length l))
 
+let test_sink_line_deterministic_roundtrip () =
+  (* Renders depend only on the event, never on hashing or environment:
+     line -> parse_line -> line must be byte-identical for every event
+     shape, which is what makes trace digests stable across runs and
+     OCaml versions. *)
+  List.iteri
+    (fun i ev ->
+      let time = 0.5 +. float_of_int i in
+      let rendered = Sink.line ~time ev in
+      match Sink.parse_line rendered with
+      | Error e -> Alcotest.failf "%s does not parse back: %s" (Event.label ev) e
+      | Ok (time', ev') ->
+          Alcotest.(check string)
+            (Event.label ev ^ " re-renders byte-identically")
+            rendered
+            (Sink.line ~time:time' ev'))
+    all_events
+
+let test_sink_file_flushes_and_closes () =
+  let path = Filename.temp_file "fortress-sink" ".jsonl" in
+  let sub, close = Sink.file path in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink sub);
+  Sink.emit sink ~time:1.0 (Event.Rekey { nodes = 3 });
+  Sink.emit sink ~time:2.0 (Event.Step { n = 1 });
+  close ();
+  close ();
+  (* idempotent *)
+  (* writes after close are dropped, not crashes on a dead descriptor *)
+  Sink.emit sink ~time:3.0 (Event.Step { n = 2 });
+  let s = Summary.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "both pre-close events on disk" 2 s.Summary.total;
+  Alcotest.(check int) "nothing malformed" 0 s.Summary.malformed
+
 (* ---- Engine integration ---- *)
 
 let test_engine_emit_feeds_metrics_and_trace () =
@@ -341,6 +437,35 @@ let test_summary_malformed_lines () =
   Alcotest.(check int) "two parsed" 2 s.Summary.total;
   Alcotest.(check int) "one malformed (blank skipped)" 1 s.Summary.malformed
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_summary_fault_breakdown () =
+  let events =
+    [
+      (1.0, Event.Fault { action = "drop"; target = "link 0->1"; detail = "" });
+      (2.0, Event.Fault { action = "drop"; target = "link 1->0"; detail = "" });
+      (3.0, Event.Fault { action = "crash"; target = "server-1"; detail = "restart at 9" });
+      (4.0, Event.Rekey { nodes = 3 });
+    ]
+  in
+  let s = Summary.of_events events in
+  Alcotest.(check (list (pair string int)))
+    "per-action counts, sorted" [ ("crash", 1); ("drop", 2) ] s.Summary.faults;
+  Alcotest.(check (option int)) "fault label total" (Some 3)
+    (List.assoc_opt "fault" s.Summary.by_label);
+  let rendered = Summary.render s in
+  Alcotest.(check bool) "render has fault section" true
+    (contains ~needle:"injected faults by action" rendered)
+
+let test_summary_no_faults_no_section () =
+  let s = Summary.of_events [ (1.0, Event.Rekey { nodes = 3 }) ] in
+  Alcotest.(check (list (pair string int))) "empty" [] s.Summary.faults;
+  Alcotest.(check bool) "no fault section" false
+    (contains ~needle:"injected faults" (Summary.render s))
+
 (* ---- Validation sink threading ---- *)
 
 let test_trial_events_through_validation () =
@@ -365,6 +490,9 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "integers compact" `Quick test_json_integers_compact;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "nested array depth" `Quick test_json_nested_depth;
+          Alcotest.test_case "error offsets" `Quick test_json_error_offsets;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "event",
@@ -385,6 +513,9 @@ let () =
           Alcotest.test_case "subscribers and detach" `Quick test_sink_subscribers_and_detach;
           Alcotest.test_case "jsonl round-trip" `Quick test_sink_jsonl_roundtrip;
           Alcotest.test_case "counting and memory" `Quick test_sink_counting_and_memory;
+          Alcotest.test_case "line deterministic round-trip" `Quick
+            test_sink_line_deterministic_roundtrip;
+          Alcotest.test_case "file flushes and closes" `Quick test_sink_file_flushes_and_closes;
         ] );
       ( "engine",
         [
@@ -398,6 +529,8 @@ let () =
             test_summary_of_campaign_consistent;
           Alcotest.test_case "jsonl file round-trip" `Quick test_summary_jsonl_file_roundtrip;
           Alcotest.test_case "malformed lines" `Quick test_summary_malformed_lines;
+          Alcotest.test_case "fault breakdown" `Quick test_summary_fault_breakdown;
+          Alcotest.test_case "no faults, no section" `Quick test_summary_no_faults_no_section;
         ] );
       ( "validation",
         [
