@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_fortress.json against the committed baseline.
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance 0.25]
+
+The check is one-sided: a metric fails only when it is worse than the
+baseline by more than the tolerance (slower, fewer events/sec). Getting
+faster never fails. Exit status 1 on any regression, 0 otherwise.
+
+Timing metrics carry the full tolerance because CI runners are noisy and
+heterogeneous. Allocation metrics (minor words per call/message) are
+deterministic properties of the compiled code, so they get a tight bound:
+an allocation regression on a zero-allocation path is a real code change,
+not noise.
+"""
+
+import argparse
+import json
+import sys
+
+TIGHT = 0.10  # allocation metrics: deterministic, small slack for GC jitter
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_by(rows, key):
+    return {row[key]: row for row in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed one-sided slowdown fraction for timing metrics")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    checks = []  # (name, baseline, current, lower_is_better, tolerance)
+
+    for section, unit in (("interceptor_overhead", "ns_per_message"),
+                          ("profiler_overhead", "ns_per_call")):
+        b = index_by(base.get(section, []), "config")
+        c = index_by(cur.get(section, []), "config")
+        words = unit.replace("ns_", "minor_words_")
+        for config in b:
+            if config not in c:
+                print(f"MISSING  {section}/{config}: not in current report")
+                return 1
+            checks.append((f"{section}/{config} {unit}",
+                           b[config][unit], c[config][unit], True, args.tolerance))
+            checks.append((f"{section}/{config} {words}",
+                           b[config][words], c[config][words], True, TIGHT))
+
+    if "events_per_sec" in base:
+        checks.append(("events_per_sec",
+                       base["events_per_sec"], cur.get("events_per_sec", 0.0),
+                       False, args.tolerance))
+
+    b_speed = index_by(base.get("parallel_speedup", []), "jobs")
+    c_speed = index_by(cur.get("parallel_speedup", []), "jobs")
+    for jobs in b_speed:
+        if jobs not in c_speed:
+            print(f"MISSING  parallel_speedup/jobs={jobs:g}: not in current report")
+            return 1
+        checks.append((f"parallel_speedup/jobs={jobs:g} trials_per_sec",
+                       b_speed[jobs]["trials_per_sec"],
+                       c_speed[jobs]["trials_per_sec"], False, args.tolerance))
+        # determinism, not performance: the mean must not move at all
+        if b_speed[jobs]["mean_el"] != c_speed[jobs]["mean_el"]:
+            print(f"FAIL     parallel_speedup/jobs={jobs:g} mean_el: "
+                  f"{c_speed[jobs]['mean_el']!r} != baseline {b_speed[jobs]['mean_el']!r} "
+                  "(seeded result changed)")
+            return 1
+
+    failed = 0
+    for name, b, c, lower_better, tol in checks:
+        if b <= 0:
+            # a zero baseline is a hard floor: a path that allocated (or
+            # cost) nothing must keep allocating nothing
+            worse = lower_better and c > 1e-6
+            delta = ""
+        else:
+            ratio = c / b
+            worse = ratio > 1 + tol if lower_better else ratio < 1 - tol
+            delta = f" ({c / b - 1:+.0%} vs baseline)"
+        status = "FAIL" if worse else "ok"
+        if worse:
+            failed += 1
+        print(f"{status:8s} {name}: baseline {b:.1f}, current {c:.1f}{delta}")
+
+    if failed:
+        print(f"\n{failed} metric(s) regressed beyond tolerance "
+              f"({args.tolerance:.0%} timing, {TIGHT:.0%} allocation)")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -285,7 +285,42 @@ let measure_profiler_overhead () =
   in
   [ run "disabled" `Disabled; run "enabled" `Enabled; run "enabled+sampling" `Sampling ]
 
-let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler =
+(* Domain-parallel Monte-Carlo speedup: the step-level sampler at a fixed
+   operating point, fanned over 1, 2 and 4 worker domains. The runner
+   guarantees bit-identical results at every job count (trials partitioned
+   by index, per-trial PRNGs derived from the index, outcomes consumed in
+   index order at the join), so the mean is asserted equal across rows and
+   only the wall clock may differ. Speedup is relative to the jobs=1 row;
+   on a single-core box every row is ~1.0x. *)
+let measure_parallel_speedup () =
+  let trials = 3000 in
+  let cfg = { Step_level.default with alpha = 3e-3 } in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let res = Step_level.estimate ~jobs ~trials ~seed:42 Systems.S2_PO cfg in
+    let dt = Unix.gettimeofday () -. t0 in
+    (jobs, dt, res.Fortress_mc.Trial.mean)
+  in
+  let rows = List.map run [ 1; 2; 4 ] in
+  let base_mean = match rows with (_, _, m) :: _ -> m | [] -> nan in
+  List.iter
+    (fun (jobs, _, mean) ->
+      if mean <> base_mean then
+        failwith
+          (Printf.sprintf
+             "parallel determinism violated: jobs=%d mean %.17g <> jobs=1 mean %.17g" jobs
+             mean base_mean))
+    rows;
+  let base_dt = match rows with (_, dt, _) :: _ -> dt | [] -> nan in
+  List.map
+    (fun (jobs, dt, mean) ->
+      let tps = if dt > 0.0 then float_of_int trials /. dt else 0.0 in
+      let speedup = if dt > 0.0 then base_dt /. dt else 0.0 in
+      (jobs, tps, speedup, mean))
+    rows
+
+let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler
+    ~speedup =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -323,6 +358,18 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
                      ("minor_words_per_call", J.Num words);
                    ])
                profiler) );
+        ( "parallel_speedup",
+          J.List
+            (List.map
+               (fun (jobs, tps, sp, mean) ->
+                 J.Obj
+                   [
+                     ("jobs", J.Num (float_of_int jobs));
+                     ("trials_per_sec", J.Num tps);
+                     ("speedup_vs_1", J.Num sp);
+                     ("mean_el", J.Num mean);
+                   ])
+               speedup) );
         ("sections", J.List secs);
       ]
   in
@@ -433,7 +480,15 @@ let () =
       Printf.printf "disabled path allocates %s per call\n\n"
         (if words < 0.5 then "nothing" else Printf.sprintf "%.1f words (REGRESSION)" words)
   | _ -> print_newline ());
+  let speedup = measure_parallel_speedup () in
+  Printf.printf "== domain-parallel Monte-Carlo speedup (step-level, 3000 trials) ==\n";
+  List.iter
+    (fun (jobs, tps, sp, mean) ->
+      Printf.printf "jobs=%d  %10.0f trials/sec  %5.2fx vs jobs=1  (mean EL %.6g)\n" jobs tps
+        sp mean)
+    speedup;
+  Printf.printf "means bit-identical across job counts: yes (asserted)\n\n";
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
-  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler;
+  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

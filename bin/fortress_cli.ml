@@ -36,6 +36,15 @@ let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the Monte-Carlo trials. Results are bit-identical at \
+     every job count: trials are partitioned by index, each trial's PRNG is \
+     derived from its index (never from execution order), and outcomes are \
+     consumed in index order at the join."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let launchpad_arg =
   let lp_conv =
     Arg.enum
@@ -96,19 +105,19 @@ let with_obs ~trace_out ~metrics f =
 (* ---- el ---- *)
 
 let el_cmd =
-  let run system alpha kappa np launchpad trials =
+  let run system alpha kappa np launchpad trials jobs =
     let analytic = Systems.expected_lifetime ~launchpad ~np system ~alpha ~kappa in
     Printf.printf "%s: analytic EL = %.6g unit time-steps (alpha=%g kappa=%g np=%d)\n"
       (Systems.system_to_string system)
       analytic alpha kappa np;
     if trials > 0 then begin
       let cfg = { Step_level.default with alpha; kappa; np; launchpad } in
-      let res = Step_level.estimate ~trials system cfg in
+      let res = Step_level.estimate ~jobs ~trials system cfg in
       Format.printf "%s: monte-carlo %a@." (Systems.system_to_string system) Trial.pp_result res
     end
   in
   let term = Term.(const run $ system_arg $ alpha_arg $ kappa_arg $ np_arg $ launchpad_arg
-                   $ trials_arg ~default:0) in
+                   $ trials_arg ~default:0 $ jobs_arg) in
   Cmd.v (Cmd.info "el" ~doc:"Expected lifetime of one system at one operating point.") term
 
 (* ---- figures ---- *)
@@ -173,27 +182,29 @@ let validate_cmd =
          & info [ "protocol" ]
              ~doc:"Validate the full packet-level protocol stack instead of the samplers.")
   in
-  let run chi omega kappa trials csv protocol trace_out metrics =
+  let run chi omega kappa trials jobs csv protocol trace_out metrics =
     let chi = Option.value chi ~default:(if protocol then 256 else 4096) in
     let omega = Option.value omega ~default:(if protocol then 8 else 16) in
     with_obs ~trace_out ~metrics (fun sink ->
         if protocol then begin
-          let line = Validation.protocol ~sink ~trials:(min trials 100) ~chi ~omega ~kappa () in
+          let line =
+            Validation.protocol ~sink ~jobs ~trials:(min trials 100) ~chi ~omega ~kappa ()
+          in
           print_table ~csv (Validation.protocol_table line);
           Printf.printf "\noperating point: chi=%d omega=%d kappa=%g\n" chi omega kappa;
           Printf.printf "stack agreement: %s\n"
             (if Validation.protocol_agrees line then "holds" else "FAILS")
         end
         else begin
-          let lines = Validation.run ~sink ~chi ~omega ~kappa ~trials () in
+          let lines = Validation.run ~sink ~jobs ~chi ~omega ~kappa ~trials () in
           print_table ~csv (Validation.table lines);
           Printf.printf "\nmax |step-MC - analytic| / analytic = %.3f\n"
             (Validation.max_relative_error lines)
         end)
   in
   let term =
-    Term.(const run $ chi_arg $ omega_arg $ kappa_arg $ trials_arg ~default:400 $ csv_arg
-          $ protocol_arg $ trace_out_arg $ metrics_arg)
+    Term.(const run $ chi_arg $ omega_arg $ kappa_arg $ trials_arg ~default:400 $ jobs_arg
+          $ csv_arg $ protocol_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "validate"
@@ -301,7 +312,17 @@ let simulate_cmd =
   let trace_arg =
     Arg.(value & opt int 10 & info [ "trace" ] ~docv:"N" ~doc:"Trace lines to print at the end.")
   in
-  let run service np ns steps mode omega chi seed rate kappa trace_lines trace_out metrics =
+  let jobs_sim =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Accepted for interface uniformity with the Monte-Carlo \
+                   subcommands; a single deployment simulation is one event \
+                   loop on one domain, so the output is identical for every \
+                   value.")
+  in
+  let run service np ns steps mode omega chi seed rate kappa trace_lines jobs trace_out
+      metrics =
+    ignore (jobs : int);
     match Fortress_replication.Services.find service with
     | None ->
         prerr_endline ("unknown service: " ^ service);
@@ -367,7 +388,7 @@ let simulate_cmd =
   in
   let term =
     Term.(const run $ service_arg $ np_sim $ ns_sim $ steps_arg $ mode_arg $ omega_sim
-          $ chi_sim $ seed_arg $ rate_arg $ kappa_arg $ trace_arg $ trace_out_arg
+          $ chi_sim $ seed_arg $ rate_arg $ kappa_arg $ trace_arg $ jobs_sim $ trace_out_arg
           $ metrics_arg)
   in
   Cmd.v
@@ -397,7 +418,7 @@ let inject_cmd =
     Arg.(value & opt int 400 & info [ "max-steps" ] ~docv:"N"
            ~doc:"Campaign horizon in unit time-steps.")
   in
-  let run plan trials seed chi omega kappa steps csv trace_out metrics =
+  let run plan trials seed chi omega kappa steps jobs csv trace_out metrics =
     let plans =
       match plan with
       | "all" -> List.filter (fun (p : Plan.t) -> p.Plan.name <> "none") Plan.builtins
@@ -410,7 +431,7 @@ let inject_cmd =
     in
     with_obs ~trace_out ~metrics (fun sink ->
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
-                       max_steps = steps } in
+                       max_steps = steps; jobs } in
         let report = Inject.run ~sink ~config ~plans () in
         print_table ~csv (Inject.table report);
         print_newline ();
@@ -427,8 +448,8 @@ let inject_cmd =
   in
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
-          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ csv_arg $ trace_out_arg
-          $ metrics_arg)
+          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ csv_arg
+          $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -500,9 +521,10 @@ let prof_cmd =
   let omega_arg =
     Arg.(value & opt int 8 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
   in
-  let run trials seed target batch early_stop outdir chi omega kappa =
+  let run trials seed target batch early_stop jobs outdir chi omega kappa =
     let t =
-      Profiling.run ~trials ~seed ~target_rel:target ~batch ~early_stop ~chi ~omega ~kappa ()
+      Profiling.run ~trials ~seed ~target_rel:target ~batch ~early_stop ~jobs ~chi ~omega
+        ~kappa ()
     in
     print_string (Profiling.render t);
     (try if not (Sys.is_directory outdir) then failwith (outdir ^ " is not a directory")
@@ -518,7 +540,7 @@ let prof_cmd =
   in
   let term =
     Term.(const run $ trials_arg ~default:200 $ seed_arg $ target_arg $ batch_arg
-          $ early_stop_arg $ outdir_arg $ chi_arg $ omega_arg $ kappa_arg)
+          $ early_stop_arg $ jobs_arg $ outdir_arg $ chi_arg $ omega_arg $ kappa_arg)
   in
   Cmd.v
     (Cmd.info "prof"
@@ -643,7 +665,21 @@ let crossover_cmd =
 
 let main_cmd =
   let doc = "FORTRESS attack-resilience evaluation (Clarke & Ezhilchelvan, DSN 2010)" in
-  let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S "DETERMINISM";
+      `P
+        "Every Monte-Carlo subcommand is reproducible from its seed, including \
+         under $(b,--jobs) parallelism: trials are partitioned over worker \
+         domains by trial index, each trial's PRNG stream is derived from its \
+         index (never from execution order or domain identity), and per-trial \
+         outcomes are consumed in index order at the join. Statistics, event \
+         traces, convergence checkpoints and trace digests are therefore \
+         bit-identical for every job count \u{2014} $(b,--jobs 1) and \
+         $(b,--jobs 8) with the same seed produce the same bytes.";
+    ]
+  in
+  let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc ~man in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
       podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; prof_cmd; export_cmd;

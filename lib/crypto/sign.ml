@@ -2,7 +2,17 @@ type secret_key = string
 type public_key = string (* SHA-256 fingerprint of the secret *)
 type signature = string
 
+(* The trapdoor registry is process-wide and deployments are built on
+   whichever domain runs the trial, so lookups and registrations must be
+   serialised: concurrent Hashtbl mutation is unsafe under OCaml 5. Key
+   generation is rare and verification's critical section is one probe, so
+   the uncontended mutex cost is noise on the signing path. *)
 let registry : (public_key, secret_key) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let equal_public = String.equal
 let compare_public = String.compare
@@ -19,7 +29,7 @@ let generate prng =
   done;
   let secret = Bytes.to_string buf in
   let public = Sha256.digest secret in
-  Hashtbl.replace registry public secret;
+  with_registry (fun () -> Hashtbl.replace registry public secret);
   (secret, public)
 
 let public_of_secret secret = Sha256.digest secret
@@ -27,7 +37,7 @@ let public_of_secret secret = Sha256.digest secret
 let sign secret msg = Hmac.mac ~key:secret msg
 
 let verify public ~msg signature =
-  match Hashtbl.find_opt registry public with
+  match with_registry (fun () -> Hashtbl.find_opt registry public) with
   | None -> false
   | Some secret -> Hmac.verify ~key:secret ~msg ~tag:signature
 

@@ -19,6 +19,7 @@ type config = {
   max_steps : int;
   workload_period : float;
   seed : int;
+  jobs : int;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     max_steps = 400;
     workload_period = 20.0;
     seed = 1;
+    jobs = 1;
   }
 
 type run = {
@@ -82,20 +84,54 @@ let one_trial cfg plan ~digest ~faults ~issued ~answered ~seed =
   accumulate faults (Wiring.stats handle);
   lifetime
 
+(* The per-trial side channel filled in by whichever domain runs the
+   trial: every cell is written by exactly one trial index, and the join
+   reads them only after all workers complete, so the slots are race-free
+   under the deterministic partition. *)
+type trial_slot = {
+  ts_digest : string;
+  ts_faults : Injector.stats;
+  ts_issued : int;
+  ts_answered : int;
+}
+
 let run_plan ?sink cfg plan =
-  let digest, finalize = Sink.digesting () in
-  let faults = Injector.fresh_stats () in
-  let issued = ref 0 and answered = ref 0 in
-  (* counter-based per-trial seeds, as in Validation.protocol: every plan
-     replays the same seed sequence, so deltas are paired comparisons *)
-  let counter = ref (cfg.seed * 1000) in
+  let slots = Array.make cfg.trials None in
+  (* index-structural per-trial seeds (cfg.seed * 1000 + index), the same
+     sequence the original sequential counter produced: every plan replays
+     the same seed sequence, so deltas are paired comparisons, and every
+     job count replays the same per-index seed, so parallel runs stay
+     paired too *)
   let el =
-    Trial.run ?sink ~trials:cfg.trials ~seed:cfg.seed
-      ~sampler:(fun _prng ->
-        incr counter;
-        one_trial cfg plan ~digest ~faults ~issued ~answered ~seed:!counter)
+    Trial.run_indexed ?sink ~jobs:cfg.jobs ~trials:cfg.trials ~seed:cfg.seed
+      ~sampler:(fun ~index _prng ->
+        let digest, finalize = Sink.digesting () in
+        let faults = Injector.fresh_stats () in
+        let issued = ref 0 and answered = ref 0 in
+        let lifetime =
+          one_trial cfg plan ~digest ~faults ~issued ~answered
+            ~seed:((cfg.seed * 1000) + index)
+        in
+        slots.(index - 1) <-
+          Some
+            { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
+              ts_answered = !answered };
+        lifetime)
       ()
   in
+  let faults = Injector.fresh_stats () in
+  let issued = ref 0 and answered = ref 0 in
+  let digests = ref [] in
+  (* fold the per-trial digests and counters in index order at the join *)
+  Array.iter
+    (function
+      | None -> ()
+      | Some s ->
+          digests := s.ts_digest :: !digests;
+          accumulate faults s.ts_faults;
+          issued := !issued + s.ts_issued;
+          answered := !answered + s.ts_answered)
+    slots;
   {
     plan_name = plan.Plan.name;
     el;
@@ -104,7 +140,7 @@ let run_plan ?sink cfg plan =
     availability =
       (if !issued = 0 then 1.0 else float_of_int !answered /. float_of_int !issued);
     faults;
-    digest = finalize ();
+    digest = Sink.digest_lines (List.rev !digests);
   }
 
 type report = { config : config; baseline : run; runs : run list }

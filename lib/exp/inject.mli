@@ -1,12 +1,14 @@
 (** Fault-injection campaigns: expected lifetime and availability under the
     built-in fault plans, against a fault-free baseline.
 
-    Every plan replays the same per-trial seed sequence, so the reported
-    deltas are paired comparisons: the organic randomness (latencies, key
-    draws, attacker behaviour) is identical across plans, and only the
-    injected faults differ. Each run also folds its full event trace —
-    including every injected-fault event — into an FNV-1a digest; identical
-    (plan, seed, config) reproduce the digest bit for bit. *)
+    Every plan replays the same per-trial seed sequence — derived from the
+    trial index, never from execution order — so the reported deltas are
+    paired comparisons: the organic randomness (latencies, key draws,
+    attacker behaviour) is identical across plans, and only the injected
+    faults differ. Each trial folds its full event trace — including every
+    injected-fault event — into an FNV-1a digest, and the run digest folds
+    the per-trial digests in trial-index order; identical (plan, seed,
+    config) reproduce it bit for bit, at any job count. *)
 
 type config = {
   trials : int;
@@ -16,11 +18,13 @@ type config = {
   max_steps : int;  (** campaign horizon in unit time-steps *)
   workload_period : float;  (** one availability probe every this many time units *)
   seed : int;
+  jobs : int;  (** trial-level parallelism; results are job-count invariant *)
 }
 
 val default_config : config
 (** trials 12, chi 256, omega 8, kappa 0.5, horizon 400 steps, workload
-    every 20.0, seed 1 — the protocol-validation operating point. *)
+    every 20.0, seed 1, jobs 1 — the protocol-validation operating
+    point. *)
 
 type run = {
   plan_name : string;
@@ -29,7 +33,9 @@ type run = {
   requests_answered : int;
   availability : float;  (** answered / issued, pooled over all trials *)
   faults : Fortress_faults.Injector.stats;  (** summed over all trials *)
-  digest : string;  (** FNV-1a digest of the concatenated trial traces *)
+  digest : string;
+      (** FNV-1a fold, in trial-index order, of the per-trial trace
+          digests *)
 }
 
 val run_plan : ?sink:Fortress_obs.Sink.t -> config -> Fortress_faults.Plan.t -> run

@@ -28,7 +28,7 @@ type t = {
 }
 
 let run ?(trials = 200) ?(seed = 42) ?(target_rel = 0.05) ?(batch = 25) ?(early_stop = false)
-    ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) () =
+    ?(jobs = 1) ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) () =
   if trials <= 0 then invalid_arg "Profiling.run: trials must be positive";
   Profiler.reset ();
   Profiler.set_sample_capacity 8192;
@@ -50,7 +50,9 @@ let run ?(trials = 200) ?(seed = 42) ?(target_rel = 0.05) ?(batch = 25) ?(early_
         List.map
           (fun system ->
             let monitor = Convergence.create ~batch ~target_rel () in
-            let result = Step_level.estimate ~monitor ~early_stop ~trials ~seed system cfg in
+            let result =
+              Step_level.estimate ~monitor ~early_stop ~jobs ~trials ~seed system cfg
+            in
             { system; result; monitor })
           paper_classes
       in

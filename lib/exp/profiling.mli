@@ -29,15 +29,21 @@ val run :
   ?target_rel:float ->
   ?batch:int ->
   ?early_stop:bool ->
+  ?jobs:int ->
   ?chi:int ->
   ?omega:int ->
   ?kappa:float ->
   unit ->
   t
 (** Defaults: 200 trials per class, seed 42, ±5% target at batch 25, no
-    early stop, chi = 256 / omega = 8 (alpha = 1/32), kappa = 0.5. The
-    profiler is enabled for the duration of the run and disabled on exit,
-    even on exception. Raises [Invalid_argument] when [trials <= 0]. *)
+    early stop, jobs 1, chi = 256 / omega = 8 (alpha = 1/32), kappa = 0.5.
+    The profiler is enabled for the duration of the run and disabled on
+    exit, even on exception. With [jobs > 1] the per-class trials fan out
+    over domains: convergence checkpoints still fall at the same
+    deterministic trial-count boundaries (outcomes replay through the
+    monitor in index order at the join), and the per-domain profiler
+    sample rings merge in partition order at export. Raises
+    [Invalid_argument] when [trials <= 0]. *)
 
 val phase_table : t -> Fortress_util.Table.t
 val convergence_table : t -> Fortress_util.Table.t

@@ -13,7 +13,7 @@ type line = {
   probe_mc : Trial.result;
 }
 
-let run ?sink ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?systems () =
+let run ?sink ?jobs ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?systems () =
   let systems =
     match systems with Some s -> s | None -> Systems.all_systems
   in
@@ -26,8 +26,8 @@ let run ?sink ?(chi = 4096) ?(omega = 16) ?(kappa = 0.5) ?(trials = 400) ?system
         system;
         alpha;
         analytic = Systems.expected_lifetime system ~alpha ~kappa;
-        step_mc = Step_level.estimate ?sink ~trials system step_cfg;
-        probe_mc = Probe_level.estimate ?sink ~trials system probe_cfg;
+        step_mc = Step_level.estimate ?sink ?jobs ~trials system step_cfg;
+        probe_mc = Probe_level.estimate ?sink ?jobs ~trials system probe_cfg;
       })
     systems
 
@@ -97,18 +97,36 @@ let campaign_lifetime ?sink ~chi ~omega ~kappa ~seed () =
   in
   Campaign.run_until_compromise campaign ~max_steps:10_000
 
-let protocol ?sink ?(trials = 60) ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) ?(seed = 1) () =
+let protocol ?sink ?jobs ?(trials = 60) ?(chi = 256) ?(omega = 8) ?(kappa = 0.5) ?(seed = 1)
+    () =
   let alpha = float_of_int omega /. float_of_int chi in
   let campaign =
-    let counter = ref (seed * 1000) in
-    Trial.run ?sink ~trials ~seed
-      ~sampler:(fun _prng ->
-        incr counter;
-        campaign_lifetime ?sink ~chi ~omega ~kappa ~seed:!counter ())
+    (* index-structural per-trial seeds (seed * 1000 + index, matching the
+       original sequential counter); each trial's engine events go into a
+       private buffer that the join replays into the shared sink in trial
+       order, so the JSONL trace is byte-identical at every job count *)
+    let replays = Array.make trials None in
+    Trial.run_indexed ?sink ?jobs ~trials ~seed
+      ~on_join:(fun ~index ->
+        match (sink, replays.(index - 1)) with
+        | Some downstream, Some replay -> replay downstream
+        | _ -> ())
+      ~sampler:(fun ~index _prng ->
+        let trial_seed = (seed * 1000) + index in
+        match sink with
+        | None -> campaign_lifetime ~chi ~omega ~kappa ~seed:trial_seed ()
+        | Some _ ->
+            let local = Sink.create () in
+            let sub, replay = Sink.buffered () in
+            ignore (Sink.attach local sub);
+            replays.(index - 1) <- Some replay;
+            campaign_lifetime ~sink:local ~chi ~omega ~kappa ~seed:trial_seed ())
       ()
   in
   let probe_cfg = { Probe_level.default with chi; omega; kappa; max_steps = 10_000 } in
-  let pl_probe = Probe_level.estimate ~trials:(4 * trials) ~seed Systems.S2_PO probe_cfg in
+  let pl_probe =
+    Probe_level.estimate ?jobs ~trials:(4 * trials) ~seed Systems.S2_PO probe_cfg
+  in
   { pl_alpha = alpha; pl_kappa = kappa; campaign; pl_probe;
     pl_analytic = Systems.s2_po ~alpha ~kappa () }
 

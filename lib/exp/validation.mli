@@ -16,6 +16,7 @@ type line = {
 
 val run :
   ?sink:Fortress_obs.Sink.t ->
+  ?jobs:int ->
   ?chi:int ->
   ?omega:int ->
   ?kappa:float ->
@@ -24,7 +25,8 @@ val run :
   unit ->
   line list
 (** With [sink], per-trial progress events from both Monte-Carlo tiers are
-    streamed to it (see {!Fortress_mc.Trial.run}). *)
+    streamed to it (see {!Fortress_mc.Trial.run}). [jobs] fans trials out
+    over domains; every estimate is bit-identical for every job count. *)
 
 val table : line list -> Fortress_util.Table.t
 
@@ -64,6 +66,7 @@ val campaign_lifetime :
 
 val protocol :
   ?sink:Fortress_obs.Sink.t ->
+  ?jobs:int ->
   ?trials:int ->
   ?chi:int ->
   ?omega:int ->
@@ -72,10 +75,14 @@ val protocol :
   unit ->
   protocol_line
 (** Defaults: 60 trials, chi = 256, omega = 8 (alpha = 1/32),
-    kappa = 0.5. Each trial builds a fresh deployment with its own seed and
-    runs the campaign to compromise. With [sink], every deployment's event
-    stream (probes, rekeys, compromises, message traffic) plus per-trial
-    progress is forwarded to it — one sink sees the whole run. *)
+    kappa = 0.5. Each trial builds a fresh deployment with an
+    index-derived seed ([seed * 1000 + index]) and runs the campaign to
+    compromise. With [sink], every deployment's event stream (probes,
+    rekeys, compromises, message traffic) plus per-trial progress is
+    forwarded to it — one sink sees the whole run. With [jobs], each
+    trial's events are buffered on its worker domain and replayed into the
+    sink in trial order at the join, so the stream is byte-identical at
+    every job count. *)
 
 val protocol_table : protocol_line -> Fortress_util.Table.t
 

@@ -204,5 +204,5 @@ let lifetime system cfg prng =
   | Systems.S2_PO -> s2 { cfg with mode = PO } prng
   | Systems.S2_SO -> s2 { cfg with mode = SO } prng
 
-let estimate ?sink ?(trials = 500) ?(seed = 42) system cfg =
-  Trial.run ?sink ~trials ~seed ~sampler:(lifetime system cfg) ()
+let estimate ?sink ?jobs ?(trials = 500) ?(seed = 42) system cfg =
+  Trial.run ?sink ?jobs ~trials ~seed ~sampler:(lifetime system cfg) ()

@@ -37,8 +37,11 @@ val lifetime :
 
 val estimate :
   ?sink:Fortress_obs.Sink.t ->
+  ?jobs:int ->
   ?trials:int ->
   ?seed:int ->
   Fortress_model.Systems.system ->
   config ->
   Trial.result
+(** [jobs] fans the trials out over domains ({!Trial.run}); estimates are
+    bit-identical for every job count. *)

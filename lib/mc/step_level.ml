@@ -129,5 +129,5 @@ let sampler system cfg =
   | Systems.S0_SO -> s0_so cfg
   | Systems.S2_SO -> s2_so cfg
 
-let estimate ?sink ?monitor ?early_stop ?(trials = 2000) ?(seed = 42) system cfg =
-  Trial.run ?sink ?monitor ?early_stop ~trials ~seed ~sampler:(sampler system cfg) ()
+let estimate ?sink ?monitor ?early_stop ?jobs ?(trials = 2000) ?(seed = 42) system cfg =
+  Trial.run ?sink ?monitor ?early_stop ?jobs ~trials ~seed ~sampler:(sampler system cfg) ()

@@ -26,11 +26,12 @@ val estimate :
   ?sink:Fortress_obs.Sink.t ->
   ?monitor:Fortress_prof.Convergence.t ->
   ?early_stop:bool ->
+  ?jobs:int ->
   ?trials:int ->
   ?seed:int ->
   Fortress_model.Systems.system ->
   config ->
   Trial.result
 (** [trials] defaults to 2000, [seed] to 42. [sink] receives per-trial
-    progress events; [monitor]/[early_stop] are passed through to
-    {!Trial.run}. *)
+    progress events; [monitor]/[early_stop]/[jobs] are passed through to
+    {!Trial.run} — estimates are bit-identical for every job count. *)

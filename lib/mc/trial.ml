@@ -3,6 +3,7 @@ module Stats = Fortress_util.Stats
 module Obs = Fortress_obs
 module Profiler = Fortress_prof.Profiler
 module Convergence = Fortress_prof.Convergence
+module Exec = Fortress_par.Exec
 
 type result = {
   lifetimes : float array;
@@ -15,62 +16,114 @@ type result = {
 
 let trial_phase = Profiler.register "mc.trial"
 
-let run ?sink ?monitor ?(early_stop = false) ~trials ~seed ~sampler () =
-  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
-  let root = Prng.create ~seed in
-  let acc = Stats.create () in
-  let observed = ref [] in
-  let censored = ref 0 in
-  (* trial progress events: stream index i derives from the run seed, so
-     (seed, index) identifies a trial's PRNG exactly *)
-  let emit i ev =
+(* Trial [i] (1-based) always draws from the [i]-th split of the root
+   generator — [Prng.split_nth root i] — whether the trial runs on the
+   main domain or a worker. Seeding is structural (by index), never
+   sequential (by execution order), so [jobs = 1] and [jobs = N] produce
+   bit-identical per-trial outcomes and the paired-comparison discipline
+   survives parallel execution. *)
+let trial_prng root i = Prng.split_nth root i
+
+let run_sampler sampler ~index prng =
+  if Profiler.is_enabled () then Profiler.record trial_phase (fun () -> sampler ~index prng)
+  else sampler ~index prng
+
+(* The join: consume per-trial outcomes in index order, feeding statistics,
+   the sink and the convergence monitor exactly as the sequential loop
+   would. [next] pulls outcome [i] (1-based) or [None] when the budget is
+   exhausted; under early stopping the consumer simply stops pulling. *)
+type accum = {
+  acc : Stats.t;
+  mutable observed : float list;
+  mutable acc_censored : int;
+  mutable consumed : int;
+}
+
+let consume ?sink ?monitor ~early_stop ?on_join ~seed st i outcome =
+  st.consumed <- i;
+  let emit ev =
     match sink with None -> () | Some sink -> Obs.Sink.emit sink ~time:(float_of_int i) ev
   in
-  let emit_trial i lifetime = emit i (Obs.Event.Trial { index = i; seed; lifetime }) in
-  let i = ref 0 in
-  let stop = ref false in
-  while (not !stop) && !i < trials do
-    incr i;
-    let i = !i in
-    (* split unconditionally, whether or not the trial runs to completion,
-       so trial i's PRNG is the same with and without early stopping *)
-    let prng = Prng.split root in
-    let outcome =
-      if Profiler.is_enabled () then Profiler.record trial_phase (fun () -> sampler prng)
-      else sampler prng
-    in
-    let lifetime =
-      match outcome with
-      | Some steps ->
-          let x = float_of_int steps in
-          Stats.add acc x;
-          observed := x :: !observed;
-          Some x
-      | None ->
-          incr censored;
-          None
-    in
-    emit_trial i lifetime;
-    match monitor with
-    | None -> ()
-    | Some m -> (
-        match Convergence.observe m lifetime with
-        | None -> ()
-        | Some cp ->
-            emit i
-              (Obs.Event.Note
-                 { label = "convergence"; detail = Convergence.checkpoint_detail cp });
-            if early_stop && Convergence.converged m then stop := true)
-  done;
-  let lifetimes = Array.of_list (List.rev !observed) in
+  (match on_join with None -> () | Some f -> f ~index:i);
+  let lifetime =
+    match outcome with
+    | Some steps ->
+        let x = float_of_int steps in
+        Stats.add st.acc x;
+        st.observed <- x :: st.observed;
+        Some x
+    | None ->
+        st.acc_censored <- st.acc_censored + 1;
+        None
+  in
+  (* (seed, index) identifies the trial's PRNG split exactly, so any
+     single trial can be re-run in isolation *)
+  emit (Obs.Event.Trial { index = i; seed; lifetime });
+  match monitor with
+  | None -> false
+  | Some m -> (
+      match Convergence.observe m lifetime with
+      | None -> false
+      | Some cp ->
+          emit
+            (Obs.Event.Note
+               { label = "convergence"; detail = Convergence.checkpoint_detail cp });
+          early_stop && Convergence.converged m)
+
+let finish st =
+  let lifetimes = Array.of_list (List.rev st.observed) in
   {
     lifetimes;
-    censored = !censored;
-    trials = !i;
-    mean = Stats.mean acc;
-    ci95 = Stats.confidence_interval acc;
+    censored = st.acc_censored;
+    trials = st.consumed;
+    mean = Stats.mean st.acc;
+    ci95 = Stats.confidence_interval st.acc;
     median = (if Array.length lifetimes = 0 then nan else Stats.median lifetimes);
   }
+
+let run_indexed ?sink ?monitor ?(early_stop = false) ?(jobs = 1) ?on_join ~trials ~seed
+    ~sampler () =
+  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  let root = Prng.create ~seed in
+  let st = { acc = Stats.create (); observed = []; acc_censored = 0; consumed = 0 } in
+  let consume = consume ?sink ?monitor ~early_stop ?on_join ~seed st in
+  if jobs <= 1 then begin
+    (* sequential: sample and consume one trial at a time, so early
+       stopping truncates the work as well as the result *)
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < trials do
+      incr i;
+      let i = !i in
+      let outcome = run_sampler sampler ~index:i (trial_prng root i) in
+      if consume i outcome then stop := true
+    done
+  end
+  else begin
+    (* parallel: every chunk samples its contiguous index range on its own
+       domain into a private array; the join then replays all outcomes in
+       index order, which reproduces the sequential statistics, events and
+       checkpoints bit for bit. Under early stopping the tail past the
+       stopping point is sampled speculatively and discarded. *)
+    let per_chunk =
+      Exec.map_chunks ~jobs ~n:trials ~f:(fun ~chunk:_ ~lo ~hi ->
+          Array.init (hi - lo) (fun k ->
+              let i = lo + k + 1 in
+              run_sampler sampler ~index:i (trial_prng root i)))
+    in
+    let outcomes = Array.concat (Array.to_list per_chunk) in
+    (try
+       Array.iteri
+         (fun k outcome -> if consume (k + 1) outcome then raise Exit)
+         outcomes
+     with Exit -> ())
+  end;
+  finish st
+
+let run ?sink ?monitor ?early_stop ?jobs ~trials ~seed ~sampler () =
+  run_indexed ?sink ?monitor ?early_stop ?jobs ~trials ~seed
+    ~sampler:(fun ~index:_ prng -> sampler prng)
+    ()
 
 let pp_result ppf r =
   let lo, hi = r.ci95 in

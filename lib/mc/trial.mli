@@ -1,9 +1,13 @@
-(** Seeded Monte-Carlo trial runner with censoring.
+(** Seeded Monte-Carlo trial runner with censoring and optional
+    domain-parallel execution.
 
     A sampler draws one system lifetime (in whole time-steps) per call;
     [None] means the system survived past the trial horizon (censored).
-    Each trial gets an independent PRNG split from the run seed, so results
-    are reproducible and individual trials can be re-run in isolation. *)
+    Trial [i] always draws from [Prng.split_nth root i] — the PRNG stream
+    is a function of the trial {e index}, never of execution order — so
+    results are reproducible, individual trials can be re-run in
+    isolation, and [jobs = 1] and [jobs = N] produce bit-identical
+    per-trial outcomes. *)
 
 type result = {
   lifetimes : float array;  (** uncensored observations *)
@@ -18,6 +22,7 @@ val run :
   ?sink:Fortress_obs.Sink.t ->
   ?monitor:Fortress_prof.Convergence.t ->
   ?early_stop:bool ->
+  ?jobs:int ->
   trials:int ->
   seed:int ->
   sampler:(Fortress_util.Prng.t -> int option) ->
@@ -32,10 +37,40 @@ val run :
     and each batch checkpoint is emitted as a ["convergence"]
     {!Fortress_obs.Event.Note}; with [early_stop:true] (default [false])
     the loop additionally stops at the first converged checkpoint. The
-    per-trial PRNG split is unconditional, so enabling the monitor alone
-    never changes any trial's randomness, and early stopping only
+    per-trial PRNG derivation is index-structural, so enabling the monitor
+    alone never changes any trial's randomness, and early stopping only
     truncates the sequence — prefixes stay bit-identical. When the
     {!Fortress_prof.Profiler} is enabled, each sampler call is recorded
-    under the ["mc.trial"] phase. *)
+    under the ["mc.trial"] phase.
+
+    With [jobs > 1], trials fan out over OCaml domains under the
+    deterministic contiguous partition of {!Fortress_par.Partition}; at
+    the join, per-trial outcomes are consumed in index order, so
+    statistics, emitted events and convergence checkpoints (which fall at
+    deterministic trial-count boundaries) are bit-identical to [jobs = 1].
+    Under early stopping the parallel runner samples the full budget
+    speculatively and discards the tail past the stopping point; the
+    result is still identical to the sequential run. Samplers used with
+    [jobs > 1] must not share mutable state across calls — use
+    {!run_indexed} to derive any per-trial context from the index. *)
+
+val run_indexed :
+  ?sink:Fortress_obs.Sink.t ->
+  ?monitor:Fortress_prof.Convergence.t ->
+  ?early_stop:bool ->
+  ?jobs:int ->
+  ?on_join:(index:int -> unit) ->
+  trials:int ->
+  seed:int ->
+  sampler:(index:int -> Fortress_util.Prng.t -> int option) ->
+  unit ->
+  result
+(** Like {!run}, but the sampler also receives the 1-based trial index —
+    the hook campaigns use to derive per-trial seeds, digests and side
+    channels structurally instead of from a shared counter. [on_join] is
+    invoked once per consumed trial, in index order, on the calling
+    domain, just before the trial's progress event is emitted — the place
+    to replay a worker's buffered observability stream
+    ({!Fortress_obs.Sink.buffered}) into a shared sink deterministically. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -89,18 +89,36 @@ let file path =
   in
   (sub, close)
 
+(* FNV-1a 64-bit, kept here (not in crypto) so determinism checks need no
+   extra deps. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_feed h s =
+  let acc = ref h in
+  String.iter
+    (fun c -> acc := Int64.mul (Int64.logxor !acc (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Int64.mul (Int64.logxor !acc 0x0AL) fnv_prime (* trailing '\n' *)
+
+let fnv_hex h = Printf.sprintf "%016Lx" h
+
 let digesting () =
-  (* FNV-1a 64-bit over the JSONL rendering of every event, newline
-     included, so the digest equals a hash of the equivalent trace file.
-     Kept here (not in crypto) so determinism checks need no extra deps. *)
-  let h = ref 0xcbf29ce484222325L in
-  let prime = 0x100000001b3L in
-  let feed_char c = h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime in
-  let sub ~time ev =
-    String.iter feed_char (line ~time ev);
-    feed_char '\n'
+  (* FNV-1a over the JSONL rendering of every event, newline included, so
+     the digest equals a hash of the equivalent trace file. *)
+  let h = ref fnv_offset in
+  let sub ~time ev = h := fnv_feed !h (line ~time ev) in
+  (sub, fun () -> fnv_hex !h)
+
+let digest_lines lines = fnv_hex (List.fold_left fnv_feed fnv_offset lines)
+
+let buffered () =
+  let events = ref [] in
+  let sub ~time ev = events := (time, ev) :: !events in
+  let replay downstream =
+    List.iter (fun (time, ev) -> emit downstream ~time ev) (List.rev !events)
   in
-  (sub, fun () -> Printf.sprintf "%016Lx" !h)
+  (sub, replay)
 
 let parse_line s =
   match Json.parse s with

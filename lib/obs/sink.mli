@@ -56,6 +56,21 @@ val digesting : unit -> subscriber * (unit -> string)
     as 16 lowercase hex digits; two runs are trace-identical iff their
     digests match. *)
 
+val digest_lines : string list -> string
+(** FNV-1a 64-bit digest of the given strings, each newline-terminated —
+    the same fold {!digesting} applies to trace lines. Parallel campaigns
+    use it to combine per-trial digests in trial-index order into one
+    run-level digest that is independent of the job count. *)
+
+val buffered : unit -> subscriber * (t -> unit)
+(** [buffered ()] is a subscriber that records every event in arrival
+    order, plus a replay closure that re-emits the recording into a
+    downstream sink with original timestamps. Sinks themselves are not
+    thread-safe; parallel workers each write to their own buffered
+    subscriber and the join replays the buffers in deterministic trial
+    order, which is how a shared [--trace-out] stream stays byte-identical
+    across job counts. *)
+
 (** {2 JSONL codec} *)
 
 val line : time:float -> Event.t -> string

@@ -1,0 +1,45 @@
+module Profiler = Fortress_prof.Profiler
+
+(* A fixed pool of domains, one per chunk: chunk 0 runs inline on the
+   calling domain, chunks 1.. each get a fresh domain. Chunk counts are
+   small (the CLI's --jobs), so spawn cost is negligible next to a chunk
+   of Monte-Carlo trials, and a fixed one-domain-per-chunk pool keeps the
+   work assignment identical to the deterministic partition — there is no
+   queue whose drain order could leak into results. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_chunks ~jobs ~n ~f =
+  let chunks = Partition.chunks ~jobs ~n in
+  match Array.length chunks with
+  | 0 -> [||]
+  | 1 ->
+      let lo, hi = chunks.(0) in
+      [| f ~chunk:0 ~lo ~hi |]
+  | k ->
+      let workers =
+        Array.init (k - 1) (fun i ->
+            let chunk = i + 1 in
+            let lo, hi = chunks.(chunk) in
+            Domain.spawn (fun () ->
+                (* deterministic merge order for per-domain profiler rings *)
+                Profiler.set_merge_rank chunk;
+                f ~chunk ~lo ~hi))
+      in
+      let first =
+        let lo, hi = chunks.(0) in
+        try Ok (f ~chunk:0 ~lo ~hi) with e -> Error e
+      in
+      (* always join every worker, even when one failed, so no domain
+         outlives the call; then re-raise the first failure in chunk order *)
+      let rest = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) workers in
+      let results = Array.append [| first |] rest in
+      Array.map
+        (function Ok v -> v | Error e -> raise e)
+        results
+
+let map_indices ~jobs ~n ~f =
+  let per_chunk = map_chunks ~jobs ~n ~f:(fun ~chunk:_ ~lo ~hi ->
+      Array.init (hi - lo) (fun k -> f (lo + k)))
+  in
+  Array.concat (Array.to_list per_chunk)

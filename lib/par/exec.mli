@@ -1,0 +1,27 @@
+(** Fixed-pool parallel execution over a deterministic partition.
+
+    One domain per chunk of {!Partition.chunks}: chunk 0 runs inline on
+    the calling domain, every other chunk on a freshly spawned domain that
+    is joined before the call returns. There is no shared queue and no
+    work stealing, so the chunk that computes index [i] is fixed by
+    [(jobs, n)] alone. Worker domains are tagged with their chunk index
+    via {!Fortress_prof.Profiler.set_merge_rank} so profiler sample rings
+    merge in partition order at export. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
+    --jobs when the caller wants "use the machine". *)
+
+val map_chunks :
+  jobs:int -> n:int -> f:(chunk:int -> lo:int -> hi:int -> 'a) -> 'a array
+(** [map_chunks ~jobs ~n ~f] applies [f] to every chunk of
+    [Partition.chunks ~jobs ~n] and returns the results in chunk order.
+    [f] receives the chunk number and its half-open index range. With one
+    chunk (or [jobs <= 1]) everything runs inline and no domain is
+    spawned. If any chunk raises, all domains are still joined and the
+    exception of the lowest-numbered failing chunk is re-raised. *)
+
+val map_indices : jobs:int -> n:int -> f:(int -> 'a) -> 'a array
+(** [map_indices ~jobs ~n ~f] is [Array.init n f] computed under the same
+    partition: element [i] is [f i], computed by the chunk owning [i],
+    returned in index order. *)

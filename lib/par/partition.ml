@@ -1,0 +1,34 @@
+(* Deterministic work partitioning by trial index: contiguous, balanced
+   chunks fixed entirely by (jobs, n). Workers never steal across chunk
+   boundaries, so which domain runs trial i is a pure function of the
+   requested job count — the scheduling half of the [-j 1] / [-j N]
+   determinism guarantee (the other half is Prng.split_nth). *)
+
+let clamp_jobs ~jobs ~n =
+  if n <= 0 then 0
+  else if jobs <= 1 then 1
+  else min jobs n
+
+let chunks ~jobs ~n =
+  if n < 0 then invalid_arg "Partition.chunks: n must be non-negative";
+  let k = clamp_jobs ~jobs ~n in
+  if k = 0 then [||]
+  else begin
+    let base = n / k and extra = n mod k in
+    (* the first [extra] chunks carry one more index, so sizes differ by
+       at most one and lower chunks are never smaller than higher ones *)
+    let lo = ref 0 in
+    Array.init k (fun c ->
+        let size = base + if c < extra then 1 else 0 in
+        let range = (!lo, !lo + size) in
+        lo := !lo + size;
+        range)
+  end
+
+let chunk_of ~jobs ~n index =
+  if index < 0 || index >= n then invalid_arg "Partition.chunk_of: index out of range";
+  let k = clamp_jobs ~jobs ~n in
+  let base = n / k and extra = n mod k in
+  let boundary = extra * (base + 1) in
+  if index < boundary then index / (base + 1)
+  else extra + ((index - boundary) / max base 1)

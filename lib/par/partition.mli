@@ -1,0 +1,19 @@
+(** Deterministic work partitioning for parallel Monte-Carlo trials.
+
+    A partition is a pure function of the job count and the trial count:
+    contiguous index ranges, sizes differing by at most one, no work
+    stealing. Combined with {!Fortress_util.Prng.split_nth} (per-trial
+    streams derived from the trial index, never from execution order) this
+    makes every per-trial outcome independent of how many domains ran the
+    partition. *)
+
+val chunks : jobs:int -> n:int -> (int * int) array
+(** [chunks ~jobs ~n] splits the index range [0, n) into
+    [min (max jobs 1) n] contiguous half-open ranges [(lo, hi)], in index
+    order. The first [n mod k] chunks hold one extra index. Returns [[||]]
+    when [n = 0]. Raises [Invalid_argument] when [n < 0]. *)
+
+val chunk_of : jobs:int -> n:int -> int -> int
+(** [chunk_of ~jobs ~n index] is the chunk number that owns [index] under
+    the same partition — the closed form of searching {!chunks}. Raises
+    [Invalid_argument] when [index] is outside [0, n). *)

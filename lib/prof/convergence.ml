@@ -92,6 +92,45 @@ let observe t outcome =
 
 let checkpoints t = List.rev t.checkpoints
 
+(* Combine per-domain monitors as if [a]'s trials preceded [b]'s. The
+   Welford states combine exactly (Stats.combine); [a]'s checkpoints are
+   genuine prefixes of the merged stream and are kept, while [b]'s were
+   computed without [a]'s prefix and correspond to no prefix of the merged
+   stream, so they are dropped and one new checkpoint is taken at the
+   merged boundary — a deterministic trial-count boundary, never a
+   wall-clock one. Exact per-batch checkpoint streams under parallel
+   execution come from index-order replay at the join (Mc.Trial), not from
+   this function. *)
+let merge a b =
+  if a.batch <> b.batch || a.target_rel <> b.target_rel || a.z <> b.z then
+    invalid_arg "Convergence.merge: monitors configured differently";
+  let t =
+    {
+      stats = Stats.combine a.stats b.stats;
+      batch = a.batch;
+      target_rel = a.target_rel;
+      z = a.z;
+      total = a.total + b.total;
+      censored = a.censored + b.censored;
+      checkpoints = a.checkpoints;
+      converged_at = a.converged_at;
+    }
+  in
+  if t.total > 0 then begin
+    let cp =
+      {
+        after = t.total;
+        observed = Stats.count t.stats;
+        mean = mean t;
+        half_width = half_width t;
+        rel_half_width = rel_half_width t;
+      }
+    in
+    t.checkpoints <- cp :: t.checkpoints;
+    if t.converged_at = None && converged t then t.converged_at <- Some t.total
+  end;
+  t
+
 let checkpoint_detail cp =
   Printf.sprintf "after %d trials (%d observed): mean=%.6g hw95=%.4g rel=%.4g" cp.after
     cp.observed cp.mean cp.half_width cp.rel_half_width

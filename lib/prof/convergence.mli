@@ -51,6 +51,21 @@ val projected_trials : t -> int option
 val checkpoints : t -> checkpoint list
 (** All checkpoints, oldest first. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a monitor equivalent to observing [a]'s trials and then
+    [b]'s: totals and censored counts add, and the underlying Welford
+    states combine via {!Fortress_util.Stats.combine}, so mean, half-width
+    and convergence status equal sequential accumulation. [a]'s
+    checkpoints (true prefixes of the merged stream) are kept and one new
+    checkpoint is recorded at the merged trial-count boundary; [b]'s
+    checkpoints are dropped because they describe no prefix of the merged
+    stream. The parallel trial runner instead replays outcomes through a
+    single monitor in index order, which reproduces the full sequential
+    checkpoint stream bit for bit; [merge] is the coarse summary for
+    combining independently collected monitors. Raises [Invalid_argument]
+    when the monitors' batch, target or z differ. Neither input is
+    mutated. *)
+
 val checkpoint_detail : checkpoint -> string
 (** One-line rendering used as the [Note] event detail in trial streams. *)
 

@@ -1,17 +1,19 @@
 module Table = Fortress_util.Table
 module Json = Fortress_obs.Json
 
-type phase = {
-  p_name : string;
-  mutable p_count : int;
-  mutable p_total : float;
-  mutable p_self : float;
-  mutable p_self_words : float;
-  mutable p_depth : int;  (** frames of this phase currently on the stack *)
+type phase = { p_id : int; p_name : string }
+
+type counters = {
+  mutable c_count : int;
+  mutable c_total : float;
+  mutable c_self : float;
+  mutable c_self_words : float;
+  mutable c_depth : int;  (** frames of this phase currently on this domain's stack *)
 }
 
 type frame = {
   f_phase : phase;
+  f_counters : counters;
   f_start : float;
   f_words : float;
   mutable f_child_time : float;
@@ -20,130 +22,200 @@ type frame = {
 
 type sample = { s_phase : string; s_start : float; s_dur : float }
 
-(* The profiler is a process-wide singleton on purpose: the hot paths it
-   brackets (engine dispatch, network delivery, crypto) are scattered
-   across libraries that share no common context object, and threading one
-   through every call chain would cost more than the feature. All state
-   below is only touched when [enabled]; the disabled fast path is a
-   single immediate [bool ref] read and performs no allocation. *)
+(* Per-domain accumulation state. The profiler stays a process-wide
+   singleton (the hot paths it brackets share no common context object),
+   but every mutable accumulator below is owned by exactly one domain via
+   DLS, so parallel Monte-Carlo workers never contend or race: each domain
+   has its own frame stack, its own counter row per phase, and its own
+   bounded sample ring. Reports merge the domain states in a deterministic
+   order — rank first (the parallel executor tags workers with their chunk
+   index), then creation sequence — so exports are stable run to run. *)
+type dstate = {
+  d_seq : int;  (** creation order; the main domain's state is 0 *)
+  mutable d_rank : int;  (** merge rank; defaults to [d_seq] *)
+  mutable d_counters : counters array;  (** indexed by [p_id], grown on demand *)
+  mutable d_stack : frame list;
+  mutable d_ring : sample array;
+  mutable d_ring_next : int;
+  mutable d_ring_stored : int;
+}
 
-let enabled = ref false
-let registry : (string, phase) Hashtbl.t = Hashtbl.create 32
-let order : phase list ref = ref []
+let enabled = Atomic.make false
+
+(* Guards the phase registry and the domain-state list. Never taken on the
+   enter/leave/record hot path, only at registration and report time. *)
+let lock = Mutex.create ()
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let by_name : (string, phase) Hashtbl.t = Hashtbl.create 32
+let phase_order : phase list ref = ref []
+let next_phase_id = ref 0
+
+let states : dstate list ref = ref []
+let next_state_seq = ref 0
+
 let default_clock = Unix.gettimeofday
 let clock = ref default_clock
-let stack : frame list ref = ref []
 let epoch = ref 0.0
-
-(* bounded ring of finished-phase samples for the timeline export *)
 let sample_cap = ref 0
-let ring : sample array ref = ref [||]
-let ring_next = ref 0
-let ring_stored = ref 0
 
-let is_enabled () = !enabled
+let fresh_counters () =
+  { c_count = 0; c_total = 0.0; c_self = 0.0; c_self_words = 0.0; c_depth = 0 }
+
+let null_sample = { s_phase = ""; s_start = 0.0; s_dur = 0.0 }
+
+let fresh_state () =
+  locked (fun () ->
+      let seq = !next_state_seq in
+      incr next_state_seq;
+      let st =
+        {
+          d_seq = seq;
+          d_rank = seq;
+          d_counters = [||];
+          d_stack = [];
+          d_ring = (if !sample_cap = 0 then [||] else Array.make !sample_cap null_sample);
+          d_ring_next = 0;
+          d_ring_stored = 0;
+        }
+      in
+      states := !states @ [ st ];
+      st)
+
+let dls_key = Domain.DLS.new_key fresh_state
+let my_state () = Domain.DLS.get dls_key
+let set_merge_rank rank = (my_state ()).d_rank <- rank
+
+let is_enabled () = Atomic.get enabled
 
 let register name =
-  match Hashtbl.find_opt registry name with
-  | Some p -> p
-  | None ->
-      let p =
-        { p_name = name; p_count = 0; p_total = 0.0; p_self = 0.0; p_self_words = 0.0;
-          p_depth = 0 }
-      in
-      Hashtbl.replace registry name p;
-      order := !order @ [ p ];
-      p
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some p -> p
+      | None ->
+          let p = { p_id = !next_phase_id; p_name = name } in
+          incr next_phase_id;
+          Hashtbl.replace by_name name p;
+          phase_order := !phase_order @ [ p ];
+          p)
 
 let phase_name p = p.p_name
 
-let clear_counters () =
-  List.iter
-    (fun p ->
-      p.p_count <- 0;
-      p.p_total <- 0.0;
-      p.p_self <- 0.0;
-      p.p_self_words <- 0.0;
-      p.p_depth <- 0)
-    !order;
-  stack := [];
-  ring_next := 0;
-  ring_stored := 0;
+let counters_for st p =
+  let n = Array.length st.d_counters in
+  if p.p_id >= n then begin
+    let size = max (p.p_id + 1) ((2 * n) + 8) in
+    let grown = Array.init size (fun i -> if i < n then st.d_counters.(i) else fresh_counters ()) in
+    st.d_counters <- grown
+  end;
+  st.d_counters.(p.p_id)
+
+let zero_state st =
+  Array.iter
+    (fun c ->
+      c.c_count <- 0;
+      c.c_total <- 0.0;
+      c.c_self <- 0.0;
+      c.c_self_words <- 0.0;
+      c.c_depth <- 0)
+    st.d_counters;
+  st.d_stack <- [];
+  st.d_ring_next <- 0;
+  st.d_ring_stored <- 0
+
+let reset () =
+  locked (fun () -> List.iter zero_state !states);
   epoch := !clock ()
 
-let reset () = clear_counters ()
-
 let enable () =
-  if not !enabled then begin
+  if not (Atomic.get enabled) then begin
     (* stale frames from a previous enabled period would mis-attribute
-       time; start from a clean stack *)
-    stack := [];
+       time; start every domain from a clean stack *)
+    locked (fun () -> List.iter (fun st -> st.d_stack <- []) !states);
     epoch := !clock ();
-    enabled := true
+    Atomic.set enabled true
   end
 
 let disable () =
-  enabled := false;
-  stack := []
+  Atomic.set enabled false;
+  locked (fun () -> List.iter (fun st -> st.d_stack <- []) !states)
 
 let set_clock f = clock := f
+
 let set_sample_capacity n =
   if n < 0 then invalid_arg "Profiler.set_sample_capacity: negative capacity";
   sample_cap := n;
-  ring := (if n = 0 then [||] else Array.make n { s_phase = ""; s_start = 0.0; s_dur = 0.0 });
-  ring_next := 0;
-  ring_stored := 0
+  locked (fun () ->
+      List.iter
+        (fun st ->
+          st.d_ring <- (if n = 0 then [||] else Array.make n null_sample);
+          st.d_ring_next <- 0;
+          st.d_ring_stored <- 0)
+        !states)
 
-let samples () =
-  let cap = !sample_cap in
-  if cap = 0 || !ring_stored = 0 then []
+let ordered_states () =
+  List.sort (fun a b -> compare (a.d_rank, a.d_seq) (b.d_rank, b.d_seq)) !states
+
+let state_samples st =
+  let cap = Array.length st.d_ring in
+  if cap = 0 || st.d_ring_stored = 0 then []
   else begin
-    let retained = min !ring_stored cap in
-    let start = if !ring_stored <= cap then 0 else !ring_next in
-    List.init retained (fun i -> !ring.((start + i) mod cap))
+    let retained = min st.d_ring_stored cap in
+    let start = if st.d_ring_stored <= cap then 0 else st.d_ring_next in
+    List.init retained (fun i -> st.d_ring.((start + i) mod cap))
   end
 
-let push_sample name ~start ~dur =
-  let cap = !sample_cap in
+let samples () =
+  locked (fun () -> List.concat_map state_samples (ordered_states ()))
+
+let push_sample st name ~start ~dur =
+  let cap = Array.length st.d_ring in
   if cap > 0 then begin
-    !ring.(!ring_next) <- { s_phase = name; s_start = start -. !epoch; s_dur = dur };
-    ring_next := (!ring_next + 1) mod cap;
-    incr ring_stored
+    st.d_ring.(st.d_ring_next) <- { s_phase = name; s_start = start -. !epoch; s_dur = dur };
+    st.d_ring_next <- (st.d_ring_next + 1) mod cap;
+    st.d_ring_stored <- st.d_ring_stored + 1
   end
 
 let enter p =
-  if !enabled then begin
-    p.p_depth <- p.p_depth + 1;
-    stack :=
-      { f_phase = p; f_start = !clock (); f_words = Gc.minor_words ();
+  if Atomic.get enabled then begin
+    let st = my_state () in
+    let c = counters_for st p in
+    c.c_depth <- c.c_depth + 1;
+    st.d_stack <-
+      { f_phase = p; f_counters = c; f_start = !clock (); f_words = Gc.minor_words ();
         f_child_time = 0.0; f_child_words = 0.0 }
-      :: !stack
+      :: st.d_stack
   end
 
 let leave p =
-  if !enabled then
-    match !stack with
-    | f :: rest when f.f_phase == p ->
-        stack := rest;
+  if Atomic.get enabled then begin
+    let st = my_state () in
+    match st.d_stack with
+    | f :: rest when f.f_phase.p_id = p.p_id ->
+        st.d_stack <- rest;
         let dt = !clock () -. f.f_start in
         let dw = Gc.minor_words () -. f.f_words in
-        p.p_count <- p.p_count + 1;
-        p.p_self <- p.p_self +. (dt -. f.f_child_time);
-        p.p_self_words <- p.p_self_words +. (dw -. f.f_child_words);
-        p.p_depth <- p.p_depth - 1;
+        let c = f.f_counters in
+        c.c_count <- c.c_count + 1;
+        c.c_self <- c.c_self +. (dt -. f.f_child_time);
+        c.c_self_words <- c.c_self_words +. (dw -. f.f_child_words);
+        c.c_depth <- c.c_depth - 1;
         (* recursive re-entry would double-count inclusive time; only the
            outermost frame of a phase contributes to its total *)
-        if p.p_depth = 0 then p.p_total <- p.p_total +. dt;
+        if c.c_depth = 0 then c.c_total <- c.c_total +. dt;
         (match rest with
         | parent :: _ ->
             parent.f_child_time <- parent.f_child_time +. dt;
             parent.f_child_words <- parent.f_child_words +. dw
         | [] -> ());
-        push_sample p.p_name ~start:f.f_start ~dur:dt
+        push_sample st p.p_name ~start:f.f_start ~dur:dt
     | _ -> () (* mismatched leave (exception unwound past a frame): drop it *)
+  end
 
 let record p f =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     enter p;
     match f () with
     | v ->
@@ -164,14 +236,27 @@ type entry = {
 }
 
 let snapshot () =
-  List.filter_map
-    (fun p ->
-      if p.p_count = 0 then None
-      else
-        Some
-          { name = p.p_name; count = p.p_count; total_s = p.p_total; self_s = p.p_self;
-            self_minor_words = p.p_self_words })
-    !order
+  locked (fun () ->
+      let sts = ordered_states () in
+      List.filter_map
+        (fun p ->
+          let count = ref 0 and total = ref 0.0 and self = ref 0.0 and words = ref 0.0 in
+          List.iter
+            (fun st ->
+              if p.p_id < Array.length st.d_counters then begin
+                let c = st.d_counters.(p.p_id) in
+                count := !count + c.c_count;
+                total := !total +. c.c_total;
+                self := !self +. c.c_self;
+                words := !words +. c.c_self_words
+              end)
+            sts;
+          if !count = 0 then None
+          else
+            Some
+              { name = p.p_name; count = !count; total_s = !total; self_s = !self;
+                self_minor_words = !words })
+        !phase_order)
   |> List.sort (fun a b -> compare b.self_s a.self_s)
 
 let table () =

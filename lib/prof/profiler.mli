@@ -8,9 +8,20 @@
     correctly (e.g. [crypto.sha256] under [net.deliver] under
     [engine.fire]).
 
-    Disabled (the default) the whole feature is one [bool ref] read per
+    Disabled (the default) the whole feature is one atomic-bool read per
     instrumented site and allocates nothing — measured in [bench/main.exe]
-    and reported in [BENCH_fortress.json] under [profiler_overhead]. Times
+    and reported in [BENCH_fortress.json] under [profiler_overhead].
+
+    {b Domains.} All mutable accumulation state (frame stack, per-phase
+    counters, sample ring) is domain-local, so instrumented code may run
+    concurrently on several domains — the situation created by
+    [Fortress_par] when Monte-Carlo trials fan out — without locking on
+    the hot path or racing. Reports ({!snapshot}, {!samples}) merge the
+    per-domain states in a deterministic order: by {!set_merge_rank} rank
+    first (the parallel executor tags each worker with its chunk index),
+    then by state-creation order. Control operations ({!enable},
+    {!disable}, {!reset}, {!set_sample_capacity}) and reports are meant
+    to be called from the controlling domain while no workers run. Times
     here are {e wall-clock} seconds, deliberately distinct from the
     virtual-time spans of {!Fortress_obs.Span}: spans answer "how long did
     this take in the simulated world", the profiler answers "where does the
@@ -75,7 +86,15 @@ val set_sample_capacity : int -> unit
     negative capacity. *)
 
 val samples : unit -> sample list
-(** Collected samples, oldest first. *)
+(** Collected samples: per-domain rings concatenated in merge-rank order,
+    each ring oldest first. With a single domain this is simply oldest
+    first. *)
+
+val set_merge_rank : int -> unit
+(** Tag the calling domain's profiler state with a merge rank. The
+    parallel executor assigns each worker its deterministic chunk index so
+    {!samples} and {!snapshot} merge domain states in partition order
+    rather than domain-spawn order. The main domain defaults to rank 0. *)
 
 (** {1 Reporting} *)
 

@@ -16,6 +16,16 @@ let bits64 t =
 
 let split t = { state = mix (bits64 t) }
 
+(* SplitMix64 advances by a fixed gamma per draw, so the state feeding the
+   n-th [split] is [state + n*gamma]: the n-th child stream is a pure
+   function of (state, n). This is what makes parallel trial scheduling
+   seed-stable — a worker derives trial n's generator directly from the
+   trial index, never from how many splits other workers performed. *)
+let split_nth t n =
+  if n <= 0 then invalid_arg "Prng.split_nth: n must be positive";
+  let s = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int n)) in
+  { state = mix (mix s) }
+
 (* Draw uniformly from [0, bound) by rejection on the top multiple of
    [bound], avoiding modulo bias. *)
 let int t ~bound =

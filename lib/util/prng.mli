@@ -20,6 +20,15 @@ val split : t -> t
 (** [split t] advances [t] once and returns a generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val split_nth : t -> int -> t
+(** [split_nth t n] is the generator the [n]-th successive call of
+    {!split} on [t] would return ([n >= 1]), computed directly from [n]
+    without advancing [t]. Because the child stream depends only on
+    [t]'s current state and the index [n], any partitioning of indices
+    across parallel workers derives bit-identical streams — the
+    foundation of the [-j 1] / [-j N] determinism guarantee. Raises
+    [Invalid_argument] when [n <= 0]. *)
+
 val bits64 : t -> int64
 (** [bits64 t] returns the next raw 64-bit output. *)
 

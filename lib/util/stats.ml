@@ -32,8 +32,9 @@ let confidence_interval ?(z = 1.96) t =
   let m = mean t and se = std_error t in
   (m -. (z *. se), m +. (z *. se))
 
-(* Chan et al. parallel-variance combination. *)
-let merge a b =
+(* Chan et al. parallel-variance combination: associative enough to fold
+   per-domain accumulators in index order at a parallel join. *)
+let combine a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }
   else begin
@@ -53,6 +54,8 @@ let merge a b =
       total = a.total +. b.total;
     }
   end
+
+let merge = combine
 
 let mean_of xs =
   let t = create () in

@@ -25,9 +25,15 @@ val confidence_interval : ?z:float -> t -> float * float
 (** [confidence_interval ?z t] is the normal-approximation interval
     [mean -/+ z * std_error]; [z] defaults to 1.96 (95%). *)
 
+val combine : t -> t -> t
+(** [combine a b] combines two accumulators as if all samples were fed to
+    one (Chan et al. pairwise merge). Neither input is mutated. This is
+    the parallel-safe reduction used to fold per-domain accumulators at a
+    Monte-Carlo join; mean, variance and confidence intervals agree with
+    sequential accumulation up to floating-point reassociation. *)
+
 val merge : t -> t -> t
-(** [merge a b] combines two accumulators as if all samples were fed to
-    one. Neither input is mutated. *)
+(** Alias of {!combine}, kept for callers of the original name. *)
 
 (** {1 Batch helpers} *)
 

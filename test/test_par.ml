@@ -1,0 +1,256 @@
+(* The parallel-execution contract: partitioning is a pure function of
+   (jobs, n), per-trial PRNG streams are a pure function of the trial
+   index, and everything a run reports — statistics, events, convergence
+   checkpoints, trace digests — is bit-identical at every job count. *)
+
+open Fortress_par
+module Prng = Fortress_util.Prng
+module Stats = Fortress_util.Stats
+module Trial = Fortress_mc.Trial
+module Step_level = Fortress_mc.Step_level
+module Systems = Fortress_model.Systems
+module Convergence = Fortress_prof.Convergence
+module Sink = Fortress_obs.Sink
+module Inject = Fortress_exp.Inject
+module Plan = Fortress_faults.Plan
+
+let check_float = Alcotest.(check (float 0.0))
+
+(* ---- Partition ---- *)
+
+let test_partition_shapes () =
+  Alcotest.(check (array (pair int int)))
+    "10 over 3" [| (0, 4); (4, 7); (7, 10) |] (Partition.chunks ~jobs:3 ~n:10);
+  Alcotest.(check (array (pair int int)))
+    "more jobs than work" [| (0, 1); (1, 2) |] (Partition.chunks ~jobs:5 ~n:2);
+  Alcotest.(check (array (pair int int)))
+    "jobs <= 1 is one chunk" [| (0, 7) |] (Partition.chunks ~jobs:0 ~n:7);
+  Alcotest.(check (array (pair int int))) "empty range" [||] (Partition.chunks ~jobs:4 ~n:0);
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Partition.chunks: n must be non-negative") (fun () ->
+      ignore (Partition.chunks ~jobs:2 ~n:(-1)))
+
+let test_chunk_of_bounds () =
+  Alcotest.check_raises "index past n"
+    (Invalid_argument "Partition.chunk_of: index out of range") (fun () ->
+      ignore (Partition.chunk_of ~jobs:2 ~n:5 5))
+
+(* ---- Exec ---- *)
+
+let test_map_indices_is_array_init () =
+  let f i = (i * i) + 3 in
+  let expected = Array.init 23 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Exec.map_indices ~jobs ~n:23 ~f))
+    [ 1; 2; 3; 4; 7; 32 ]
+
+let test_map_chunks_propagates_first_failure () =
+  Alcotest.check_raises "lowest failing chunk wins" (Failure "chunk 1") (fun () ->
+      ignore
+        (Exec.map_chunks ~jobs:4 ~n:8 ~f:(fun ~chunk ~lo:_ ~hi:_ ->
+             if chunk >= 1 then failwith (Printf.sprintf "chunk %d" chunk) else chunk)))
+
+(* ---- Trial determinism across job counts ---- *)
+
+let geometric_sampler prng =
+  let l = Prng.geometric prng ~p:0.02 in
+  if l > 200 then None else Some l
+
+let run_with_events ~jobs =
+  let sink = Sink.create () in
+  let mem, read = Sink.memory () in
+  ignore (Sink.attach sink mem);
+  let monitor = Convergence.create ~batch:10 ~target_rel:0.05 () in
+  let res =
+    Trial.run ~sink ~monitor ~jobs ~trials:97 ~seed:31 ~sampler:geometric_sampler ()
+  in
+  (res, read (), monitor)
+
+let test_trial_jobs_invariant () =
+  let r1, ev1, m1 = run_with_events ~jobs:1 in
+  let r4, ev4, m4 = run_with_events ~jobs:4 in
+  Alcotest.(check (array (float 0.0))) "lifetimes" r1.Trial.lifetimes r4.Trial.lifetimes;
+  Alcotest.(check int) "censored" r1.Trial.censored r4.Trial.censored;
+  Alcotest.(check int) "trials" r1.Trial.trials r4.Trial.trials;
+  check_float "mean" r1.Trial.mean r4.Trial.mean;
+  check_float "median" r1.Trial.median r4.Trial.median;
+  check_float "ci lo" (fst r1.Trial.ci95) (fst r4.Trial.ci95);
+  check_float "ci hi" (snd r1.Trial.ci95) (snd r4.Trial.ci95);
+  Alcotest.(check bool) "event streams identical" true (ev1 = ev4);
+  Alcotest.(check bool)
+    "convergence checkpoints identical" true
+    (Convergence.checkpoints m1 = Convergence.checkpoints m4)
+
+let test_trial_early_stop_jobs_invariant () =
+  let run jobs =
+    let monitor = Convergence.create ~batch:10 ~target_rel:0.5 () in
+    let res =
+      Trial.run ~monitor ~early_stop:true ~jobs ~trials:400 ~seed:5
+        ~sampler:geometric_sampler ()
+    in
+    (res, Convergence.checkpoints monitor)
+  in
+  let r1, c1 = run 1 and r4, c4 = run 4 in
+  Alcotest.(check bool) "stopped before the budget" true (r1.Trial.trials < 400);
+  Alcotest.(check int) "same stopping point" r1.Trial.trials r4.Trial.trials;
+  Alcotest.(check (array (float 0.0))) "lifetimes" r1.Trial.lifetimes r4.Trial.lifetimes;
+  Alcotest.(check bool) "checkpoints identical" true (c1 = c4)
+
+let test_step_level_jobs_invariant () =
+  let cfg = { Step_level.default with alpha = 3e-3 } in
+  let r1 = Step_level.estimate ~jobs:1 ~trials:500 ~seed:42 Systems.S2_PO cfg in
+  let r4 = Step_level.estimate ~jobs:4 ~trials:500 ~seed:42 Systems.S2_PO cfg in
+  Alcotest.(check (array (float 0.0))) "lifetimes" r1.Trial.lifetimes r4.Trial.lifetimes;
+  check_float "mean" r1.Trial.mean r4.Trial.mean
+
+(* ---- Inject digests across job counts ---- *)
+
+let test_inject_jobs_invariant () =
+  let run jobs =
+    Inject.run_plan { Inject.default_config with trials = 6; jobs } Plan.chaos
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check string) "digest" r1.Inject.digest r4.Inject.digest;
+  check_float "mean EL" r1.Inject.el.Trial.mean r4.Inject.el.Trial.mean;
+  check_float "availability" r1.Inject.availability r4.Inject.availability;
+  Alcotest.(check int) "issued" r1.Inject.requests_issued r4.Inject.requests_issued;
+  Alcotest.(check bool) "fault stats" true (r1.Inject.faults = r4.Inject.faults)
+
+(* ---- Convergence.merge ---- *)
+
+let test_convergence_merge_equals_sequential () =
+  let outcomes =
+    List.init 60 (fun i -> if i mod 7 = 0 then None else Some (float_of_int ((i * 13 mod 50) + 1)))
+  in
+  let feed monitor xs = List.iter (fun x -> ignore (Convergence.observe monitor x)) xs in
+  let whole = Convergence.create ~batch:10 () in
+  feed whole outcomes;
+  let a = Convergence.create ~batch:10 () and b = Convergence.create ~batch:10 () in
+  let rec split i = function
+    | [] -> ([], [])
+    | x :: rest ->
+        let l, r = split (i + 1) rest in
+        if i < 25 then (x :: l, r) else (l, x :: r)
+  in
+  let xs, ys = split 0 outcomes in
+  feed a xs;
+  feed b ys;
+  let m = Convergence.merge a b in
+  Alcotest.(check int) "total" (Convergence.total whole) (Convergence.total m);
+  Alcotest.(check int) "censored" (Convergence.censored whole) (Convergence.censored m);
+  Alcotest.(check (float 1e-12)) "mean" (Convergence.mean whole) (Convergence.mean m);
+  Alcotest.(check (float 1e-12))
+    "half width" (Convergence.half_width whole) (Convergence.half_width m);
+  Alcotest.(check bool)
+    "converged agrees" (Convergence.converged whole) (Convergence.converged m);
+  (* a's checkpoints are prefixes of the merged stream and survive *)
+  let prefix l n = List.filteri (fun i _ -> i < n) l in
+  let ca = Convergence.checkpoints a in
+  Alcotest.(check bool)
+    "a's checkpoints kept" true
+    (prefix (Convergence.checkpoints m) (List.length ca) = ca);
+  Alcotest.check_raises "mismatched batch"
+    (Invalid_argument "Convergence.merge: monitors configured differently") (fun () ->
+      ignore (Convergence.merge (Convergence.create ~batch:10 ()) (Convergence.create ~batch:25 ())))
+
+(* ---- qcheck properties ---- *)
+
+let prop_split_nth_matches_sequential =
+  QCheck.Test.make ~name:"split_nth n = n-th sequential split" ~count:200
+    QCheck.(pair small_int (int_bound 30))
+    (fun (seed, n) ->
+      QCheck.assume (n > 0);
+      let sequential = Prng.create ~seed in
+      let root = Prng.create ~seed in
+      List.for_all
+        (fun i ->
+          let from_seq = Prng.split sequential in
+          let from_nth = Prng.split_nth root i in
+          List.init 4 (fun _ -> Prng.bits64 from_seq)
+          = List.init 4 (fun _ -> Prng.bits64 from_nth))
+        (List.init n (fun i -> i + 1)))
+
+let prop_streams_independent_of_partition =
+  (* the words trial i draws do not depend on which chunk ran it *)
+  QCheck.Test.make ~name:"per-index streams independent of jobs" ~count:100
+    QCheck.(triple small_int (int_range 1 40) (int_range 1 8))
+    (fun (seed, n, jobs) ->
+      let draw ~jobs =
+        Exec.map_indices ~jobs ~n ~f:(fun i ->
+            let prng = Prng.split_nth (Prng.create ~seed) (i + 1) in
+            List.init 3 (fun _ -> Prng.bits64 prng))
+      in
+      draw ~jobs:1 = draw ~jobs)
+
+let prop_chunks_partition_the_range =
+  QCheck.Test.make ~name:"chunks cover [0,n) disjointly, balanced" ~count:500
+    QCheck.(pair (int_range 0 200) (int_range 1 32))
+    (fun (n, jobs) ->
+      let chunks = Partition.chunks ~jobs ~n in
+      let covered = Array.to_list chunks |> List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun k -> lo + k)) in
+      let sizes = Array.to_list chunks |> List.map (fun (lo, hi) -> hi - lo) in
+      let contiguous =
+        Array.to_list chunks
+        |> List.for_all (fun (lo, hi) -> lo < hi)
+      in
+      covered = List.init n Fun.id
+      && contiguous
+      && (sizes = []
+         || List.fold_left max 0 sizes - List.fold_left min max_int sizes <= 1))
+
+let prop_chunk_of_agrees_with_chunks =
+  QCheck.Test.make ~name:"chunk_of is the index of the owning chunk" ~count:500
+    QCheck.(pair (int_range 1 120) (int_range 1 16))
+    (fun (n, jobs) ->
+      let chunks = Partition.chunks ~jobs ~n in
+      List.for_all
+        (fun i ->
+          let c = Partition.chunk_of ~jobs ~n i in
+          let lo, hi = chunks.(c) in
+          lo <= i && i < hi)
+        (List.init n Fun.id))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_split_nth_matches_sequential;
+      prop_streams_independent_of_partition;
+      prop_chunks_partition_the_range;
+      prop_chunk_of_agrees_with_chunks;
+    ]
+
+let () =
+  Alcotest.run "fortress_par"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "chunk shapes" `Quick test_partition_shapes;
+          Alcotest.test_case "chunk_of bounds" `Quick test_chunk_of_bounds;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "map_indices = Array.init" `Quick test_map_indices_is_array_init;
+          Alcotest.test_case "first failing chunk re-raised" `Quick
+            test_map_chunks_propagates_first_failure;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trial run invariant in jobs" `Quick test_trial_jobs_invariant;
+          Alcotest.test_case "early stop invariant in jobs" `Quick
+            test_trial_early_stop_jobs_invariant;
+          Alcotest.test_case "step-level estimate invariant in jobs" `Quick
+            test_step_level_jobs_invariant;
+          Alcotest.test_case "inject digest invariant in jobs" `Slow
+            test_inject_jobs_invariant;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "merge equals sequential accumulation" `Quick
+            test_convergence_merge_equals_sequential;
+        ] );
+      ("properties", properties);
+    ]

@@ -154,6 +154,44 @@ let test_stats_merge_empty () =
   let m = Stats.merge a b in
   check_float "mean from non-empty side" 5.0 (Stats.mean m)
 
+(* combine is the parallel-join primitive: a sequential accumulation over
+   the whole dataset and a fold of per-chunk accumulators must agree on
+   every derived statistic, including the confidence interval. *)
+let test_stats_combine_parallel_join () =
+  let chunks =
+    [ [ 3.0; 1.0; 4.0; 1.0; 5.0 ]; [ 9.0; 2.0; 6.0 ]; [ 5.0; 3.0; 5.0; 8.0; 9.0; 7.0 ] ]
+  in
+  let whole = Stats.create () in
+  List.iter (List.iter (Stats.add whole)) chunks;
+  let parts =
+    List.map
+      (fun xs ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) xs;
+        s)
+      chunks
+  in
+  let folded = List.fold_left Stats.combine (Stats.create ()) parts in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count folded);
+  check_float "mean" (Stats.mean whole) (Stats.mean folded);
+  check_float "variance" (Stats.variance whole) (Stats.variance folded);
+  check_float "total" (Stats.total whole) (Stats.total folded);
+  check_float "min" (Stats.min whole) (Stats.min folded);
+  check_float "max" (Stats.max whole) (Stats.max folded);
+  let lo, hi = Stats.confidence_interval whole in
+  let lo', hi' = Stats.confidence_interval folded in
+  check_float "ci95 lo" lo lo';
+  check_float "ci95 hi" hi hi'
+
+let test_stats_combine_does_not_mutate () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 10.0 ];
+  ignore (Stats.combine a b);
+  Alcotest.(check int) "a count untouched" 2 (Stats.count a);
+  Alcotest.(check int) "b count untouched" 1 (Stats.count b);
+  check_float "a mean untouched" 1.5 (Stats.mean a)
+
 let test_stats_quantile () =
   let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
   check_float "median" 3.0 (Stats.median xs);
@@ -504,6 +542,10 @@ let () =
           Alcotest.test_case "empty accumulator" `Quick test_stats_empty;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
+          Alcotest.test_case "combine is a parallel join" `Quick
+            test_stats_combine_parallel_join;
+          Alcotest.test_case "combine mutates neither input" `Quick
+            test_stats_combine_does_not_mutate;
           Alcotest.test_case "quantiles" `Quick test_stats_quantile;
           Alcotest.test_case "quantile unsorted input" `Quick test_stats_quantile_unsorted;
           Alcotest.test_case "summary" `Quick test_stats_summary;
