@@ -78,6 +78,26 @@ def main():
                   "(seeded result changed)")
             return 1
 
+    # Adaptive-campaign overhead is self-relative (oblivious-strategy
+    # seconds over fixed-schedule seconds, measured in the same process on
+    # the same paired seeds), so it is checked against an absolute bound
+    # rather than against the baseline file: the oblivious observe-decide-
+    # act loop may cost at most 5% over the fixed schedule. The bound is
+    # intentionally independent of --tolerance — runner noise cancels out
+    # of a same-process ratio.
+    ADAPTIVE_MAX_RATIO = 1.05
+    adaptive = cur.get("adaptive_overhead")
+    if adaptive is None:
+        print("MISSING  adaptive_overhead: not in current report")
+        return 1
+    ratio = adaptive["ratio"]
+    if ratio > ADAPTIVE_MAX_RATIO:
+        print(f"FAIL     adaptive_overhead ratio: {ratio:.3f} > {ADAPTIVE_MAX_RATIO:.2f} "
+              f"(oblivious {adaptive['oblivious_seconds']:.3f}s vs "
+              f"fixed {adaptive['fixed_seconds']:.3f}s)")
+        return 1
+    print(f"ok       adaptive_overhead ratio: {ratio:.3f} <= {ADAPTIVE_MAX_RATIO:.2f}")
+
     failed = 0
     for name, b, c, lower_better, tol in checks:
         if b <= 0:

@@ -319,8 +319,42 @@ let measure_parallel_speedup () =
       (jobs, tps, speedup, mean))
     rows
 
+(* Adaptive-campaign overhead: the oblivious strategy runs the full
+   observe–decide–act loop (symptom sampling, observation assembly, a
+   boundary hook that always answers "unchanged") yet must stay
+   byte-identical to the fixed-schedule path and within a few percent of
+   its cost — that overhead is the price every legacy caller pays for the
+   adaptive machinery existing at all. Both passes run in this process on
+   the same paired seeds; the digests are asserted equal so the ratio
+   compares identical work. *)
+let measure_adaptive_overhead () =
+  let module Inject = Fortress_exp.Inject in
+  let module Plan = Fortress_faults.Plan in
+  let module Adaptive = Fortress_attack.Adaptive in
+  let config = { Inject.default_config with trials = 8; chi = 256; seed = 42 } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up pass so both code paths are compiled and the minor heap is primed *)
+  ignore (Inject.run_plan { config with trials = 2 } Plan.lossy);
+  ignore
+    (Inject.run_plan ~strategy:Adaptive.Strategy.oblivious { config with trials = 2 }
+       Plan.lossy);
+  let fixed, fixed_seconds = time (fun () -> Inject.run_plan config Plan.lossy) in
+  let obl, oblivious_seconds =
+    time (fun () -> Inject.run_plan ~strategy:Adaptive.Strategy.oblivious config Plan.lossy)
+  in
+  if fixed.Inject.digest <> obl.Inject.digest then
+    failwith
+      (Printf.sprintf "oblivious strategy diverged from the fixed schedule: %s <> %s"
+         obl.Inject.digest fixed.Inject.digest);
+  let ratio = if fixed_seconds > 0.0 then oblivious_seconds /. fixed_seconds else 0.0 in
+  (fixed_seconds, oblivious_seconds, ratio)
+
 let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler
-    ~speedup =
+    ~speedup ~adaptive =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -370,6 +404,14 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
                      ("mean_el", J.Num mean);
                    ])
                speedup) );
+        ( "adaptive_overhead",
+          (let fixed_s, obl_s, ratio = adaptive in
+           J.Obj
+             [
+               ("fixed_seconds", J.Num fixed_s);
+               ("oblivious_seconds", J.Num obl_s);
+               ("ratio", J.Num ratio);
+             ]) );
         ("sections", J.List secs);
       ]
   in
@@ -488,7 +530,14 @@ let () =
         sp mean)
     speedup;
   Printf.printf "means bit-identical across job counts: yes (asserted)\n\n";
+  let adaptive = measure_adaptive_overhead () in
+  let fixed_s, obl_s, ratio = adaptive in
+  Printf.printf "== adaptive campaign overhead (oblivious strategy vs fixed schedule) ==\n";
+  Printf.printf "fixed schedule  %8.3f s\noblivious loop  %8.3f s  (%.2fx)\n" fixed_s obl_s
+    ratio;
+  Printf.printf "digests bit-identical across the two paths: yes (asserted)\n\n";
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
-  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup;
+  write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup
+    ~adaptive;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

@@ -358,7 +358,7 @@ let simulate_cmd =
           if omega > 0 then begin
             let campaign =
               Campaign.launch deployment
-                { Campaign.default_config with omega; kappa; period; seed = seed + 1 }
+                (Campaign.make_config ~omega ~kappa ~period ~seed:(seed + 1) ())
             in
             Campaign.run_until_compromise campaign ~max_steps:steps
           end
@@ -418,7 +418,19 @@ let inject_cmd =
     Arg.(value & opt int 400 & info [ "max-steps" ] ~docv:"N"
            ~doc:"Campaign horizon in unit time-steps.")
   in
-  let run plan trials seed chi omega kappa steps jobs csv trace_out metrics =
+  let strategy_arg =
+    let doc =
+      "Adaptive attack strategy: oblivious | stale-key-rush | partition-follower. Omit for \
+       the fixed-schedule attacker; oblivious is bit-identical to it and reports dEL 0."
+    in
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+  in
+  let smr_arg =
+    Arg.(value & flag
+         & info [ "smr" ]
+             ~doc:"Run the plan on the 1-tier SMR stack (S0) instead of FORTRESS (S2).")
+  in
+  let run plan trials seed chi omega kappa steps jobs strategy smr csv trace_out metrics =
     let plans =
       match plan with
       | "all" -> List.filter (fun (p : Plan.t) -> p.Plan.name <> "none") Plan.builtins
@@ -429,15 +441,36 @@ let inject_cmd =
               Printf.eprintf "fortress-cli: unknown fault plan %S (try none | lossy | partition | crashy | chaos | all)\n" name;
               exit 2)
     in
+    let strategy =
+      match strategy with
+      | None -> None
+      | Some name -> (
+          match Fortress_attack.Adaptive.Strategy.find name with
+          | Some s -> Some s
+          | None ->
+              Printf.eprintf "fortress-cli: unknown strategy %S (try %s)\n" name
+                (String.concat " | " Fortress_attack.Adaptive.Strategy.names);
+              exit 2)
+    in
     with_obs ~trace_out ~metrics (fun sink ->
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
                        max_steps = steps; jobs } in
-        let report = Inject.run ~sink ~config ~plans () in
+        let stack = if smr then `Smr else `Fortress in
+        let report = Inject.run ~sink ?strategy ~stack ~config ~plans () in
         print_table ~csv (Inject.table report);
         print_newline ();
         print_table ~csv (Inject.fault_breakdown report);
-        Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d\n" chi
-          omega kappa trials seed;
+        (match report.Inject.adapt with
+        | None -> ()
+        | Some adapt ->
+            Printf.printf "\nadaptive vs oblivious (strategy %s):\n" adapt.Inject.strategy_name;
+            print_table ~csv (Inject.adapt_table adapt));
+        Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d%s%s\n" chi
+          omega kappa trials seed
+          (match strategy with
+          | None -> ""
+          | Some s -> " strategy=" ^ s.Fortress_attack.Adaptive.Strategy.name)
+          (if smr then " stack=smr" else "");
         (* stable one-line-per-plan digests, for reproducibility diffing *)
         List.iter
           (fun (r : Inject.run) -> Printf.printf "digest %s %s\n" r.Inject.plan_name r.Inject.digest)
@@ -448,8 +481,8 @@ let inject_cmd =
   in
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
-          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ csv_arg
-          $ trace_out_arg $ metrics_arg)
+          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ strategy_arg
+          $ smr_arg $ csv_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"

@@ -44,25 +44,21 @@ let () =
 
   let campaign =
     Campaign.launch deployment
-      {
-        Campaign.default_config with
-        omega = 48;
-        kappa = 0.8;
-        period;
-        seed = 99;
-      }
+      (Campaign.make_config ~omega:48 ~kappa:0.8 ~period ~seed:99 ())
   in
   let horizon = 60 in
   (match Campaign.run_until_compromise campaign ~max_steps:horizon with
   | Some step -> Printf.printf "system COMPROMISED during unit time-step %d\n" step
   | None -> Printf.printf "system SURVIVED the %d-step horizon\n" horizon);
 
+  let stats = Campaign.stats campaign in
+  let open Fortress_attack.Campaign_intf in
   Printf.printf "\ncampaign statistics:\n";
-  Printf.printf "  direct probes at proxies : %d\n" (Campaign.direct_probes_sent campaign);
-  Printf.printf "  indirect probes sent     : %d\n" (Campaign.indirect_probes_sent campaign);
-  Printf.printf "  indirect probes blocked  : %d\n" (Campaign.indirect_probes_blocked campaign);
-  Printf.printf "  launch-pad probes        : %d\n" (Campaign.launchpad_probes_sent campaign);
-  Printf.printf "  attacker sources burned  : %d\n" (Campaign.sources_burned campaign);
+  Printf.printf "  direct probes at proxies : %d\n" stats.Stats.direct_probes_sent;
+  Printf.printf "  indirect probes sent     : %d\n" stats.Stats.indirect_probes_sent;
+  Printf.printf "  indirect probes blocked  : %d\n" stats.Stats.indirect_probes_blocked;
+  Printf.printf "  launch-pad probes        : %d\n" stats.Stats.launchpad_probes_sent;
+  Printf.printf "  attacker sources burned  : %d\n" stats.Stats.sources_burned;
   Printf.printf "  effective kappa achieved : %.3f (intended 0.8)\n"
     (Campaign.effective_kappa campaign);
   Printf.printf "\ndefence statistics:\n";

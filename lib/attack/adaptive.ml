@@ -1,0 +1,136 @@
+module Deployment = Fortress_core.Deployment
+module Smr_deployment = Fortress_core.Smr_deployment
+module Node_id = Fortress_model.Node_id
+
+module Strategy = struct
+  type decide = Observation.t -> Directive.t
+
+  type t = {
+    name : string;
+    describe : string;
+    make : default_kappa:float -> decide;
+        (** build a fresh decide function (with fresh internal state) for
+            one campaign; [default_kappa] is the config value to restore
+            when an override is lifted *)
+  }
+
+  let oblivious =
+    {
+      name = "oblivious";
+      describe = "observes but never acts; bit-identical to the fixed schedule";
+      make = (fun ~default_kappa:_ _obs -> Directive.unchanged);
+    }
+
+  (* While the server key is provably stale — probes keep landing and the
+     attacker's eliminations keep accumulating with no reset — pour the
+     whole indirect budget at the server tier; back off to the configured
+     kappa as soon as a rekey is observed again. *)
+  let stale_key_rush =
+    {
+      name = "stale-key-rush";
+      describe = "raises kappa to 1 while the server rekey is provably missed";
+      make =
+        (fun ~default_kappa ->
+          let rushing = ref false in
+          fun obs ->
+            if obs.Observation.stale_steps >= 1 && not !rushing then begin
+              rushing := true;
+              Directive.make ~kappa:1.0 ()
+            end
+            else if obs.Observation.stale_steps = 0 && !rushing then begin
+              rushing := false;
+              Directive.make ~kappa:default_kappa ()
+            end
+            else Directive.unchanged);
+    }
+
+  (* Steer probes away from nodes whose requests timed out during the
+     step; lift the exclusion when they answer again. *)
+  let partition_follower =
+    {
+      name = "partition-follower";
+      describe = "redirects probes away from unreachable nodes";
+      make =
+        (fun ~default_kappa:_ ->
+          let current = ref [] in
+          fun obs ->
+            let seen = obs.Observation.unreachable in
+            if seen = !current then Directive.unchanged
+            else begin
+              current := seen;
+              Directive.make ~exclude:seen ()
+            end);
+    }
+
+  let builtins = [ oblivious; stale_key_rush; partition_follower ]
+  let names = List.map (fun s -> s.name) builtins
+  let find name = List.find_opt (fun s -> s.name = name) builtins
+end
+
+type config = { campaign : Campaign.config; strategy : Strategy.t }
+
+let make_config ?(strategy = Strategy.oblivious) campaign = { campaign; strategy }
+
+type t = { campaign : Campaign.t; strategy : Strategy.t }
+
+let launch deployment (cfg : config) =
+  let campaign = Campaign.launch deployment cfg.campaign in
+  let decide = cfg.strategy.Strategy.make ~default_kappa:cfg.campaign.Campaign.kappa in
+  Campaign.set_boundary_hook campaign ~name:cfg.strategy.Strategy.name (fun obs ->
+      let d = decide obs in
+      if not (Directive.is_unchanged d) then Campaign.stage campaign d);
+  { campaign; strategy = cfg.strategy }
+
+let run_until_compromise t ~max_steps = Campaign.run_until_compromise t.campaign ~max_steps
+let stats t = Campaign.stats t.campaign
+let strategy t = t.strategy
+let campaign t = t.campaign
+
+(* conformance witness: the adaptive wrapper is itself a campaign *)
+module _ : Campaign_intf.S with type t = t and type deployment = Deployment.t and type config = config =
+struct
+  type nonrec t = t
+  type deployment = Deployment.t
+  type nonrec config = config
+
+  let launch = launch
+  let run_until_compromise = run_until_compromise
+  let stats = stats
+end
+
+(* The same wrapper over the 1-tier SMR campaign. Only the exclusion field
+   of a directive acts there, so [partition_follower] is the interesting
+   strategy; the others degrade gracefully to oblivious behaviour. *)
+module Smr = struct
+  type config = { campaign : Smr_campaign.config; strategy : Strategy.t }
+
+  let make_config ?(strategy = Strategy.oblivious) campaign = { campaign; strategy }
+
+  type t = { campaign : Smr_campaign.t; strategy : Strategy.t }
+
+  let launch deployment (cfg : config) =
+    let campaign = Smr_campaign.launch deployment cfg.campaign in
+    let decide = cfg.strategy.Strategy.make ~default_kappa:0.0 in
+    Smr_campaign.set_boundary_hook campaign ~name:cfg.strategy.Strategy.name (fun obs ->
+        let d = decide obs in
+        if not (Directive.is_unchanged d) then Smr_campaign.stage campaign d);
+    { campaign; strategy = cfg.strategy }
+
+  let run_until_compromise t ~max_steps = Smr_campaign.run_until_compromise t.campaign ~max_steps
+  let stats t = Smr_campaign.stats t.campaign
+  let campaign t = t.campaign
+
+  module _ :
+    Campaign_intf.S
+      with type t = t
+       and type deployment = Smr_deployment.t
+       and type config = config = struct
+    type nonrec t = t
+    type deployment = Smr_deployment.t
+    type nonrec config = config
+
+    let launch = launch
+    let run_until_compromise = run_until_compromise
+    let stats = stats
+  end
+end

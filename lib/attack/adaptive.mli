@@ -1,0 +1,79 @@
+(** The adaptive attacker: an observe–decide–act loop over {!Campaign}.
+
+    Each step boundary the campaign hands the strategy one
+    {!Observation.t} assembled from attacker-plausible signals only (probe
+    bookkeeping, blocked-source feedback, inferred key staleness, request
+    timeouts — see DESIGN.md section 10). The strategy answers with a
+    {!Directive.t}; non-trivial directives are staged and folded into the
+    campaign's live settings at the {e next} boundary. Decisions never
+    touch the engine mid-step, consume no PRNG, and emit events only when
+    a setting actually moves, so
+
+    - {!Strategy.oblivious} is bit-identical to the fixed-schedule
+      campaign (the regression anchor), and
+    - every strategy is deterministic and job-count invariant. *)
+
+module Strategy : sig
+  type decide = Observation.t -> Directive.t
+
+  type t = {
+    name : string;  (** CLI name, e.g. ["stale-key-rush"] *)
+    describe : string;  (** one-line help text *)
+    make : default_kappa:float -> decide;
+        (** build a fresh decide function (with fresh internal state) for
+            one campaign; [default_kappa] is the config value to restore
+            when an override is lifted *)
+  }
+
+  val oblivious : t
+  (** Observes but never acts. Bit-identical traces to the fixed schedule. *)
+
+  val stale_key_rush : t
+  (** While the server key is provably stale (probes keep landing and the
+      elimination count never resets — e.g. chaos has wedged the
+      obfuscation coordinator), pour the whole indirect budget at the
+      server tier ([kappa -> 1]); restore the configured kappa on the
+      next observed rekey. *)
+
+  val partition_follower : t
+  (** Steer probes away from nodes whose requests timed out during the
+      step; lift the exclusion once they answer again. Matters under
+      partition plans, where probes at unreachable proxies are wasted
+      budget. *)
+
+  val builtins : t list
+  val names : string list
+  val find : string -> t option
+end
+
+type config = { campaign : Campaign.config; strategy : Strategy.t }
+
+val make_config : ?strategy:Strategy.t -> Campaign.config -> config
+(** Default strategy: {!Strategy.oblivious}. *)
+
+type t
+
+val launch : Fortress_core.Deployment.t -> config -> t
+val run_until_compromise : t -> max_steps:int -> int option
+val stats : t -> Campaign_intf.Stats.t
+val strategy : t -> Strategy.t
+
+val campaign : t -> Campaign.t
+(** The wrapped campaign, e.g. for {!Campaign.settings} introspection. *)
+
+(** The same wrapper over the 1-tier SMR campaign (S0). Only the
+    exclusion field of a directive acts there, so
+    {!Strategy.partition_follower} is the interesting strategy; the
+    others degrade gracefully to oblivious behaviour. *)
+module Smr : sig
+  type config = { campaign : Smr_campaign.config; strategy : Strategy.t }
+
+  val make_config : ?strategy:Strategy.t -> Smr_campaign.config -> config
+
+  type t
+
+  val launch : Fortress_core.Smr_deployment.t -> config -> t
+  val run_until_compromise : t -> max_steps:int -> int option
+  val stats : t -> Campaign_intf.Stats.t
+  val campaign : t -> Smr_campaign.t
+end

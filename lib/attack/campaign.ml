@@ -10,10 +10,12 @@ module Pb = Fortress_replication.Pb
 module Prng = Fortress_util.Prng
 module Event = Fortress_obs.Event
 module Prof = Fortress_prof.Profiler
+module Node_id = Fortress_model.Node_id
+module Stats = Campaign_intf.Stats
 
 let probe_phase = Prof.register "attack.probe"
 
-type launchpad = Within_step | Next_step
+type launchpad = Directive.launchpad = Within_step | Next_step
 
 type config = {
   omega : int;
@@ -38,10 +40,28 @@ let default_config =
     seed = 0;
   }
 
+let make_config ?(omega = default_config.omega) ?(kappa = default_config.kappa)
+    ?(period = default_config.period) ?(pacing = default_config.pacing)
+    ?(launchpad = default_config.launchpad) ?(target_mode = default_config.target_mode)
+    ?(rotate_sources = default_config.rotate_sources) ~seed () =
+  { omega; kappa; period; pacing; launchpad; target_mode; rotate_sources; seed }
+
 type tracked = {
   knowledge : Knowledge.t;
   mutable epoch_seen : int;
+  mutable flips : int;  (** epoch changes observed so far *)
   mutable exhausted_noted : bool;  (** one trace line per exhausted epoch *)
+}
+
+(* The live settings the arm loop reads. They start as copies of the
+   config and move only when a staged directive is applied at a step
+   boundary, so a campaign that never stages anything behaves — to the
+   byte — like the fixed schedule. *)
+type settings = {
+  mutable kappa : float;
+  mutable pacing : Pacing.t;
+  mutable launchpad : launchpad;
+  mutable excluded : bool array;  (** per-proxy target-set exclusion *)
 }
 
 type t = {
@@ -51,6 +71,12 @@ type t = {
   proxy_tracks : tracked array;
   server_track : tracked;  (** servers share one key, so one knowledge pool *)
   proxy_fell_at : int option array;  (** step at which each proxy fell *)
+  eff : settings;
+  mutable staged : Directive.t option;
+  mutable boundary_hook : (Observation.t -> unit) option;
+  mutable strategy_name : string;
+  mutable observing : bool;  (** sample the symptom surface during steps *)
+  unreach_seen : bool array;  (** per-proxy timeout symptoms this step *)
   mutable source : Address.t;
   mutable current_step : int;
   mutable compromised_at : int option;
@@ -59,8 +85,21 @@ type t = {
   mutable indirect_blocked : int;
   mutable launchpad_sent : int;
   mutable sources_burned : int;
+  mutable intrusions : int;
   mutable exhausted_slots : int;  (** probe slots skipped for want of untried keys *)
+  mutable server_probes : int;  (** probe attempts against the server tier *)
+  mutable directives_applied : int;
   mutable rr : int;  (** round-robin proxy cursor for indirect probes *)
+  mutable redirect : int;  (** cursor for re-targeting excluded proxies' slots *)
+  (* per-step counter marks, snapshotted at each boundary *)
+  mutable m_direct : int;
+  mutable m_indirect : int;
+  mutable m_blocked : int;
+  mutable m_launchpad : int;
+  mutable m_burned : int;
+  mutable m_server_probes : int;
+  mutable m_flips : int;
+  mutable stale_steps : int;
 }
 
 let new_source t =
@@ -76,6 +115,7 @@ let make deployment cfg =
     {
       knowledge = Knowledge.create keyspace;
       epoch_seen = Instance.epoch inst;
+      flips = 0;
       exhausted_noted = false;
     }
   in
@@ -89,6 +129,18 @@ let make deployment cfg =
       proxy_tracks = Array.map track proxy_instances;
       server_track = track server_instances.(0);
       proxy_fell_at = Array.make (max np 1) None;
+      eff =
+        {
+          kappa = cfg.kappa;
+          pacing = cfg.pacing;
+          launchpad = cfg.launchpad;
+          excluded = Array.make (max np 1) false;
+        };
+      staged = None;
+      boundary_hook = None;
+      strategy_name = "";
+      observing = false;
+      unreach_seen = Array.make (max np 1) false;
       source = Address.make 0;
       current_step = 1;
       compromised_at = None;
@@ -97,19 +149,35 @@ let make deployment cfg =
       indirect_blocked = 0;
       launchpad_sent = 0;
       sources_burned = 0;
+      intrusions = 0;
       exhausted_slots = 0;
+      server_probes = 0;
+      directives_applied = 0;
       rr = 0;
+      redirect = 0;
+      m_direct = 0;
+      m_indirect = 0;
+      m_blocked = 0;
+      m_launchpad = 0;
+      m_burned = 0;
+      m_server_probes = 0;
+      m_flips = 0;
+      stale_steps = 0;
     }
   in
   t.source <- new_source t;
   t
 
 (* The attacker knows the defender's schedule: on an epoch change, PO means
-   fresh keys (knowledge void), SO means recovery only (knowledge holds). *)
+   fresh keys (knowledge void), SO means recovery only (knowledge holds).
+   The epoch read stands in for an inference the attacker can make from its
+   own statistics — a re-randomized target starts crashing on guesses the
+   attacker had already eliminated (see DESIGN.md section 10). *)
 let sync_track t track inst =
   let epoch = Instance.epoch inst in
   if epoch <> track.epoch_seen then begin
     track.epoch_seen <- epoch;
+    track.flips <- track.flips + 1;
     track.exhausted_noted <- false;
     match t.cfg.target_mode with
     | Obfuscation.PO -> Knowledge.on_target_rekeyed track.knowledge
@@ -151,6 +219,7 @@ let emit_probe t ~kind ~tier ~target outcome =
    proxy) or over a captured launch pad. *)
 let probe_server t ~kind =
   let insts = Deployment.server_instances t.deployment in
+  t.server_probes <- t.server_probes + 1;
   sync_track t t.server_track insts.(0);
   match Knowledge.next_guess t.server_track.knowledge t.prng with
   | None -> note_exhausted t t.server_track ~what:"server tier"
@@ -162,6 +231,7 @@ let probe_server t ~kind =
           emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Crashed
       | Instance.Intrusion ->
           Knowledge.observe_intrusion t.server_track.knowledge ~guess;
+          t.intrusions <- t.intrusions + 1;
           emit_probe t ~kind ~tier:Event.Server_tier ~target Event.Intruded;
           Deployment.compromise_server t.deployment target;
           note_if_compromised t)
@@ -179,10 +249,32 @@ let probe_proxy t j =
           emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Crashed
       | Instance.Intrusion ->
           Knowledge.observe_intrusion track.knowledge ~guess;
+          t.intrusions <- t.intrusions + 1;
           emit_probe t ~kind:Event.Direct ~tier:Event.Proxy_tier ~target:j Event.Intruded;
           Deployment.compromise_proxy t.deployment j;
           if t.proxy_fell_at.(j) = None then t.proxy_fell_at.(j) <- Some t.current_step;
           note_if_compromised t)
+
+(* Steer an excluded proxy's slot to the next included proxy (cursor scan);
+   with nothing excluded this is the identity and touches no cursor. *)
+let redirect_target t j np =
+  if not t.eff.excluded.(j) then j
+  else begin
+    let rec find k n = if n = 0 then j else if not t.eff.excluded.(k) then k else find ((k + 1) mod np) (n - 1) in
+    let k = find (t.redirect mod np) np in
+    if k <> j then t.redirect <- t.redirect + 1;
+    k
+  end
+
+(* Sample proxy [j]'s reachability symptom: a probe either times out or
+   answers, and each probe is its own liveness check — fault windows open
+   and close mid-step, so the verdict must not be cached across a step
+   (a window period-aligned after the step's first probe would otherwise
+   go unseen forever). Once a timeout has been seen this step the flag is
+   monotone and resampling is skipped. Reads only; no PRNG, no events. *)
+let sample_unreach t j =
+  if t.observing && not t.unreach_seen.(j) then
+    if Deployment.proxy_unreachable t.deployment j then t.unreach_seen.(j) <- true
 
 (* Direct probe slot aimed at proxy [j] (or at a server directly when there
    are no proxies). A fallen proxy turns its remaining slots into
@@ -194,25 +286,32 @@ let direct_probe_slot_unprofiled t j =
       t.direct_sent <- t.direct_sent + 1;
       probe_server t ~kind:Event.Direct
     end
-    else if not (Deployment.proxy_compromised t.deployment j) then begin
-      t.direct_sent <- t.direct_sent + 1;
-      (* the deployment may have cleared the flag at a boundary *)
-      if t.proxy_fell_at.(j) <> None && t.cfg.target_mode = Obfuscation.PO then
-        t.proxy_fell_at.(j) <- None;
-      probe_proxy t j
-    end
     else begin
-      let usable =
-        match t.cfg.launchpad with
-        | Within_step -> true
-        | Next_step -> (
-            match t.proxy_fell_at.(j) with
-            | Some s -> s < t.current_step
-            | None -> true (* fell before we started tracking: treat as old *))
-      in
-      if usable then begin
-        t.launchpad_sent <- t.launchpad_sent + 1;
-        probe_server t ~kind:Event.Launchpad
+      (* the probe is an interaction: its timeout-or-answer is the
+         attacker's partition symptom (sampled against the slot's original
+         target, before any redirect) *)
+      sample_unreach t j;
+      let j = redirect_target t j np in
+      if not (Deployment.proxy_compromised t.deployment j) then begin
+        t.direct_sent <- t.direct_sent + 1;
+        (* the deployment may have cleared the flag at a boundary *)
+        if t.proxy_fell_at.(j) <> None && t.cfg.target_mode = Obfuscation.PO then
+          t.proxy_fell_at.(j) <- None;
+        probe_proxy t j
+      end
+      else begin
+        let usable =
+          match t.eff.launchpad with
+          | Within_step -> true
+          | Next_step -> (
+              match t.proxy_fell_at.(j) with
+              | Some s -> s < t.current_step
+              | None -> true (* fell before we started tracking: treat as old *))
+        in
+        if usable then begin
+          t.launchpad_sent <- t.launchpad_sent + 1;
+          probe_server t ~kind:Event.Launchpad
+        end
       end
     end
   end
@@ -225,16 +324,26 @@ let direct_probe_slot t j =
   if Prof.is_enabled () then Prof.record probe_phase (fun () -> direct_probe_slot_unprofiled t j)
   else direct_probe_slot_unprofiled t j
 
+(* Round-robin over the included proxies; with nothing excluded this is
+   exactly the legacy single-increment round-robin. *)
+let pick_indirect_proxy t np =
+  let rec go n =
+    let j = t.rr mod np in
+    t.rr <- t.rr + 1;
+    if n = 0 || not t.eff.excluded.(j) then j else go (n - 1)
+  in
+  go np
+
 let indirect_probe_slot_unprofiled t =
   if t.compromised_at = None then begin
     let proxies = Deployment.proxies t.deployment in
     let np = Array.length proxies in
     if np > 0 then begin
-      let j = t.rr mod np in
-      t.rr <- t.rr + 1;
+      let j = pick_indirect_proxy t np in
       let proxy = proxies.(j) in
       let net = Deployment.network t.deployment in
       let engine = Deployment.engine t.deployment in
+      sample_unreach t j;
       match Knowledge.next_guess t.server_track.knowledge t.prng with
       | None -> note_exhausted t t.server_track ~what:"server tier"
       | Some guess ->
@@ -265,21 +374,159 @@ let indirect_probe_slot t =
   if Prof.is_enabled () then Prof.record probe_phase (fun () -> indirect_probe_slot_unprofiled t)
   else indirect_probe_slot_unprofiled t
 
+(* ---- observe / decide / act plumbing ---- *)
+
+let stage t directive =
+  if not (Directive.is_unchanged directive) then
+    t.staged <-
+      Some
+        (match t.staged with
+        | None -> directive
+        | Some prev ->
+            (* later stages win field-wise within the same step *)
+            {
+              Directive.kappa =
+                (match directive.Directive.kappa with Some _ as k -> k | None -> prev.Directive.kappa);
+              exclude =
+                (match directive.Directive.exclude with Some _ as e -> e | None -> prev.Directive.exclude);
+              pacing =
+                (match directive.Directive.pacing with Some _ as p -> p | None -> prev.Directive.pacing);
+              launchpad =
+                (match directive.Directive.launchpad with
+                | Some _ as l -> l
+                | None -> prev.Directive.launchpad);
+            })
+
+let set_boundary_hook t ~name hook =
+  t.boundary_hook <- Some hook;
+  t.strategy_name <- name;
+  t.observing <- true
+
+(* Assemble what the attacker saw during the step that just completed.
+   Pure reads and arithmetic only: no PRNG, no events. *)
+let observe t =
+  let np = Array.length (Deployment.proxies t.deployment) in
+  let flips = t.server_track.flips in
+  let server_delta = t.server_probes - t.m_server_probes in
+  let rekey_missed = flips = t.m_flips && server_delta > 0 in
+  let unreachable = ref [] in
+  (if np = 0 then
+     for i = Array.length (Deployment.server_instances t.deployment) - 1 downto 0 do
+       if Deployment.server_unreachable t.deployment i then
+         unreachable := Node_id.Server i :: !unreachable
+     done
+   else
+     for j = np - 1 downto 0 do
+       if t.unreach_seen.(j) then unreachable := Node_id.Proxy j :: !unreachable
+     done);
+  t.stale_steps <- (if rekey_missed then t.stale_steps + 1 else 0);
+  {
+    Observation.step = t.current_step;
+    direct_sent = t.direct_sent - t.m_direct;
+    indirect_sent = t.indirect_sent - t.m_indirect;
+    indirect_blocked = t.indirect_blocked - t.m_blocked;
+    launchpad_sent = t.launchpad_sent - t.m_launchpad;
+    sources_burned = t.sources_burned - t.m_burned;
+    server_key_flips = flips;
+    rekey_missed;
+    stale_steps = t.stale_steps;
+    unreachable = !unreachable;
+    targets = (if np = 0 then Array.length (Deployment.server_instances t.deployment) else np);
+  }
+
+let reset_step_marks t =
+  t.m_direct <- t.direct_sent;
+  t.m_indirect <- t.indirect_sent;
+  t.m_blocked <- t.indirect_blocked;
+  t.m_launchpad <- t.launchpad_sent;
+  t.m_burned <- t.sources_burned;
+  t.m_server_probes <- t.server_probes;
+  t.m_flips <- t.server_track.flips;
+  Array.fill t.unreach_seen 0 (Array.length t.unreach_seen) false
+
+(* Fold the staged directive (if any) into the live settings. Runs only at
+   step boundaries; emits one Directive event when — and only when — a
+   setting actually moved. *)
+let apply_staged t =
+  match t.staged with
+  | None -> ()
+  | Some d ->
+      t.staged <- None;
+      let np = Array.length (Deployment.proxies t.deployment) in
+      let changed = ref [] in
+      let note what = changed := what :: !changed in
+      (match d.Directive.kappa with
+      | Some k ->
+          let k = Float.min 1.0 (Float.max 0.0 k) in
+          if k <> t.eff.kappa then begin
+            t.eff.kappa <- k;
+            note (Printf.sprintf "kappa=%g" k)
+          end
+      | None -> ());
+      (match d.Directive.pacing with
+      | Some p ->
+          if p <> t.eff.pacing then begin
+            t.eff.pacing <- p;
+            note ("pacing=" ^ Pacing.to_string p)
+          end
+      | None -> ());
+      (match d.Directive.launchpad with
+      | Some l ->
+          if l <> t.eff.launchpad then begin
+            t.eff.launchpad <- l;
+            note ("launchpad=" ^ Directive.launchpad_to_string l)
+          end
+      | None -> ());
+      (match d.Directive.exclude with
+      | Some nodes ->
+          let fresh = Array.make (max np 1) false in
+          List.iter
+            (function
+              | Node_id.Proxy j when j >= 0 && j < np -> fresh.(j) <- true
+              | _ -> ())
+            nodes;
+          (* never exclude everything: an attacker with no targets left
+             falls back to the full set *)
+          if Array.for_all Fun.id (Array.sub fresh 0 (max np 1)) then
+            Array.fill fresh 0 (Array.length fresh) false;
+          if fresh <> t.eff.excluded then begin
+            t.eff.excluded <- fresh;
+            let named = ref [] in
+            for j = np - 1 downto 0 do
+              if fresh.(j) then named := string_of_int j :: !named
+            done;
+            note
+              (if !named = [] then "exclude=none"
+               else "exclude=proxy" ^ String.concat "+proxy" !named)
+          end
+      | None -> ());
+      if !changed <> [] then begin
+        t.directives_applied <- t.directives_applied + 1;
+        Engine.emit
+          (Deployment.engine t.deployment)
+          (Event.Directive
+             {
+               step = t.current_step;
+               strategy = (if t.strategy_name = "" then "manual" else t.strategy_name);
+               detail = String.concat ", " (List.rev !changed);
+             })
+      end
+
 let arm t =
   let engine = Deployment.engine t.deployment in
   let np = Array.length (Deployment.proxies t.deployment) in
   let direct_targets = max np 1 in
-  let indirect_per_step =
-    if np = 0 then 0
-    else int_of_float (Float.round (t.cfg.kappa *. float_of_int t.cfg.omega))
-  in
   let rec arm_step () =
     if t.compromised_at = None then begin
       let base = Engine.now engine in
       Engine.emit engine (Event.Step { n = t.current_step });
       let step_span = Engine.span engine "attack.step" in
       Fortress_obs.Span.set_attr step_span "step" (string_of_int t.current_step);
-      let direct_offsets = Pacing.offsets t.cfg.pacing ~budget:t.cfg.omega ~period:t.cfg.period in
+      let indirect_per_step =
+        if np = 0 then 0
+        else int_of_float (Float.round (t.eff.kappa *. float_of_int t.cfg.omega))
+      in
+      let direct_offsets = Pacing.offsets t.eff.pacing ~budget:t.cfg.omega ~period:t.cfg.period in
       List.iteri
         (fun s offset ->
           let at = base +. offset in
@@ -295,7 +542,14 @@ let arm t =
       ignore
         (Engine.schedule_at engine ~time:(base +. t.cfg.period) (fun () ->
              Engine.finish_span engine step_span;
+             (match t.boundary_hook with
+             | Some hook ->
+                 let obs = observe t in
+                 reset_step_marks t;
+                 hook obs
+             | None -> ());
              t.current_step <- t.current_step + 1;
+             apply_staged t;
              arm_step ()))
     end
   in
@@ -322,15 +576,49 @@ let run_until_compromise t ~max_steps =
   in
   go ()
 
-let compromised_at_step t = t.compromised_at
-let direct_probes_sent t = t.direct_sent
-let indirect_probes_sent t = t.indirect_sent
-let indirect_probes_blocked t = t.indirect_blocked
-let launchpad_probes_sent t = t.launchpad_sent
-let sources_burned t = t.sources_burned
-let exhausted_slots t = t.exhausted_slots
+let stats t =
+  {
+    Stats.compromised_at_step = t.compromised_at;
+    direct_probes_sent = t.direct_sent;
+    indirect_probes_sent = t.indirect_sent;
+    indirect_probes_blocked = t.indirect_blocked;
+    launchpad_probes_sent = t.launchpad_sent;
+    sources_burned = t.sources_burned;
+    exhausted_slots = t.exhausted_slots;
+    intrusions = t.intrusions;
+    directives_applied = t.directives_applied;
+  }
+
+let current_step t = t.current_step
+let config t = t.cfg
+
+type live_settings = {
+  kappa : float;
+  pacing : Pacing.t;
+  launchpad : launchpad;
+  excluded : int list;
+}
+
+let settings t =
+  let excluded = ref [] in
+  for j = Array.length t.eff.excluded - 1 downto 0 do
+    if t.eff.excluded.(j) then excluded := j :: !excluded
+  done;
+  { kappa = t.eff.kappa; pacing = t.eff.pacing; launchpad = t.eff.launchpad; excluded = !excluded }
 
 let effective_kappa t =
   let intended = t.cfg.kappa *. float_of_int t.cfg.omega *. float_of_int t.current_step in
   if intended <= 0.0 then 0.0
   else float_of_int (t.indirect_sent - t.indirect_blocked) /. intended
+
+(* conformance witness: Campaign implements the shared surface *)
+module _ : Campaign_intf.S with type t = t and type deployment = Deployment.t and type config = config =
+struct
+  type nonrec t = t
+  type deployment = Deployment.t
+  type nonrec config = config
+
+  let launch = launch
+  let run_until_compromise = run_until_compromise
+  let stats = stats
+end

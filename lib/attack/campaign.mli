@@ -19,9 +19,21 @@
       the modelling difference ablation A3 measures).
 
     The campaign ends when {!Fortress_core.Deployment.system_compromised}
-    first holds; the step index at that moment is the system's lifetime. *)
+    first holds; the step index at that moment is the system's lifetime.
 
-type launchpad = Within_step | Next_step
+    {2 Adaptive hooks}
+
+    An adaptive attacker (see {!Adaptive}) plugs into the campaign through
+    three narrow points: {!set_boundary_hook} delivers one
+    {!Observation.t} per completed step, {!stage} queues a {!Directive.t},
+    and staged directives are folded into the live settings {e only at the
+    next step boundary}. Between boundaries the schedule is exactly the
+    fixed one, which keeps adaptive runs deterministic and job-count
+    invariant. A campaign with no hook and no staged directive is
+    bit-identical — every event, PRNG draw, and schedule time — to the
+    fixed-schedule attacker. *)
+
+type launchpad = Directive.launchpad = Within_step | Next_step
 
 type config = {
   omega : int;  (** probes per target per unit time-step *)
@@ -42,30 +54,71 @@ val default_config : config
 (** omega 64, kappa 0.5, period 100.0, uniform pacing, Within_step, PO,
     rotate, seed 0. *)
 
+val make_config :
+  ?omega:int ->
+  ?kappa:float ->
+  ?period:float ->
+  ?pacing:Pacing.t ->
+  ?launchpad:launchpad ->
+  ?target_mode:Fortress_core.Obfuscation.mode ->
+  ?rotate_sources:bool ->
+  seed:int ->
+  unit ->
+  config
+(** Smart constructor over {!default_config}. Prefer this to bare record
+    literals: new fields get defaults instead of breaking every caller. *)
+
 type t
 
 val launch : Fortress_core.Deployment.t -> config -> t
 (** Arm the campaign on the deployment's engine; run the engine to make it
-    progress. *)
+    progress. Raises [Invalid_argument] unless [omega > 0] and
+    [kappa] is in [0,1]. *)
 
 val run_until_compromise : t -> max_steps:int -> int option
 (** Drive the engine until the system is compromised or [max_steps] whole
     steps have elapsed. Returns the 1-based step of compromise. *)
 
-val compromised_at_step : t -> int option
-val direct_probes_sent : t -> int
-val indirect_probes_sent : t -> int
-val indirect_probes_blocked : t -> int
-val launchpad_probes_sent : t -> int
-val sources_burned : t -> int
-(** Attacker addresses that got blocked by proxies. *)
+val stats : t -> Campaign_intf.Stats.t
+(** One snapshot of every campaign counter. Replaces the per-counter
+    getters ([direct_probes_sent], [indirect_probes_sent], ...) this
+    module used to export. *)
 
-val exhausted_slots : t -> int
-(** Probe slots skipped because the attacker had eliminated every key in
-    the current epoch without a hit (possible only when the target changed
-    keys unobserved, e.g. under fault injection). The attacker idles and
-    resumes at the next epoch change. *)
+val current_step : t -> int
+(** The 1-based step currently in progress. *)
+
+val config : t -> config
 
 val effective_kappa : t -> float
 (** Delivered indirect probes over [kappa * omega * steps]: how much of the
     attacker's intended indirect rate survived proxy detection. *)
+
+(** {2 Observe–decide–act plumbing}
+
+    Used by {!Adaptive}; exposed so tests can assert the boundary-only
+    application property directly. *)
+
+val set_boundary_hook : t -> name:string -> (Observation.t -> unit) -> unit
+(** Install the per-boundary observer. [name] tags emitted
+    {!Fortress_obs.Event.Directive} events. Installing a hook also turns
+    on mid-step symptom sampling (pure reads of the deployment's
+    {{!Fortress_core.Deployment.unreachable_symptom} symptom surface} at
+    probe times — partition windows can heal before the boundary, so
+    sampling must ride the probes). *)
+
+val stage : t -> Directive.t -> unit
+(** Queue a directive for the next step boundary. Staging
+    {!Directive.unchanged} is a no-op; staging twice in one step merges
+    field-wise with the later stage winning. Nothing changes until the
+    boundary. *)
+
+type live_settings = {
+  kappa : float;
+  pacing : Pacing.t;
+  launchpad : launchpad;
+  excluded : int list;  (** proxy indices currently steered away from *)
+}
+
+val settings : t -> live_settings
+(** The settings the arm loop is reading {e right now} — directives staged
+    but not yet applied are invisible here. *)

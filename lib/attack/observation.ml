@@ -1,0 +1,50 @@
+(** What the attacker saw during one completed attack step.
+
+    The observation is assembled by the campaign at each step boundary
+    from attacker-plausible signals only — its own probe bookkeeping,
+    blocked-source feedback, key-change inference from probe statistics,
+    and request timeouts (the deployment symptom surface). Nothing here
+    reads defender internals the attacker could not measure from outside;
+    DESIGN.md section 10 argues each field's plausibility. Assembly is
+    pure: no PRNG consumption, no emitted events, so a strategy that
+    observes but never acts leaves the trace bit-identical. *)
+
+type t = {
+  step : int;  (** the 1-based step that just completed *)
+  direct_sent : int;  (** probes this step, by kind *)
+  indirect_sent : int;
+  indirect_blocked : int;
+  launchpad_sent : int;
+  sources_burned : int;  (** sources newly blocked this step *)
+  server_key_flips : int;
+      (** server-tier key changes the attacker has inferred so far, from
+          its elimination statistics resetting *)
+  rekey_missed : bool;
+      (** this boundary elapsed with the server key provably unchanged:
+          eliminations kept accumulating without a reset while probes were
+          landing *)
+  stale_steps : int;
+      (** consecutive completed steps ending with [rekey_missed] *)
+  unreachable : Fortress_model.Node_id.t list;
+      (** nodes whose requests timed out at least once during the step,
+          in node order *)
+  targets : int;  (** size of the reachable tier: np for S2, n for S0 *)
+}
+
+let unreachable_proxies t =
+  List.filter_map
+    (function Fortress_model.Node_id.Proxy i -> Some i | _ -> None)
+    t.unreachable
+
+let unreachable_replicas t =
+  List.filter_map
+    (function Fortress_model.Node_id.Replica i -> Some i | _ -> None)
+    t.unreachable
+
+let pp ppf t =
+  Format.fprintf ppf
+    "step %d: direct %d, indirect %d (%d blocked), launchpad %d, flips %d, stale %d, \
+     unreachable [%s]"
+    t.step t.direct_sent t.indirect_sent t.indirect_blocked t.launchpad_sent
+    t.server_key_flips t.stale_steps
+    (String.concat " " (List.map Fortress_model.Node_id.to_string t.unreachable))

@@ -7,7 +7,13 @@
     obfuscation a compromised replica is evicted (and re-keyed) when its
     batch cycles, so the attacker must land its second intrusion while the
     first still stands. Run together with
-    {!Fortress_core.Smr_deployment.attach_schedule}. *)
+    {!Fortress_core.Smr_deployment.attach_schedule}.
+
+    Supports the same observe–decide–act plumbing as {!Campaign}
+    ({!set_boundary_hook}, {!stage}); since S0 has no indirect channel,
+    only the exclusion field of a {!Directive.t} acts — the others are
+    inert. A campaign with no hook and no staged directive is
+    bit-identical to the fixed-schedule attacker. *)
 
 type config = {
   omega : int;
@@ -19,12 +25,35 @@ type config = {
 val default_config : config
 (** omega 64, period 100.0, PO, seed 0. *)
 
+val make_config :
+  ?omega:int ->
+  ?period:float ->
+  ?target_mode:Fortress_core.Obfuscation.mode ->
+  seed:int ->
+  unit ->
+  config
+(** Smart constructor over {!default_config}. Prefer this to bare record
+    literals. *)
+
 type t
 
 val launch : Fortress_core.Smr_deployment.t -> config -> t
 val run_until_compromise : t -> max_steps:int -> int option
-val compromised_at_step : t -> int option
-val probes_sent : t -> int
-val intrusions : t -> int
-(** Individual replica compromises achieved (including ones later evicted
-    by recovery). *)
+
+val stats : t -> Campaign_intf.Stats.t
+(** All probes are direct here; the indirect/launchpad/source counters are
+    0 by construction. Replaces the per-counter getters this module used
+    to export. *)
+
+val current_step : t -> int
+
+val set_boundary_hook : t -> name:string -> (Observation.t -> unit) -> unit
+(** Install the per-boundary observer; also turns on mid-step reachability
+    sampling at probe times. *)
+
+val stage : t -> Directive.t -> unit
+(** Queue a directive for the next step boundary; only the [exclude] field
+    has effect on S0. *)
+
+val excluded_replicas : t -> int list
+(** Replica indices probes are currently steered away from. *)

@@ -9,6 +9,7 @@ module Keyspace = Fortress_defense.Keyspace
 module Instance = Fortress_defense.Instance
 module Prng = Fortress_util.Prng
 module Event = Fortress_obs.Event
+module Node_id = Fortress_model.Node_id
 
 type config = {
   np : int;
@@ -261,31 +262,32 @@ let crash_server t i =
   Pb.crash t.servers.(i);
   t.server_comp.(i) <- false;
   Pb.set_compromised t.servers.(i) false;
-  fault t ~action:"crash" ~target:(Printf.sprintf "server%d" i) ~detail:""
+  fault t ~action:"crash" ~target:(Node_id.to_string (Node_id.Server i)) ~detail:""
 
 let restart_server t i =
   Network.set_up t.net t.server_addresses.(i);
   Pb.restart t.servers.(i);
-  fault t ~action:"restart" ~target:(Printf.sprintf "server%d" i) ~detail:"network resync"
+  fault t ~action:"restart" ~target:(Node_id.to_string (Node_id.Server i)) ~detail:"network resync"
 
 let crash_proxy t i =
   Network.set_down t.net t.proxy_addresses.(i);
   Proxy.crash_reset t.proxies.(i);
   t.proxy_comp.(i) <- false;
   Proxy.set_compromised t.proxies.(i) false;
-  fault t ~action:"crash" ~target:(Printf.sprintf "proxy%d" i) ~detail:""
+  fault t ~action:"crash" ~target:(Node_id.to_string (Node_id.Proxy i)) ~detail:""
 
 let restart_proxy t i =
   Network.set_up t.net t.proxy_addresses.(i);
-  fault t ~action:"restart" ~target:(Printf.sprintf "proxy%d" i) ~detail:"blocklist forgotten"
+  fault t ~action:"restart" ~target:(Node_id.to_string (Node_id.Proxy i))
+    ~detail:"blocklist forgotten"
 
 let crash_nameserver t =
   Nameserver.set_down t.nameserver;
-  fault t ~action:"crash" ~target:"nameserver" ~detail:""
+  fault t ~action:"crash" ~target:(Node_id.to_string Node_id.Nameserver) ~detail:""
 
 let restart_nameserver t =
   Nameserver.set_up t.nameserver;
-  fault t ~action:"restart" ~target:"nameserver" ~detail:""
+  fault t ~action:"restart" ~target:(Node_id.to_string Node_id.Nameserver) ~detail:""
 
 let compromise_server t i =
   t.server_comp.(i) <- true;
@@ -296,6 +298,33 @@ let compromise_proxy t i =
   t.proxy_comp.(i) <- true;
   Proxy.set_compromised t.proxies.(i) true;
   Engine.emit t.engine (Event.Compromise { tier = Event.Proxy_tier; index = i })
+
+(* ---- external symptom surface ----
+
+   What an attacker-side liveness check observes right now, with no access
+   to defender internals: a request to a down node, or to a proxy cut off
+   from every live server, simply times out. These reads consume no PRNG
+   and emit no events, so sampling them never perturbs a trace. *)
+
+let server_unreachable t i =
+  (not (Network.quiescent t.net))
+  && i >= 0 && i < t.cfg.ns
+  && not (Network.is_up t.net t.server_addresses.(i))
+
+let proxy_unreachable t i =
+  (not (Network.quiescent t.net))
+  && i >= 0 && i < t.cfg.np
+  && (not (Network.is_up t.net t.proxy_addresses.(i))
+     || not
+          (Array.exists
+             (fun s -> Network.is_up t.net s && not (Network.partitioned t.net t.proxy_addresses.(i) s))
+             t.server_addresses))
+
+let unreachable_symptom t = function
+  | Node_id.Server i -> server_unreachable t i
+  | Node_id.Proxy i -> proxy_unreachable t i
+  | Node_id.Nameserver -> not (Nameserver.is_up t.nameserver)
+  | Node_id.Replica _ -> false
 
 let server_compromised t i = t.server_comp.(i)
 let proxy_compromised t i = t.cfg.np > 0 && t.proxy_comp.(i)

@@ -83,6 +83,25 @@ val crash_nameserver : t -> unit
 
 val restart_nameserver : t -> unit
 
+(** {1 External symptom surface (read-only)}
+
+    What an attacker-side liveness check observes from outside the
+    perimeter — a request to a down node, or to a proxy cut off from every
+    live server, times out; nothing about keys, epochs or compromise flags
+    leaks. All three are pure reads: no PRNG consumption, no events, so
+    adaptive campaigns can sample them without perturbing traces. *)
+
+val server_unreachable : t -> int -> bool
+(** Server [i] would time out (node down). False for out-of-range [i]. *)
+
+val proxy_unreachable : t -> int -> bool
+(** Proxy [i] would time out: node down, or partitioned from every live
+    server so its forwarded requests die. False for out-of-range [i]. *)
+
+val unreachable_symptom : t -> Fortress_model.Node_id.t -> bool
+(** The same check keyed by node id; [Replica] nodes do not exist here and
+    read as reachable. *)
+
 (** {1 Compromise bookkeeping (driven by attack campaigns)} *)
 
 val compromise_server : t -> int -> unit

@@ -79,9 +79,17 @@ let create cfg =
   { cfg; engine; net; replicas; instances; addresses; comp = Array.make cfg.n false }
 
 let engine t = t.engine
+let network t = t.net
 let replicas t = t.replicas
 let instances t = t.instances
 let addresses t = t.addresses
+
+(* What an attacker-side liveness check observes: a down replica times
+   out. Pure read — no PRNG, no events. *)
+let replica_unreachable t i =
+  (not (Network.quiescent t.net))
+  && i >= 0 && i < t.cfg.n
+  && not (Network.is_up t.net t.addresses.(i))
 
 type client = {
   c_net : Smr.msg Network.t;
@@ -171,20 +179,40 @@ let batches t =
   in
   chunk [] [] 0 (List.init t.cfg.n Fun.id)
 
+type schedule = { mutable sched_stalled : bool; mutable sched_skipped : int }
+
 let attach_schedule ?(stagger = true) t ~mode ~period =
   let bs = batches t in
   let nb = List.length bs in
   let spacing = if stagger then period /. float_of_int (nb + 1) else 1.0 in
+  let sched = { sched_stalled = false; sched_skipped = 0 } in
   ignore
     (Engine.every t.engine ~period (fun () ->
-         List.iteri
-           (fun bi batch ->
-             ignore
-               (Engine.schedule t.engine ~delay:(spacing *. float_of_int bi) (fun () ->
-                    match mode with
-                    | Obfuscation.PO -> rekey_batch t batch
-                    | Obfuscation.SO -> recover_batch t batch)))
-           bs))
+         if sched.sched_stalled then begin
+           (* the daemon is wedged: the boundary silently does not happen,
+              mirroring Obfuscation.set_stalled on the FORTRESS stack *)
+           sched.sched_skipped <- sched.sched_skipped + 1;
+           Engine.emit t.engine
+             (Fortress_obs.Event.Fault
+                {
+                  action = "stall_skip";
+                  target = "obfuscation";
+                  detail = Printf.sprintf "%s boundary skipped" (Obfuscation.mode_to_string mode);
+                })
+         end
+         else
+           List.iteri
+             (fun bi batch ->
+               ignore
+                 (Engine.schedule t.engine ~delay:(spacing *. float_of_int bi) (fun () ->
+                      match mode with
+                      | Obfuscation.PO -> rekey_batch t batch
+                      | Obfuscation.SO -> recover_batch t batch)))
+             bs));
+  sched
+
+let set_stalled sched v = sched.sched_stalled <- v
+let skipped_boundaries sched = sched.sched_skipped
 
 let crash_replica t i =
   Network.set_down t.net t.addresses.(i);
@@ -193,7 +221,11 @@ let crash_replica t i =
   Smr.set_compromised t.replicas.(i) false;
   Engine.emit t.engine
     (Fortress_obs.Event.Fault
-       { action = "crash"; target = Printf.sprintf "replica%d" i; detail = "" })
+       {
+         action = "crash";
+         target = Fortress_model.Node_id.to_string (Fortress_model.Node_id.Replica i);
+         detail = "";
+       })
 
 let restart_replica t i =
   Network.set_up t.net t.addresses.(i);
@@ -201,7 +233,11 @@ let restart_replica t i =
   Smr.begin_state_transfer t.replicas.(i);
   Engine.emit t.engine
     (Fortress_obs.Event.Fault
-       { action = "restart"; target = Printf.sprintf "replica%d" i; detail = "state transfer" })
+       {
+         action = "restart";
+         target = Fortress_model.Node_id.to_string (Fortress_model.Node_id.Replica i);
+         detail = "state transfer";
+       })
 
 let compromise t i =
   t.comp.(i) <- true;

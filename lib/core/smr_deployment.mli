@@ -26,9 +26,18 @@ type t
 
 val create : config -> t
 val engine : t -> Fortress_sim.Engine.t
+
+val network : t -> Fortress_replication.Smr.msg Fortress_net.Network.t
+(** The deployment's network — exposed so the fault-injection layer can
+    install link interceptors and partitions on the SMR stack too. *)
+
 val replicas : t -> Fortress_replication.Smr.replica array
 val instances : t -> Fortress_defense.Instance.t array
 val addresses : t -> Fortress_net.Address.t array
+
+val replica_unreachable : t -> int -> bool
+(** External symptom: a request to replica [i] would time out (node down).
+    Pure read — no PRNG consumption, no events. False when out of range. *)
 
 type client
 
@@ -51,7 +60,11 @@ val recover_batch : t -> int list -> unit
 val batches : t -> int list list
 (** The ceil(n/f) batches of at most f replicas, covering every index. *)
 
-val attach_schedule : ?stagger:bool -> t -> mode:Obfuscation.mode -> period:float -> unit
+type schedule
+(** Handle on the batched obfuscation daemon, the SMR counterpart of
+    {!Obfuscation.t}: fault plans wedge it via {!set_stalled}. *)
+
+val attach_schedule : ?stagger:bool -> t -> mode:Obfuscation.mode -> period:float -> schedule
 (** Run batched obfuscation/recovery. With [stagger] (the default, and what
     Roeder-Schneider deployment constraints force) the batches are spaced
     evenly inside each step so the SMR system always has a 2f+1 quorum of
@@ -59,6 +72,13 @@ val attach_schedule : ?stagger:bool -> t -> mode:Obfuscation.mode -> period:floa
     the boundary, which aligns all replicas' exposure windows — measurably
     stronger against the simultaneity condition (see EXPERIMENTS.md V3) but
     only deployable when recovery is fast enough to overlap. *)
+
+val set_stalled : schedule -> bool -> unit
+(** Wedge (or unwedge) the daemon: while stalled each boundary elapses
+    without rekey or recovery, emitting a ["stall_skip"] fault event —
+    mirroring {!Obfuscation.set_stalled} on the FORTRESS stack. *)
+
+val skipped_boundaries : schedule -> int
 
 (** {1 Crash faults} *)
 

@@ -147,15 +147,16 @@ let detection_table ?(thresholds = [ 2; 5; 10; 50; 1000 ]) ?(steps = 15) () =
       let _sched = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period:100.0 in
       let campaign =
         Campaign.launch deployment
-          { Campaign.default_config with omega = 32; kappa = 1.0; period = 100.0; seed = 11 }
+          (Campaign.make_config ~omega:32 ~kappa:1.0 ~period:100.0 ~seed:11 ())
       in
       ignore (Campaign.run_until_compromise campaign ~max_steps:steps);
+      let stats = Campaign.stats campaign in
       Table.add_row table
         [
           string_of_int threshold;
-          string_of_int (Campaign.indirect_probes_sent campaign);
-          string_of_int (Campaign.indirect_probes_blocked campaign);
-          string_of_int (Campaign.sources_burned campaign);
+          string_of_int stats.Fortress_attack.Campaign_intf.Stats.indirect_probes_sent;
+          string_of_int stats.Fortress_attack.Campaign_intf.Stats.indirect_probes_blocked;
+          string_of_int stats.Fortress_attack.Campaign_intf.Stats.sources_burned;
           Printf.sprintf "%.3f" (Campaign.effective_kappa campaign);
         ])
     thresholds;

@@ -49,7 +49,7 @@ let run_one ~omega ~requests ~horizon ~chi ~seed =
     else begin
       let campaign =
         Campaign.launch deployment
-          { Campaign.default_config with omega; kappa = 0.8; period; seed = seed + 13 }
+          (Campaign.make_config ~omega ~kappa:0.8 ~period ~seed:(seed + 13) ())
       in
       match Campaign.run_until_compromise campaign ~max_steps:horizon with
       | Some step -> step

@@ -1,11 +1,16 @@
 module Deployment = Fortress_core.Deployment
+module Smr_deployment = Fortress_core.Smr_deployment
 module Obfuscation = Fortress_core.Obfuscation
 module Client = Fortress_core.Client
+module Smr_campaign = Fortress_attack.Smr_campaign
 module Campaign = Fortress_attack.Campaign
+module Adaptive = Fortress_attack.Adaptive
+module Stats = Fortress_attack.Campaign_intf.Stats
 module Keyspace = Fortress_defense.Keyspace
 module Engine = Fortress_sim.Engine
 module Plan = Fortress_faults.Plan
 module Wiring = Fortress_faults.Wiring
+module Smr_wiring = Fortress_faults.Smr_wiring
 module Injector = Fortress_faults.Injector
 module Trial = Fortress_mc.Trial
 module Sink = Fortress_obs.Sink
@@ -41,6 +46,7 @@ type run = {
   requests_answered : int;
   availability : float;
   faults : Injector.stats;  (** summed over all trials *)
+  directives : int;  (** adaptive directives applied, summed over all trials *)
   digest : string;
 }
 
@@ -55,7 +61,7 @@ let accumulate (acc : Injector.stats) (s : Injector.stats) =
 (* One campaign under the plan: the attacker hunts the key while a benign
    client polls the service; the trial's lifetime is the campaign's, the
    availability sample is answered / issued over the same horizon. *)
-let one_trial cfg plan ~digest ~faults ~issued ~answered ~seed =
+let one_trial ?strategy cfg plan ~digest ~faults ~issued ~answered ~directives ~seed =
   let period = 100.0 in
   let deployment =
     Deployment.create
@@ -75,13 +81,55 @@ let one_trial cfg plan ~digest ~faults ~issued ~answered ~seed =
            (Client.submit client
               ~cmd:(Printf.sprintf "get health%d" !n)
               ~on_response:(fun _ -> incr answered))));
-  let campaign =
-    Campaign.launch deployment
-      { Campaign.default_config with omega = cfg.omega; kappa = cfg.kappa; period;
-        seed = seed + 7919 }
+  let attack_cfg =
+    Campaign.make_config ~omega:cfg.omega ~kappa:cfg.kappa ~period ~seed:(seed + 7919) ()
   in
-  let lifetime = Campaign.run_until_compromise campaign ~max_steps:cfg.max_steps in
+  let lifetime =
+    match strategy with
+    | None ->
+        (* the legacy fixed-schedule path, kept separate so its byte-trace
+           never depends on the adaptive plumbing *)
+        let campaign = Campaign.launch deployment attack_cfg in
+        Campaign.run_until_compromise campaign ~max_steps:cfg.max_steps
+    | Some strategy ->
+        let adaptive =
+          Adaptive.launch deployment (Adaptive.make_config ~strategy attack_cfg)
+        in
+        let lifetime = Adaptive.run_until_compromise adaptive ~max_steps:cfg.max_steps in
+        directives := !directives + (Adaptive.stats adaptive).Stats.directives_applied;
+        lifetime
+  in
   accumulate faults (Wiring.stats handle);
+  lifetime
+
+(* The S0 counterpart: the same plan folded onto the replica tier by
+   Smr_wiring, the same paired seeds. S0 has no separate workload client
+   here — EL is the quantity of interest — so availability reports 1. *)
+let one_smr_trial ?strategy cfg plan ~digest ~faults ~issued:_ ~answered:_ ~directives ~seed =
+  let period = 100.0 in
+  let deployment =
+    Smr_deployment.create
+      { Smr_deployment.default_config with keyspace = Keyspace.of_size cfg.chi; seed }
+  in
+  let engine = Smr_deployment.engine deployment in
+  ignore (Sink.attach (Engine.sink engine) digest);
+  let schedule = Smr_deployment.attach_schedule deployment ~mode:Obfuscation.PO ~period in
+  let handle = Smr_wiring.install plan ~deployment ~schedule ~seed () in
+  let attack_cfg = Smr_campaign.make_config ~omega:cfg.omega ~period ~seed:(seed + 7919) () in
+  let lifetime =
+    match strategy with
+    | None ->
+        let campaign = Smr_campaign.launch deployment attack_cfg in
+        Smr_campaign.run_until_compromise campaign ~max_steps:cfg.max_steps
+    | Some strategy ->
+        let adaptive =
+          Adaptive.Smr.launch deployment (Adaptive.Smr.make_config ~strategy attack_cfg)
+        in
+        let lifetime = Adaptive.Smr.run_until_compromise adaptive ~max_steps:cfg.max_steps in
+        directives := !directives + (Adaptive.Smr.stats adaptive).Stats.directives_applied;
+        lifetime
+  in
+  accumulate faults (Smr_wiring.stats handle);
   lifetime
 
 (* The per-trial side channel filled in by whichever domain runs the
@@ -93,9 +141,10 @@ type trial_slot = {
   ts_faults : Injector.stats;
   ts_issued : int;
   ts_answered : int;
+  ts_directives : int;
 }
 
-let run_plan ?sink cfg plan =
+let run_plan_with trial ?sink cfg plan =
   let slots = Array.make cfg.trials None in
   (* index-structural per-trial seeds (cfg.seed * 1000 + index), the same
      sequence the original sequential counter produced: every plan replays
@@ -107,20 +156,20 @@ let run_plan ?sink cfg plan =
       ~sampler:(fun ~index _prng ->
         let digest, finalize = Sink.digesting () in
         let faults = Injector.fresh_stats () in
-        let issued = ref 0 and answered = ref 0 in
+        let issued = ref 0 and answered = ref 0 and directives = ref 0 in
         let lifetime =
-          one_trial cfg plan ~digest ~faults ~issued ~answered
+          trial cfg plan ~digest ~faults ~issued ~answered ~directives
             ~seed:((cfg.seed * 1000) + index)
         in
         slots.(index - 1) <-
           Some
             { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
-              ts_answered = !answered };
+              ts_answered = !answered; ts_directives = !directives };
         lifetime)
       ()
   in
   let faults = Injector.fresh_stats () in
-  let issued = ref 0 and answered = ref 0 in
+  let issued = ref 0 and answered = ref 0 and directives = ref 0 in
   let digests = ref [] in
   (* fold the per-trial digests and counters in index order at the join *)
   Array.iter
@@ -130,7 +179,8 @@ let run_plan ?sink cfg plan =
           digests := s.ts_digest :: !digests;
           accumulate faults s.ts_faults;
           issued := !issued + s.ts_issued;
-          answered := !answered + s.ts_answered)
+          answered := !answered + s.ts_answered;
+          directives := !directives + s.ts_directives)
     slots;
   {
     plan_name = plan.Plan.name;
@@ -140,20 +190,69 @@ let run_plan ?sink cfg plan =
     availability =
       (if !issued = 0 then 1.0 else float_of_int !answered /. float_of_int !issued);
     faults;
+    directives = !directives;
     digest = Sink.digest_lines (List.rev !digests);
   }
 
-type report = { config : config; baseline : run; runs : run list }
+let run_plan ?sink ?strategy cfg plan = run_plan_with (one_trial ?strategy) ?sink cfg plan
 
-let run ?sink ?(config = default_config) ~plans () =
-  let baseline = run_plan ?sink config Plan.none in
-  let runs = List.map (run_plan ?sink config) plans in
-  { config; baseline; runs }
+let run_smr_plan ?sink ?strategy cfg plan =
+  run_plan_with (one_smr_trial ?strategy) ?sink cfg plan
+
+type adapt_row = {
+  ar_plan : string;
+  ar_oblivious_el : float;
+  ar_adaptive_el : float;
+  ar_delta : float;  (** adaptive minus oblivious; negative = attacker gained *)
+  ar_directives : int;
+}
+
+type adapt = { strategy_name : string; rows : adapt_row list }
+type report = { config : config; baseline : run; runs : run list; adapt : adapt option }
 
 (* Mean EL treating an all-censored run as the horizon itself: a plan so
    gentle the system always survives is "at least max_steps". *)
 let mean_el cfg (r : run) =
   if Float.is_nan r.el.Trial.mean then float_of_int cfg.max_steps else r.el.Trial.mean
+
+let run ?sink ?strategy ?(stack = `Fortress) ?(config = default_config) ~plans () =
+  let run_plan ?sink ?strategy cfg plan =
+    match stack with
+    | `Fortress -> run_plan ?sink ?strategy cfg plan
+    | `Smr -> run_smr_plan ?sink ?strategy cfg plan
+  in
+  let baseline = run_plan ?sink ?strategy config Plan.none in
+  let runs = List.map (run_plan ?sink ?strategy config) plans in
+  let adapt =
+    match strategy with
+    | None -> None
+    | Some s ->
+        let oblivious_el plan run =
+          (* oblivious is byte-identical to the fixed schedule, so its own
+             runs double as the reference; other strategies pay one extra
+             fixed-schedule pass per plan (no sink: the trace was already
+             exported by the strategy pass) *)
+          if s.Adaptive.Strategy.name = Adaptive.Strategy.oblivious.Adaptive.Strategy.name
+          then mean_el config run
+          else mean_el config (run_plan config plan)
+        in
+        let rows =
+          List.map2
+            (fun plan r ->
+              let obl = oblivious_el plan r in
+              let ada = mean_el config r in
+              {
+                ar_plan = r.plan_name;
+                ar_oblivious_el = obl;
+                ar_adaptive_el = ada;
+                ar_delta = ada -. obl;
+                ar_directives = r.directives;
+              })
+            (Plan.none :: plans) (baseline :: runs)
+        in
+        Some { strategy_name = s.Adaptive.Strategy.name; rows }
+  in
+  { config; baseline; runs; adapt }
 
 let el_means report =
   List.map
@@ -216,4 +315,22 @@ let fault_breakdown report =
           string_of_int s.Injector.delayed;
         ])
     (report.baseline :: report.runs);
+  t
+
+let adapt_table (a : adapt) =
+  let t =
+    Table.create
+      ~headers:[ "plan"; "EL oblivious"; "EL adaptive"; "dEL"; "directives" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.ar_plan;
+          Printf.sprintf "%.1f" r.ar_oblivious_el;
+          Printf.sprintf "%.1f" r.ar_adaptive_el;
+          Printf.sprintf "%+.1f" r.ar_delta;
+          string_of_int r.ar_directives;
+        ])
+    a.rows;
   t

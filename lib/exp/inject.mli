@@ -8,7 +8,12 @@
     faults differ. Each trial folds its full event trace — including every
     injected-fault event — into an FNV-1a digest, and the run digest folds
     the per-trial digests in trial-index order; identical (plan, seed,
-    config) reproduce it bit for bit, at any job count. *)
+    config) reproduce it bit for bit, at any job count.
+
+    Passing [?strategy] swaps the fixed-schedule attacker for the
+    {!Fortress_attack.Adaptive} observe–decide–act loop; the report then
+    carries an {!adapt} section comparing the strategy against the
+    oblivious reference on the same paired seeds. *)
 
 type config = {
   trials : int;
@@ -33,22 +38,61 @@ type run = {
   requests_answered : int;
   availability : float;  (** answered / issued, pooled over all trials *)
   faults : Fortress_faults.Injector.stats;  (** summed over all trials *)
+  directives : int;
+      (** adaptive directives applied, summed over all trials; 0 on the
+          fixed-schedule path *)
   digest : string;
       (** FNV-1a fold, in trial-index order, of the per-trial trace
           digests *)
 }
 
-val run_plan : ?sink:Fortress_obs.Sink.t -> config -> Fortress_faults.Plan.t -> run
+val run_plan :
+  ?sink:Fortress_obs.Sink.t ->
+  ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  config ->
+  Fortress_faults.Plan.t ->
+  run
 
-type report = { config : config; baseline : run; runs : run list }
+val run_smr_plan :
+  ?sink:Fortress_obs.Sink.t ->
+  ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  config ->
+  Fortress_faults.Plan.t ->
+  run
+(** The same plan folded onto the 1-tier SMR stack (S0) by
+    {!Fortress_faults.Smr_wiring}; availability reports 1 (no workload
+    client on this path). *)
+
+type adapt_row = {
+  ar_plan : string;
+  ar_oblivious_el : float;
+  ar_adaptive_el : float;
+  ar_delta : float;  (** adaptive minus oblivious; negative = attacker gained *)
+  ar_directives : int;
+}
+
+type adapt = { strategy_name : string; rows : adapt_row list }
+
+type report = {
+  config : config;
+  baseline : run;
+  runs : run list;
+  adapt : adapt option;  (** present iff a strategy was requested *)
+}
 
 val run :
   ?sink:Fortress_obs.Sink.t ->
+  ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  ?stack:[ `Fortress | `Smr ] ->
   ?config:config ->
   plans:Fortress_faults.Plan.t list ->
   unit ->
   report
-(** The baseline is always {!Fortress_faults.Plan.none}. *)
+(** The baseline is always {!Fortress_faults.Plan.none}. With a strategy,
+    [baseline] and [runs] are the adaptive runs and [adapt] compares them
+    to an oblivious reference; the oblivious strategy reuses its own runs
+    as the reference (it is bit-identical to the fixed schedule), any
+    other strategy pays one extra fixed-schedule pass per plan. *)
 
 val mean_el : config -> run -> float
 (** Mean uncensored lifetime; an all-censored run counts as the horizon. *)
@@ -62,3 +106,4 @@ val monotone_non_increasing : report -> bool
 
 val table : report -> Fortress_util.Table.t
 val fault_breakdown : report -> Fortress_util.Table.t
+val adapt_table : adapt -> Fortress_util.Table.t

@@ -93,7 +93,7 @@ let campaign_lifetime ?sink ~chi ~omega ~kappa ~seed () =
   ignore (Obfuscation.attach deployment ~mode:Obfuscation.PO ~period);
   let campaign =
     Campaign.launch deployment
-      { Campaign.default_config with omega; kappa; period; seed = seed + 7919 }
+      (Campaign.make_config ~omega ~kappa ~period ~seed:(seed + 7919) ())
   in
   Campaign.run_until_compromise campaign ~max_steps:10_000
 

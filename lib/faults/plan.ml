@@ -21,12 +21,14 @@ let calm =
 
 let link_is_calm l = l = calm
 
-type target = Server of int | Proxy of int | Nameserver
+type target = Fortress_model.Node_id.t =
+  | Server of int
+  | Proxy of int
+  | Replica of int
+  | Nameserver
 
-let target_to_string = function
-  | Server i -> Printf.sprintf "server%d" i
-  | Proxy i -> Printf.sprintf "proxy%d" i
-  | Nameserver -> "nameserver"
+let target_to_string = Fortress_model.Node_id.to_string
+let target_of_string = Fortress_model.Node_id.of_string
 
 type action =
   | Crash of target

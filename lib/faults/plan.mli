@@ -29,9 +29,21 @@ val calm : link
 
 val link_is_calm : link -> bool
 
-type target = Server of int | Proxy of int | Nameserver
+type target = Fortress_model.Node_id.t =
+  | Server of int
+  | Proxy of int
+  | Replica of int
+  | Nameserver
+(** Re-export of {!Fortress_model.Node_id.t}: plans, attacker observations
+    and trace events share one node-naming scheme. [Server]/[Proxy] name
+    FORTRESS nodes, [Replica] names an SMR node; each wiring rejects
+    targets its deployment flavour does not have. *)
 
 val target_to_string : target -> string
+(** Alias of {!Fortress_model.Node_id.to_string} — the exact strings trace
+    events always carried, so digests are unchanged. *)
+
+val target_of_string : string -> target option
 
 type action =
   | Crash of target

@@ -1,59 +1,71 @@
 module Engine = Fortress_sim.Engine
 module Network = Fortress_net.Network
-module Deployment = Fortress_core.Deployment
-module Message = Fortress_core.Message
-module Obfuscation = Fortress_core.Obfuscation
+module Smr_deployment = Fortress_core.Smr_deployment
+module Smr = Fortress_replication.Smr
 module Event = Fortress_obs.Event
 
 type handle = {
   stats : Injector.stats;
   mutable active : bool;
-  deployment : Deployment.t;
-  obfuscation : Obfuscation.t option;
+  deployment : Smr_deployment.t;
+  schedule : Smr_deployment.schedule option;
 }
 
-(* Corrupting a client request mangles the command in flight; the proxy
-   still parses the frame and forwards garbage (our proxies log, they do
-   not deep-inspect). Protocol-internal messages and signed replies fail
-   their integrity checks instead, which the network models as a drop. *)
+(* Corrupting a client request mangles the command in flight; the replica
+   still parses the frame and executes garbage. Every protocol-internal
+   message is signed or checksummed, so corruption there fails the
+   integrity check — the network models that as a drop. *)
 let corrupter = function
-  | Message.Client_request { id; cmd; client } ->
-      Some (Message.Client_request { id; cmd = "corrupt:" ^ cmd; client })
-  | Message.Server _ | Message.Client_reply _ -> None
+  | Smr.Request { id; cmd; reply_to } ->
+      Some (Smr.Request { id; cmd = "corrupt:" ^ cmd; reply_to })
+  | _ -> None
 
-let resolve_address deployment = function
-  | Plan.Server i ->
-      let a = Deployment.server_addresses deployment in
-      if i < 0 || i >= Array.length a then
-        invalid_arg (Printf.sprintf "Wiring: no server %d in this deployment" i);
-      a.(i)
-  | Plan.Proxy i ->
-      let a = Deployment.proxy_addresses deployment in
-      if i < 0 || i >= Array.length a then
-        invalid_arg (Printf.sprintf "Wiring: no proxy %d in this deployment" i);
-      a.(i)
-  | Plan.Replica _ -> invalid_arg "Wiring: a FORTRESS deployment has no SMR replicas"
-  | Plan.Nameserver -> invalid_arg "Wiring: the nameserver is not a network node"
+(* S0 has one tier of n replicas, so every plan target folds onto it:
+   servers map index-for-index, proxies (the plan's front tier) fold onto
+   the tail end — [Proxy i -> Replica (n-1-i)] — so a partition plan that
+   separates the front from the back on S2 isolates a minority on S0.
+   The nameserver has no S0 counterpart; actions on it are skipped with a
+   visible event rather than rejected, so one plan drives both stacks. *)
+let resolve_replica deployment = function
+  | Plan.Server i | Plan.Replica i -> i
+  | Plan.Proxy i -> Array.length (Smr_deployment.instances deployment) - 1 - i
+  | Plan.Nameserver -> -1
+
+let resolve_address deployment target =
+  let i = resolve_replica deployment target in
+  let a = Smr_deployment.addresses deployment in
+  if i < 0 || i >= Array.length a then
+    invalid_arg
+      (Printf.sprintf "Smr_wiring: %s does not fold onto an S0 replica"
+         (Plan.target_to_string target));
+  a.(i)
 
 let check_target deployment = function
   | Plan.Nameserver -> ()
   | t -> ignore (resolve_address deployment t)
 
+let skip_nameserver h ~what =
+  Engine.emit
+    (Smr_deployment.engine h.deployment)
+    (Event.Fault
+       {
+         action = "skip";
+         target = "nameserver";
+         detail = Printf.sprintf "S0 has no nameserver; %s skipped" what;
+       })
+
 let apply_action h action =
   let deployment = h.deployment in
-  let engine = Deployment.engine deployment in
-  let net = Deployment.network deployment in
+  let engine = Smr_deployment.engine deployment in
+  let net = Smr_deployment.network deployment in
   h.stats.Injector.timeline_fired <- h.stats.Injector.timeline_fired + 1;
   match action with
-  | Plan.Crash (Plan.Server i) -> Deployment.crash_server deployment i
-  | Plan.Crash (Plan.Proxy i) -> Deployment.crash_proxy deployment i
-  | Plan.Crash Plan.Nameserver -> Deployment.crash_nameserver deployment
-  | Plan.Restart (Plan.Server i) -> Deployment.restart_server deployment i
-  | Plan.Restart (Plan.Proxy i) -> Deployment.restart_proxy deployment i
-  | Plan.Restart Plan.Nameserver -> Deployment.restart_nameserver deployment
-  | Plan.Crash (Plan.Replica _) | Plan.Restart (Plan.Replica _) ->
-      (* pre-checked away by [install]; kept for exhaustiveness *)
-      invalid_arg "Wiring: a FORTRESS deployment has no SMR replicas"
+  | Plan.Crash Plan.Nameserver -> skip_nameserver h ~what:"crash"
+  | Plan.Restart Plan.Nameserver -> skip_nameserver h ~what:"restart"
+  | Plan.Crash t -> Smr_deployment.crash_replica deployment (resolve_replica deployment t)
+  | Plan.Restart t -> Smr_deployment.restart_replica deployment (resolve_replica deployment t)
+  | Plan.Partition (Plan.Nameserver, _) | Plan.Partition (_, Plan.Nameserver) ->
+      skip_nameserver h ~what:"partition"
   | Plan.Partition (a, b) ->
       Network.partition net (resolve_address deployment a) (resolve_address deployment b);
       Engine.emit engine
@@ -68,11 +80,11 @@ let apply_action h action =
       Network.heal_all net;
       Engine.emit engine (Event.Fault { action = "heal"; target = "network"; detail = "all" })
   | Plan.Stall_obfuscation ->
-      Option.iter (fun o -> Obfuscation.set_stalled o true) h.obfuscation;
+      Option.iter (fun s -> Smr_deployment.set_stalled s true) h.schedule;
       Engine.emit engine
         (Event.Fault { action = "stall"; target = "obfuscation"; detail = "daemon wedged" })
   | Plan.Resume_obfuscation ->
-      Option.iter (fun o -> Obfuscation.set_stalled o false) h.obfuscation;
+      Option.iter (fun s -> Smr_deployment.set_stalled s false) h.schedule;
       Engine.emit engine
         (Event.Fault { action = "resume"; target = "obfuscation"; detail = "" })
   | Plan.Slowdown f ->
@@ -83,7 +95,7 @@ let apply_action h action =
            { action = "slowdown"; target = "engine"; detail = Printf.sprintf "x%g" f })
 
 let schedule_entry h (e : Plan.entry) =
-  let engine = Deployment.engine h.deployment in
+  let engine = Smr_deployment.engine h.deployment in
   let rec arm time =
     ignore
       (Engine.schedule_at engine ~time (fun () ->
@@ -95,11 +107,12 @@ let schedule_entry h (e : Plan.entry) =
            end))
   in
   if e.Plan.at >= Engine.now engine then arm e.Plan.at
-  else invalid_arg "Wiring: timeline entry scheduled in the past"
+  else invalid_arg "Smr_wiring: timeline entry scheduled in the past"
 
-let install plan ~deployment ?obfuscation ~seed () =
+let install plan ~deployment ?schedule ~seed () =
   Plan.validate plan;
-  (* fail before touching anything if the plan names absent nodes *)
+  (* fail before touching anything if the plan names targets that do not
+     fold onto a replica (the nameserver is skipped, not rejected) *)
   List.iter
     (fun (e : Plan.entry) ->
       match e.Plan.action with
@@ -109,10 +122,10 @@ let install plan ~deployment ?obfuscation ~seed () =
           check_target deployment b
       | Plan.Heal_all | Plan.Stall_obfuscation | Plan.Resume_obfuscation | Plan.Slowdown _ -> ())
     plan.Plan.timeline;
-  let engine = Deployment.engine deployment in
-  let net = Deployment.network deployment in
+  let engine = Smr_deployment.engine deployment in
+  let net = Smr_deployment.network deployment in
   let stats = Injector.fresh_stats () in
-  let h = { stats; active = true; deployment; obfuscation } in
+  let h = { stats; active = true; deployment; schedule } in
   let prng = Injector.derive_prng ~seed in
   Injector.install_link ~engine ~net ~prng ~stats plan.Plan.link;
   if plan.Plan.link.Plan.corrupt > 0.0 then Network.set_corrupter net (Some corrupter);
@@ -131,12 +144,12 @@ let stats h = h.stats
 let uninstall h =
   if h.active then begin
     h.active <- false;
-    let net = Deployment.network h.deployment in
-    let engine = Deployment.engine h.deployment in
+    let net = Smr_deployment.network h.deployment in
+    let engine = Smr_deployment.engine h.deployment in
     Network.set_interceptor net None;
     Network.set_corrupter net None;
     Engine.set_delay_interceptor engine None;
-    Option.iter (fun o -> Obfuscation.set_stalled o false) h.obfuscation;
+    Option.iter (fun s -> Smr_deployment.set_stalled s false) h.schedule;
     Engine.emit engine
       (Event.Fault { action = "plan_uninstalled"; target = "deployment"; detail = "" })
   end

@@ -1,0 +1,37 @@
+(** Route a fault {!Plan} through the 1-tier SMR deployment (S0).
+
+    The same plan drives both stacks: {!Wiring} interprets it on the
+    FORTRESS deployment, this module folds it onto S0's single replica
+    tier —
+
+    - [Server i] and [Replica i] map to replica [i],
+    - [Proxy i] (the plan's front tier) folds onto the tail end,
+      [Replica (n - 1 - i)], so a partition plan that separates the front
+      from the back on S2 isolates a minority on S0, and
+    - [Nameserver] actions are {e skipped} with a visible [Fault] event
+      (S0 has no directory), not rejected.
+
+    [Stall_obfuscation] / [Resume_obfuscation] act on the
+    {!Fortress_core.Smr_deployment.schedule} handle when one is passed;
+    link-layer faults and slowdowns work exactly as on the FORTRESS
+    stack. *)
+
+type handle
+
+val install :
+  Plan.t ->
+  deployment:Fortress_core.Smr_deployment.t ->
+  ?schedule:Fortress_core.Smr_deployment.schedule ->
+  seed:int ->
+  unit ->
+  handle
+(** Validates the plan, rejects targets that do not fold onto a replica,
+    installs the link interceptor and corrupter, and arms the timeline.
+    The injector PRNG is derived from [seed] exactly as in {!Wiring}, so
+    baseline and faulted runs stay paired. *)
+
+val stats : handle -> Injector.stats
+
+val uninstall : handle -> unit
+(** Clears interceptors, corrupter, delay interceptor, and un-stalls the
+    schedule; armed-but-unfired timeline entries become no-ops. *)

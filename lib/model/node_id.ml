@@ -1,0 +1,29 @@
+type t = Server of int | Proxy of int | Replica of int | Nameserver
+
+let to_string = function
+  | Server i -> Printf.sprintf "server%d" i
+  | Proxy i -> Printf.sprintf "proxy%d" i
+  | Replica i -> Printf.sprintf "replica%d" i
+  | Nameserver -> "nameserver"
+
+let of_string s =
+  let prefixed prefix k =
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some i when i >= 0 -> Some (k i)
+      | _ -> None
+    else None
+  in
+  if s = "nameserver" then Some Nameserver
+  else
+    match prefixed "server" (fun i -> Server i) with
+    | Some _ as r -> r
+    | None -> (
+        match prefixed "proxy" (fun i -> Proxy i) with
+        | Some _ as r -> r
+        | None -> prefixed "replica" (fun i -> Replica i))
+
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Canonical names for the nodes of every deployment flavour.
+
+    Fault plans, attacker observations and trace events all need to name
+    nodes; before this module each subsystem had its own scheme. The
+    rendered forms ([server0], [proxy1], [replica2], [nameserver]) are the
+    exact strings the fault and crash events have always carried, so
+    adopting [to_string] at the emission sites changes no trace digest.
+
+    [Server]/[Proxy] name the two FORTRESS tiers; [Replica] names a node
+    of the 1-tier SMR comparison system; [Nameserver] is the directory
+    service (not a network node — partitions naming it are rejected by
+    plan validation). *)
+
+type t = Server of int | Proxy of int | Replica of int | Nameserver
+
+val to_string : t -> string
+(** [server%d] / [proxy%d] / [replica%d] / [nameserver] — stable wire
+    format, round-tripped by {!of_string}. *)
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

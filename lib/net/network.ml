@@ -28,6 +28,7 @@ type 'msg t = {
   link_latency : (int * int, Latency.t) Hashtbl.t;
   partitions : (int * int, unit) Hashtbl.t;
   mutable next_addr : int;
+  mutable down_nodes : int;  (** registered nodes currently down *)
   mutable delivered : int;
   mutable dropped : int;
   mutable interceptor : 'msg interceptor option;
@@ -42,6 +43,7 @@ let create ?(latency = Latency.default) engine =
     link_latency = Hashtbl.create 16;
     partitions = Hashtbl.create 16;
     next_addr = 0;
+    down_nodes = 0;
     delivered = 0;
     dropped = 0;
     interceptor = None;
@@ -139,11 +141,24 @@ let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dst
 
 let set_down t addr =
   let node = find t addr in
-  node.up <- false;
+  if node.up then begin
+    node.up <- false;
+    t.down_nodes <- t.down_nodes + 1
+  end;
   node.epoch <- node.epoch + 1
 
-let set_up t addr = (find t addr).up <- true
+let set_up t addr =
+  let node = find t addr in
+  if not node.up then begin
+    node.up <- true;
+    t.down_nodes <- t.down_nodes - 1
+  end
+
 let is_up t addr = (find t addr).up
+
+(* O(1) precheck for the symptom surface: with every node up and no
+   partition installed, no reachability scan can come back positive. *)
+let quiescent t = t.down_nodes = 0 && Hashtbl.length t.partitions = 0
 
 let partition t a b = Hashtbl.replace t.partitions (pair_key a b) ()
 let heal t a b = Hashtbl.remove t.partitions (pair_key a b)

@@ -58,6 +58,15 @@ val is_up : 'msg t -> Address.t -> bool
 val partition : 'msg t -> Address.t -> Address.t -> unit
 (** Block both directions between the pair. *)
 
+val partitioned : 'msg t -> Address.t -> Address.t -> bool
+(** Whether the pair is currently partitioned (order-insensitive). A pure
+    read — no PRNG consumption, no events — safe for symptom sampling. *)
+
+val quiescent : 'msg t -> bool
+(** Every registered node is up and no partition is installed — an O(1)
+    precheck that lets symptom reads skip their reachability scan on the
+    (common) fault-free network. A pure read, like {!partitioned}. *)
+
 val heal : 'msg t -> Address.t -> Address.t -> unit
 val heal_all : 'msg t -> unit
 

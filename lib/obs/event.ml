@@ -28,6 +28,7 @@ type t =
       attrs : (string * string) list;
     }
   | Fault of { action : string; target : string; detail : string }
+  | Directive of { step : int; strategy : string; detail : string }
   | Note of { label : string; detail : string }
 
 let tier_to_string = function Proxy_tier -> "proxy" | Server_tier -> "server"
@@ -72,6 +73,7 @@ let label = function
   | Trial _ -> "trial"
   | Span_finished _ -> "span"
   | Fault _ -> "fault"
+  | Directive _ -> "directive"
   | Note { label; _ } -> label
 
 let detail = function
@@ -103,6 +105,8 @@ let detail = function
   | Fault { action; target; detail } ->
       if detail = "" then Printf.sprintf "fault %s on %s" action target
       else Printf.sprintf "fault %s on %s (%s)" action target detail
+  | Directive { step; strategy; detail } ->
+      Printf.sprintf "strategy %s adapts at step %d boundary: %s" strategy step detail
   | Note { detail; _ } -> detail
 
 let verbosity = function
@@ -114,7 +118,7 @@ let verbosity = function
   | Fault { action = "drop" | "duplicate" | "reorder" | "corrupt" | "delay"; _ } -> `Debug
   | Fault _ -> `Info
   | Compromise _ | Rekey _ | Recover _ | Step _ | Source_blocked _ | Source_rotated _
-  | Failover _ | Repl _ | Trial _ | Note _ ->
+  | Failover _ | Repl _ | Trial _ | Directive _ | Note _ ->
       `Info
 
 let to_json ev =
@@ -181,6 +185,13 @@ let to_json ev =
         [
           ("action", Json.Str action);
           ("target", Json.Str target);
+          ("detail", Json.Str detail);
+        ]
+  | Directive { step; strategy; detail } ->
+      tag
+        [
+          ("step", Json.Num (float_of_int step));
+          ("strategy", Json.Str strategy);
           ("detail", Json.Str detail);
         ]
   | Note { label; detail } -> Json.Obj [ ("event", Json.Str label); ("detail", Json.Str detail) ]
@@ -295,6 +306,11 @@ let of_json json =
           let* target = str_field "target" in
           let* detail = str_field "detail" in
           Ok (Fault { action; target; detail })
+      | "directive" ->
+          let* step = int_field "step" in
+          let* strategy = str_field "strategy" in
+          let* detail = str_field "detail" in
+          Ok (Directive { step; strategy; detail })
       | label ->
           (* any unrecognized tag round-trips as a note *)
           let detail =

@@ -47,6 +47,10 @@ type t =
       (** injected by the fault subsystem: [action] is the fault kind
           ("drop", "crash", "partition", "stall_skip", ...), [target] the
           link / node / daemon it hit *)
+  | Directive of { step : int; strategy : string; detail : string }
+      (** an adaptive attack strategy changed the campaign's settings at
+          the boundary of [step]; emitted only when something actually
+          changed, so an oblivious strategy's trace carries none *)
   | Note of { label : string; detail : string }
 
 val tier_to_string : tier -> string

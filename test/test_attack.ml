@@ -141,12 +141,13 @@ let test_campaign_compromises_small_keyspace () =
   let d = small_deployment () in
   ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
   let campaign =
-    Campaign.launch d { Campaign.default_config with omega = 16; kappa = 0.5; period = 100.0 }
+    Campaign.launch d (Campaign.make_config ~omega:16 ~kappa:0.5 ~period:100.0 ~seed:0 ())
   in
   match Campaign.run_until_compromise campaign ~max_steps:500 with
   | Some step ->
       Alcotest.(check bool) "positive step" true (step >= 1);
-      Alcotest.(check bool) "probes were sent" true (Campaign.direct_probes_sent campaign > 0)
+      Alcotest.(check bool) "probes were sent" true
+        ((Campaign.stats campaign).Campaign_intf.Stats.direct_probes_sent > 0)
   | None -> Alcotest.fail "with chi=64 and omega=16 compromise is near-certain"
 
 let test_campaign_po_outlives_so () =
@@ -156,14 +157,8 @@ let test_campaign_po_outlives_so () =
     ignore (Obfuscation.attach d ~mode ~period:100.0);
     let campaign =
       Campaign.launch d
-        {
-          Campaign.default_config with
-          omega = 8;
-          kappa = 0.5;
-          period = 100.0;
-          target_mode = mode;
-          seed = seed + 1000;
-        }
+        (Campaign.make_config ~omega:8 ~kappa:0.5 ~period:100.0 ~target_mode:mode
+           ~seed:(seed + 1000) ())
     in
     match Campaign.run_until_compromise campaign ~max_steps:2000 with
     | Some step -> step
@@ -184,7 +179,7 @@ let test_campaign_detection_reduces_effective_kappa () =
     ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
     let campaign =
       Campaign.launch d
-        { Campaign.default_config with omega = 32; kappa = 1.0; period = 100.0; seed = 17 }
+        (Campaign.make_config ~omega:32 ~kappa:1.0 ~period:100.0 ~seed:17 ())
     in
     ignore (Campaign.run_until_compromise campaign ~max_steps:10);
     Campaign.effective_kappa campaign
@@ -195,9 +190,9 @@ let test_campaign_detection_reduces_effective_kappa () =
 let test_campaign_validates_config () =
   let d = small_deployment () in
   Alcotest.check_raises "omega" (Invalid_argument "Campaign.launch: omega must be positive")
-    (fun () -> ignore (Campaign.launch d { Campaign.default_config with omega = 0 }));
+    (fun () -> ignore (Campaign.launch d (Campaign.make_config ~omega:0 ~seed:0 ())));
   Alcotest.check_raises "kappa" (Invalid_argument "Campaign.launch: kappa in [0,1]") (fun () ->
-      ignore (Campaign.launch d { Campaign.default_config with kappa = 1.5 }))
+      ignore (Campaign.launch d (Campaign.make_config ~kappa:1.5 ~seed:0 ())))
 
 let test_campaign_deterministic_from_seed () =
   let outcome seed_pair =
@@ -206,11 +201,13 @@ let test_campaign_deterministic_from_seed () =
     ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
     let campaign =
       Campaign.launch d
-        { Campaign.default_config with omega = 8; kappa = 0.5; period = 100.0;
-          seed = campaign_seed }
+        (Campaign.make_config ~omega:8 ~kappa:0.5 ~period:100.0 ~seed:campaign_seed ())
     in
     let step = Campaign.run_until_compromise campaign ~max_steps:300 in
-    (step, Campaign.direct_probes_sent campaign, Campaign.indirect_probes_sent campaign)
+    let stats = Campaign.stats campaign in
+    ( step,
+      stats.Campaign_intf.Stats.direct_probes_sent,
+      stats.Campaign_intf.Stats.indirect_probes_sent )
   in
   Alcotest.(check bool) "same seeds, same execution" true
     (outcome (5, 9) = outcome (5, 9));
@@ -223,12 +220,12 @@ let test_campaign_no_proxies_attacks_servers () =
   in
   ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
   let campaign =
-    Campaign.launch d { Campaign.default_config with omega = 16; kappa = 0.0; period = 100.0 }
+    Campaign.launch d (Campaign.make_config ~omega:16 ~kappa:0.0 ~period:100.0 ~seed:0 ())
   in
   match Campaign.run_until_compromise campaign ~max_steps:200 with
   | Some _ ->
       Alcotest.(check int) "no indirect probes without proxies" 0
-        (Campaign.indirect_probes_sent campaign)
+        (Campaign.stats campaign).Campaign_intf.Stats.indirect_probes_sent
   | None -> Alcotest.fail "bare S1 with chi=64 must fall quickly"
 
 (* ---- Pacing ---- *)
@@ -285,8 +282,8 @@ let test_campaign_burst_pacing_still_works () =
   ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
   let campaign =
     Campaign.launch d
-      { Campaign.default_config with omega = 16; kappa = 0.5; period = 100.0;
-        pacing = Pacing.Burst }
+      (Campaign.make_config ~omega:16 ~kappa:0.5 ~period:100.0 ~pacing:Pacing.Burst ~seed:0
+         ())
   in
   match Campaign.run_until_compromise campaign ~max_steps:500 with
   | Some _ -> ()
@@ -299,18 +296,14 @@ let test_campaign_below_threshold_pacing_never_blocked () =
   ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
   let campaign =
     Campaign.launch d
-      {
-        Campaign.default_config with
-        omega = 32;
-        kappa = 1.0;
-        period = 100.0;
-        (* stay at 9 <= threshold probes per window per source *)
-        pacing = Pacing.Below_threshold { window = 100.0; threshold = 9 };
-        seed = 31;
-      }
+      (Campaign.make_config ~omega:32 ~kappa:1.0 ~period:100.0
+         (* stay at 9 <= threshold probes per window per source *)
+         ~pacing:(Pacing.Below_threshold { window = 100.0; threshold = 9 })
+         ~seed:31 ())
   in
   ignore (Campaign.run_until_compromise campaign ~max_steps:10);
-  Alcotest.(check int) "no source ever burned" 0 (Campaign.sources_burned campaign)
+  Alcotest.(check int) "no source ever burned" 0
+    (Campaign.stats campaign).Campaign_intf.Stats.sources_burned
 
 (* ---- S0 campaign ---- *)
 
@@ -319,9 +312,9 @@ let s0_protocol_lifetime ?(stagger = true) ~chi ~omega ~seed ~max_steps () =
   let d =
     SD.create { SD.default_config with keyspace = Keyspace.of_size chi; seed }
   in
-  SD.attach_schedule ~stagger d ~mode:Obfuscation.PO ~period:100.0;
+  ignore (SD.attach_schedule ~stagger d ~mode:Obfuscation.PO ~period:100.0);
   let c =
-    Smr_campaign.launch d { Smr_campaign.default_config with omega; seed = seed + 77 }
+    Smr_campaign.launch d (Smr_campaign.make_config ~omega ~seed:(seed + 77) ())
   in
   Option.value ~default:max_steps (Smr_campaign.run_until_compromise c ~max_steps)
 
@@ -339,7 +332,7 @@ let s2_protocol_lifetime ~chi ~omega ~kappa ~seed ~max_steps =
   ignore (Obfuscation.attach d ~mode:Obfuscation.PO ~period:100.0);
   let c =
     Campaign.launch d
-      { Campaign.default_config with omega; kappa; period = 100.0; seed = seed + 77 }
+      (Campaign.make_config ~omega ~kappa ~period:100.0 ~seed:(seed + 77) ())
   in
   Option.value ~default:max_steps (Campaign.run_until_compromise c ~max_steps)
 
@@ -350,14 +343,15 @@ let test_smr_campaign_compromises () =
 let test_smr_campaign_needs_two_intrusions () =
   let module SD = Fortress_core.Smr_deployment in
   let d = SD.create { SD.default_config with keyspace = Keyspace.of_size 64; seed = 2 } in
-  SD.attach_schedule d ~mode:Obfuscation.PO ~period:100.0;
-  let c = Smr_campaign.launch d { Smr_campaign.default_config with omega = 16; seed = 5 } in
+  ignore (SD.attach_schedule d ~mode:Obfuscation.PO ~period:100.0);
+  let c = Smr_campaign.launch d (Smr_campaign.make_config ~omega:16 ~seed:5 ()) in
   (match Smr_campaign.run_until_compromise c ~max_steps:500 with
   | Some _ ->
       Alcotest.(check bool) "at least two intrusions landed" true
-        (Smr_campaign.intrusions c >= 2)
+        ((Smr_campaign.stats c).Campaign_intf.Stats.intrusions >= 2)
   | None -> Alcotest.fail "chi=64 must fall");
-  Alcotest.(check bool) "probes were spent" true (Smr_campaign.probes_sent c > 0)
+  Alcotest.(check bool) "probes were spent" true
+    (Campaign_intf.Stats.probes_sent (Smr_campaign.stats c) > 0)
 
 let test_protocol_s0po_outlives_s2po () =
   (* the headline ordering at the packet level: diverse 4-replica SMR under

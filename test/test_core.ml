@@ -338,7 +338,7 @@ let test_smr_deployment_batches () =
 
 let test_smr_deployment_batched_recovery_keeps_service_up () =
   let d = Smr_deployment.create Smr_deployment.default_config in
-  Smr_deployment.attach_schedule d ~mode:Obfuscation.PO ~period:200.0;
+  ignore (Smr_deployment.attach_schedule d ~mode:Obfuscation.PO ~period:200.0);
   let client = Smr_deployment.new_client d ~name:"c" in
   let served = ref 0 in
   (* traffic across several recovery cycles *)
