@@ -98,6 +98,23 @@ def main():
         return 1
     print(f"ok       adaptive_overhead ratio: {ratio:.3f} <= {ADAPTIVE_MAX_RATIO:.2f}")
 
+    # The telemetry plane (timeline + signal subscriber) is likewise a
+    # same-process ratio against an untelemetered pass of the identical
+    # seeded campaign: attaching the plane may cost at most 5% of the
+    # event-emitting workload it observes.
+    TIMELINE_MAX_RATIO = 1.05
+    timeline = cur.get("timeline_overhead")
+    if timeline is None:
+        print("MISSING  timeline_overhead: not in current report")
+        return 1
+    ratio = timeline["ratio"]
+    if ratio > TIMELINE_MAX_RATIO:
+        print(f"FAIL     timeline_overhead ratio: {ratio:.3f} > {TIMELINE_MAX_RATIO:.2f} "
+              f"(subscriber {timeline['subscriber_seconds']:.3f}s vs "
+              f"baseline {timeline['baseline_seconds']:.3f}s)")
+        return 1
+    print(f"ok       timeline_overhead ratio: {ratio:.3f} <= {TIMELINE_MAX_RATIO:.2f}")
+
     failed = 0
     for name, b, c, lower_better, tol in checks:
         if b <= 0:

@@ -319,6 +319,72 @@ let measure_parallel_speedup () =
       (jobs, tps, speedup, mean))
     rows
 
+(* Telemetry-plane overhead: the same seeded packet-level campaign twice,
+   once with only a digesting subscriber and once with a Timeline plus
+   streaming Signal detectors attached to the same sink (alarms not
+   emitted, so the event stream is untouched). The plane is a pure
+   observer — the digests are asserted equal, making the ratio an
+   apples-to-apples measure of the subscriber cost alone. *)
+let measure_timeline_overhead () =
+  let module Sink = Fortress_obs.Sink in
+  let module Timeline = Fortress_obs.Timeline in
+  let module Signal = Fortress_obs.Signal in
+  let pass ~telemetry =
+    let sink = Sink.create () in
+    let sub, digest_of = Sink.digesting () in
+    ignore (Sink.attach sink sub);
+    let tl =
+      if telemetry then begin
+        let tl = Timeline.create ~width:100.0 () in
+        ignore (Sink.attach sink (Timeline.subscriber tl));
+        ignore (Signal.create tl);
+        Some tl
+      end
+      else None
+    in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for seed = 11 to 18 do
+      ignore (Validation.campaign_lifetime ~sink ~chi:256 ~omega:8 ~kappa:0.5 ~seed ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Option.iter Timeline.finish tl;
+    (digest_of (), dt)
+  in
+  (* warm-up so both shapes are compiled before timing. Each timed pass
+     runs baseline and subscriber back-to-back so ambient load drift hits
+     both shapes of a pair equally; the reported ratio is the MEDIAN of
+     the per-pair ratios, which is robust to a loaded machine where a
+     min-of-N of independently-noisy times is not. The seeded work is
+     identical every pass, enforced through the digests. *)
+  ignore (pass ~telemetry:false);
+  ignore (pass ~telemetry:true);
+  let passes = 5 in
+  let base_digest = ref "" and sub_digest = ref "" in
+  let baseline_seconds = ref infinity and subscriber_seconds = ref infinity in
+  let pair_ratios = ref [] in
+  for _ = 1 to passes do
+    let d, base_dt = pass ~telemetry:false in
+    if !base_digest = "" then base_digest := d
+    else if d <> !base_digest then failwith "telemetry bench pass not reproducible";
+    baseline_seconds := Float.min !baseline_seconds base_dt;
+    let d, sub_dt = pass ~telemetry:true in
+    if !sub_digest = "" then sub_digest := d
+    else if d <> !sub_digest then failwith "telemetry bench pass not reproducible";
+    subscriber_seconds := Float.min !subscriber_seconds sub_dt;
+    if base_dt > 0.0 then pair_ratios := (sub_dt /. base_dt) :: !pair_ratios
+  done;
+  if !base_digest <> !sub_digest then
+    failwith
+      (Printf.sprintf "telemetry subscriber perturbed the trace: %s <> %s" !sub_digest
+         !base_digest);
+  let ratio =
+    match List.sort compare !pair_ratios with
+    | [] -> 0.0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  (!baseline_seconds, !subscriber_seconds, ratio)
+
 (* Adaptive-campaign overhead: the oblivious strategy runs the full
    observe–decide–act loop (symptom sampling, observation assembly, a
    boundary hook that always answers "unchanged") yet must stay
@@ -354,7 +420,7 @@ let measure_adaptive_overhead () =
   (fixed_seconds, oblivious_seconds, ratio)
 
 let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler
-    ~speedup ~adaptive =
+    ~speedup ~adaptive ~timeline =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -410,6 +476,14 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
              [
                ("fixed_seconds", J.Num fixed_s);
                ("oblivious_seconds", J.Num obl_s);
+               ("ratio", J.Num ratio);
+             ]) );
+        ( "timeline_overhead",
+          (let base_s, sub_s, ratio = timeline in
+           J.Obj
+             [
+               ("baseline_seconds", J.Num base_s);
+               ("subscriber_seconds", J.Num sub_s);
                ("ratio", J.Num ratio);
              ]) );
         ("sections", J.List secs);
@@ -536,8 +610,15 @@ let () =
   Printf.printf "fixed schedule  %8.3f s\noblivious loop  %8.3f s  (%.2fx)\n" fixed_s obl_s
     ratio;
   Printf.printf "digests bit-identical across the two paths: yes (asserted)\n\n";
+  let timeline = measure_timeline_overhead () in
+  let base_s, sub_s, tl_ratio = timeline in
+  Printf.printf "== telemetry plane overhead (timeline + signal subscriber) ==\n";
+  Printf.printf
+    "digest only       %8.3f s\ntimeline+signals  %8.3f s  (%.2fx median of paired passes)\n"
+    base_s sub_s tl_ratio;
+  Printf.printf "trace digest bit-identical with the plane attached: yes (asserted)\n\n";
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
   write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup
-    ~adaptive;
+    ~adaptive ~timeline;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

@@ -430,7 +430,18 @@ let inject_cmd =
          & info [ "smr" ]
              ~doc:"Run the plan on the 1-tier SMR stack (S0) instead of FORTRESS (S2).")
   in
-  let run plan trials seed chi omega kappa steps jobs strategy smr csv trace_out metrics =
+  let timeline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeline" ] ~docv:"WIDTH"
+             ~doc:"Pool every trial's event stream into a windowed timeline ($(docv) virtual-time units per window, e.g. 100 = one attack step), score the defender signals over it and print the fault-aligned signal table. Off by default; attaching it does not change any other output.")
+  in
+  let run plan trials seed chi omega kappa steps jobs strategy smr timeline csv trace_out
+      metrics =
+    (match timeline with
+    | Some w when not (w > 0.0) ->
+        Printf.eprintf "fortress-cli: --timeline width must be positive (got %g)\n" w;
+        exit 2
+    | _ -> ());
     let plans =
       match plan with
       | "all" -> List.filter (fun (p : Plan.t) -> p.Plan.name <> "none") Plan.builtins
@@ -454,7 +465,7 @@ let inject_cmd =
     in
     with_obs ~trace_out ~metrics (fun sink ->
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
-                       max_steps = steps; jobs } in
+                       max_steps = steps; jobs; telemetry = timeline } in
         let stack = if smr then `Smr else `Fortress in
         let report = Inject.run ~sink ?strategy ~stack ~config ~plans () in
         print_table ~csv (Inject.table report);
@@ -465,6 +476,20 @@ let inject_cmd =
         | Some adapt ->
             Printf.printf "\nadaptive vs oblivious (strategy %s):\n" adapt.Inject.strategy_name;
             print_table ~csv (Inject.adapt_table adapt));
+        List.iter
+          (fun (r : Inject.run) ->
+            match Inject.timeline_table r with
+            | None -> ()
+            | Some tbl ->
+                Printf.printf "\nsignal timeline (%s), %g vt per window:\n" r.Inject.plan_name
+                  (Option.value ~default:0.0 timeline);
+                print_table ~csv tbl;
+                (match r.Inject.telemetry with
+                | Some (_, signals) when Fortress_obs.Signal.alarms signals <> [] ->
+                    Printf.printf "detector alarms (%s):\n" r.Inject.plan_name;
+                    Option.iter (print_table ~csv) (Inject.timeline_alarm_table r)
+                | _ -> ()))
+          (report.Inject.baseline :: report.Inject.runs);
         Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d%s%s\n" chi
           omega kappa trials seed
           (match strategy with
@@ -482,7 +507,7 @@ let inject_cmd =
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
           $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ strategy_arg
-          $ smr_arg $ csv_arg $ trace_out_arg $ metrics_arg)
+          $ smr_arg $ timeline_arg $ csv_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -524,6 +549,113 @@ let obs_cmd =
   Cmd.v
     (Cmd.info "obs"
        ~doc:"Summarise a JSONL event trace; with --omega/--chi, cross-check measured per-step rates against the analytic laws.")
+    term
+
+(* ---- timeline ---- *)
+
+let timeline_cmd =
+  let module Obs = Fortress_obs in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"JSONL trace file written by $(b,--trace-out).")
+  in
+  let width_arg =
+    Arg.(value & opt float 100.0
+         & info [ "width" ] ~docv:"VT"
+             ~doc:"Window width in virtual-time units (100 = one attack step).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 512
+         & info [ "capacity" ] ~docv:"N" ~doc:"Windows retained in the ring.")
+  in
+  let openmetrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "openmetrics" ] ~docv:"FILE"
+             ~doc:"Write the OpenMetrics text exposition of the reconstructed metrics, the timeline and the final signal state to $(docv).")
+  in
+  let alarms_only_arg =
+    Arg.(value & flag
+         & info [ "alarms-only" ] ~doc:"Print only the detector-alarm table.")
+  in
+  let run file width capacity openmetrics alarms_only csv =
+    if not (width > 0.0) then begin
+      Printf.eprintf "fortress-cli: --width must be positive (got %g)\n" width;
+      exit 2
+    end;
+    if capacity <= 0 then begin
+      Printf.eprintf "fortress-cli: --capacity must be positive (got %d)\n" capacity;
+      exit 2
+    end;
+    let registry = Obs.Metrics.create () in
+    let timeline = Obs.Timeline.create ~capacity ~registry ~width () in
+    let sink = Obs.Sink.create () in
+    ignore (Obs.Sink.attach sink (Obs.Sink.counting registry));
+    ignore (Obs.Sink.attach sink (Obs.Timeline.subscriber timeline));
+    let malformed = ref 0 in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Obs.Sink.parse_line line with
+              | Ok (time, ev) -> Obs.Sink.emit sink ~time ev
+              | Error _ -> incr malformed
+          done
+        with End_of_file -> ());
+    Obs.Timeline.finish timeline;
+    let signals = Obs.Signal.of_timeline ~registry timeline in
+    let retained = List.length (Obs.Timeline.windows timeline) in
+    Printf.printf "trace %s: %d events in %d windows of %g vt (%d retained, %d late-dropped%s)\n"
+      file
+      (Obs.Timeline.events_seen timeline)
+      (Obs.Timeline.window_count timeline)
+      width retained
+      (Obs.Timeline.dropped timeline)
+      (if !malformed > 0 then Printf.sprintf ", %d malformed lines" !malformed else "");
+    (match Obs.Metrics.find_histogram registry "timeline.window_events" with
+    | Some h ->
+        let v = Obs.Metrics.histogram_value h in
+        let pct q =
+          match Obs.Metrics.quantile v q with Some x -> Printf.sprintf "%.4g" x | None -> "-"
+        in
+        Printf.printf "events/window: p50=%s p90=%s p99=%s\n" (pct 0.5) (pct 0.9) (pct 0.99)
+    | None -> ());
+    if not alarms_only then begin
+      print_newline ();
+      print_table ~csv (Obs.Signal.table ~timeline signals)
+    end;
+    let alarms = Obs.Signal.alarms signals in
+    if alarms = [] then print_endline "\nno detector alarms"
+    else begin
+      Printf.printf "\ndetector alarms (%d):\n" (List.length alarms);
+      print_table ~csv (Obs.Signal.alarm_table signals)
+    end;
+    (* latest raw signal values, read back through the registry gauges *)
+    Printf.printf "final signals:%s\n"
+      (String.concat ""
+         (List.map
+            (fun k ->
+              Printf.sprintf " %s=%.4g" (Obs.Signal.short_name k)
+                (Obs.Metrics.find_gauge registry ("signal." ^ Obs.Signal.short_name k)))
+            Obs.Signal.all));
+    match openmetrics with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Openmetrics.render ~metrics:registry ~timeline ~signals ());
+        close_out oc;
+        Printf.printf "openmetrics exposition written to %s\n" path
+  in
+  let term =
+    Term.(const run $ file_arg $ width_arg $ capacity_arg $ openmetrics_arg $ alarms_only_arg
+          $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Aggregate a JSONL event trace into fixed-width virtual-time windows, score the defender signals (EWMA + CUSUM burst detection) and render the windowed series, detector alarms and OpenMetrics exposition.")
     term
 
 (* ---- prof ---- *)
@@ -715,7 +847,8 @@ let main_cmd =
   let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc ~man in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
-      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; prof_cmd; export_cmd;
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; timeline_cmd;
+      prof_cmd; export_cmd;
       sensitivity_cmd; threats_cmd; choose_cmd ]
 
 (* Degenerate operating points surface as typed exceptions from the linear

@@ -14,6 +14,8 @@ module Smr_wiring = Fortress_faults.Smr_wiring
 module Injector = Fortress_faults.Injector
 module Trial = Fortress_mc.Trial
 module Sink = Fortress_obs.Sink
+module Timeline = Fortress_obs.Timeline
+module Signal = Fortress_obs.Signal
 module Table = Fortress_util.Table
 
 type config = {
@@ -25,6 +27,10 @@ type config = {
   workload_period : float;
   seed : int;
   jobs : int;
+  telemetry : float option;
+      (** window width (virtual time) for the pooled timeline; [None]
+          (the default) keeps the run byte-identical to a telemetry-free
+          build *)
 }
 
 let default_config =
@@ -37,6 +43,7 @@ let default_config =
     workload_period = 20.0;
     seed = 1;
     jobs = 1;
+    telemetry = None;
   }
 
 type run = {
@@ -48,6 +55,9 @@ type run = {
   faults : Injector.stats;  (** summed over all trials *)
   directives : int;  (** adaptive directives applied, summed over all trials *)
   digest : string;
+  telemetry : (Timeline.t * Signal.t) option;
+      (** pooled windowed timeline over every trial's replayed stream,
+          present when {!config.telemetry} was set *)
 }
 
 let accumulate (acc : Injector.stats) (s : Injector.stats) =
@@ -61,7 +71,7 @@ let accumulate (acc : Injector.stats) (s : Injector.stats) =
 (* One campaign under the plan: the attacker hunts the key while a benign
    client polls the service; the trial's lifetime is the campaign's, the
    availability sample is answered / issued over the same horizon. *)
-let one_trial ?strategy cfg plan ~digest ~faults ~issued ~answered ~directives ~seed =
+let one_trial ?strategy cfg plan ~digest ~record ~faults ~issued ~answered ~directives ~seed =
   let period = 100.0 in
   let deployment =
     Deployment.create
@@ -69,6 +79,7 @@ let one_trial ?strategy cfg plan ~digest ~faults ~issued ~answered ~directives ~
   in
   let engine = Deployment.engine deployment in
   ignore (Sink.attach (Engine.sink engine) digest);
+  Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
   let obfuscation = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period in
   let handle = Wiring.install plan ~deployment ~obfuscation ~seed () in
   let client = Deployment.new_client deployment ~name:"workload" in
@@ -105,7 +116,8 @@ let one_trial ?strategy cfg plan ~digest ~faults ~issued ~answered ~directives ~
 (* The S0 counterpart: the same plan folded onto the replica tier by
    Smr_wiring, the same paired seeds. S0 has no separate workload client
    here — EL is the quantity of interest — so availability reports 1. *)
-let one_smr_trial ?strategy cfg plan ~digest ~faults ~issued:_ ~answered:_ ~directives ~seed =
+let one_smr_trial ?strategy cfg plan ~digest ~record ~faults ~issued:_ ~answered:_ ~directives ~seed
+    =
   let period = 100.0 in
   let deployment =
     Smr_deployment.create
@@ -113,6 +125,7 @@ let one_smr_trial ?strategy cfg plan ~digest ~faults ~issued:_ ~answered:_ ~dire
   in
   let engine = Smr_deployment.engine deployment in
   ignore (Sink.attach (Engine.sink engine) digest);
+  Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
   let schedule = Smr_deployment.attach_schedule deployment ~mode:Obfuscation.PO ~period in
   let handle = Smr_wiring.install plan ~deployment ~schedule ~seed () in
   let attack_cfg = Smr_campaign.make_config ~omega:cfg.omega ~period ~seed:(seed + 7919) () in
@@ -142,29 +155,62 @@ type trial_slot = {
   ts_issued : int;
   ts_answered : int;
   ts_directives : int;
+  ts_replay : (Sink.t -> unit) option;
+      (** the trial's buffered event stream, replayed at the join *)
 }
 
 let run_plan_with trial ?sink cfg plan =
   let slots = Array.make cfg.trials None in
+  (* Telemetry rides on the join-replay machinery: each trial records its
+     engine's event stream into a private buffer, [on_join] replays the
+     buffers into the shared sink in trial-index order, and the timeline
+     subscribed there aggregates the pooled stream. Late events from
+     later trials (virtual time restarts near 0 every trial) land in the
+     retained window for their timestamp, so the pooled timeline — like
+     everything else at the join — is independent of the job count. *)
+  let sink, timeline =
+    match cfg.telemetry with
+    | None -> (sink, None)
+    | Some width ->
+        let s = match sink with Some s -> s | None -> Sink.create () in
+        let tl = Timeline.create ~width () in
+        let handle = Sink.attach s (Timeline.subscriber tl) in
+        (Some s, Some (tl, handle))
+  in
   (* index-structural per-trial seeds (cfg.seed * 1000 + index), the same
      sequence the original sequential counter produced: every plan replays
      the same seed sequence, so deltas are paired comparisons, and every
      job count replays the same per-index seed, so parallel runs stay
      paired too *)
+  let on_join =
+    match (timeline, sink) with
+    | Some _, Some s ->
+        Some
+          (fun ~index ->
+            match slots.(index - 1) with
+            | Some { ts_replay = Some replay; _ } -> replay s
+            | _ -> ())
+    | _ -> None
+  in
   let el =
-    Trial.run_indexed ?sink ~jobs:cfg.jobs ~trials:cfg.trials ~seed:cfg.seed
+    Trial.run_indexed ?sink ?on_join ~jobs:cfg.jobs ~trials:cfg.trials ~seed:cfg.seed
       ~sampler:(fun ~index _prng ->
         let digest, finalize = Sink.digesting () in
+        let buffer =
+          match timeline with None -> None | Some _ -> Some (Sink.buffered ())
+        in
         let faults = Injector.fresh_stats () in
         let issued = ref 0 and answered = ref 0 and directives = ref 0 in
         let lifetime =
-          trial cfg plan ~digest ~faults ~issued ~answered ~directives
+          trial cfg plan ~digest ~record:(Option.map fst buffer) ~faults ~issued ~answered
+            ~directives
             ~seed:((cfg.seed * 1000) + index)
         in
         slots.(index - 1) <-
           Some
             { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
-              ts_answered = !answered; ts_directives = !directives };
+              ts_answered = !answered; ts_directives = !directives;
+              ts_replay = Option.map snd buffer };
         lifetime)
       ()
   in
@@ -182,6 +228,21 @@ let run_plan_with trial ?sink cfg plan =
           answered := !answered + s.ts_answered;
           directives := !directives + s.ts_directives)
     slots;
+  let telemetry =
+    Option.map
+      (fun (tl, handle) ->
+        Timeline.finish tl;
+        (* score the pooled windows, appending alarms to the shared trace
+           after the replayed streams; then detach so a later plan on the
+           same sink cannot mutate this run's timeline *)
+        let emit =
+          Option.map (fun s -> fun ~time ev -> Sink.emit s ~time ev) sink
+        in
+        let signals = Signal.of_timeline ?emit tl in
+        Option.iter (fun s -> Sink.detach s handle) sink;
+        (tl, signals))
+      timeline
+  in
   {
     plan_name = plan.Plan.name;
     el;
@@ -192,6 +253,7 @@ let run_plan_with trial ?sink cfg plan =
     faults;
     directives = !directives;
     digest = Sink.digest_lines (List.rev !digests);
+    telemetry;
   }
 
 let run_plan ?sink ?strategy cfg plan = run_plan_with (one_trial ?strategy) ?sink cfg plan
@@ -234,7 +296,7 @@ let run ?sink ?strategy ?(stack = `Fortress) ?(config = default_config) ~plans (
              exported by the strategy pass) *)
           if s.Adaptive.Strategy.name = Adaptive.Strategy.oblivious.Adaptive.Strategy.name
           then mean_el config run
-          else mean_el config (run_plan config plan)
+          else mean_el config (run_plan { config with telemetry = None } plan)
         in
         let rows =
           List.map2
@@ -316,6 +378,12 @@ let fault_breakdown report =
         ])
     (report.baseline :: report.runs);
   t
+
+let timeline_table (r : run) =
+  Option.map (fun (tl, sg) -> Signal.table ~timeline:tl sg) r.telemetry
+
+let timeline_alarm_table (r : run) =
+  Option.map (fun (_, sg) -> Signal.alarm_table sg) r.telemetry
 
 let adapt_table (a : adapt) =
   let t =

@@ -24,12 +24,19 @@ type config = {
   workload_period : float;  (** one availability probe every this many time units *)
   seed : int;
   jobs : int;  (** trial-level parallelism; results are job-count invariant *)
+  telemetry : float option;
+      (** when [Some width], pool every trial's event stream (replayed at
+          the join in trial-index order via [Sink.buffered]) into a
+          {!Fortress_obs.Timeline} of [width]-wide windows and score the
+          defender signals over it; [None] (the default) attaches nothing
+          and leaves every output byte-identical to a telemetry-free
+          build *)
 }
 
 val default_config : config
 (** trials 12, chi 256, omega 8, kappa 0.5, horizon 400 steps, workload
-    every 20.0, seed 1, jobs 1 — the protocol-validation operating
-    point. *)
+    every 20.0, seed 1, jobs 1, telemetry off — the protocol-validation
+    operating point. *)
 
 type run = {
   plan_name : string;
@@ -44,6 +51,13 @@ type run = {
   digest : string;
       (** FNV-1a fold, in trial-index order, of the per-trial trace
           digests *)
+  telemetry : (Fortress_obs.Timeline.t * Fortress_obs.Signal.t) option;
+      (** the pooled timeline and its scored signals, present when
+          {!config.telemetry} was set. The timeline aggregates every
+          trial's stream (virtual time restarts each trial, so a window
+          pools the same phase of all trials) and is identical at every
+          job count. Detector alarms are appended to the run's [?sink]
+          after the replayed streams, in window order. *)
 }
 
 val run_plan :
@@ -107,3 +121,11 @@ val monotone_non_increasing : report -> bool
 val table : report -> Fortress_util.Table.t
 val fault_breakdown : report -> Fortress_util.Table.t
 val adapt_table : adapt -> Fortress_util.Table.t
+
+val timeline_table : run -> Fortress_util.Table.t option
+(** One row per pooled window: each defender signal's raw value, which
+    signals alarm, and the fault-plan actions that landed in the window —
+    the fault-ladder profile the ROADMAP asks for. [None] when the run
+    was made without telemetry. *)
+
+val timeline_alarm_table : run -> Fortress_util.Table.t option

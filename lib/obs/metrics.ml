@@ -76,10 +76,37 @@ let histogram_data h = h.h_data
 let find_counter t name =
   match Hashtbl.find_opt t.tbl name with Some (C c) -> c.c_value | _ -> 0
 
+let find_gauge t name =
+  match Hashtbl.find_opt t.tbl name with Some (G g) -> g.g_value | _ -> 0.0
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.tbl name with Some (H h) -> Some h.h_data | _ -> None
+
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; underflow : int; overflow : int }
+  | Histogram of {
+      count : int;
+      underflow : int;
+      overflow : int;
+      sum : float;
+      buckets : (float * float * int) list;
+    }
+
+let histogram_value data =
+  let buckets =
+    List.init (Histo.bin_count data) (fun i ->
+        let lo, hi = Histo.bin_edges data i in
+        (lo, hi, Histo.bin_value data i))
+  in
+  Histogram
+    {
+      count = Histo.count data;
+      underflow = Histo.underflow data;
+      overflow = Histo.overflow data;
+      sum = Histo.sum data;
+      buckets;
+    }
 
 let snapshot t =
   Hashtbl.fold
@@ -88,17 +115,34 @@ let snapshot t =
         match m with
         | C c -> Counter c.c_value
         | G g -> Gauge g.g_value
-        | H h ->
-            Histogram
-              {
-                count = Histo.count h.h_data;
-                underflow = Histo.underflow h.h_data;
-                overflow = Histo.overflow h.h_data;
-              }
+        | H h -> histogram_value h.h_data
       in
       (name, v) :: acc)
     t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let quantile v q =
+  match v with
+  | Counter _ | Gauge _ -> None
+  | Histogram { count; underflow; buckets; _ } ->
+      if count = 0 then None
+      else begin
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let rank = q *. float_of_int count in
+        (* Walk cumulative counts; interpolate linearly inside the owning
+           bucket. Under/overflow mass clamps to the outermost finite edges. *)
+        let rec walk cum = function
+          | [] -> ( match List.rev buckets with (_, hi, _) :: _ -> Some hi | [] -> None)
+          | (lo, hi, c) :: rest ->
+              let cum' = cum +. float_of_int c in
+              if c > 0 && rank <= cum' then
+                Some (lo +. ((rank -. cum) /. float_of_int c *. (hi -. lo)))
+              else walk cum' rest
+        in
+        if rank <= float_of_int underflow then
+          match buckets with (lo, _, _) :: _ -> Some lo | [] -> None
+        else walk (float_of_int underflow) buckets
+      end
 
 let reset t =
   Hashtbl.iter
@@ -119,8 +163,11 @@ let to_table t =
         match v with
         | Counter n -> ("counter", string_of_int n)
         | Gauge x -> ("gauge", Printf.sprintf "%.6g" x)
-        | Histogram { count; underflow; overflow } ->
-            ("histogram", Printf.sprintf "n=%d under=%d over=%d" count underflow overflow)
+        | Histogram { count; underflow; overflow; sum; _ } ->
+            let pct q = match quantile v q with Some x -> Printf.sprintf "%.4g" x | None -> "-" in
+            ( "histogram",
+              Printf.sprintf "n=%d sum=%.6g p50=%s p90=%s p99=%s under=%d over=%d" count sum
+                (pct 0.5) (pct 0.9) (pct 0.99) underflow overflow )
       in
       Table.add_row table [ name; kind; rendered ])
     (snapshot t);

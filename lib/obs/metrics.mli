@@ -41,13 +41,39 @@ val histogram_data : histogram -> Fortress_util.Histogram.t
 val find_counter : t -> string -> int
 (** Value of the named counter, or 0 when it was never registered. *)
 
+val find_gauge : t -> string -> float
+(** Value of the named gauge, or 0.0 when it was never registered. *)
+
+val find_histogram : t -> string -> Fortress_util.Histogram.t option
+(** Live data of the named histogram, or [None] when it was never
+    registered. The returned histogram is the registry's own — treat it
+    as read-only. *)
+
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; underflow : int; overflow : int }
+  | Histogram of {
+      count : int;  (** total observations, including under/overflow *)
+      underflow : int;
+      overflow : int;
+      sum : float;  (** sum of every observation *)
+      buckets : (float * float * int) list;
+          (** per-bucket [(lo, hi, count)], ascending; lo inclusive, hi
+              exclusive *)
+    }
 
 val snapshot : t -> (string * value) list
 (** All registered metrics, sorted by name. *)
+
+val histogram_value : Fortress_util.Histogram.t -> value
+(** The [Histogram] {!value} of live histogram data — what {!snapshot}
+    records for it; pairs with {!find_histogram} and {!quantile}. *)
+
+val quantile : value -> float -> float option
+(** [quantile v q] interpolates the [q]-quantile ([0..1]) from a
+    [Histogram] value's bucket counts; [None] for counters, gauges and
+    empty histograms. Mass in the under/overflow counters clamps to the
+    outermost finite bucket edges. *)
 
 val reset : t -> unit
 (** Zero every counter and gauge and empty every histogram; registrations

@@ -1,0 +1,20 @@
+(** OpenMetrics / Prometheus text exposition.
+
+    Renders a {!Metrics} snapshot (counters as [_total] series, gauges
+    verbatim, histograms as cumulative [_bucket{le="..."}] / [_sum] /
+    [_count] families using the per-bucket counts carried by
+    {!Metrics.value}) plus, optionally, the final state of a
+    {!Timeline} (window/event totals and per-key lifetime counters) and a
+    {!Signal} (latest raw/EWMA/CUSUM per signal and alarm totals). The
+    output is terminated by the OpenMetrics [# EOF] marker and is a pure
+    function of its inputs. *)
+
+val render :
+  ?prefix:string ->
+  ?metrics:Metrics.t ->
+  ?timeline:Timeline.t ->
+  ?signals:Signal.t ->
+  unit ->
+  string
+(** [prefix] defaults to ["fortress"]; metric names are sanitized to
+    [[a-zA-Z0-9_]]. *)

@@ -251,9 +251,15 @@ let fault_table s =
   t
 
 let by_label_table s =
-  let t = Table.create ~headers:[ "event"; "count" ] in
+  let t = Table.create ~headers:[ "event"; "count"; "per vt" ] in
   Table.set_align t 0 Table.Left;
-  List.iter (fun (label, n) -> Table.add_row t [ label; string_of_int n ]) s.by_label;
+  let span = s.t_max -. s.t_min in
+  let rate n =
+    if span > 0.0 then Printf.sprintf "%.4g" (float_of_int n /. span) else "-"
+  in
+  List.iter
+    (fun (label, n) -> Table.add_row t [ label; string_of_int n; rate n ])
+    s.by_label;
   t
 
 let render s =

@@ -43,8 +43,9 @@ val fault_table : t -> Fortress_util.Table.t
     "crash", "partition"). Empty for traces recorded without a plan. *)
 
 val render : t -> string
-(** Overview plus per-label counts, probe breakdown, per-step rates,
-    fault breakdown and span statistics. *)
+(** Overview plus per-label counts (with an events-per-unit-virtual-time
+    rate over the observed [t_min..t_max] span), probe breakdown,
+    per-step rates, fault breakdown and span statistics. *)
 
 type check = { metric : string; measured : float; expected : float; ok : bool }
 

@@ -149,3 +149,10 @@ let rec run ?until t =
       | Some _ | None -> if t.clock < limit then t.clock <- limit)
 
 let record t ~label detail = emit t (Obs.Event.Note { label; detail })
+
+let attach_telemetry ?(window = 100.0) ?capacity ?(alarms = true) ?params t =
+  let timeline = Obs.Timeline.create ?capacity ~registry:t.metrics ~width:window () in
+  ignore (Obs.Sink.attach t.sink (Obs.Timeline.subscriber timeline));
+  let emit = if alarms then Some (fun ~time ev -> Obs.Sink.emit t.sink ~time ev) else None in
+  let signals = Obs.Signal.create ?params ?emit ~registry:t.metrics timeline in
+  (timeline, signals)

@@ -83,3 +83,21 @@ val run : ?until:float -> t -> unit
 val record : t -> label:string -> string -> unit
 (** Convenience: emit a free-form {!Fortress_obs.Event.Note} at the current
     time; the trace bridge records it in the ring as before. *)
+
+val attach_telemetry :
+  ?window:float ->
+  ?capacity:int ->
+  ?alarms:bool ->
+  ?params:(Fortress_obs.Signal.kind -> Fortress_obs.Signal.params) ->
+  t ->
+  Fortress_obs.Timeline.t * Fortress_obs.Signal.t
+(** Attach the telemetry plane to this engine's sink: a
+    {!Fortress_obs.Timeline} of [window]-wide virtual-time windows
+    (default 100, the canonical attack step) backed by the engine's
+    metrics registry, and a {!Fortress_obs.Signal} scoring the defender
+    signals as each window closes. With [alarms] (default true) detector
+    alarms are emitted back onto the sink as ["signal.alarm"] notes, so
+    they interleave with fault-plan actions in any attached trace.
+    Entirely subscriber-side: nothing schedules, no PRNG draws, so an
+    execution's event stream is unchanged by attaching — only the trace
+    gains the alarm notes. *)

@@ -8,17 +8,36 @@ type t = {
   mutable underflow : int;
   mutable overflow : int;
   mutable total : int;
+  mutable sum : float;
 }
 
 let create_linear ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create_linear: bins must be positive";
   if hi <= lo then invalid_arg "Histogram.create_linear: hi <= lo";
-  { scale = Linear; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+  {
+    scale = Linear;
+    lo;
+    hi;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0.0;
+  }
 
 let create_log ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create_log: bins must be positive";
   if not (lo > 0.0 && hi > lo) then invalid_arg "Histogram.create_log: need 0 < lo < hi";
-  { scale = Log; lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+  {
+    scale = Log;
+    lo;
+    hi;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0.0;
+  }
 
 let position t x =
   match t.scale with
@@ -27,6 +46,7 @@ let position t x =
 
 let add t x =
   t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
   let pos = position t x in
   if pos < 0.0 then t.underflow <- t.underflow + 1
   else if pos >= 1.0 then t.overflow <- t.overflow + 1
@@ -37,6 +57,7 @@ let add t x =
   end
 
 let count t = t.total
+let sum t = t.sum
 let underflow t = t.underflow
 let overflow t = t.overflow
 let bin_count t = Array.length t.counts

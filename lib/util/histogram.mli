@@ -18,6 +18,11 @@ val add : t -> float -> unit
 val count : t -> int
 (** Total samples added, including under/overflow. *)
 
+val sum : t -> float
+(** Sum of every sample added, including under/overflow — pairs with
+    [count] to recover the mean, and backs the [_sum] series of the
+    OpenMetrics histogram exposition. *)
+
 val underflow : t -> int
 val overflow : t -> int
 

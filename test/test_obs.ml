@@ -4,6 +4,9 @@ module Metrics = Fortress_obs.Metrics
 module Span = Fortress_obs.Span
 module Sink = Fortress_obs.Sink
 module Summary = Fortress_obs.Summary
+module Timeline = Fortress_obs.Timeline
+module Signal = Fortress_obs.Signal
+module Openmetrics = Fortress_obs.Openmetrics
 module Engine = Fortress_sim.Engine
 
 (* ---- Json ---- *)
@@ -224,6 +227,38 @@ let test_metrics_histogram_snapshot_reset () =
   | _ -> Alcotest.fail "registrations must survive reset");
   Alcotest.(check bool) "renders" true (String.length (Metrics.render m) > 0)
 
+let test_metrics_find_gauge_and_histogram () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "absent gauge reads 0" 0.0 (Metrics.find_gauge m "nope");
+  Alcotest.(check bool) "absent histogram is None" true (Metrics.find_histogram m "nope" = None);
+  let g = Metrics.gauge m "clock" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "find_gauge" 2.5 (Metrics.find_gauge m "clock");
+  Alcotest.(check (float 0.0)) "find_gauge on a counter name reads 0" 0.0
+    (Metrics.find_gauge m "nope.counter");
+  let h = Metrics.histogram m ~lo:0.0 ~hi:10.0 ~bins:5 "h" in
+  List.iter (Metrics.observe h) [ 1.0; 3.0; 7.0; 42.0 ];
+  match Metrics.find_histogram m "h" with
+  | None -> Alcotest.fail "registered histogram not found"
+  | Some data -> (
+      Alcotest.(check (float 1e-9)) "Histogram.sum tracks observations" 53.0
+        (Fortress_util.Histogram.sum data);
+      match Metrics.histogram_value data with
+      | Metrics.Histogram { count; overflow; sum; buckets; _ } as v ->
+          Alcotest.(check int) "count includes overflow" 4 count;
+          Alcotest.(check int) "overflow" 1 overflow;
+          Alcotest.(check (float 1e-9)) "value carries sum" 53.0 sum;
+          Alcotest.(check int) "bucket list" 5 (List.length buckets);
+          (* rank 2 lands at the top of the [2,4) bucket *)
+          Alcotest.(check (option (float 1e-9))) "p50 interpolates" (Some 4.0)
+            (Metrics.quantile v 0.5);
+          (* overflow mass clamps to the highest finite edge *)
+          Alcotest.(check (option (float 1e-9))) "p100 clamps overflow" (Some 10.0)
+            (Metrics.quantile v 1.0);
+          Alcotest.(check bool) "counters have no quantile" true
+            (Metrics.quantile (Metrics.Counter 3) 0.5 = None)
+      | _ -> Alcotest.fail "histogram_value did not return a Histogram")
+
 (* ---- Span ---- *)
 
 let test_span_lifecycle () =
@@ -382,6 +417,351 @@ let test_engine_spans_use_virtual_time () =
       Alcotest.(check (float 0.0)) "virtual duration" 5.0 duration
   | _ -> Alcotest.fail "expected one Span_finished at t=7"
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ---- Timeline ---- *)
+
+let probe_ev ?(kind = Event.Direct) ?(outcome = Event.Crashed) () =
+  Event.Probe { kind; tier = Event.Proxy_tier; target = 0; outcome }
+
+let watched_timeline ?capacity ?registry ~width () =
+  let tl = Timeline.create ?capacity ?registry ~width () in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Timeline.subscriber tl));
+  (tl, sink)
+
+let test_timeline_window_boundaries () =
+  let tl, sink = watched_timeline ~width:10.0 () in
+  (* an event exactly on the edge t = k*width belongs to window k, and
+     negative times clamp to window 0 *)
+  List.iter
+    (fun t -> Sink.emit sink ~time:t (Event.Rekey { nodes = 1 }))
+    [ 0.0; 9.999; -3.0; 10.0; 20.0 ];
+  Timeline.finish tl;
+  match Timeline.windows tl with
+  | [ w0; w1; w2 ] ->
+      Alcotest.(check int) "window 0 owns [0,w) plus the negative clamp" 3 w0.Timeline.total;
+      Alcotest.(check (float 0.0)) "w1 lower edge" 10.0 w1.Timeline.t_lo;
+      Alcotest.(check (float 0.0)) "w1 upper edge" 20.0 w1.Timeline.t_hi;
+      Alcotest.(check int) "t = width falls in window 1" 1 w1.Timeline.total;
+      Alcotest.(check int) "t = 2*width falls in window 2" 1 w2.Timeline.total;
+      Alcotest.(check int) "events_seen" 5 (Timeline.events_seen tl);
+      Alcotest.(check int) "per-key count" 3 (Timeline.count w0 "events.rekey");
+      Alcotest.(check (float 1e-9)) "rate is count per unit vt" 0.3
+        (Timeline.rate tl w0 "events.rekey")
+  | ws -> Alcotest.failf "expected 3 windows, got %d" (List.length ws)
+
+let test_timeline_ring_eviction_and_late_drop () =
+  let tl, sink = watched_timeline ~capacity:2 ~width:1.0 () in
+  List.iter
+    (fun t -> Sink.emit sink ~time:t (Event.Rekey { nodes = 1 }))
+    [ 0.5; 1.5; 2.5; 3.5 ];
+  (* window 0 has been evicted; window 2 is still retained *)
+  Sink.emit sink ~time:0.2 (Event.Rekey { nodes = 1 });
+  Sink.emit sink ~time:2.2 (Event.Rekey { nodes = 1 });
+  Timeline.finish tl;
+  Alcotest.(check int) "four windows ever opened" 4 (Timeline.window_count tl);
+  Alcotest.(check int) "one late event dropped" 1 (Timeline.dropped tl);
+  Alcotest.(check int) "seen counts the dropped event too" 6 (Timeline.events_seen tl);
+  Alcotest.(check int) "totals count only landed events" 5 (Timeline.total tl "events.rekey");
+  match Timeline.windows tl with
+  | [ w2; w3 ] ->
+      Alcotest.(check int) "late event landed in retained window" 2 w2.Timeline.total;
+      Alcotest.(check int) "frontier window" 1 w3.Timeline.total
+  | ws -> Alcotest.failf "expected 2 retained windows, got %d" (List.length ws)
+
+let test_timeline_gap_compression () =
+  let tl, sink = watched_timeline ~capacity:4 ~width:1.0 () in
+  Sink.emit sink ~time:0.5 (Event.Rekey { nodes = 1 });
+  Sink.emit sink ~time:100.5 (Event.Rekey { nodes = 1 });
+  Timeline.finish tl;
+  (* the 96 windows the ring would immediately evict are skipped but still
+     counted; the retained ring ends at the frontier *)
+  Alcotest.(check int) "opened counts the skipped gap" 101 (Timeline.window_count tl);
+  Alcotest.(check int) "nothing dropped" 0 (Timeline.dropped tl);
+  let ws = Timeline.windows tl in
+  Alcotest.(check int) "ring holds capacity windows" 4 (List.length ws);
+  let last = List.nth ws (List.length ws - 1) in
+  Alcotest.(check int) "frontier window index" 100 last.Timeline.index;
+  Alcotest.(check int) "frontier window holds the event" 1 last.Timeline.total
+
+let test_timeline_hooks_fire_once_in_order () =
+  let tl, sink = watched_timeline ~width:1.0 () in
+  let closed = ref [] in
+  Timeline.on_window tl (fun w -> closed := w.Timeline.index :: !closed);
+  (* the jump 1.5 -> 3.5 opens the empty window 2; its hook still fires *)
+  List.iter
+    (fun t -> Sink.emit sink ~time:t (Event.Rekey { nodes = 1 }))
+    [ 0.5; 1.5; 3.5 ];
+  Alcotest.(check (list int)) "closed up to the frontier" [ 0; 1; 2 ] (List.rev !closed);
+  Timeline.finish tl;
+  Timeline.finish tl;
+  Alcotest.(check (list int)) "finish closes the frontier once" [ 0; 1; 2; 3 ]
+    (List.rev !closed)
+
+let test_timeline_registry_attribution () =
+  let reg = Metrics.create () in
+  (* timeline attached before counting: close-time snapshots exclude the
+     event that advanced the frontier *)
+  let tl, sink = watched_timeline ~registry:reg ~width:10.0 () in
+  ignore (Sink.attach sink (Sink.counting reg));
+  Sink.emit sink ~time:1.0 (Event.Rekey { nodes = 1 });
+  Sink.emit sink ~time:2.0 (Event.Rekey { nodes = 1 });
+  Sink.emit sink ~time:11.0 (Event.Rekey { nodes = 1 });
+  Timeline.finish tl;
+  (match Timeline.windows tl with
+  | [ w0; w1 ] ->
+      Alcotest.(check (option int)) "window 0 counter delta" (Some 2)
+        (List.assoc_opt "events.rekey" w0.Timeline.counters);
+      Alcotest.(check (option int)) "window 1 counter delta" (Some 1)
+        (List.assoc_opt "events.rekey" w1.Timeline.counters)
+  | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+  match Metrics.find_histogram reg "timeline.window_events" with
+  | None -> Alcotest.fail "timeline.window_events not registered"
+  | Some data ->
+      Alcotest.(check int) "one observation per closed window" 2
+        (Fortress_util.Histogram.count data)
+
+let test_timeline_ignores_signal_alarms () =
+  let tl, sink = watched_timeline ~width:10.0 () in
+  Sink.emit sink ~time:1.0 (Event.Note { label = "signal.alarm"; detail = "x" });
+  Sink.emit sink ~time:1.0 (Event.Rekey { nodes = 1 });
+  Timeline.finish tl;
+  Alcotest.(check int) "alarm notes invisible to the plane" 1 (Timeline.events_seen tl);
+  Alcotest.(check int) "not counted" 0 (Timeline.total tl "events.signal.alarm")
+
+let prop_timeline_counts_match_counting =
+  (* the per-window counts, summed, must equal the terminal Sink.counting
+     counters on the same stream — the keys mirror each other exactly *)
+  QCheck.Test.make ~count:60 ~name:"window counts sum to terminal counters"
+    QCheck.(list_of_size Gen.(int_range 0 150) (pair (float_bound_inclusive 5000.0) (int_bound 5)))
+    (fun events ->
+      let reg = Metrics.create () in
+      let tl = Timeline.create ~width:10.0 () in
+      let sink = Sink.create () in
+      ignore (Sink.attach sink (Timeline.subscriber tl));
+      ignore (Sink.attach sink (Sink.counting reg));
+      (* anchor the ring at window 0 so no out-of-order event can be
+         dropped: indices stay below the default capacity *)
+      Sink.emit sink ~time:0.0 (Event.Step { n = 0 });
+      List.iter
+        (fun (time, which) ->
+          let ev =
+            match which with
+            | 0 -> probe_ev ~kind:Event.Direct ~outcome:Event.Crashed ()
+            | 1 -> probe_ev ~kind:Event.Indirect ~outcome:Event.Intruded ()
+            | 2 -> Event.Rekey { nodes = 3 }
+            | 3 -> Event.Invalid_observed { proxy = 0 }
+            | 4 -> Event.Source_blocked { proxy = 0; source = 1 }
+            | _ -> Event.Fault { action = "crash"; target = "s"; detail = "" }
+          in
+          Sink.emit sink ~time ev)
+        events;
+      Timeline.finish tl;
+      let windows = Timeline.windows tl in
+      let summed key =
+        List.fold_left (fun acc w -> acc + Timeline.count w key) 0 windows
+      in
+      List.for_all
+        (fun (name, v) ->
+          match v with
+          | Metrics.Counter n -> summed name = n && Timeline.total tl name = n
+          | _ -> true)
+        (Metrics.snapshot reg))
+
+(* ---- Signal ---- *)
+
+(* Synthetic stream: [specs] is one (invalid-count, rekey?) pair per
+   100-vt window, in order. *)
+let feed_spec_stream sink specs =
+  List.iteri
+    (fun idx (invalid, rekey) ->
+      let base = float_of_int idx *. 100.0 in
+      Sink.emit sink ~time:base (Event.Step { n = idx });
+      if rekey then Sink.emit sink ~time:(base +. 1.0) (Event.Rekey { nodes = 1 });
+      for i = 1 to invalid do
+        Sink.emit sink ~time:(base +. 2.0 +. (0.01 *. float_of_int i))
+          (Event.Invalid_observed { proxy = 0 })
+      done)
+    specs
+
+let test_signal_staleness_cusum_alarm () =
+  let tl, sink = watched_timeline ~width:100.0 () in
+  (* rekey only in window 0; staleness then ramps by 100 vt per window.
+     With slack 150 / threshold 250 the CUSUM crosses at window 4:
+     s = 0, 0, 50, 200, 450 -> alarm, reset; then 350 and 450 again. *)
+  feed_spec_stream sink
+    [ (0, true); (0, false); (0, false); (0, false); (0, false); (0, false); (0, false) ];
+  Timeline.finish tl;
+  let sg = Signal.of_timeline tl in
+  let stale_alarms =
+    List.filter_map
+      (fun (k, p) -> if k = Signal.Rekey_staleness then Some p.Signal.window else None)
+      (Signal.alarms sg)
+  in
+  Alcotest.(check (list int)) "alarm windows" [ 4; 5; 6 ] stale_alarms;
+  let pts = Signal.series sg Signal.Rekey_staleness in
+  Alcotest.(check int) "one point per window" 7 (List.length pts);
+  Alcotest.(check (float 1e-9)) "staleness at window 3" 300.0
+    ((List.nth pts 3).Signal.raw);
+  match Signal.latest sg Signal.Rekey_staleness with
+  | Some p -> Alcotest.(check (float 1e-9)) "latest raw" 600.0 p.Signal.raw
+  | None -> Alcotest.fail "no latest point"
+
+let test_signal_rate_burst_alarm_and_steady_silence () =
+  let steady = List.init 10 (fun _ -> (5, true)) in
+  (* steady 0.05/vt: the adaptive reference tracks it, no alarms *)
+  let tl, sink = watched_timeline ~width:100.0 () in
+  feed_spec_stream sink steady;
+  Timeline.finish tl;
+  let sg = Signal.of_timeline tl in
+  Alcotest.(check int) "steady stream raises nothing" 0 (List.length (Signal.alarms sg));
+  (* same stream plus a 8x burst: invalid-probe-rate alarms on the jump *)
+  let tl, sink = watched_timeline ~width:100.0 () in
+  feed_spec_stream sink (steady @ [ (40, true) ]);
+  Timeline.finish tl;
+  let sg = Signal.of_timeline tl in
+  let invalid_alarms =
+    List.filter_map
+      (fun (k, p) -> if k = Signal.Invalid_probe_rate then Some p.Signal.window else None)
+      (Signal.alarms sg)
+  in
+  Alcotest.(check (list int)) "burst trips the detector on its window" [ 10 ] invalid_alarms
+
+let test_signal_streaming_equals_batch () =
+  let specs = [ (5, true); (5, false); (30, false); (2, true); (0, false); (12, false) ] in
+  let batch_tl, batch_sink = watched_timeline ~width:100.0 () in
+  feed_spec_stream batch_sink specs;
+  Timeline.finish batch_tl;
+  let batch = Signal.of_timeline batch_tl in
+  let stream_tl, stream_sink = watched_timeline ~width:100.0 () in
+  let stream = Signal.create stream_tl in
+  feed_spec_stream stream_sink specs;
+  Timeline.finish stream_tl;
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Signal.kind_name kind ^ " series agree")
+        true
+        (Signal.series batch kind = Signal.series stream kind))
+    Signal.all;
+  Alcotest.(check bool) "alarm lists agree" true (Signal.alarms batch = Signal.alarms stream);
+  (* and the batch fold is reproducible from the same timeline *)
+  let again = Signal.of_timeline batch_tl in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Signal.kind_name kind ^ " refold identical")
+        true
+        (Signal.series batch kind = Signal.series again kind))
+    Signal.all
+
+let test_signal_alarms_emit_without_feedback () =
+  let reg = Metrics.create () in
+  let tl = Timeline.create ~width:100.0 () in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Timeline.subscriber tl));
+  ignore (Sink.attach sink (Sink.counting reg));
+  (* streaming signals publishing alarms back onto the watched sink *)
+  let sg = Signal.create ~emit:(fun ~time ev -> Sink.emit sink ~time ev) tl in
+  feed_spec_stream sink
+    [ (0, true); (0, false); (0, false); (0, false); (0, false); (0, false) ];
+  Timeline.finish tl;
+  Alcotest.(check bool) "staleness alarmed" true (List.length (Signal.alarms sg) > 0);
+  Alcotest.(check int) "alarm notes reached other subscribers"
+    (List.length (Signal.alarms sg))
+    (Metrics.find_counter reg "events.signal.alarm");
+  Alcotest.(check int) "plane blind to its own detector" 0
+    (Timeline.total tl "events.signal.alarm")
+
+let test_signal_table_renders () =
+  let tl, sink = watched_timeline ~width:100.0 () in
+  Sink.emit sink ~time:1.0 (Event.Fault { action = "crash"; target = "s"; detail = "" });
+  Sink.emit sink ~time:101.0 (Event.Rekey { nodes = 1 });
+  Timeline.finish tl;
+  let sg = Signal.of_timeline tl in
+  let rendered = Fortress_util.Table.render (Signal.table ~timeline:tl sg) in
+  Alcotest.(check bool) "fault column aligned" true (contains ~needle:"crash:1" rendered);
+  Alcotest.(check bool) "has signal columns" true (contains ~needle:"stale" rendered)
+
+(* ---- Engine telemetry ---- *)
+
+let test_engine_attach_telemetry () =
+  let e = Engine.create () in
+  let tl, sg = Engine.attach_telemetry ~window:10.0 e in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () -> Engine.emit e (Event.Rekey { nodes = 2 })));
+  ignore
+    (Engine.schedule e ~delay:25.0 (fun () ->
+         Engine.emit e (Event.Invalid_observed { proxy = 0 })));
+  Engine.run e;
+  Timeline.finish tl;
+  Alcotest.(check int) "timeline saw the rekey" 1 (Timeline.total tl "events.rekey");
+  Alcotest.(check int) "three windows" 3 (List.length (Timeline.windows tl));
+  Alcotest.(check int) "one signal point per window" 3
+    (List.length (Signal.series sg Signal.Invalid_probe_rate));
+  (* the engine registry carries the signal gauges and window histogram *)
+  Alcotest.(check (float 1e-9)) "stale gauge live in engine metrics" 20.0
+    (Fortress_obs.Metrics.find_gauge (Engine.metrics e) "signal.stale");
+  Alcotest.(check bool) "window histogram registered" true
+    (Fortress_obs.Metrics.find_histogram (Engine.metrics e) "timeline.window_events" <> None)
+
+(* ---- OpenMetrics ---- *)
+
+let test_openmetrics_exposition () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter reg "events.rekey");
+  Metrics.set (Metrics.gauge reg "clock") 12.5;
+  let h = Metrics.histogram reg ~lo:0.0 ~hi:10.0 ~bins:5 "lat" in
+  List.iter (Metrics.observe h) [ 1.0; 3.0; 7.0; 42.0 ];
+  let tl = Timeline.create ~width:100.0 () in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Timeline.subscriber tl));
+  feed_spec_stream sink [ (2, true); (1, false) ];
+  Timeline.finish tl;
+  let sg = Signal.of_timeline ~registry:reg tl in
+  let text = Openmetrics.render ~metrics:reg ~timeline:tl ~signals:sg () in
+  Alcotest.(check bool) "terminated" true (String.ends_with ~suffix:"# EOF\n" text);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle text))
+    [
+      "fortress_events_rekey_total 3";
+      "fortress_clock 12.5";
+      "fortress_lat_bucket{le=\"+Inf\"} 4";
+      "fortress_lat_sum 53";
+      "fortress_lat_count 4";
+      "fortress_timeline_windows 2";
+      "fortress_timeline_key_total{key=\"events.invalid_observed\"} 3";
+      "fortress_signal_raw{signal=\"rekey-staleness\"}";
+      "fortress_signal_alarms_total{signal=\"crash-burst\"} 0";
+    ];
+  (* cumulative buckets never decrease *)
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if String.length line > 19 && String.sub line 0 19 = "fortress_lat_bucket" then
+          String.index_opt line '}'
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.trim (String.sub line (i + 1) (String.length line - i - 1))))
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "buckets cumulative" true
+    (List.sort compare bucket_counts = bucket_counts);
+  (* exactly one family per name: the registry's signal.* entries are
+     superseded by the labelled signal section *)
+  let type_lines =
+    List.filter (String.starts_with ~prefix:"# TYPE") (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "no duplicate families"
+    (List.length (List.sort_uniq compare type_lines))
+    (List.length type_lines)
+
 (* ---- Summary ---- *)
 
 let campaign_trace () =
@@ -437,11 +817,6 @@ let test_summary_malformed_lines () =
   Alcotest.(check int) "two parsed" 2 s.Summary.total;
   Alcotest.(check int) "one malformed (blank skipped)" 1 s.Summary.malformed
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
-
 let test_summary_fault_breakdown () =
   let events =
     [
@@ -459,6 +834,16 @@ let test_summary_fault_breakdown () =
   let rendered = Summary.render s in
   Alcotest.(check bool) "render has fault section" true
     (contains ~needle:"injected faults by action" rendered)
+
+let test_summary_rate_column () =
+  let events = List.init 5 (fun i -> (float_of_int i *. 2.0, Event.Rekey { nodes = 1 })) in
+  let rendered = Summary.render (Summary.of_events events) in
+  Alcotest.(check bool) "per-vt column present" true (contains ~needle:"per vt" rendered);
+  (* 5 events over a span of 8 vt *)
+  Alcotest.(check bool) "rate rendered" true (contains ~needle:"0.625" rendered);
+  (* a single-timestamp trace has no usable span *)
+  let one = Summary.render (Summary.of_events [ (1.0, Event.Rekey { nodes = 1 }) ]) in
+  Alcotest.(check bool) "degenerate span renders a dash" true (contains ~needle:"-" one)
 
 let test_summary_no_faults_no_section () =
   let s = Summary.of_events [ (1.0, Event.Rekey { nodes = 3 }) ] in
@@ -505,7 +890,34 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
           Alcotest.test_case "histogram, snapshot, reset" `Quick
             test_metrics_histogram_snapshot_reset;
+          Alcotest.test_case "find_gauge, find_histogram, quantile" `Quick
+            test_metrics_find_gauge_and_histogram;
         ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "window boundaries" `Quick test_timeline_window_boundaries;
+          Alcotest.test_case "ring eviction and late drop" `Quick
+            test_timeline_ring_eviction_and_late_drop;
+          Alcotest.test_case "gap compression" `Quick test_timeline_gap_compression;
+          Alcotest.test_case "close hooks fire once in order" `Quick
+            test_timeline_hooks_fire_once_in_order;
+          Alcotest.test_case "registry attribution" `Quick test_timeline_registry_attribution;
+          Alcotest.test_case "ignores signal alarms" `Quick test_timeline_ignores_signal_alarms;
+          QCheck_alcotest.to_alcotest prop_timeline_counts_match_counting;
+        ] );
+      ( "signal",
+        [
+          Alcotest.test_case "staleness CUSUM alarm" `Quick test_signal_staleness_cusum_alarm;
+          Alcotest.test_case "rate burst alarms, steady silent" `Quick
+            test_signal_rate_burst_alarm_and_steady_silence;
+          Alcotest.test_case "streaming equals batch" `Quick test_signal_streaming_equals_batch;
+          Alcotest.test_case "alarms emit without feedback" `Quick
+            test_signal_alarms_emit_without_feedback;
+          Alcotest.test_case "table renders fault alignment" `Quick test_signal_table_renders;
+          Alcotest.test_case "engine attach_telemetry" `Quick test_engine_attach_telemetry;
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "exposition format" `Quick test_openmetrics_exposition ] );
       ( "span",
         [ Alcotest.test_case "lifecycle" `Quick test_span_lifecycle ] );
       ( "sink",
@@ -530,6 +942,7 @@ let () =
           Alcotest.test_case "jsonl file round-trip" `Quick test_summary_jsonl_file_roundtrip;
           Alcotest.test_case "malformed lines" `Quick test_summary_malformed_lines;
           Alcotest.test_case "fault breakdown" `Quick test_summary_fault_breakdown;
+          Alcotest.test_case "per-label rate column" `Quick test_summary_rate_column;
           Alcotest.test_case "no faults, no section" `Quick test_summary_no_faults_no_section;
         ] );
       ( "validation",

@@ -120,6 +120,38 @@ let test_inject_jobs_invariant () =
   Alcotest.(check int) "issued" r1.Inject.requests_issued r4.Inject.requests_issued;
   Alcotest.(check bool) "fault stats" true (r1.Inject.faults = r4.Inject.faults)
 
+let test_inject_timeline_jobs_invariant () =
+  (* the pooled telemetry plane is built by replaying per-trial buffers at
+     the join in trial-index order, so windows, signal series and alarms
+     must be identical at any job count — and turning it on must not move
+     the trace digest *)
+  let module Timeline = Fortress_obs.Timeline in
+  let module Signal = Fortress_obs.Signal in
+  let run jobs telemetry =
+    Inject.run_plan { Inject.default_config with trials = 6; jobs; telemetry } Plan.chaos
+  in
+  let r1 = run 1 (Some 100.0) and r4 = run 4 (Some 100.0) in
+  Alcotest.(check string) "digest" r1.Inject.digest r4.Inject.digest;
+  Alcotest.(check string) "telemetry leaves the digest alone"
+    (run 1 None).Inject.digest r1.Inject.digest;
+  match (r1.Inject.telemetry, r4.Inject.telemetry) with
+  | Some (tl1, sg1), Some (tl4, sg4) ->
+      Alcotest.(check int) "events pooled" (Timeline.events_seen tl1)
+        (Timeline.events_seen tl4);
+      Alcotest.(check bool) "windows identical" true
+        (Timeline.windows tl1 = Timeline.windows tl4);
+      Alcotest.(check bool) "totals identical" true
+        (Timeline.totals tl1 = Timeline.totals tl4);
+      List.iter
+        (fun kind ->
+          Alcotest.(check bool)
+            (Signal.kind_name kind ^ " series identical")
+            true
+            (Signal.series sg1 kind = Signal.series sg4 kind))
+        Signal.all;
+      Alcotest.(check bool) "alarms identical" true (Signal.alarms sg1 = Signal.alarms sg4)
+  | _ -> Alcotest.fail "telemetry missing from a run that requested it"
+
 (* ---- Convergence.merge ---- *)
 
 let test_convergence_merge_equals_sequential () =
@@ -246,6 +278,8 @@ let () =
             test_step_level_jobs_invariant;
           Alcotest.test_case "inject digest invariant in jobs" `Slow
             test_inject_jobs_invariant;
+          Alcotest.test_case "inject timeline invariant in jobs" `Slow
+            test_inject_timeline_jobs_invariant;
         ] );
       ( "convergence",
         [
