@@ -98,6 +98,23 @@ def main():
         return 1
     print(f"ok       adaptive_overhead ratio: {ratio:.3f} <= {ADAPTIVE_MAX_RATIO:.2f}")
 
+    # Defender-controller overhead follows the same discipline: the static
+    # strategy attaches the full sensing stack (in-trial telemetry plane,
+    # per-boundary observation assembly) but never acts, and may cost at
+    # most 5% over a controller-free run of the identical seeded campaign.
+    DEFENDER_MAX_RATIO = 1.05
+    defender = cur.get("defender_overhead")
+    if defender is None:
+        print("MISSING  defender_overhead: not in current report")
+        return 1
+    ratio = defender["ratio"]
+    if ratio > DEFENDER_MAX_RATIO:
+        print(f"FAIL     defender_overhead ratio: {ratio:.3f} > {DEFENDER_MAX_RATIO:.2f} "
+              f"(static {defender['static_seconds']:.3f}s vs "
+              f"plain {defender['plain_seconds']:.3f}s)")
+        return 1
+    print(f"ok       defender_overhead ratio: {ratio:.3f} <= {DEFENDER_MAX_RATIO:.2f}")
+
     # The telemetry plane (timeline + signal subscriber) is likewise a
     # same-process ratio against an untelemetered pass of the identical
     # seeded campaign: attaching the plane may cost at most 5% of the

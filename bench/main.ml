@@ -419,8 +419,40 @@ let measure_adaptive_overhead () =
   let ratio = if fixed_seconds > 0.0 then oblivious_seconds /. fixed_seconds else 0.0 in
   (fixed_seconds, oblivious_seconds, ratio)
 
+(* Defender-controller overhead: the static strategy attaches the full
+   sensing stack (an extra in-trial timeline + signal plane, observation
+   assembly every boundary, a decide that always answers "unchanged") yet
+   must stay byte-identical to the undefended path and within a few
+   percent of its cost — the price the control loop charges when it never
+   acts. Same paired-pass shape as measure_adaptive_overhead. *)
+let measure_defender_overhead () =
+  let module Inject = Fortress_exp.Inject in
+  let module Plan = Fortress_faults.Plan in
+  let module Controller = Fortress_defense.Controller in
+  let config = { Inject.default_config with trials = 8; chi = 256; seed = 42 } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  ignore (Inject.run_plan { config with trials = 2 } Plan.lossy);
+  ignore
+    (Inject.run_plan ~defender:Controller.Strategy.static { config with trials = 2 }
+       Plan.lossy);
+  let plain, plain_seconds = time (fun () -> Inject.run_plan config Plan.lossy) in
+  let static, static_seconds =
+    time (fun () ->
+        Inject.run_plan ~defender:Controller.Strategy.static config Plan.lossy)
+  in
+  if plain.Inject.digest <> static.Inject.digest then
+    failwith
+      (Printf.sprintf "static defender diverged from the undefended run: %s <> %s"
+         static.Inject.digest plain.Inject.digest);
+  let ratio = if plain_seconds > 0.0 then static_seconds /. plain_seconds else 0.0 in
+  (plain_seconds, static_seconds, ratio)
+
 let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler
-    ~speedup ~adaptive ~timeline =
+    ~speedup ~adaptive ~defender ~timeline =
   let module J = Fortress_obs.Json in
   let secs =
     List.rev_map
@@ -476,6 +508,14 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
              [
                ("fixed_seconds", J.Num fixed_s);
                ("oblivious_seconds", J.Num obl_s);
+               ("ratio", J.Num ratio);
+             ]) );
+        ( "defender_overhead",
+          (let plain_s, static_s, ratio = defender in
+           J.Obj
+             [
+               ("plain_seconds", J.Num plain_s);
+               ("static_seconds", J.Num static_s);
                ("ratio", J.Num ratio);
              ]) );
         ( "timeline_overhead",
@@ -610,6 +650,12 @@ let () =
   Printf.printf "fixed schedule  %8.3f s\noblivious loop  %8.3f s  (%.2fx)\n" fixed_s obl_s
     ratio;
   Printf.printf "digests bit-identical across the two paths: yes (asserted)\n\n";
+  let defender = measure_defender_overhead () in
+  let plain_s, static_s, def_ratio = defender in
+  Printf.printf "== defender controller overhead (static strategy vs no controller) ==\n";
+  Printf.printf "no controller   %8.3f s\nstatic defender %8.3f s  (%.2fx)\n" plain_s
+    static_s def_ratio;
+  Printf.printf "digests bit-identical across the two paths: yes (asserted)\n\n";
   let timeline = measure_timeline_overhead () in
   let base_s, sub_s, tl_ratio = timeline in
   Printf.printf "== telemetry plane overhead (timeline + signal subscriber) ==\n";
@@ -620,5 +666,5 @@ let () =
   let wall_seconds = Unix.gettimeofday () -. t_start in
   let path = "BENCH_fortress.json" in
   write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup
-    ~adaptive ~timeline;
+    ~adaptive ~defender ~timeline;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path

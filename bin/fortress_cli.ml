@@ -420,10 +420,28 @@ let inject_cmd =
   in
   let strategy_arg =
     let doc =
-      "Adaptive attack strategy: oblivious | stale-key-rush | partition-follower. Omit for \
-       the fixed-schedule attacker; oblivious is bit-identical to it and reports dEL 0."
+      "Adaptive attack strategy: oblivious | stale-key-rush | partition-follower | \
+       probe-pacer (rate-limits probes below the proxies' suspicion window after a source \
+       burns). Omit for the fixed-schedule attacker; oblivious is bit-identical to it and \
+       reports dEL 0."
     in
     Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+  in
+  let defender_arg =
+    let doc =
+      "Adaptive defender: static | alarm-rekey | threshold-tightener | mdp (the \
+       value-iteration lookup-table policy). Omit for the fixed defense schedule; static \
+       observes through the same telemetry plane but never acts and is bit-identical to it."
+    in
+    Arg.(value & opt (some string) None & info [ "defender" ] ~docv:"NAME" ~doc)
+  in
+  let game_arg =
+    Arg.(value & flag
+         & info [ "game" ]
+             ~doc:"Run the 2x2 {oblivious, stale-key-rush} x {static, alarm-rekey} \
+                   attacker/defender cross over the selected plans on paired seeds, with \
+                   the MDP model-level lifetimes as the benchmark bound. Ignores \
+                   --strategy/--defender/--smr/--timeline.")
   in
   let smr_arg =
     Arg.(value & flag
@@ -435,8 +453,8 @@ let inject_cmd =
          & info [ "timeline" ] ~docv:"WIDTH"
              ~doc:"Pool every trial's event stream into a windowed timeline ($(docv) virtual-time units per window, e.g. 100 = one attack step), score the defender signals over it and print the fault-aligned signal table. Off by default; attaching it does not change any other output.")
   in
-  let run plan trials seed chi omega kappa steps jobs strategy smr timeline csv trace_out
-      metrics =
+  let run plan trials seed chi omega kappa steps jobs strategy defender game smr timeline
+      csv trace_out metrics =
     (match timeline with
     | Some w when not (w > 0.0) ->
         Printf.eprintf "fortress-cli: --timeline width must be positive (got %g)\n" w;
@@ -463,11 +481,35 @@ let inject_cmd =
                 (String.concat " | " Fortress_attack.Adaptive.Strategy.names);
               exit 2)
     in
+    let defender =
+      match defender with
+      | None -> None
+      | Some name -> (
+          match Inject.find_defender name with
+          | Some d -> Some d
+          | None ->
+              Printf.eprintf "fortress-cli: unknown defender %S (try %s)\n" name
+                (String.concat " | " Inject.defender_names);
+              exit 2)
+    in
+    if game then begin
+      let config = { Inject.default_config with trials; seed; chi; omega; kappa;
+                     max_steps = steps; jobs } in
+      let g = Inject.run_game ~config ~plans () in
+      Printf.printf "2x2 attacker/defender game (plan %s):\n" plan;
+      print_table ~csv (Inject.game_table g);
+      Printf.printf
+        "\nMDP benchmark (model-level expected lifetime): optimal %.1f, static %.1f\n"
+        g.Inject.mdp_optimal g.Inject.mdp_static;
+      Printf.printf "operating point: chi=%d omega=%d kappa=%g trials=%d seed=%d\n" chi
+        omega kappa trials seed;
+      exit 0
+    end;
     with_obs ~trace_out ~metrics (fun sink ->
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
                        max_steps = steps; jobs; telemetry = timeline } in
         let stack = if smr then `Smr else `Fortress in
-        let report = Inject.run ~sink ?strategy ~stack ~config ~plans () in
+        let report = Inject.run ~sink ?strategy ?defender ~stack ~config ~plans () in
         print_table ~csv (Inject.table report);
         print_newline ();
         print_table ~csv (Inject.fault_breakdown report);
@@ -476,6 +518,11 @@ let inject_cmd =
         | Some adapt ->
             Printf.printf "\nadaptive vs oblivious (strategy %s):\n" adapt.Inject.strategy_name;
             print_table ~csv (Inject.adapt_table adapt));
+        (match report.Inject.defend with
+        | None -> ()
+        | Some defend ->
+            Printf.printf "\ndefended vs static (defender %s):\n" defend.Inject.defender_name;
+            print_table ~csv (Inject.defend_table defend));
         List.iter
           (fun (r : Inject.run) ->
             match Inject.timeline_table r with
@@ -490,11 +537,14 @@ let inject_cmd =
                     Option.iter (print_table ~csv) (Inject.timeline_alarm_table r)
                 | _ -> ()))
           (report.Inject.baseline :: report.Inject.runs);
-        Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d%s%s\n" chi
-          omega kappa trials seed
+        Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d%s%s%s\n"
+          chi omega kappa trials seed
           (match strategy with
           | None -> ""
           | Some s -> " strategy=" ^ s.Fortress_attack.Adaptive.Strategy.name)
+          (match defender with
+          | None -> ""
+          | Some d -> " defender=" ^ d.Fortress_defense.Controller.Strategy.name)
           (if smr then " stack=smr" else "");
         (* stable one-line-per-plan digests, for reproducibility diffing *)
         List.iter
@@ -507,7 +557,8 @@ let inject_cmd =
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
           $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ strategy_arg
-          $ smr_arg $ timeline_arg $ csv_arg $ trace_out_arg $ metrics_arg)
+          $ defender_arg $ game_arg $ smr_arg $ timeline_arg $ csv_arg $ trace_out_arg
+          $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"

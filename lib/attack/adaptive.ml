@@ -62,7 +62,43 @@ module Strategy = struct
             end);
     }
 
-  let builtins = [ oblivious; stale_key_rush; partition_follower ]
+  (* The moment a source is burned the proxies' suspicion window is
+     evidently biting: switch probe pacing to rate-limited mode (stay
+     below the per-window threshold the burn reveals) and return to
+     uniform pacing after three steps with no further burns. Exercises
+     the [Pacing] plumbing end to end — the defender's threshold knob
+     and this strategy are duals. *)
+  let probe_pacer =
+    {
+      name = "probe-pacer";
+      describe = "rate-limits probes below the suspicion window after a source burns";
+      make =
+        (fun ~default_kappa:_ ->
+          let pacing = ref false and quiet = ref 0 in
+          fun obs ->
+            if obs.Observation.sources_burned > 0 then begin
+              quiet := 0;
+              if !pacing then Directive.unchanged
+              else begin
+                pacing := true;
+                Directive.make
+                  ~pacing:(Pacing.Below_threshold { window = 100.0; threshold = 8 })
+                  ()
+              end
+            end
+            else if !pacing then begin
+              incr quiet;
+              if !quiet >= 3 then begin
+                pacing := false;
+                quiet := 0;
+                Directive.make ~pacing:Pacing.Uniform ()
+              end
+              else Directive.unchanged
+            end
+            else Directive.unchanged);
+    }
+
+  let builtins = [ oblivious; stale_key_rush; partition_follower; probe_pacer ]
   let names = List.map (fun s -> s.name) builtins
   let find name = List.find_opt (fun s -> s.name = name) builtins
 end

@@ -41,6 +41,12 @@ module Strategy : sig
       partition plans, where probes at unreachable proxies are wasted
       budget. *)
 
+  val probe_pacer : t
+  (** After a source burns, switch probe pacing to
+      [Pacing.Below_threshold] (stay under the suspicion window the burn
+      reveals); return to uniform pacing after three steps without a
+      burn. The dual of the defender's threshold-tightener. *)
+
   val builtins : t list
   val names : string list
   val find : string -> t option

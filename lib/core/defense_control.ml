@@ -1,0 +1,64 @@
+module Controller = Fortress_defense.Controller
+
+(* The wiring layer between the deployment-agnostic controller and the two
+   concrete stacks. The controller library sits below fortress_core, so it
+   steers through an actuator of closures built here; the signal it reads
+   comes from [attach_telemetry ~alarms:false] so that attaching a defender
+   that never acts leaves the event trace byte-identical to an undefended
+   run (the [static] conformance contract). *)
+
+let attach ?window ?capacity ?params ?(period : float option) deployment ~obfuscation strategy
+    =
+  let engine = Deployment.engine deployment in
+  let _timeline, signal =
+    Deployment.attach_telemetry ?window ?capacity ?params ~alarms:false deployment
+  in
+  let defaults : Controller.defaults =
+    {
+      rekey_period = Obfuscation.period obfuscation;
+      threshold = (Deployment.config deployment).Deployment.proxy.Proxy.detection_threshold;
+    }
+  in
+  let actuator =
+    {
+      Controller.set_rekey_period = (fun p -> Obfuscation.set_period obfuscation p);
+      set_threshold =
+        (fun k ->
+          Array.iter
+            (fun proxy -> Proxy.set_detection_threshold proxy k)
+            (Deployment.proxies deployment));
+      rekey_now = (fun () -> Deployment.rekey deployment);
+      recover_now = (fun () -> Deployment.recover deployment);
+    }
+  in
+  let period =
+    match period with Some p -> p | None -> Obfuscation.period obfuscation
+  in
+  Controller.launch ~engine ~signal ~period ~defaults ~actuator strategy
+
+let attach_smr ?window ?capacity ?params ?(period : float option) deployment ~schedule
+    strategy =
+  let engine = Smr_deployment.engine deployment in
+  let _timeline, signal =
+    Smr_deployment.attach_telemetry ?window ?capacity ?params ~alarms:false deployment
+  in
+  let defaults : Controller.defaults =
+    {
+      rekey_period = Smr_deployment.schedule_period schedule;
+      (* S0 has no proxy tier; the threshold knob is a graceful no-op. *)
+      threshold = 1;
+    }
+  in
+  let actuator =
+    {
+      Controller.set_rekey_period =
+        (fun p -> Smr_deployment.set_schedule_period schedule p);
+      set_threshold = (fun _ -> ());
+      rekey_now = (fun () -> Smr_deployment.force_boundary schedule);
+      recover_now = (fun () -> Smr_deployment.force_boundary schedule);
+    }
+  in
+  let period =
+    match period with Some p -> p | None -> Smr_deployment.schedule_period schedule
+  in
+  Controller.launch ~engine ~signal ~period ~defaults ~actuator strategy

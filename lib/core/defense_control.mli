@@ -1,0 +1,43 @@
+(** Wire a {!Fortress_defense.Controller} to a live deployment.
+
+    The controller library sits {e below} fortress_core in the dependency
+    order, so it never sees a deployment: it acts through an actuator of
+    closures built here. Sensing goes through
+    [attach_telemetry ~alarms:false] — the signal plane records alarms for
+    the query API without re-emitting them onto the sink, so attaching a
+    defender whose strategy never acts (notably
+    {!Fortress_defense.Controller.Strategy.static}) leaves the event trace
+    byte-identical to an undefended run. *)
+
+val attach :
+  ?window:float ->
+  ?capacity:int ->
+  ?params:(Fortress_obs.Signal.kind -> Fortress_obs.Signal.params) ->
+  ?period:float ->
+  Deployment.t ->
+  obfuscation:Obfuscation.t ->
+  Fortress_defense.Controller.Strategy.t ->
+  Fortress_defense.Controller.t
+(** Attach a defender to a FORTRESS (S1/S2) deployment. Defaults come
+    from the live configuration ([Obfuscation.period] and the configured
+    proxy suspicion threshold); the actuator drives
+    {!Obfuscation.set_period}, {!Proxy.set_detection_threshold} on every
+    proxy, and {!Deployment.rekey} / {!Deployment.recover} for boosts.
+    [period] is the controller boundary spacing (default: the obfuscation
+    period, so decisions land between obfuscation boundaries). Telemetry
+    options are passed through to {!Deployment.attach_telemetry}. *)
+
+val attach_smr :
+  ?window:float ->
+  ?capacity:int ->
+  ?params:(Fortress_obs.Signal.kind -> Fortress_obs.Signal.params) ->
+  ?period:float ->
+  Smr_deployment.t ->
+  schedule:Smr_deployment.schedule ->
+  Fortress_defense.Controller.Strategy.t ->
+  Fortress_defense.Controller.t
+(** Attach a defender to the S0 SMR baseline. The rekey-period knob
+    drives {!Smr_deployment.set_schedule_period}; both boosts run
+    {!Smr_deployment.force_boundary} (recovery is the batched boundary
+    there); the proxy-threshold knob is a graceful no-op — S0 has no
+    proxy tier. *)

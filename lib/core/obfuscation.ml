@@ -8,47 +8,77 @@ let mode_of_string = function "po" -> Some PO | "so" -> Some SO | _ -> None
 
 type t = {
   obf_mode : mode;
-  obf_period : float;
+  mutable obf_period : float;
   mutable steps : int;
   mutable obf_stalled : bool;
   mutable skipped : int;
-  handle : Engine.handle;
+  mutable detached : bool;
+  mutable pending : Engine.handle option;
 }
 
+(* The boundary series is a self-re-arming chain of [schedule_at] events
+   rather than [Engine.every] so the period can move between boundaries
+   (the adaptive defender's rekey-period actuator). The chain replicates
+   [every]'s exact semantics — body first, then re-arm at [now + period],
+   one enqueue per boundary — so a run whose period never moves is
+   byte-identical to the historical [every]-based schedule. *)
 let attach deployment ~mode ~period =
   if period <= 0.0 then invalid_arg "Obfuscation.attach: period must be positive";
-  let t_ref = ref None in
   let engine = Deployment.engine deployment in
-  let handle =
-    Engine.every engine ~period (fun () ->
-        match !t_ref with
-        | Some t when t.obf_stalled ->
-            (* the daemon is wedged: the boundary silently does not happen,
-               so every key stays exactly as exposed as it already was *)
-            t.skipped <- t.skipped + 1;
-            Engine.emit engine
-              (Event.Fault
-                 {
-                   action = "stall_skip";
-                   target = "obfuscation";
-                   detail = Printf.sprintf "%s boundary skipped" (mode_to_string mode);
-                 })
-        | (Some _ | None) as r -> (
-            (match mode with
-            | PO -> Deployment.rekey deployment
-            | SO -> Deployment.recover deployment);
-            match r with Some t -> t.steps <- t.steps + 1 | None -> ()))
-  in
   let t =
-    { obf_mode = mode; obf_period = period; steps = 0; obf_stalled = false; skipped = 0; handle }
+    {
+      obf_mode = mode;
+      obf_period = period;
+      steps = 0;
+      obf_stalled = false;
+      skipped = 0;
+      detached = false;
+      pending = None;
+    }
   in
-  t_ref := Some t;
+  let rec arm () =
+    t.pending <-
+      Some
+        (Engine.schedule_at engine
+           ~time:(Engine.now engine +. t.obf_period)
+           (fun () ->
+             if not t.detached then begin
+               (if t.obf_stalled then begin
+                  (* the daemon is wedged: the boundary silently does not happen,
+                     so every key stays exactly as exposed as it already was *)
+                  t.skipped <- t.skipped + 1;
+                  Engine.emit engine
+                    (Event.Fault
+                       {
+                         action = "stall_skip";
+                         target = "obfuscation";
+                         detail = Printf.sprintf "%s boundary skipped" (mode_to_string mode);
+                       })
+                end
+                else begin
+                  (match mode with
+                  | PO -> Deployment.rekey deployment
+                  | SO -> Deployment.recover deployment);
+                  t.steps <- t.steps + 1
+                end);
+               arm ()
+             end))
+  in
+  arm ();
   t
 
 let mode t = t.obf_mode
 let period t = t.obf_period
 let steps_completed t = t.steps
+
+let set_period t p =
+  if p <= 0.0 then invalid_arg "Obfuscation.set_period: period must be positive";
+  t.obf_period <- p
+
 let set_stalled t v = t.obf_stalled <- v
 let stalled t = t.obf_stalled
 let skipped_boundaries t = t.skipped
-let detach t = Engine.cancel t.handle
+
+let detach t =
+  t.detached <- true;
+  Option.iter Engine.cancel t.pending

@@ -21,8 +21,18 @@ val attach : Deployment.t -> mode:mode -> period:float -> t
     [period] thereafter. *)
 
 val mode : t -> mode
+
 val period : t -> float
+(** The current boundary spacing (mutable via {!set_period}). *)
+
 val steps_completed : t -> int
+
+val set_period : t -> float -> unit
+(** Defender actuator: change the boundary spacing. Takes effect when the
+    already-armed boundary fires — the next interval, not the current one —
+    so a mid-interval change never reschedules an in-flight boundary and a
+    run that never calls this is byte-identical to a fixed schedule.
+    Raises [Invalid_argument] on a non-positive period. *)
 
 val set_stalled : t -> bool -> unit
 (** Fault hook: while stalled, boundaries fire but perform no rekey /

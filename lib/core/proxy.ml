@@ -31,6 +31,10 @@ type t = {
   pending : (string, pending) Hashtbl.t;  (** request id -> waiting clients *)
   invalid_log : (Address.t, float Queue.t) Hashtbl.t;  (** source -> event times *)
   blocked : (Address.t, unit) Hashtbl.t;
+  mutable eff_threshold : int;
+      (** live suspicion threshold; starts at [config.detection_threshold]
+          and moves only through {!set_detection_threshold} (the adaptive
+          defender's effective-kappa actuator) *)
   mutable invalid_total : int;
   mutable forwarded : int;
   mutable relayed : int;
@@ -54,6 +58,7 @@ let create ~engine ~config ~index ~secret ~self ~server_addresses ~server_keys ~
     pending = Hashtbl.create 64;
     invalid_log = Hashtbl.create 16;
     blocked = Hashtbl.create 16;
+    eff_threshold = config.detection_threshold;
     invalid_total = 0;
     forwarded = 0;
     relayed = 0;
@@ -70,6 +75,11 @@ let forwarded t = t.forwarded
 let relayed t = t.relayed
 let rejected_server_replies t = t.rejected_replies
 let unblock_all t = Hashtbl.reset t.blocked
+let detection_threshold t = t.eff_threshold
+
+let set_detection_threshold t k =
+  if k < 0 then invalid_arg "Proxy.set_detection_threshold: threshold must be non-negative";
+  t.eff_threshold <- k
 let set_compromised t v = t.p_compromised <- v
 let compromised t = t.p_compromised
 
@@ -100,7 +110,7 @@ let note_invalid t src =
   while (not (Queue.is_empty q)) && Queue.peek q < now -. t.config.detection_window do
     ignore (Queue.pop q)
   done;
-  if Queue.length q > t.config.detection_threshold then begin
+  if Queue.length q > t.eff_threshold then begin
     Hashtbl.replace t.blocked src ();
     Engine.emit t.engine (Event.Source_blocked { proxy = t.p_index; source = Address.id src })
   end

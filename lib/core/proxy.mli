@@ -63,6 +63,15 @@ val unblock_all : t -> unit
 (** Operator action: clear the blocklist (e.g. at a re-randomization
     boundary). *)
 
+val detection_threshold : t -> int
+(** The live suspicion threshold; starts at [config.detection_threshold]. *)
+
+val set_detection_threshold : t -> int -> unit
+(** Defender actuator: tighten or relax the suspicion threshold — the
+    knob behind the paper's effective kappa. The override is policy, not
+    volatile process state, so it survives {!crash_reset}. Raises
+    [Invalid_argument] on a negative threshold. *)
+
 val crash_reset : t -> unit
 (** Crash with amnesia: pending requests, the invalid-request sliding
     window and the blocklist are wiped (lifetime counters survive — they

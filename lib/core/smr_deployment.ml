@@ -181,40 +181,69 @@ let batches t =
   in
   chunk [] [] 0 (List.init t.cfg.n Fun.id)
 
-type schedule = { mutable sched_stalled : bool; mutable sched_skipped : int }
+type schedule = {
+  mutable sched_stalled : bool;
+  mutable sched_skipped : int;
+  mutable sched_period : float;
+  mutable sched_fire : unit -> unit;  (** run one boundary's batches immediately *)
+}
 
+(* Like Obfuscation.attach, the boundary series is a self-re-arming chain
+   of [schedule_at] events reading the (mutable) period at each re-arm —
+   body first, then re-arm at [now + period], one enqueue per boundary, so
+   a fixed-period run is byte-identical to the historical [Engine.every]
+   schedule. *)
 let attach_schedule ?(stagger = true) t ~mode ~period =
   let bs = batches t in
   let nb = List.length bs in
-  let spacing = if stagger then period /. float_of_int (nb + 1) else 1.0 in
-  let sched = { sched_stalled = false; sched_skipped = 0 } in
-  ignore
-    (Engine.every t.engine ~period (fun () ->
-         if sched.sched_stalled then begin
-           (* the daemon is wedged: the boundary silently does not happen,
-              mirroring Obfuscation.set_stalled on the FORTRESS stack *)
-           sched.sched_skipped <- sched.sched_skipped + 1;
-           Engine.emit t.engine
-             (Fortress_obs.Event.Fault
-                {
-                  action = "stall_skip";
-                  target = "obfuscation";
-                  detail = Printf.sprintf "%s boundary skipped" (Obfuscation.mode_to_string mode);
-                })
-         end
-         else
-           List.iteri
-             (fun bi batch ->
-               ignore
-                 (Engine.schedule t.engine ~delay:(spacing *. float_of_int bi) (fun () ->
-                      match mode with
-                      | Obfuscation.PO -> rekey_batch t batch
-                      | Obfuscation.SO -> recover_batch t batch)))
-             bs));
+  let sched =
+    { sched_stalled = false; sched_skipped = 0; sched_period = period; sched_fire = ignore }
+  in
+  let fire_batches () =
+    let spacing = if stagger then sched.sched_period /. float_of_int (nb + 1) else 1.0 in
+    List.iteri
+      (fun bi batch ->
+        ignore
+          (Engine.schedule t.engine ~delay:(spacing *. float_of_int bi) (fun () ->
+               match mode with
+               | Obfuscation.PO -> rekey_batch t batch
+               | Obfuscation.SO -> recover_batch t batch)))
+      bs
+  in
+  sched.sched_fire <- fire_batches;
+  let rec arm () =
+    ignore
+      (Engine.schedule_at t.engine
+         ~time:(Engine.now t.engine +. sched.sched_period)
+         (fun () ->
+           (if sched.sched_stalled then begin
+              (* the daemon is wedged: the boundary silently does not happen,
+                 mirroring Obfuscation.set_stalled on the FORTRESS stack *)
+              sched.sched_skipped <- sched.sched_skipped + 1;
+              Engine.emit t.engine
+                (Fortress_obs.Event.Fault
+                   {
+                     action = "stall_skip";
+                     target = "obfuscation";
+                     detail =
+                       Printf.sprintf "%s boundary skipped" (Obfuscation.mode_to_string mode);
+                   })
+            end
+            else fire_batches ());
+           arm ()))
+  in
+  arm ();
   sched
 
 let set_stalled sched v = sched.sched_stalled <- v
 let skipped_boundaries sched = sched.sched_skipped
+let schedule_period sched = sched.sched_period
+
+let set_schedule_period sched p =
+  if p <= 0.0 then invalid_arg "Smr_deployment.set_schedule_period: period must be positive";
+  sched.sched_period <- p
+
+let force_boundary sched = sched.sched_fire ()
 
 let crash_replica t i =
   Network.set_down t.net t.addresses.(i);

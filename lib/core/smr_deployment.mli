@@ -91,6 +91,19 @@ val set_stalled : schedule -> bool -> unit
 
 val skipped_boundaries : schedule -> int
 
+val schedule_period : schedule -> float
+(** The current boundary spacing (mutable via {!set_schedule_period}). *)
+
+val set_schedule_period : schedule -> float -> unit
+(** Defender actuator, mirroring {!Obfuscation.set_period}: takes effect
+    when the already-armed boundary fires (the next interval). Raises
+    [Invalid_argument] on a non-positive period. *)
+
+val force_boundary : schedule -> unit
+(** Defender actuator: run one boundary's rekey/recovery batches
+    immediately, even while the daemon is stalled — the controller's
+    recovery-priority escape hatch. Does not disturb the periodic chain. *)
+
 (** {1 Crash faults} *)
 
 val crash_replica : t -> int -> unit

@@ -1,0 +1,36 @@
+type boost = Rekey_now | Recover_now
+
+let boost_to_string = function Rekey_now -> "rekey-now" | Recover_now -> "recover-now"
+
+type t = {
+  rekey_period : float option;
+  threshold : int option;
+  boost : boost option;
+}
+
+let unchanged = { rekey_period = None; threshold = None; boost = None }
+let is_unchanged d = d = unchanged
+let make ?rekey_period ?threshold ?boost () = { rekey_period; threshold; boost }
+
+let merge prev next =
+  {
+    rekey_period =
+      (match next.rekey_period with Some _ as p -> p | None -> prev.rekey_period);
+    threshold = (match next.threshold with Some _ as k -> k | None -> prev.threshold);
+    boost = (match next.boost with Some _ as b -> b | None -> prev.boost);
+  }
+
+let to_string d =
+  if is_unchanged d then "unchanged"
+  else
+    String.concat ", "
+      (List.concat
+         [
+           (match d.rekey_period with
+           | Some p -> [ Printf.sprintf "rekey-period=%g" p ]
+           | None -> []);
+           (match d.threshold with
+           | Some k -> [ Printf.sprintf "threshold=%d" k ]
+           | None -> []);
+           (match d.boost with Some b -> [ boost_to_string b ] | None -> []);
+         ])

@@ -1,0 +1,34 @@
+(** What a defender strategy asks the controller to change.
+
+    The mirror of the attacker's [Fortress_attack.Directive]: a sparse
+    override where [None] fields leave the current setting alone.
+    Directives are {e staged} when decided and {e applied} only at the
+    next controller boundary with field-wise last-wins merging, so a
+    mid-step decision can never perturb the schedule already armed for
+    the step — the property that keeps defended trials deterministic and
+    job-count invariant. *)
+
+type boost = Rekey_now | Recover_now
+    (** One-shot scheduling priority: force an immediate obfuscation
+        boundary (fresh keys) or recovery (same keys) at the moment the
+        directive is applied, ahead of the periodic schedule. *)
+
+val boost_to_string : boost -> string
+
+type t = {
+  rekey_period : float option;
+      (** new spacing of proactive-obfuscation boundaries *)
+  threshold : int option;
+      (** new proxy suspicion threshold — the knob behind the paper's
+          effective kappa; ignored on deployments without proxies *)
+  boost : boost option;
+}
+
+val unchanged : t
+val is_unchanged : t -> bool
+val make : ?rekey_period:float -> ?threshold:int -> ?boost:boost -> unit -> t
+
+val merge : t -> t -> t
+(** [merge prev next] — field-wise, [next] wins where it is [Some]. *)
+
+val to_string : t -> string

@@ -1,0 +1,68 @@
+module Signal = Fortress_obs.Signal
+
+type reading = { raw : float; ewma : float; cusum : float; alarming : bool }
+
+type t = {
+  step : int;
+  invalid_rate : reading option;
+  blocked_rate : reading option;
+  crash_burst : reading option;
+  staleness : reading option;
+  alarms_invalid : int;
+  alarms_blocked : int;
+  alarms_crash : int;
+  alarms_staleness : int;
+  alarms_total : int;
+  windows_scored : int;
+}
+
+let reading_of_point (pt : Signal.point) =
+  { raw = pt.Signal.raw; ewma = pt.Signal.ewma; cusum = pt.Signal.cusum; alarming = pt.Signal.alarm }
+
+let kind_reading signal kind = Option.map reading_of_point (Signal.latest signal kind)
+
+(* Count the alarms the query API has recorded past [cursor], per kind.
+   [Signal.alarms] returns every alarm in firing order, so the slice past
+   the cursor is exactly what fired since the previous boundary. *)
+let count_new_alarms signal ~cursor =
+  let all = Signal.alarms signal in
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  let fresh = drop cursor all in
+  let count k = List.length (List.filter (fun (kind, _) -> kind = k) fresh) in
+  ( count Signal.Invalid_probe_rate,
+    count Signal.Blocked_source_rate,
+    count Signal.Crash_burst,
+    count Signal.Rekey_staleness,
+    List.length all )
+
+let assemble ~step ~alarm_cursor signal =
+  let alarms_invalid, alarms_blocked, alarms_crash, alarms_staleness, total =
+    count_new_alarms signal ~cursor:alarm_cursor
+  in
+  ( {
+      step;
+      invalid_rate = kind_reading signal Signal.Invalid_probe_rate;
+      blocked_rate = kind_reading signal Signal.Blocked_source_rate;
+      crash_burst = kind_reading signal Signal.Crash_burst;
+      staleness = kind_reading signal Signal.Rekey_staleness;
+      alarms_invalid;
+      alarms_blocked;
+      alarms_crash;
+      alarms_staleness;
+      alarms_total = total - alarm_cursor;
+      windows_scored = List.length (Signal.series signal Signal.Rekey_staleness);
+    },
+    total )
+
+let alarming = function Some r -> r.alarming | None -> false
+
+let pp ppf t =
+  let r name = function
+    | Some { raw; ewma; cusum; alarming } ->
+        Printf.sprintf "%s raw %g ewma %g cusum %g%s" name raw ewma cusum
+          (if alarming then "!" else "")
+    | None -> Printf.sprintf "%s -" name
+  in
+  Format.fprintf ppf "step %d (%d windows): %s; %s; %s; %s; +%d alarms" t.step t.windows_scored
+    (r "invalid" t.invalid_rate) (r "blocked" t.blocked_rate) (r "crash" t.crash_burst)
+    (r "stale" t.staleness) t.alarms_total

@@ -1,0 +1,42 @@
+(** What the defender saw by the time a controller boundary fires.
+
+    The observation is assembled {e exclusively} from the telemetry
+    plane's typed query API ({!Fortress_obs.Signal.latest} /
+    [series] / [alarms]) — the defender reads its own detectors, never
+    attacker-internal state, so everything here is operationally
+    plausible: a real operator has exactly these dashboards. Assembly is
+    pure (no PRNG consumption, no emitted events), so a strategy that
+    observes but never acts leaves the trace bit-identical. *)
+
+type reading = {
+  raw : float;  (** the latest scored window's raw value *)
+  ewma : float;
+  cusum : float;  (** change-point statistic, pre-reset *)
+  alarming : bool;  (** that window tripped the detector *)
+}
+
+type t = {
+  step : int;  (** the 1-based controller step that just completed *)
+  invalid_rate : reading option;  (** latest scored window per detector; [None] before the first window closes *)
+  blocked_rate : reading option;
+  crash_burst : reading option;
+  staleness : reading option;
+  alarms_invalid : int;  (** alarms newly fired since the previous boundary, per detector *)
+  alarms_blocked : int;
+  alarms_crash : int;
+  alarms_staleness : int;
+  alarms_total : int;
+  windows_scored : int;  (** scored windows so far (staleness series length) *)
+}
+
+val assemble :
+  step:int -> alarm_cursor:int -> Fortress_obs.Signal.t -> t * int
+(** [assemble ~step ~alarm_cursor signal] builds the observation and
+    returns the new cursor (total alarms seen); the caller threads the
+    cursor between boundaries so each alarm is reported exactly once. *)
+
+val alarming : reading option -> bool
+(** Whether the latest window tripped — [false] when no window has been
+    scored yet. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,267 @@
+module Markov = Fortress_model.Markov
+module Matrix = Fortress_util.Matrix
+module Table = Fortress_util.Table
+
+type action = Hold | Shrink | Tighten | Recover
+
+let actions = [ Hold; Shrink; Tighten; Recover ]
+
+let action_name = function
+  | Hold -> "hold"
+  | Shrink -> "shrink"
+  | Tighten -> "tighten"
+  | Recover -> "recover"
+
+type model = {
+  base_hazard : float;
+  threat_mult : float array;  (** 3: calm / elevated / attack *)
+  stale_mult : float array;  (** 3: fresh / aging / stale *)
+  shrink_relief : float;
+  tighten_relief : float;
+  recover_relief : float;
+  threat_up : float;
+  threat_down : float;
+  tighten_calm : float;  (** multiplier on threat de-escalation while tightened *)
+  recover_knockdown : float;  (** probability a recovery voids the attacker's foothold *)
+  age : float;  (** staleness +1 probability when keys are left alone *)
+  compromise_cost : float;
+  shrink_cost : float;
+  tighten_cost : float;
+  recover_cost : float;
+  stale_aging : float;  (** observation staleness (vt) mapping to level 1 *)
+  stale_stale : float;  (** ... and to level 2 *)
+  rate_elevated : float;  (** invalid-rate EWMA mapping to elevated threat *)
+}
+
+let default_model =
+  {
+    base_hazard = 0.003;
+    threat_mult = [| 0.2; 1.0; 4.0 |];
+    stale_mult = [| 1.0; 2.0; 5.0 |];
+    shrink_relief = 0.6;
+    tighten_relief = 0.4;
+    recover_relief = 0.35;
+    threat_up = 0.15;
+    threat_down = 0.25;
+    tighten_calm = 3.0;
+    recover_knockdown = 0.5;
+    age = 0.35;
+    compromise_cost = 200.0;
+    shrink_cost = 0.25;
+    tighten_cost = 0.1;
+    recover_cost = 0.45;
+    stale_aging = 150.0;
+    stale_stale = 300.0;
+    rate_elevated = 0.02;
+  }
+
+let transient = 9  (* threat (3) x staleness (3) *)
+let compromised = transient  (* the absorbing state *)
+let state ~threat ~stale = (threat * 3) + stale
+let threat_of s = s / 3
+let stale_of s = s mod 3
+
+let state_label s =
+  if s = compromised then "compromised"
+  else
+    Printf.sprintf "%s/%s"
+      [| "calm"; "elevated"; "attack" |].(threat_of s)
+      [| "fresh"; "aging"; "stale" |].(stale_of s)
+
+let hazard m s a =
+  let relief =
+    match a with
+    | Hold -> 1.0
+    | Shrink -> m.shrink_relief
+    | Tighten -> m.tighten_relief
+    | Recover -> m.recover_relief
+  in
+  Float.min 0.999
+    (m.base_hazard *. m.threat_mult.(threat_of s) *. m.stale_mult.(stale_of s) *. relief)
+
+let action_cost m = function
+  | Hold -> 0.0
+  | Shrink -> m.shrink_cost
+  | Tighten -> m.tighten_cost
+  | Recover -> m.recover_cost
+
+(* Each action works an axis. Shrink resets staleness (an extra rekey —
+   fresh keys); Recover knocks the threat down a level (redeployment
+   voids the attacker's accumulated foothold) while freezing staleness;
+   Tighten speeds threat de-escalation (burned sources throttle the
+   probing that drives it); Hold lets both drift. *)
+let threat_step m tau a =
+  match a with
+  | Recover ->
+      if tau = 0 then [ (0, 1.0) ]
+      else [ (tau - 1, m.recover_knockdown); (tau, 1.0 -. m.recover_knockdown) ]
+  | Hold | Shrink | Tighten -> (
+      let down =
+        match a with
+        | Tighten -> Float.min 0.9 (m.threat_down *. m.tighten_calm)
+        | _ -> m.threat_down
+      in
+      match tau with
+      | 0 -> [ (1, m.threat_up); (0, 1.0 -. m.threat_up) ]
+      | 1 -> [ (2, m.threat_up); (0, down); (1, 1.0 -. m.threat_up -. down) ]
+      | _ -> [ (1, down); (2, 1.0 -. down) ])
+
+let stale_step m sigma a =
+  match a with
+  | Shrink -> [ (0, 1.0) ]
+  | Recover -> [ (sigma, 1.0) ]
+  | Hold | Tighten ->
+      let aged = min (sigma + 1) 2 in
+      if aged = sigma then [ (sigma, 1.0) ] else [ (aged, m.age); (sigma, 1.0 -. m.age) ]
+
+(* Probability of reaching transient [s'] from [s] under [a], conditional
+   on surviving the step. *)
+let survive_step m s a =
+  let moves = ref [] in
+  List.iter
+    (fun (tau', pt) ->
+      List.iter
+        (fun (sigma', ps) -> moves := (state ~threat:tau' ~stale:sigma', pt *. ps) :: !moves)
+        (stale_step m (stale_of s) a))
+    (threat_step m (threat_of s) a);
+  !moves
+
+type solution = {
+  policy : action array;  (** indexed by transient state *)
+  value : float array;  (** expected discounted cost under the policy *)
+  gamma : float;
+  iterations : int;
+}
+
+let solve ?(gamma = 0.95) ?(tol = 1e-9) ?(max_iter = 100_000) m =
+  let v = Array.make transient 0.0 in
+  let q s a =
+    let p = hazard m s a in
+    let future =
+      List.fold_left (fun acc (s', pr) -> acc +. (pr *. v.(s'))) 0.0 (survive_step m s a)
+    in
+    action_cost m a +. (p *. m.compromise_cost) +. (gamma *. (1.0 -. p) *. future)
+  in
+  let iterations = ref 0 in
+  let rec iterate n =
+    if n >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to transient - 1 do
+        let best = List.fold_left (fun acc a -> Float.min acc (q s a)) infinity actions in
+        delta := Float.max !delta (Float.abs (best -. v.(s)));
+        v.(s) <- best
+      done;
+      iterations := n + 1;
+      if !delta > tol then iterate (n + 1)
+    end
+  in
+  iterate 0;
+  let policy =
+    Array.init transient (fun s ->
+        let _, best =
+          List.fold_left
+            (fun ((bq, _) as acc) a ->
+              let qa = q s a in
+              if qa < bq -. 1e-12 then (qa, a) else acc)
+            (infinity, Hold) actions
+        in
+        best)
+  in
+  { policy; value = Array.copy v; gamma; iterations = !iterations }
+
+(* The policy-induced absorbing chain: transient states plus "compromised",
+   scored with the existing Markov machinery. *)
+let chain m ~policy =
+  let n = transient + 1 in
+  let matrix =
+    Matrix.init ~rows:n ~cols:n (fun i j ->
+        if i = compromised then if j = compromised then 1.0 else 0.0
+        else begin
+          let a = policy i in
+          let p = hazard m i a in
+          if j = compromised then p
+          else
+            (1.0 -. p)
+            *. List.fold_left
+                 (fun acc (s', pr) -> if s' = j then acc +. pr else acc)
+                 0.0 (survive_step m i a)
+        end)
+  in
+  let labels = Array.init n state_label in
+  let absorbing = Array.init n (fun i -> i = compromised) in
+  Markov.create ~labels ~absorbing matrix
+
+let expected_lifetime ?(start = state ~threat:0 ~stale:0) m ~policy =
+  Markov.expected_steps (chain m ~policy) ~start
+
+let optimal_lifetime ?start m =
+  let sol = solve m in
+  expected_lifetime ?start m ~policy:(fun s -> sol.policy.(s))
+
+let static_lifetime ?start m = expected_lifetime ?start m ~policy:(fun _ -> Hold)
+
+(* Map a defender observation onto the discretized state. Pure reads. *)
+let discretize m (obs : Defense_observation.t) =
+  let threat =
+    if
+      obs.Defense_observation.alarms_invalid > 0
+      || obs.Defense_observation.alarms_blocked > 0
+      || obs.Defense_observation.alarms_crash > 0
+    then 2
+    else
+      match obs.Defense_observation.invalid_rate with
+      | Some r when r.Defense_observation.ewma >= m.rate_elevated -> 1
+      | _ -> 0
+  in
+  let stale =
+    match obs.Defense_observation.staleness with
+    | Some r when r.Defense_observation.raw >= m.stale_stale -> 2
+    | Some r when r.Defense_observation.raw >= m.stale_aging -> 1
+    | _ -> 0
+  in
+  state ~threat ~stale
+
+(* Export the solved policy as a lookup-table controller strategy: each
+   boundary discretizes the observation and stages the state's action
+   (restores included — the apply step only emits when a setting actually
+   moves, so repeated Hold boundaries stay silent). *)
+let strategy ?(model = default_model) () =
+  let sol = solve model in
+  {
+    Controller.Strategy.name = "mdp";
+    describe = "lookup-table policy from the Kreidl-style value-iteration MDP";
+    make =
+      (fun ~defaults ->
+        fun obs ->
+          let restore_period = defaults.Controller.rekey_period in
+          let restore_threshold = defaults.Controller.threshold in
+          match sol.policy.(discretize model obs) with
+          | Hold ->
+              Defense_directive.make ~rekey_period:restore_period ~threshold:restore_threshold
+                ()
+          | Shrink ->
+              Defense_directive.make
+                ~rekey_period:(restore_period /. 2.0)
+                ~threshold:restore_threshold ()
+          | Tighten ->
+              Defense_directive.make ~rekey_period:restore_period
+                ~threshold:(min 1 restore_threshold) ()
+          | Recover ->
+              Defense_directive.make ~rekey_period:restore_period ~threshold:restore_threshold
+                ~boost:Defense_directive.Recover_now ());
+  }
+
+let policy_table ?(model = default_model) (sol : solution) =
+  let t = Table.create ~headers:[ "state"; "action"; "hazard"; "value" ] in
+  Array.iteri
+    (fun s a ->
+      Table.add_row t
+        [
+          state_label s;
+          action_name a;
+          Printf.sprintf "%.4f" (hazard model s a);
+          Printf.sprintf "%.2f" sol.value.(s);
+        ])
+    sol.policy;
+  t

@@ -1,0 +1,89 @@
+(** A Kreidl-style MDP over the discretized defender signal state, solved
+    by value iteration for a benchmark-optimal policy.
+
+    The state space is the product of a {e threat} level (calm / elevated
+    / attack — from the invalid-probe detectors) and a {e staleness}
+    level (fresh / aging / stale — from the rekey-staleness detector),
+    plus an absorbing {e compromised} state. Actions are the controller's
+    actuator verbs: hold the schedule, shrink the rekey period, tighten
+    the proxy suspicion threshold, or force a recovery. Value iteration
+    minimizes expected discounted cost (action churn plus a large
+    compromise penalty); the induced absorbing chain is scored with the
+    existing {!Fortress_model.Markov} machinery, giving a model-level
+    expected lifetime for any policy — the upper bound the heuristic
+    controllers are compared against.
+
+    Limits (DESIGN.md section 12): the model is a {e coarse abstraction} —
+    threat drift and hazard multipliers are parameters, not estimates fit
+    to the simulator, so the "optimal" policy is optimal for the model,
+    and its simulated performance is an empirical question the 2x2 game
+    answers. *)
+
+type action = Hold | Shrink | Tighten | Recover
+
+val actions : action list
+val action_name : action -> string
+
+type model = {
+  base_hazard : float;  (** per-step compromise probability at calm/fresh under Hold *)
+  threat_mult : float array;  (** 3: calm / elevated / attack *)
+  stale_mult : float array;  (** 3: fresh / aging / stale *)
+  shrink_relief : float;  (** hazard multiplier while shrinking *)
+  tighten_relief : float;
+  recover_relief : float;
+  threat_up : float;  (** per-step threat escalation probability *)
+  threat_down : float;
+  tighten_calm : float;  (** multiplier on threat de-escalation while tightened *)
+  recover_knockdown : float;  (** probability a recovery voids the attacker's foothold *)
+  age : float;  (** staleness +1 probability when keys are left alone *)
+  compromise_cost : float;
+  shrink_cost : float;  (** rekey churn *)
+  tighten_cost : float;  (** false positives on legitimate clients *)
+  recover_cost : float;
+  stale_aging : float;  (** observation staleness (vt) mapping to level 1 *)
+  stale_stale : float;  (** ... and to level 2 *)
+  rate_elevated : float;  (** invalid-rate EWMA mapping to elevated threat *)
+}
+
+val default_model : model
+
+val transient : int
+(** 9 — the transient state count; state [transient] is absorbing. *)
+
+val state : threat:int -> stale:int -> int
+val state_label : int -> string
+val hazard : model -> int -> action -> float
+(** Per-step compromise probability in state [s] under the action. *)
+
+type solution = {
+  policy : action array;  (** indexed by transient state *)
+  value : float array;  (** expected discounted cost under the policy *)
+  gamma : float;
+  iterations : int;
+}
+
+val solve : ?gamma:float -> ?tol:float -> ?max_iter:int -> model -> solution
+(** Value iteration to [tol] (default 1e-9) at discount [gamma]
+    (default 0.95). *)
+
+val chain : model -> policy:(int -> action) -> Fortress_model.Markov.t
+(** The policy-induced absorbing chain over the 10 states. *)
+
+val expected_lifetime : ?start:int -> model -> policy:(int -> action) -> float
+(** {!Fortress_model.Markov.expected_steps} of the induced chain, from
+    calm/fresh by default — the model-level EL benchmark. *)
+
+val optimal_lifetime : ?start:int -> model -> float
+val static_lifetime : ?start:int -> model -> float
+(** The always-Hold policy — the model's image of the static defender. *)
+
+val discretize : model -> Defense_observation.t -> int
+(** Map an observation onto the discretized state (pure reads). *)
+
+val strategy : ?model:model -> unit -> Controller.Strategy.t
+(** The solved policy as a lookup-table strategy named ["mdp"]: each
+    boundary discretizes the observation and stages the state's action
+    (with restores for the untouched knobs — the apply step only emits
+    when a setting actually moves). *)
+
+val policy_table : ?model:model -> solution -> Fortress_util.Table.t

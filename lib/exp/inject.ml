@@ -2,6 +2,9 @@ module Deployment = Fortress_core.Deployment
 module Smr_deployment = Fortress_core.Smr_deployment
 module Obfuscation = Fortress_core.Obfuscation
 module Client = Fortress_core.Client
+module Defense_control = Fortress_core.Defense_control
+module Controller = Fortress_defense.Controller
+module Mdp = Fortress_defense.Mdp
 module Smr_campaign = Fortress_attack.Smr_campaign
 module Campaign = Fortress_attack.Campaign
 module Adaptive = Fortress_attack.Adaptive
@@ -54,6 +57,10 @@ type run = {
   availability : float;
   faults : Injector.stats;  (** summed over all trials *)
   directives : int;  (** adaptive directives applied, summed over all trials *)
+  defender_directives : int;
+      (** defender directives applied, summed over all trials; 0 without a
+          controller (and, by the static conformance contract, with the
+          [static] one) *)
   digest : string;
   telemetry : (Timeline.t * Signal.t) option;
       (** pooled windowed timeline over every trial's replayed stream,
@@ -71,7 +78,8 @@ let accumulate (acc : Injector.stats) (s : Injector.stats) =
 (* One campaign under the plan: the attacker hunts the key while a benign
    client polls the service; the trial's lifetime is the campaign's, the
    availability sample is answered / issued over the same horizon. *)
-let one_trial ?strategy cfg plan ~digest ~record ~faults ~issued ~answered ~directives ~seed =
+let one_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued ~answered
+    ~directives ~ddirectives ~seed =
   let period = 100.0 in
   let deployment =
     Deployment.create
@@ -82,6 +90,12 @@ let one_trial ?strategy cfg plan ~digest ~record ~faults ~issued ~answered ~dire
   Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
   let obfuscation = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period in
   let handle = Wiring.install plan ~deployment ~obfuscation ~seed () in
+  (* the defender arms after the obfuscation daemon, so at a shared
+     boundary time the rekey lands (closing the telemetry window) before
+     the controller observes it *)
+  let defense =
+    Option.map (fun s -> Defense_control.attach deployment ~obfuscation s) defender
+  in
   let client = Deployment.new_client deployment ~name:"workload" in
   let n = ref 0 in
   ignore
@@ -110,14 +124,17 @@ let one_trial ?strategy cfg plan ~digest ~record ~faults ~issued ~answered ~dire
         directives := !directives + (Adaptive.stats adaptive).Stats.directives_applied;
         lifetime
   in
+  Option.iter
+    (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
+    defense;
   accumulate faults (Wiring.stats handle);
   lifetime
 
 (* The S0 counterpart: the same plan folded onto the replica tier by
    Smr_wiring, the same paired seeds. S0 has no separate workload client
    here — EL is the quantity of interest — so availability reports 1. *)
-let one_smr_trial ?strategy cfg plan ~digest ~record ~faults ~issued:_ ~answered:_ ~directives ~seed
-    =
+let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued:_ ~answered:_
+    ~directives ~ddirectives ~seed =
   let period = 100.0 in
   let deployment =
     Smr_deployment.create
@@ -128,6 +145,9 @@ let one_smr_trial ?strategy cfg plan ~digest ~record ~faults ~issued:_ ~answered
   Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
   let schedule = Smr_deployment.attach_schedule deployment ~mode:Obfuscation.PO ~period in
   let handle = Smr_wiring.install plan ~deployment ~schedule ~seed () in
+  let defense =
+    Option.map (fun s -> Defense_control.attach_smr deployment ~schedule s) defender
+  in
   let attack_cfg = Smr_campaign.make_config ~omega:cfg.omega ~period ~seed:(seed + 7919) () in
   let lifetime =
     match strategy with
@@ -142,6 +162,9 @@ let one_smr_trial ?strategy cfg plan ~digest ~record ~faults ~issued:_ ~answered
         directives := !directives + (Adaptive.Smr.stats adaptive).Stats.directives_applied;
         lifetime
   in
+  Option.iter
+    (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
+    defense;
   accumulate faults (Smr_wiring.stats handle);
   lifetime
 
@@ -155,6 +178,7 @@ type trial_slot = {
   ts_issued : int;
   ts_answered : int;
   ts_directives : int;
+  ts_ddirectives : int;
   ts_replay : (Sink.t -> unit) option;
       (** the trial's buffered event stream, replayed at the join *)
 }
@@ -200,22 +224,24 @@ let run_plan_with trial ?sink cfg plan =
           match timeline with None -> None | Some _ -> Some (Sink.buffered ())
         in
         let faults = Injector.fresh_stats () in
-        let issued = ref 0 and answered = ref 0 and directives = ref 0 in
+        let issued = ref 0 and answered = ref 0 in
+        let directives = ref 0 and ddirectives = ref 0 in
         let lifetime =
           trial cfg plan ~digest ~record:(Option.map fst buffer) ~faults ~issued ~answered
-            ~directives
+            ~directives ~ddirectives
             ~seed:((cfg.seed * 1000) + index)
         in
         slots.(index - 1) <-
           Some
             { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
               ts_answered = !answered; ts_directives = !directives;
-              ts_replay = Option.map snd buffer };
+              ts_ddirectives = !ddirectives; ts_replay = Option.map snd buffer };
         lifetime)
       ()
   in
   let faults = Injector.fresh_stats () in
-  let issued = ref 0 and answered = ref 0 and directives = ref 0 in
+  let issued = ref 0 and answered = ref 0 in
+  let directives = ref 0 and ddirectives = ref 0 in
   let digests = ref [] in
   (* fold the per-trial digests and counters in index order at the join *)
   Array.iter
@@ -226,7 +252,8 @@ let run_plan_with trial ?sink cfg plan =
           accumulate faults s.ts_faults;
           issued := !issued + s.ts_issued;
           answered := !answered + s.ts_answered;
-          directives := !directives + s.ts_directives)
+          directives := !directives + s.ts_directives;
+          ddirectives := !ddirectives + s.ts_ddirectives)
     slots;
   let telemetry =
     Option.map
@@ -252,14 +279,21 @@ let run_plan_with trial ?sink cfg plan =
       (if !issued = 0 then 1.0 else float_of_int !answered /. float_of_int !issued);
     faults;
     directives = !directives;
+    defender_directives = !ddirectives;
     digest = Sink.digest_lines (List.rev !digests);
     telemetry;
   }
 
-let run_plan ?sink ?strategy cfg plan = run_plan_with (one_trial ?strategy) ?sink cfg plan
+let run_plan ?sink ?strategy ?defender cfg plan =
+  run_plan_with (one_trial ?strategy ?defender) ?sink cfg plan
 
-let run_smr_plan ?sink ?strategy cfg plan =
-  run_plan_with (one_smr_trial ?strategy) ?sink cfg plan
+let run_smr_plan ?sink ?strategy ?defender cfg plan =
+  run_plan_with (one_smr_trial ?strategy ?defender) ?sink cfg plan
+
+let find_defender name =
+  if name = "mdp" then Some (Mdp.strategy ()) else Controller.Strategy.find name
+
+let defender_names = Controller.Strategy.names @ [ "mdp" ]
 
 type adapt_row = {
   ar_plan : string;
@@ -270,21 +304,42 @@ type adapt_row = {
 }
 
 type adapt = { strategy_name : string; rows : adapt_row list }
-type report = { config : config; baseline : run; runs : run list; adapt : adapt option }
+
+type defend_row = {
+  dr_plan : string;
+  dr_static_el : float;
+  dr_defended_el : float;
+  dr_delta : float;  (** defended minus static; positive = defender gained *)
+  dr_static_avail : float;
+  dr_defended_avail : float;
+  dr_davail : float;
+  dr_directives : int;  (** defender directives applied *)
+}
+
+type defend = { defender_name : string; drows : defend_row list }
+
+type report = {
+  config : config;
+  baseline : run;
+  runs : run list;
+  adapt : adapt option;
+  defend : defend option;
+}
 
 (* Mean EL treating an all-censored run as the horizon itself: a plan so
    gentle the system always survives is "at least max_steps". *)
 let mean_el cfg (r : run) =
   if Float.is_nan r.el.Trial.mean then float_of_int cfg.max_steps else r.el.Trial.mean
 
-let run ?sink ?strategy ?(stack = `Fortress) ?(config = default_config) ~plans () =
-  let run_plan ?sink ?strategy cfg plan =
+let run ?sink ?strategy ?defender ?(stack = `Fortress) ?(config = default_config) ~plans ()
+    =
+  let run_plan ?sink ?strategy ?defender cfg plan =
     match stack with
-    | `Fortress -> run_plan ?sink ?strategy cfg plan
-    | `Smr -> run_smr_plan ?sink ?strategy cfg plan
+    | `Fortress -> run_plan ?sink ?strategy ?defender cfg plan
+    | `Smr -> run_smr_plan ?sink ?strategy ?defender cfg plan
   in
-  let baseline = run_plan ?sink ?strategy config Plan.none in
-  let runs = List.map (run_plan ?sink ?strategy config) plans in
+  let baseline = run_plan ?sink ?strategy ?defender config Plan.none in
+  let runs = List.map (run_plan ?sink ?strategy ?defender config) plans in
   let adapt =
     match strategy with
     | None -> None
@@ -293,10 +348,12 @@ let run ?sink ?strategy ?(stack = `Fortress) ?(config = default_config) ~plans (
           (* oblivious is byte-identical to the fixed schedule, so its own
              runs double as the reference; other strategies pay one extra
              fixed-schedule pass per plan (no sink: the trace was already
-             exported by the strategy pass) *)
+             exported by the strategy pass). The defender — if any — rides
+             along in the reference too, so the comparison varies only the
+             attacker. *)
           if s.Adaptive.Strategy.name = Adaptive.Strategy.oblivious.Adaptive.Strategy.name
           then mean_el config run
-          else mean_el config (run_plan { config with telemetry = None } plan)
+          else mean_el config (run_plan ?defender { config with telemetry = None } plan)
         in
         let rows =
           List.map2
@@ -314,7 +371,39 @@ let run ?sink ?strategy ?(stack = `Fortress) ?(config = default_config) ~plans (
         in
         Some { strategy_name = s.Adaptive.Strategy.name; rows }
   in
-  { config; baseline; runs; adapt }
+  let defend =
+    match defender with
+    | None -> None
+    | Some (d : Controller.Strategy.t) ->
+        let reference plan run =
+          (* static is byte-identical to the undefended path, so its own
+             runs double as the reference; other defenders pay one extra
+             undefended pass per plan — holding the attacker constant, so
+             the comparison varies only the defender *)
+          if d.Controller.Strategy.name = Controller.Strategy.static.Controller.Strategy.name
+          then run
+          else run_plan ?strategy { config with telemetry = None } plan
+        in
+        let drows =
+          List.map2
+            (fun plan r ->
+              let base = reference plan r in
+              let s_el = mean_el config base and d_el = mean_el config r in
+              {
+                dr_plan = r.plan_name;
+                dr_static_el = s_el;
+                dr_defended_el = d_el;
+                dr_delta = d_el -. s_el;
+                dr_static_avail = base.availability;
+                dr_defended_avail = r.availability;
+                dr_davail = r.availability -. base.availability;
+                dr_directives = r.defender_directives;
+              })
+            (Plan.none :: plans) (baseline :: runs)
+        in
+        Some { defender_name = d.Controller.Strategy.name; drows }
+  in
+  { config; baseline; runs; adapt; defend }
 
 let el_means report =
   List.map
@@ -401,4 +490,117 @@ let adapt_table (a : adapt) =
           string_of_int r.ar_directives;
         ])
     a.rows;
+  t
+
+let defend_table (d : defend) =
+  let t =
+    Table.create
+      ~headers:
+        [ "plan"; "EL static"; "EL defended"; "dEL"; "avail static"; "avail defended";
+          "davail"; "directives" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.dr_plan;
+          Printf.sprintf "%.1f" r.dr_static_el;
+          Printf.sprintf "%.1f" r.dr_defended_el;
+          Printf.sprintf "%+.1f" r.dr_delta;
+          Printf.sprintf "%.3f" r.dr_static_avail;
+          Printf.sprintf "%.3f" r.dr_defended_avail;
+          Printf.sprintf "%+.3f" r.dr_davail;
+          string_of_int r.dr_directives;
+        ])
+    d.drows;
+  t
+
+(* {2 The 2x2 attacker/defender game} *)
+
+type game_cell = {
+  gc_plan : string;
+  gc_attacker : string;
+  gc_defender : string;
+  gc_el : float;
+  gc_availability : float;
+  gc_attack_directives : int;
+  gc_defense_directives : int;
+}
+
+type game = {
+  game_config : config;
+  cells : game_cell list;  (** plan-major, attacker then defender within *)
+  mdp_optimal : float;  (** model-level EL of the value-iteration policy *)
+  mdp_static : float;  (** model-level EL of always-Hold *)
+}
+
+(* The full cross: {oblivious, adaptive} attacker x {static, adaptive}
+   defender over each plan, on paired seeds (every cell replays the same
+   per-index seed sequence, so cell deltas are paired comparisons). The
+   static/oblivious row and column double as the undefended references —
+   no extra passes needed. *)
+let run_game ?(config = default_config)
+    ?(attackers = [ Adaptive.Strategy.oblivious; Adaptive.Strategy.stale_key_rush ])
+    ?(defenders = [ Controller.Strategy.static; Controller.Strategy.alarm_rekey ]) ~plans
+    () =
+  let config = { config with telemetry = None } in
+  let cells =
+    List.concat_map
+      (fun plan ->
+        List.concat_map
+          (fun (attacker : Adaptive.Strategy.t) ->
+            List.map
+              (fun (defender : Controller.Strategy.t) ->
+                let r = run_plan ~strategy:attacker ~defender config plan in
+                {
+                  gc_plan = r.plan_name;
+                  gc_attacker = attacker.Adaptive.Strategy.name;
+                  gc_defender = defender.Controller.Strategy.name;
+                  gc_el = mean_el config r;
+                  gc_availability = r.availability;
+                  gc_attack_directives = r.directives;
+                  gc_defense_directives = r.defender_directives;
+                })
+              defenders)
+          attackers)
+      plans
+  in
+  {
+    game_config = config;
+    cells;
+    mdp_optimal = Mdp.optimal_lifetime Mdp.default_model;
+    mdp_static = Mdp.static_lifetime Mdp.default_model;
+  }
+
+let game_table (g : game) =
+  let t =
+    Table.create
+      ~headers:
+        [ "plan"; "attacker"; "defender"; "EL (steps)"; "dEL"; "avail"; "davail";
+          "atk dirs"; "def dirs" ]
+  in
+  (* deltas are against the static-defender cell for the same plan and
+     attacker — the defender's marginal contribution, attacker held fixed *)
+  let static_cell plan attacker =
+    List.find_opt
+      (fun c -> c.gc_plan = plan && c.gc_attacker = attacker && c.gc_defender = "static")
+      g.cells
+  in
+  List.iter
+    (fun c ->
+      let base = static_cell c.gc_plan c.gc_attacker in
+      let delta f = match base with Some b -> Printf.sprintf "%+.3g" (f c -. f b) | None -> "-" in
+      Table.add_row t
+        [
+          c.gc_plan;
+          c.gc_attacker;
+          c.gc_defender;
+          Printf.sprintf "%.1f" c.gc_el;
+          (if c.gc_defender = "static" then "-" else delta (fun c -> c.gc_el));
+          Printf.sprintf "%.3f" c.gc_availability;
+          (if c.gc_defender = "static" then "-" else delta (fun c -> c.gc_availability));
+          string_of_int c.gc_attack_directives;
+          string_of_int c.gc_defense_directives;
+        ])
+    g.cells;
   t

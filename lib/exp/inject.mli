@@ -13,7 +13,11 @@
     Passing [?strategy] swaps the fixed-schedule attacker for the
     {!Fortress_attack.Adaptive} observe–decide–act loop; the report then
     carries an {!adapt} section comparing the strategy against the
-    oblivious reference on the same paired seeds. *)
+    oblivious reference on the same paired seeds. Passing [?defender]
+    symmetrically arms a {!Fortress_defense.Controller} over the trial's
+    telemetry plane (wired by {!Fortress_core.Defense_control}); the
+    report then carries a {!defend} section against the static reference.
+    {!run_game} runs the full attacker x defender cross. *)
 
 type config = {
   trials : int;
@@ -48,6 +52,10 @@ type run = {
   directives : int;
       (** adaptive directives applied, summed over all trials; 0 on the
           fixed-schedule path *)
+  defender_directives : int;
+      (** defender directives applied, summed over all trials; 0 without
+          a controller (and, by the static conformance contract, with the
+          [static] one) *)
   digest : string;
       (** FNV-1a fold, in trial-index order, of the per-trial trace
           digests *)
@@ -63,6 +71,7 @@ type run = {
 val run_plan :
   ?sink:Fortress_obs.Sink.t ->
   ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  ?defender:Fortress_defense.Controller.Strategy.t ->
   config ->
   Fortress_faults.Plan.t ->
   run
@@ -70,12 +79,20 @@ val run_plan :
 val run_smr_plan :
   ?sink:Fortress_obs.Sink.t ->
   ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  ?defender:Fortress_defense.Controller.Strategy.t ->
   config ->
   Fortress_faults.Plan.t ->
   run
 (** The same plan folded onto the 1-tier SMR stack (S0) by
     {!Fortress_faults.Smr_wiring}; availability reports 1 (no workload
-    client on this path). *)
+    client on this path). The defender steers the batched schedule via
+    {!Fortress_core.Defense_control.attach_smr}. *)
+
+val find_defender : string -> Fortress_defense.Controller.Strategy.t option
+(** The controller built-ins plus ["mdp"] (the value-iteration
+    lookup-table policy over {!Fortress_defense.Mdp.default_model}). *)
+
+val defender_names : string list
 
 type adapt_row = {
   ar_plan : string;
@@ -87,16 +104,31 @@ type adapt_row = {
 
 type adapt = { strategy_name : string; rows : adapt_row list }
 
+type defend_row = {
+  dr_plan : string;
+  dr_static_el : float;
+  dr_defended_el : float;
+  dr_delta : float;  (** defended minus static; positive = defender gained *)
+  dr_static_avail : float;
+  dr_defended_avail : float;
+  dr_davail : float;
+  dr_directives : int;  (** defender directives applied *)
+}
+
+type defend = { defender_name : string; drows : defend_row list }
+
 type report = {
   config : config;
   baseline : run;
   runs : run list;
   adapt : adapt option;  (** present iff a strategy was requested *)
+  defend : defend option;  (** present iff a defender was requested *)
 }
 
 val run :
   ?sink:Fortress_obs.Sink.t ->
   ?strategy:Fortress_attack.Adaptive.Strategy.t ->
+  ?defender:Fortress_defense.Controller.Strategy.t ->
   ?stack:[ `Fortress | `Smr ] ->
   ?config:config ->
   plans:Fortress_faults.Plan.t list ->
@@ -106,7 +138,10 @@ val run :
     [baseline] and [runs] are the adaptive runs and [adapt] compares them
     to an oblivious reference; the oblivious strategy reuses its own runs
     as the reference (it is bit-identical to the fixed schedule), any
-    other strategy pays one extra fixed-schedule pass per plan. *)
+    other strategy pays one extra fixed-schedule pass per plan. The
+    defender section works the same way with the [static] controller in
+    the reference role; each reference pass holds the other side's
+    strategy fixed, so both sections report one-sided marginals. *)
 
 val mean_el : config -> run -> float
 (** Mean uncensored lifetime; an all-censored run counts as the horizon. *)
@@ -121,6 +156,7 @@ val monotone_non_increasing : report -> bool
 val table : report -> Fortress_util.Table.t
 val fault_breakdown : report -> Fortress_util.Table.t
 val adapt_table : adapt -> Fortress_util.Table.t
+val defend_table : defend -> Fortress_util.Table.t
 
 val timeline_table : run -> Fortress_util.Table.t option
 (** One row per pooled window: each defender signal's raw value, which
@@ -129,3 +165,41 @@ val timeline_table : run -> Fortress_util.Table.t option
     was made without telemetry. *)
 
 val timeline_alarm_table : run -> Fortress_util.Table.t option
+
+(** {1 The 2x2 attacker/defender game} *)
+
+type game_cell = {
+  gc_plan : string;
+  gc_attacker : string;
+  gc_defender : string;
+  gc_el : float;
+  gc_availability : float;
+  gc_attack_directives : int;
+  gc_defense_directives : int;
+}
+
+type game = {
+  game_config : config;
+  cells : game_cell list;  (** plan-major, attacker then defender within *)
+  mdp_optimal : float;  (** model-level EL of the value-iteration policy *)
+  mdp_static : float;  (** model-level EL of always-Hold *)
+}
+
+val run_game :
+  ?config:config ->
+  ?attackers:Fortress_attack.Adaptive.Strategy.t list ->
+  ?defenders:Fortress_defense.Controller.Strategy.t list ->
+  plans:Fortress_faults.Plan.t list ->
+  unit ->
+  game
+(** The full attacker x defender cross on the FORTRESS stack — by default
+    {oblivious, stale-key-rush} x {static, alarm-rekey} — over each plan
+    on paired seeds, so cell deltas are paired comparisons. Telemetry is
+    forced off (each cell's controller attaches its own signal plane
+    in-trial). The MDP numbers are model-level expected lifetimes — the
+    benchmark bound the simulated cells are read against, not a simulated
+    quantity. *)
+
+val game_table : game -> Fortress_util.Table.t
+(** One row per cell; dEL / davail are against the static-defender cell
+    for the same plan and attacker. *)

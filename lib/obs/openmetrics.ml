@@ -3,11 +3,19 @@
    snapshots, mutates nothing, and is therefore as deterministic as its
    inputs. *)
 
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; we don't emit colons,
+   so map every other character to '_' and guard the first position
+   against digits (and emptiness) — "9p" becomes "_9p", not an invalid
+   exposition another scraper rejects. *)
 let sanitize name =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
-    name
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  if mapped = "" then "_"
+  else match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
 
 let escape_label v =
   let buf = Buffer.create (String.length v) in

@@ -9,6 +9,19 @@
     output is terminated by the OpenMetrics [# EOF] marker and is a pure
     function of its inputs. *)
 
+val sanitize : string -> string
+(** Coerce a string into a valid metric-name fragment
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*], sans colons): every other character maps
+    to ['_'], a leading digit gains a ['_'] prefix, and the empty string
+    becomes ["_"]. *)
+
+val escape_label : string -> string
+(** Escape a label {e value} per the exposition format: backslash,
+    double quote and newline become the two-character sequences
+    ["\\\\"], ["\\\""] and ["\\n"]. Everything else — including braces,
+    commas and non-ASCII bytes — passes through verbatim, as the spec
+    requires. *)
+
 val render :
   ?prefix:string ->
   ?metrics:Metrics.t ->
@@ -16,5 +29,6 @@ val render :
   ?signals:Signal.t ->
   unit ->
   string
-(** [prefix] defaults to ["fortress"]; metric names are sanitized to
-    [[a-zA-Z0-9_]]. *)
+(** [prefix] defaults to ["fortress"] and goes through {!sanitize};
+    label values (timeline keys, signal names) go through
+    {!escape_label}. *)

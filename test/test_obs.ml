@@ -762,6 +762,51 @@ let test_openmetrics_exposition () =
     (List.length (List.sort_uniq compare type_lines))
     (List.length type_lines)
 
+(* Label values pass through escape_label; a timeline keyed by adversarial
+   strings (quotes, backslashes, newlines — e.g. a fault target named from
+   attacker-controlled input) must still render a parseable, single-line
+   exposition. *)
+let test_openmetrics_adversarial_labels () =
+  Alcotest.(check string) "backslash" {|a\\b|} (Openmetrics.escape_label {|a\b|});
+  Alcotest.(check string) "quote" {|say \"hi\"|} (Openmetrics.escape_label {|say "hi"|});
+  Alcotest.(check string) "newline" {|two\nlines|} (Openmetrics.escape_label "two\nlines");
+  Alcotest.(check string) "combined" {|\\\"\n|} (Openmetrics.escape_label "\\\"\n");
+  Alcotest.(check string) "braces verbatim" "{x=,}" (Openmetrics.escape_label "{x=,}");
+  let tl = Timeline.create ~width:100.0 () in
+  let sink = Sink.create () in
+  ignore (Sink.attach sink (Timeline.subscriber tl));
+  Sink.emit sink ~time:1.0
+    (Event.Fault { action = "crash\"} evil 1\n#"; target = "s\\0"; detail = "" });
+  Timeline.finish tl;
+  let text = Openmetrics.render ~timeline:tl () in
+  Alcotest.(check bool) "escaped key rendered" true
+    (contains ~needle:{|key="fault.crash\"} evil 1\n#"|} text);
+  (* every line is still NAME ... or a comment: no label value broke out *)
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.starts_with ~prefix:"#" line) then
+        Alcotest.(check bool)
+          ("well-formed line: " ^ line)
+          true
+          (String.length line > 0
+          && (match line.[0] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+             | _ -> false)))
+    (String.split_on_char '\n' text)
+
+let test_openmetrics_sanitize_names () =
+  Alcotest.(check string) "dots to underscores" "events_rekey"
+    (Openmetrics.sanitize "events.rekey");
+  Alcotest.(check string) "leading digit guarded" "_9front" (Openmetrics.sanitize "9front");
+  Alcotest.(check string) "empty guarded" "_" (Openmetrics.sanitize "");
+  Alcotest.(check string) "unicode flattened" "caf_" (Openmetrics.sanitize "caf\xc3");
+  (* a digit-led prefix yields a legal metric name end to end *)
+  let reg = Metrics.create () in
+  Metrics.incr (Metrics.counter reg "hits");
+  let text = Openmetrics.render ~prefix:"0day" ~metrics:reg () in
+  Alcotest.(check bool) "prefixed family legal" true
+    (contains ~needle:"_0day_hits_total 1" text)
+
 (* ---- Summary ---- *)
 
 let campaign_trace () =
@@ -917,7 +962,12 @@ let () =
           Alcotest.test_case "engine attach_telemetry" `Quick test_engine_attach_telemetry;
         ] );
       ( "openmetrics",
-        [ Alcotest.test_case "exposition format" `Quick test_openmetrics_exposition ] );
+        [
+          Alcotest.test_case "exposition format" `Quick test_openmetrics_exposition;
+          Alcotest.test_case "adversarial labels" `Quick
+            test_openmetrics_adversarial_labels;
+          Alcotest.test_case "name sanitization" `Quick test_openmetrics_sanitize_names;
+        ] );
       ( "span",
         [ Alcotest.test_case "lifecycle" `Quick test_span_lifecycle ] );
       ( "sink",
