@@ -453,8 +453,18 @@ let inject_cmd =
          & info [ "timeline" ] ~docv:"WIDTH"
              ~doc:"Pool every trial's event stream into a windowed timeline ($(docv) virtual-time units per window, e.g. 100 = one attack step), score the defender signals over it and print the fault-aligned signal table. Off by default; attaching it does not change any other output.")
   in
+  let causal_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "causal-trace" ] ~docv:"FILE"
+             ~doc:"Turn on causal message tracing (client request \u{2192} net.send \u{2192} net.deliver \u{2192} defense actuation span trees, per-trial trace ids derived from the trial index) and write the merged Perfetto/Chrome trace \u{2014} spans, fault instants, signal.alarm events and send\u{2192}deliver flow arrows \u{2014} to $(docv). Also reports per-plan detection/reaction latency tables. Off by default; with it on the artifact and all tables are bit-identical at every $(b,--jobs) count.")
+  in
+  let causal_profile_arg =
+    Arg.(value & flag
+         & info [ "causal-profile" ]
+             ~doc:"Add wall-clock profiler sample lanes to the $(b,--causal-trace) artifact. Wall-clock timings are nondeterministic, so leave this off when byte-comparing artifacts across job counts.")
+  in
   let run plan trials seed chi omega kappa steps jobs strategy defender game smr timeline
-      csv trace_out metrics =
+      causal_trace causal_profile csv trace_out metrics =
     (match timeline with
     | Some w when not (w > 0.0) ->
         Printf.eprintf "fortress-cli: --timeline width must be positive (got %g)\n" w;
@@ -506,8 +516,25 @@ let inject_cmd =
       exit 0
     end;
     with_obs ~trace_out ~metrics (fun sink ->
+        let causal = causal_trace <> None in
+        (* the causal artifact captures the pooled stream in memory; the
+           profiler lanes (wall clock, nondeterministic) only join when
+           explicitly requested *)
+        let capture =
+          match causal_trace with
+          | None -> None
+          | Some path ->
+              if causal_profile then begin
+                Fortress_prof.Profiler.set_sample_capacity 65536;
+                Fortress_prof.Profiler.reset ();
+                Fortress_prof.Profiler.enable ()
+              end;
+              let sub, read = Fortress_obs.Sink.memory ~capacity:(1 lsl 20) () in
+              ignore (Fortress_obs.Sink.attach sink sub);
+              Some (path, read)
+        in
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
-                       max_steps = steps; jobs; telemetry = timeline } in
+                       max_steps = steps; jobs; telemetry = timeline; causal } in
         let stack = if smr then `Smr else `Fortress in
         let report = Inject.run ~sink ?strategy ?defender ~stack ~config ~plans () in
         print_table ~csv (Inject.table report);
@@ -537,6 +564,15 @@ let inject_cmd =
                     Option.iter (print_table ~csv) (Inject.timeline_alarm_table r)
                 | _ -> ()))
           (report.Inject.baseline :: report.Inject.runs);
+        List.iter
+          (fun (r : Inject.run) ->
+            match Inject.latency_table r with
+            | None -> ()
+            | Some tbl ->
+                Printf.printf "\ndetection/reaction latency (%s), virtual time:\n"
+                  r.Inject.plan_name;
+                print_table ~csv tbl)
+          (report.Inject.baseline :: report.Inject.runs);
         Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d%s%s%s\n"
           chi omega kappa trials seed
           (match strategy with
@@ -552,13 +588,26 @@ let inject_cmd =
           (report.Inject.baseline :: report.Inject.runs);
         if List.length plans > 1 then
           Printf.printf "escalation ordering (EL non-increasing): %s\n"
-            (if Inject.monotone_non_increasing report then "holds" else "FAILS"))
+            (if Inject.monotone_non_increasing report then "holds" else "FAILS");
+        match capture with
+        | None -> ()
+        | Some (path, read) ->
+            let samples =
+              if causal_profile then begin
+                Fortress_prof.Profiler.disable ();
+                Fortress_prof.Profiler.samples ()
+              end
+              else []
+            in
+            Fortress_prof.Trace_export.(write ~path (make ~samples (read ())));
+            Printf.printf "causal trace written to %s (open at https://ui.perfetto.dev)\n"
+              path)
   in
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
           $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ strategy_arg
-          $ defender_arg $ game_arg $ smr_arg $ timeline_arg $ csv_arg $ trace_out_arg
-          $ metrics_arg)
+          $ defender_arg $ game_arg $ smr_arg $ timeline_arg $ causal_trace_arg
+          $ causal_profile_arg $ csv_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -707,6 +756,68 @@ let timeline_cmd =
   Cmd.v
     (Cmd.info "timeline"
        ~doc:"Aggregate a JSONL event trace into fixed-width virtual-time windows, score the defender signals (EWMA + CUSUM burst detection) and render the windowed series, detector alarms and OpenMetrics exposition.")
+    term
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let module Obs = Fortress_obs in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"JSONL trace file written by $(b,inject --trace-out) (with \
+                   $(b,--causal-trace) on for span parentage and latency chains).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 20
+         & info [ "limit" ] ~docv:"N" ~doc:"Rows in the critical-path table.")
+  in
+  let openmetrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "openmetrics" ] ~docv:"FILE"
+             ~doc:"Write the OpenMetrics exposition of the latency summaries to $(docv).")
+  in
+  let run file limit openmetrics csv =
+    let malformed = ref 0 in
+    let events = ref [] in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match Obs.Sink.parse_line line with
+              | Ok tev -> events := tev :: !events
+              | Error _ -> incr malformed
+          done
+        with End_of_file -> ());
+    let events = List.rev !events in
+    let latency = Obs.Latency.of_events events in
+    Printf.printf "trace %s: %d events, %d closed latency chains%s\n" file
+      (List.length events) (Obs.Latency.total latency)
+      (if !malformed > 0 then Printf.sprintf ", %d malformed lines" !malformed else "");
+    Printf.printf "\ndetection/reaction latency (virtual time):\n";
+    print_table ~csv (Obs.Latency.table latency);
+    if Obs.Latency.total latency > 0 then begin
+      Printf.printf "\nclosed chains:\n";
+      print_table ~csv (Obs.Latency.chain_table latency)
+    end;
+    Printf.printf "\ncritical paths (causal span trees by elapsed virtual time):\n";
+    print_table ~csv (Obs.Latency.critical_path_table ~limit events);
+    match openmetrics with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Openmetrics.render ~latency ());
+        close_out oc;
+        Printf.printf "openmetrics exposition written to %s\n" path
+  in
+  let term = Term.(const run $ file_arg $ limit_arg $ openmetrics_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a JSONL event trace offline: extract the detection/reaction/stall-rekey latency chains, summarise them as distributions and rank the causal span trees by critical-path elapsed time.")
     term
 
 (* ---- prof ---- *)
@@ -899,7 +1010,7 @@ let main_cmd =
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
       podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; timeline_cmd;
-      prof_cmd; export_cmd;
+      trace_cmd; prof_cmd; export_cmd;
       sensitivity_cmd; threats_cmd; choose_cmd ]
 
 (* Degenerate operating points surface as typed exceptions from the linear

@@ -62,7 +62,13 @@ let submit t ~cmd ~on_response =
   Fortress_obs.Span.set_attr span "id" id;
   Hashtbl.replace t.requests id { response = None; on_response; span };
   Engine.emit t.engine (Event.Request_submitted { id });
-  transmit t ~id ~cmd;
+  (* the open request span is ambient around every (re)transmission, so
+     all net.send spans of a request parent to it in the causal tree; the
+     closure only exists when a context is attached, so the causal-free
+     submit path allocates nothing extra *)
+  (match Engine.causal t.engine with
+  | None -> transmit t ~id ~cmd
+  | Some _ -> Engine.causal_ambient t.engine span (fun () -> transmit t ~id ~cmd));
   (* requests are idempotent end to end, so retry until answered *)
   let rec arm_retry remaining =
     if remaining > 0 then
@@ -71,7 +77,10 @@ let submit t ~cmd ~on_response =
              match Hashtbl.find_opt t.requests id with
              | Some r when r.response = None ->
                  t.retries <- t.retries + 1;
-                 transmit t ~id ~cmd;
+                 (match Engine.causal t.engine with
+                 | None -> transmit t ~id ~cmd
+                 | Some _ ->
+                     Engine.causal_ambient t.engine r.span (fun () -> transmit t ~id ~cmd));
                  arm_retry (remaining - 1)
              | Some _ | None -> ()))
   in

@@ -27,8 +27,14 @@ let attach ?window ?capacity ?params ?(period : float option) deployment ~obfusc
           Array.iter
             (fun proxy -> Proxy.set_detection_threshold proxy k)
             (Deployment.proxies deployment));
-      rekey_now = (fun () -> Deployment.rekey deployment);
-      recover_now = (fun () -> Deployment.recover deployment);
+      rekey_now =
+        (fun () ->
+          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
+              Deployment.rekey deployment));
+      recover_now =
+        (fun () ->
+          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
+              Deployment.recover deployment));
     }
   in
   let period =
@@ -54,8 +60,14 @@ let attach_smr ?window ?capacity ?params ?(period : float option) deployment ~sc
       Controller.set_rekey_period =
         (fun p -> Smr_deployment.set_schedule_period schedule p);
       set_threshold = (fun _ -> ());
-      rekey_now = (fun () -> Smr_deployment.force_boundary schedule);
-      recover_now = (fun () -> Smr_deployment.force_boundary schedule);
+      rekey_now =
+        (fun () ->
+          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
+              Smr_deployment.force_boundary schedule));
+      recover_now =
+        (fun () ->
+          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
+              Smr_deployment.force_boundary schedule));
     }
   in
   let period =

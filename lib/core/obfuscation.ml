@@ -56,9 +56,10 @@ let attach deployment ~mode ~period =
                        })
                 end
                 else begin
-                  (match mode with
-                  | PO -> Deployment.rekey deployment
-                  | SO -> Deployment.recover deployment);
+                  Engine.causal_scope engine "obf.boundary" (fun () ->
+                      match mode with
+                      | PO -> Deployment.rekey deployment
+                      | SO -> Deployment.recover deployment);
                   t.steps <- t.steps + 1
                 end);
                arm ()

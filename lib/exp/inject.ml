@@ -19,6 +19,7 @@ module Trial = Fortress_mc.Trial
 module Sink = Fortress_obs.Sink
 module Timeline = Fortress_obs.Timeline
 module Signal = Fortress_obs.Signal
+module Latency = Fortress_obs.Latency
 module Table = Fortress_util.Table
 
 type config = {
@@ -34,6 +35,11 @@ type config = {
       (** window width (virtual time) for the pooled timeline; [None]
           (the default) keeps the run byte-identical to a telemetry-free
           build *)
+  causal : bool;
+      (** attach a causal trace context (plus an in-trial alarm-emitting
+          telemetry plane) to every trial's engine and extract detection/
+          reaction latency chains; off by default — the event stream is
+          then byte-identical to a causal-free build *)
 }
 
 let default_config =
@@ -47,6 +53,7 @@ let default_config =
     seed = 1;
     jobs = 1;
     telemetry = None;
+    causal = false;
   }
 
 type run = {
@@ -65,6 +72,9 @@ type run = {
   telemetry : (Timeline.t * Signal.t) option;
       (** pooled windowed timeline over every trial's replayed stream,
           present when {!config.telemetry} was set *)
+  latency : Latency.t option;
+      (** detection/reaction/stall-rekey chains merged over all trials in
+          index order, present when {!config.causal} was set *)
 }
 
 let accumulate (acc : Injector.stats) (s : Injector.stats) =
@@ -78,8 +88,21 @@ let accumulate (acc : Injector.stats) (s : Injector.stats) =
 (* One campaign under the plan: the attacker hunts the key while a benign
    client polls the service; the trial's lifetime is the campaign's, the
    availability sample is answered / issued over the same horizon. *)
-let one_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued ~answered
-    ~directives ~ddirectives ~seed =
+(* With a trace id (cfg.causal), the trial additionally gets a causal
+   span context — ids drawn from the trial's own block, so the pooled
+   stream is job-count invariant — and its own alarm-emitting telemetry
+   plane: the defender's sensing plane stays [~alarms:false] (the static
+   byte-identity contract), so the alarms that detection latency is
+   measured against must come from a separate, observation-only plane. *)
+let attach_causal_plane engine = function
+  | None -> None
+  | Some trace_id ->
+      ignore (Engine.attach_causal ~trace_id engine);
+      let tl, _signals = Engine.attach_telemetry ~alarms:true engine in
+      Some tl
+
+let one_trial ?strategy ?defender cfg plan ~digest ~record ~latency ~trace_id ~faults ~issued
+    ~answered ~directives ~ddirectives ~seed =
   let period = 100.0 in
   let deployment =
     Deployment.create
@@ -88,6 +111,8 @@ let one_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued ~answ
   let engine = Deployment.engine deployment in
   ignore (Sink.attach (Engine.sink engine) digest);
   Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
+  Option.iter (fun l -> ignore (Sink.attach (Engine.sink engine) l)) latency;
+  let causal_tl = attach_causal_plane engine trace_id in
   let obfuscation = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period in
   let handle = Wiring.install plan ~deployment ~obfuscation ~seed () in
   (* the defender arms after the obfuscation daemon, so at a shared
@@ -127,14 +152,15 @@ let one_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued ~answ
   Option.iter
     (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
     defense;
+  Option.iter Timeline.finish causal_tl;
   accumulate faults (Wiring.stats handle);
   lifetime
 
 (* The S0 counterpart: the same plan folded onto the replica tier by
    Smr_wiring, the same paired seeds. S0 has no separate workload client
    here — EL is the quantity of interest — so availability reports 1. *)
-let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued:_ ~answered:_
-    ~directives ~ddirectives ~seed =
+let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~latency ~trace_id ~faults
+    ~issued:_ ~answered:_ ~directives ~ddirectives ~seed =
   let period = 100.0 in
   let deployment =
     Smr_deployment.create
@@ -143,6 +169,8 @@ let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued:_
   let engine = Smr_deployment.engine deployment in
   ignore (Sink.attach (Engine.sink engine) digest);
   Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
+  Option.iter (fun l -> ignore (Sink.attach (Engine.sink engine) l)) latency;
+  let causal_tl = attach_causal_plane engine trace_id in
   let schedule = Smr_deployment.attach_schedule deployment ~mode:Obfuscation.PO ~period in
   let handle = Smr_wiring.install plan ~deployment ~schedule ~seed () in
   let defense =
@@ -165,6 +193,7 @@ let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~faults ~issued:_
   Option.iter
     (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
     defense;
+  Option.iter Timeline.finish causal_tl;
   accumulate faults (Smr_wiring.stats handle);
   lifetime
 
@@ -181,9 +210,11 @@ type trial_slot = {
   ts_ddirectives : int;
   ts_replay : (Sink.t -> unit) option;
       (** the trial's buffered event stream, replayed at the join *)
+  ts_latency : Latency.t option;
+      (** the trial's extracted latency chains, merged at the join *)
 }
 
-let run_plan_with trial ?sink cfg plan =
+let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
   let slots = Array.make cfg.trials None in
   (* Telemetry rides on the join-replay machinery: each trial records its
      engine's event stream into a private buffer, [on_join] replays the
@@ -201,14 +232,22 @@ let run_plan_with trial ?sink cfg plan =
         let handle = Sink.attach s (Timeline.subscriber tl) in
         (Some s, Some (tl, handle))
   in
+  (* Per-trial capture is lazy: the buffer is allocated and events are
+     recorded only when the pooled stream has a consumer — a timeline, a
+     trace writer, or any other subscriber on the shared sink. A bare run
+     (no subscribers) skips buffer allocation and event capture entirely;
+     the per-trial digest subscriber is unaffected either way. *)
+  let capture =
+    match sink with Some s -> Sink.subscriber_count s > 0 | None -> false
+  in
   (* index-structural per-trial seeds (cfg.seed * 1000 + index), the same
      sequence the original sequential counter produced: every plan replays
      the same seed sequence, so deltas are paired comparisons, and every
      job count replays the same per-index seed, so parallel runs stay
      paired too *)
   let on_join =
-    match (timeline, sink) with
-    | Some _, Some s ->
+    match sink with
+    | Some s when capture ->
         Some
           (fun ~index ->
             match slots.(index - 1) with
@@ -220,22 +259,24 @@ let run_plan_with trial ?sink cfg plan =
     Trial.run_indexed ?sink ?on_join ~jobs:cfg.jobs ~trials:cfg.trials ~seed:cfg.seed
       ~sampler:(fun ~index _prng ->
         let digest, finalize = Sink.digesting () in
-        let buffer =
-          match timeline with None -> None | Some _ -> Some (Sink.buffered ())
-        in
+        let buffer = if capture then Some (Sink.buffered ()) else None in
+        let latency = if cfg.causal then Some (Latency.collector ()) else None in
         let faults = Injector.fresh_stats () in
         let issued = ref 0 and answered = ref 0 in
         let directives = ref 0 and ddirectives = ref 0 in
         let lifetime =
-          trial cfg plan ~digest ~record:(Option.map fst buffer) ~faults ~issued ~answered
-            ~directives ~ddirectives
+          trial cfg plan ~digest ~record:(Option.map fst buffer)
+            ~latency:(Option.map fst latency)
+            ~trace_id:(if cfg.causal then Some (causal_offset + index) else None)
+            ~faults ~issued ~answered ~directives ~ddirectives
             ~seed:((cfg.seed * 1000) + index)
         in
         slots.(index - 1) <-
           Some
             { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
               ts_answered = !answered; ts_directives = !directives;
-              ts_ddirectives = !ddirectives; ts_replay = Option.map snd buffer };
+              ts_ddirectives = !ddirectives; ts_replay = Option.map snd buffer;
+              ts_latency = Option.map (fun (_, fin) -> fin ()) latency };
         lifetime)
       ()
   in
@@ -270,6 +311,16 @@ let run_plan_with trial ?sink cfg plan =
         (tl, signals))
       timeline
   in
+  let latency =
+    if cfg.causal then
+      Some
+        (Latency.merge
+           (Array.to_list slots
+           |> List.filter_map (function
+                | Some { ts_latency = Some l; _ } -> Some l
+                | _ -> None)))
+    else None
+  in
   {
     plan_name = plan.Plan.name;
     el;
@@ -282,13 +333,14 @@ let run_plan_with trial ?sink cfg plan =
     defender_directives = !ddirectives;
     digest = Sink.digest_lines (List.rev !digests);
     telemetry;
+    latency;
   }
 
-let run_plan ?sink ?strategy ?defender cfg plan =
-  run_plan_with (one_trial ?strategy ?defender) ?sink cfg plan
+let run_plan ?sink ?causal_offset ?strategy ?defender cfg plan =
+  run_plan_with (one_trial ?strategy ?defender) ?sink ?causal_offset cfg plan
 
-let run_smr_plan ?sink ?strategy ?defender cfg plan =
-  run_plan_with (one_smr_trial ?strategy ?defender) ?sink cfg plan
+let run_smr_plan ?sink ?causal_offset ?strategy ?defender cfg plan =
+  run_plan_with (one_smr_trial ?strategy ?defender) ?sink ?causal_offset cfg plan
 
 let find_defender name =
   if name = "mdp" then Some (Mdp.strategy ()) else Controller.Strategy.find name
@@ -333,13 +385,20 @@ let mean_el cfg (r : run) =
 
 let run ?sink ?strategy ?defender ?(stack = `Fortress) ?(config = default_config) ~plans ()
     =
-  let run_plan ?sink ?strategy ?defender cfg plan =
+  let run_plan ?sink ?causal_offset ?strategy ?defender cfg plan =
     match stack with
-    | `Fortress -> run_plan ?sink ?strategy ?defender cfg plan
-    | `Smr -> run_smr_plan ?sink ?strategy ?defender cfg plan
+    | `Fortress -> run_plan ?sink ?causal_offset ?strategy ?defender cfg plan
+    | `Smr -> run_smr_plan ?sink ?causal_offset ?strategy ?defender cfg plan
   in
-  let baseline = run_plan ?sink ?strategy ?defender config Plan.none in
-  let runs = List.map (run_plan ?sink ?strategy ?defender config) plans in
+  (* each plan run gets its own block of trace ids so causal span ids stay
+     unique when several plans share one pooled trace sink *)
+  let baseline = run_plan ?sink ~causal_offset:0 ?strategy ?defender config Plan.none in
+  let runs =
+    List.mapi
+      (fun i plan ->
+        run_plan ?sink ~causal_offset:((i + 1) * 1000) ?strategy ?defender config plan)
+      plans
+  in
   let adapt =
     match strategy with
     | None -> None
@@ -353,7 +412,9 @@ let run ?sink ?strategy ?defender ?(stack = `Fortress) ?(config = default_config
              attacker. *)
           if s.Adaptive.Strategy.name = Adaptive.Strategy.oblivious.Adaptive.Strategy.name
           then mean_el config run
-          else mean_el config (run_plan ?defender { config with telemetry = None } plan)
+          else
+            mean_el config
+              (run_plan ?defender { config with telemetry = None; causal = false } plan)
         in
         let rows =
           List.map2
@@ -382,7 +443,7 @@ let run ?sink ?strategy ?defender ?(stack = `Fortress) ?(config = default_config
              the comparison varies only the defender *)
           if d.Controller.Strategy.name = Controller.Strategy.static.Controller.Strategy.name
           then run
-          else run_plan ?strategy { config with telemetry = None } plan
+          else run_plan ?strategy { config with telemetry = None; causal = false } plan
         in
         let drows =
           List.map2
@@ -474,6 +535,8 @@ let timeline_table (r : run) =
 let timeline_alarm_table (r : run) =
   Option.map (fun (_, sg) -> Signal.alarm_table sg) r.telemetry
 
+let latency_table (r : run) = Option.map Latency.table r.latency
+
 let adapt_table (a : adapt) =
   let t =
     Table.create
@@ -543,7 +606,7 @@ let run_game ?(config = default_config)
     ?(attackers = [ Adaptive.Strategy.oblivious; Adaptive.Strategy.stale_key_rush ])
     ?(defenders = [ Controller.Strategy.static; Controller.Strategy.alarm_rekey ]) ~plans
     () =
-  let config = { config with telemetry = None } in
+  let config = { config with telemetry = None; causal = false } in
   let cells =
     List.concat_map
       (fun plan ->

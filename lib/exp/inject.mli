@@ -35,12 +35,20 @@ type config = {
           defender signals over it; [None] (the default) attaches nothing
           and leaves every output byte-identical to a telemetry-free
           build *)
+  causal : bool;
+      (** when true, every trial's engine gets a causal trace context
+          (trace id derived from the trial index, so span ids are unique
+          across the pooled stream and invariant under [jobs]) plus its
+          own alarm-emitting telemetry plane, and the run extracts
+          {!Fortress_obs.Latency} chains per trial; [false] (the default)
+          opens no span anywhere and leaves every output byte-identical
+          to a causal-free build *)
 }
 
 val default_config : config
 (** trials 12, chi 256, omega 8, kappa 0.5, horizon 400 steps, workload
-    every 20.0, seed 1, jobs 1, telemetry off — the protocol-validation
-    operating point. *)
+    every 20.0, seed 1, jobs 1, telemetry and causal tracing off — the
+    protocol-validation operating point. *)
 
 type run = {
   plan_name : string;
@@ -66,18 +74,27 @@ type run = {
           pools the same phase of all trials) and is identical at every
           job count. Detector alarms are appended to the run's [?sink]
           after the replayed streams, in window order. *)
+  latency : Fortress_obs.Latency.t option;
+      (** detection / reaction / stall-rekey chains, extracted per trial
+          and merged in trial-index order; present when {!config.causal}
+          was set *)
 }
 
 val run_plan :
   ?sink:Fortress_obs.Sink.t ->
+  ?causal_offset:int ->
   ?strategy:Fortress_attack.Adaptive.Strategy.t ->
   ?defender:Fortress_defense.Controller.Strategy.t ->
   config ->
   Fortress_faults.Plan.t ->
   run
+(** [causal_offset] (default 0) shifts this run's causal trace ids so
+    several plan runs sharing one pooled sink keep disjoint span-id
+    blocks; {!run} sets it per plan automatically. *)
 
 val run_smr_plan :
   ?sink:Fortress_obs.Sink.t ->
+  ?causal_offset:int ->
   ?strategy:Fortress_attack.Adaptive.Strategy.t ->
   ?defender:Fortress_defense.Controller.Strategy.t ->
   config ->
@@ -165,6 +182,11 @@ val timeline_table : run -> Fortress_util.Table.t option
     was made without telemetry. *)
 
 val timeline_alarm_table : run -> Fortress_util.Table.t option
+
+val latency_table : run -> Fortress_util.Table.t option
+(** The detection-latency report: per-chain count, censored count, mean,
+    p50/p90/p99 and max over the run's merged {!Fortress_obs.Latency}
+    chains. [None] when the run was made without {!config.causal}. *)
 
 (** {1 The 2x2 attacker/defender game} *)
 

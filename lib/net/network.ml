@@ -1,5 +1,6 @@
 module Engine = Fortress_sim.Engine
 module Event = Fortress_obs.Event
+module Causal = Fortress_obs.Causal
 module Prof = Fortress_prof.Profiler
 
 let send_phase = Prof.register "net.send"
@@ -89,21 +90,52 @@ let drop t ~src ~dst ~reason =
     (Event.Msg_dropped { src = Address.id src; dst = Address.id dst; reason })
 
 (* One physical transmission attempt: sample latency, add [extra], deliver
-   unless the destination went down (or crashed and came back) in flight. *)
+   unless the destination went down (or crashed and came back) in flight.
+   With a causal context attached, the in-flight message is stamped with a
+   [net.send] span (child of whatever span is ambient at the send site) and
+   delivery opens a [net.deliver] child of it, made ambient around the
+   handler so nested sends chain — that parent edge is what the trace
+   export renders as a cross-node flow arrow. *)
 let transmit t ~src ~dst dst_node ~extra msg =
   match Latency.sample (latency_for t src dst) (Engine.prng t.engine) with
   | None -> drop t ~src ~dst ~reason:"loss"
   | Some delay ->
       let epoch_at_send = dst_node.epoch in
+      let send_span =
+        match Engine.causal t.engine with
+        | None -> None
+        | Some c ->
+            let sp =
+              Causal.span_of c
+                ~attrs:[ ("node", (find t src).name); ("dst", dst_node.name) ]
+                "net.send"
+            in
+            Causal.finish c sp;
+            Some (c, sp)
+      in
       ignore
         (Engine.schedule t.engine ~delay:(delay +. extra) (fun () ->
              if dst_node.up && dst_node.epoch = epoch_at_send then begin
                t.delivered <- t.delivered + 1;
                Engine.emit t.engine
                  (Event.Msg_delivered { src = Address.id src; dst = Address.id dst });
-               if Prof.is_enabled () then
-                 Prof.record deliver_phase (fun () -> dst_node.handler ~src msg)
-               else dst_node.handler ~src msg
+               match send_span with
+               | None ->
+                   (* no causal context: keep the pre-causal delivery path
+                      allocation-free (the closure for [Prof.record] only
+                      exists when the profiler is on, as before) *)
+                   if Prof.is_enabled () then
+                     Prof.record deliver_phase (fun () -> dst_node.handler ~src msg)
+                   else dst_node.handler ~src msg
+               | Some (c, sp) ->
+                   let dsp =
+                     Causal.span_of c ~parent:sp ~attrs:[ ("node", dst_node.name) ] "net.deliver"
+                   in
+                   Causal.with_ambient c dsp (fun () ->
+                       if Prof.is_enabled () then
+                         Prof.record deliver_phase (fun () -> dst_node.handler ~src msg)
+                       else dst_node.handler ~src msg);
+                   Causal.finish c dsp
              end
              else drop t ~src ~dst ~reason:"down"))
 

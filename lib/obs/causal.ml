@@ -1,0 +1,28 @@
+type t = { spans : Span.ctx; trace_id : int; mutable stack : Span.span list }
+
+let id_stride = 1_000_000
+
+let create ?(trace_id = 0) spans =
+  Span.set_id_base spans (trace_id * id_stride);
+  { spans; trace_id; stack = [] }
+
+let trace_id t = t.trace_id
+let ambient t = match t.stack with [] -> None | sp :: _ -> Some sp
+
+let span_of t ?(attrs = []) ?parent name =
+  let parent = match parent with Some _ as p -> p | None -> ambient t in
+  let sp = Span.start t.spans ?parent name in
+  List.iter (fun (k, v) -> Span.set_attr sp k v) attrs;
+  sp
+
+let finish t sp = Span.finish t.spans sp
+
+let with_ambient t sp f =
+  t.stack <- sp :: t.stack;
+  Fun.protect
+    ~finally:(fun () -> t.stack <- (match t.stack with [] -> [] | _ :: rest -> rest))
+    f
+
+let with_span t ?attrs name f =
+  let sp = span_of t ?attrs name in
+  Fun.protect ~finally:(fun () -> finish t sp) (fun () -> with_ambient t sp f)

@@ -1,0 +1,39 @@
+(** Causal trace context.
+
+    A thin ambient-span discipline over a {!Span.ctx}: whichever span is on
+    top of the stack when a message is handed to the network becomes the
+    parent of that message's [net.send] span, and the delivery handler runs
+    with the [net.deliver] span ambient, so nested sends chain into one
+    causal tree across nodes. The context is per-engine and therefore
+    per-trial; ids are seeded from the trial index ({!create}'s [trace_id])
+    so a pooled Monte-Carlo stream carries globally unique, job-count
+    invariant span ids.
+
+    Only defender-side and protocol-side code opens spans. Attacker probes
+    deliberately carry no context — see DESIGN.md §13. *)
+
+type t
+
+val id_stride : int
+(** Width of the id block reserved per trace id (1_000_000). *)
+
+val create : ?trace_id:int -> Span.ctx -> t
+(** Wrap a span context, reseeding its id counter to
+    [trace_id * id_stride]. Defaults to trace id 0. *)
+
+val trace_id : t -> int
+
+val ambient : t -> Span.span option
+(** The innermost span currently in scope, if any. *)
+
+val span_of : t -> ?attrs:(string * string) list -> ?parent:Span.span -> string -> Span.span
+(** Open a span. [parent] defaults to the ambient span; attributes are
+    applied in order. The caller owns finishing it (via {!finish}). *)
+
+val finish : t -> Span.span -> unit
+
+val with_ambient : t -> Span.span -> (unit -> 'a) -> 'a
+(** Run [f] with an already-open span made ambient; does not finish it. *)
+
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Open a child of the ambient span, run [f] with it ambient, finish it. *)

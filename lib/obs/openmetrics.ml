@@ -115,11 +115,47 @@ let signals_section buf ~prefix sg =
   in
   metric buf ~typ:"counter" (p ^ "_alarms_total") alarm_counts
 
-let render ?(prefix = "fortress") ?metrics ?timeline ?signals () =
+let latency_section buf ~prefix lat =
+  let p = prefix ^ "_latency_vt" in
+  let lines =
+    List.concat_map
+      (fun kind ->
+        match Latency.summary lat kind with
+        | None -> []
+        | Some s ->
+            let chain = escape_label (Latency.kind_name kind) in
+            let q quantile v =
+              if Float.is_nan v then []
+              else [ Printf.sprintf "%s{chain=\"%s\",quantile=\"%s\"} %s" p chain quantile (num v) ]
+            in
+            q "0.5" s.Latency.s_p50 @ q "0.9" s.Latency.s_p90 @ q "0.99" s.Latency.s_p99
+            @ [
+                Printf.sprintf "%s_sum{chain=\"%s\"} %s" p chain (num s.Latency.s_sum);
+                Printf.sprintf "%s_count{chain=\"%s\"} %d" p chain s.Latency.s_count;
+              ])
+      Latency.kinds
+  in
+  if lines <> [] then metric buf ~typ:"summary" p lines;
+  let censored =
+    List.filter_map
+      (fun kind ->
+        match Latency.censored lat kind with
+        | 0 -> None
+        | n ->
+            Some
+              (Printf.sprintf "%s_censored_total{chain=\"%s\"} %d" p
+                 (escape_label (Latency.kind_name kind))
+                 n))
+      Latency.kinds
+  in
+  if censored <> [] then metric buf ~typ:"counter" (p ^ "_censored_total") censored
+
+let render ?(prefix = "fortress") ?metrics ?timeline ?signals ?latency () =
   let prefix = sanitize prefix in
   let buf = Buffer.create 1024 in
   Option.iter (metrics_section buf ~prefix ~skip_signals:(signals <> None)) metrics;
   Option.iter (timeline_section buf ~prefix) timeline;
   Option.iter (signals_section buf ~prefix) signals;
+  Option.iter (latency_section buf ~prefix) latency;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf

@@ -27,8 +27,11 @@ val render :
   ?metrics:Metrics.t ->
   ?timeline:Timeline.t ->
   ?signals:Signal.t ->
+  ?latency:Latency.t ->
   unit ->
   string
 (** [prefix] defaults to ["fortress"] and goes through {!sanitize};
-    label values (timeline keys, signal names) go through
-    {!escape_label}. *)
+    label values (timeline keys, signal names, latency chains) go through
+    {!escape_label}. [latency] renders a [<prefix>_latency_vt] summary
+    family (p50/p90/p99 quantiles, [_sum], [_count]) per non-empty chain,
+    plus a [_censored_total] counter for chains left open. *)

@@ -18,6 +18,7 @@ type ctx = {
 let create ~now () = { now; on_finish = ignore; next_id = 0; active = 0; finished = 0 }
 let set_clock ctx now = ctx.now <- now
 let set_on_finish ctx f = ctx.on_finish <- f
+let set_id_base ctx base = ctx.next_id <- base
 
 let start ctx ?parent name =
   ctx.next_id <- ctx.next_id + 1;

@@ -21,6 +21,12 @@ val set_on_finish : ctx -> (Event.t -> unit) -> unit
 (** Install the hook that receives each finished span (typically
     [Sink.emit]). Replaces any previous hook. *)
 
+val set_id_base : ctx -> int -> unit
+(** Reseed the id counter: the next span gets id [base + 1]. Pooled
+    Monte-Carlo runs give each trial a disjoint id block derived from the
+    trial index so span ids are stable at any job count and unique across
+    the pooled stream. *)
+
 val start : ctx -> ?parent:span -> string -> span
 (** Opens a span at the current clock reading. *)
 

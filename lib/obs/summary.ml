@@ -25,6 +25,7 @@ type t = {
   trial_lifetime_sum : float;
   spans : (string * int * float) list;
   faults : (string * int) list;
+  alarms : (string * int * float) list;  (* detector, count, first alarm vt *)
 }
 
 type acc = {
@@ -52,6 +53,7 @@ type acc = {
   mutable a_lifetime_sum : float;
   span_stats : (string, (int * float) ref) Hashtbl.t;
   fault_actions : (string, int ref) Hashtbl.t;
+  alarm_stats : (string, (int * float) ref) Hashtbl.t;  (* count, first time *)
 }
 
 let fresh () =
@@ -80,6 +82,7 @@ let fresh () =
     a_lifetime_sum = 0.0;
     span_stats = Hashtbl.create 8;
     fault_actions = Hashtbl.create 8;
+    alarm_stats = Hashtbl.create 8;
   }
 
 let bump tbl key =
@@ -124,6 +127,18 @@ let add acc time (ev : Event.t) =
           r := (n + 1, d +. duration)
       | None -> Hashtbl.replace acc.span_stats name (ref (1, duration)))
   | Event.Fault { action; _ } -> bump acc.fault_actions action
+  | Event.Note { label = "signal.alarm"; detail } ->
+      (* alarm detail leads with the detector kind: "<detector>: raw=..." *)
+      let detector =
+        match String.index_opt detail ':' with
+        | Some i -> String.sub detail 0 i
+        | None -> "unknown"
+      in
+      (match Hashtbl.find_opt acc.alarm_stats detector with
+      | Some r ->
+          let n, first = !r in
+          r := (n + 1, Float.min first time)
+      | None -> Hashtbl.replace acc.alarm_stats detector (ref (1, time)))
   | _ -> ()
 
 let finalize acc =
@@ -158,6 +173,9 @@ let finalize acc =
     faults =
       Hashtbl.fold (fun k r l -> (k, !r) :: l) acc.fault_actions []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    alarms =
+      Hashtbl.fold (fun k r l -> (k, fst !r, snd !r) :: l) acc.alarm_stats []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
   }
 
 let of_events events =
@@ -250,6 +268,15 @@ let fault_table s =
   List.iter (fun (action, n) -> Table.add_row t [ action; string_of_int n ]) s.faults;
   t
 
+let alarm_table s =
+  let t = Table.create ~headers:[ "detector"; "alarms"; "first alarm vt" ] in
+  Table.set_align t 0 Table.Left;
+  List.iter
+    (fun (detector, n, first) ->
+      Table.add_row t [ detector; string_of_int n; Printf.sprintf "%.4g" first ])
+    s.alarms;
+  t
+
 let by_label_table s =
   let t = Table.create ~headers:[ "event"; "count"; "per vt" ] in
   Table.set_align t 0 Table.Left;
@@ -270,6 +297,10 @@ let render s =
   if s.faults <> [] then begin
     Buffer.add_string buf "\ninjected faults by action:\n";
     Buffer.add_string buf (Table.render (fault_table s))
+  end;
+  if s.alarms <> [] then begin
+    Buffer.add_string buf "\ndefender signal alarms:\n";
+    Buffer.add_string buf (Table.render (alarm_table s))
   end;
   if s.spans <> [] then begin
     Buffer.add_string buf "\nspans (virtual-time durations):\n";

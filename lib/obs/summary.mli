@@ -30,6 +30,9 @@ type t = {
   trial_lifetime_sum : float;
   spans : (string * int * float) list;  (** name, count, total virtual duration *)
   faults : (string * int) list;  (** injected-fault counts per action, sorted *)
+  alarms : (string * int * float) list;
+      (** per-detector [signal.alarm] counts and first-alarm virtual time,
+          sorted by detector name *)
 }
 
 val of_events : (float * Event.t) list -> t
@@ -41,6 +44,11 @@ val table : t -> Fortress_util.Table.t
 val fault_table : t -> Fortress_util.Table.t
 (** Per-action injected-fault counts ({!Event.Fault} events, e.g. "drop",
     "crash", "partition"). Empty for traces recorded without a plan. *)
+
+val alarm_table : t -> Fortress_util.Table.t
+(** Per-detector [signal.alarm] counts with first-alarm virtual time —
+    what the defender saw and when, straight from a bare JSONL trace.
+    Empty for traces recorded without an alarm-emitting signal plane. *)
 
 val render : t -> string
 (** Overview plus per-label counts (with an events-per-unit-virtual-time

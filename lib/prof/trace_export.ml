@@ -75,12 +75,32 @@ let instant ~pid ~tid ~name ~ts ~args =
       ("args", Json.Obj args);
     ]
 
+(* Flow events bind a send lane to a deliver lane with an arrow: a "s"
+   (start) at the producer and a "f" (finish, bp:"e") at the consumer,
+   paired by id. Binding id is the deliver span's id, which the causal
+   layer keeps unique across a pooled trace. *)
+let flow ~phase ~tid ~ts ~id =
+  Json.Obj
+    ([ str "name" "net.flow"; str "cat" "net"; str "ph" phase ]
+    @ (if phase = "f" then [ str "bp" "e" ] else [])
+    @ [ num "id" id; num "pid" 1.0; num "tid" (float_of_int tid); num "ts" ts ])
+
 let sim_pid = 1
 let prof_pid = 2
 
 let make ?(scale = default_scale) ?(samples = []) events =
   let sim_lanes = lanes_create () in
   let prof_lanes = lanes_create () in
+  (* pre-index finished spans so a net.deliver can find its net.send parent
+     regardless of emission order *)
+  let span_index = Hashtbl.create 64 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Event.Span_finished { id; name; start_time; attrs; _ } ->
+          Hashtbl.replace span_index id (name, span_lane ~attrs ~name, start_time)
+      | _ -> ())
+    events;
   let rows = ref [] in
   let push row = rows := row :: !rows in
   List.iter
@@ -97,7 +117,18 @@ let make ?(scale = default_scale) ?(samples = []) events =
           in
           push
             (complete ~pid:sim_pid ~tid ~name ~ts:(start_time *. scale)
-               ~dur:(duration *. scale) ~args)
+               ~dur:(duration *. scale) ~args);
+          (match (name, parent) with
+          | "net.deliver", Some p -> (
+              match Hashtbl.find_opt span_index p with
+              | Some ("net.send", send_lane, send_start) ->
+                  let fid = float_of_int id in
+                  push
+                    (flow ~phase:"s" ~tid:(lane_id sim_lanes send_lane)
+                       ~ts:(send_start *. scale) ~id:fid);
+                  push (flow ~phase:"f" ~tid ~ts:(start_time *. scale) ~id:fid)
+              | _ -> ())
+          | _ -> ())
       | ev when Event.verbosity ev = `Info ->
           (* milestones (compromises, failovers, faults, notes) render as
              instants on an "events" lane so they line up against spans *)

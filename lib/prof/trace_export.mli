@@ -8,7 +8,15 @@
     time, one thread lane per node (span attr ["node"], else the span
     name's prefix before the first ['.']) plus an ["events"] lane of
     [`Info]-level instants; pid 2 carries {!Profiler} wall-clock samples,
-    one lane per phase scope. *)
+    one lane per phase scope.
+
+    When the stream carries causal message spans (a [net.deliver] whose
+    parent is a [net.send], as opened by the network layer under
+    {!Fortress_sim.Engine.attach_causal}), each such edge additionally
+    renders as a flow arrow (["ph":"s"]/["ph":"f"] pair bound by the
+    deliver span's id) from the sender's lane to the receiver's lane.
+    Streams without causal spans produce no flow events, so existing
+    artifacts are unchanged. *)
 
 val make :
   ?scale:float -> ?samples:Profiler.sample list -> (float * Fortress_obs.Event.t) list ->

@@ -17,6 +17,7 @@ type t = {
   metrics : Obs.Metrics.t;
   spans : Obs.Span.ctx;
   mutable delay_xform : (float -> float) option;
+  mutable causal : Obs.Causal.t option;
 }
 
 (* Bridge structured events into the legacy trace ring: every event bumps
@@ -47,6 +48,7 @@ let create ?trace ?prng ?sink ?metrics () =
       metrics;
       spans = Obs.Span.create ~now:(fun () -> 0.0) ();
       delay_xform = None;
+      causal = None;
     }
   in
   Obs.Span.set_clock t.spans (fun () -> t.clock);
@@ -62,6 +64,19 @@ let spans t = t.spans
 let emit t ev = Obs.Sink.emit t.sink ~time:t.clock ev
 let span t ?parent name = Obs.Span.start t.spans ?parent name
 let finish_span t sp = Obs.Span.finish t.spans sp
+
+let attach_causal ?(trace_id = 0) t =
+  let c = Obs.Causal.create ~trace_id t.spans in
+  t.causal <- Some c;
+  c
+
+let causal t = t.causal
+
+let causal_scope t ?attrs name f =
+  match t.causal with None -> f () | Some c -> Obs.Causal.with_span c ?attrs name f
+
+let causal_ambient t sp f =
+  match t.causal with None -> f () | Some c -> Obs.Causal.with_ambient c sp f
 
 let enqueue t ~time fire =
   let ev = { fire; cancelled = false; live = true } in

@@ -45,6 +45,29 @@ val span : t -> ?parent:Fortress_obs.Span.span -> string -> Fortress_obs.Span.sp
 val finish_span : t -> Fortress_obs.Span.span -> unit
 (** Close a span; the finished span is emitted through {!sink}. *)
 
+val attach_causal : ?trace_id:int -> t -> Fortress_obs.Causal.t
+(** Attach a causal trace context over this engine's span context,
+    reseeding span ids to the [trace_id]'s disjoint block (see
+    {!Fortress_obs.Causal.create}). Once attached, the network layer opens
+    [net.send]/[net.deliver] spans around every message and instrumented
+    components ({!causal_scope}/{!causal_ambient} call sites) thread
+    parentage through them. Off by default: without this call no span is
+    opened anywhere on the message plane and the event stream is
+    byte-identical to pre-causal builds. *)
+
+val causal : t -> Fortress_obs.Causal.t option
+
+val causal_scope :
+  t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a named causal span when a context is attached;
+    the identity function otherwise (no allocation on the disabled path
+    beyond the closure the caller already built). *)
+
+val causal_ambient : t -> Fortress_obs.Span.span -> (unit -> 'a) -> 'a
+(** Run a thunk with an existing span ambient (it becomes the parent of
+    any span opened inside, e.g. the [net.send] of an outgoing message);
+    identity when no context is attached. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] fires [f] at [now t +. delay]. Raises
     [Invalid_argument] on a negative delay. *)

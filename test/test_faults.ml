@@ -208,6 +208,67 @@ let test_escalation_ordering () =
       Alcotest.(check (float 1e-9)) "partition ties baseline exactly" base part
   | _ -> Alcotest.fail "report shape"
 
+(* ---- causal tracing through inject ---- *)
+
+module Latency = Fortress_obs.Latency
+module Sink = Fortress_obs.Sink
+
+let causal_config = { quick_config with causal = true }
+
+let run_causal ~jobs =
+  let sink = Sink.create () in
+  let sub, read = Sink.memory () in
+  ignore (Sink.attach sink sub);
+  let r = Inject.run_plan ~sink { causal_config with jobs } Plan.chaos in
+  (r, read ())
+
+let test_causal_off_digest_unchanged () =
+  let plain = Inject.run_plan quick_config Plan.chaos in
+  let traced = Inject.run_plan causal_config Plan.chaos in
+  Alcotest.(check bool) "latency present iff causal" true
+    (plain.Inject.latency = None && traced.Inject.latency <> None);
+  (* causal tracing is a pure observer: the simulated world is unchanged *)
+  Alcotest.(check (float 1e-9)) "EL unchanged by tracing"
+    (Inject.mean_el quick_config plain) (Inject.mean_el causal_config traced)
+
+let test_causal_jobs_invariant () =
+  let r1, ev1 = run_causal ~jobs:1 in
+  let r4, ev4 = run_causal ~jobs:4 in
+  Alcotest.(check string) "digest identical at jobs 1 vs 4" r1.Inject.digest r4.Inject.digest;
+  Alcotest.(check int) "same pooled event count" (List.length ev1) (List.length ev4);
+  let lines evs = List.map (fun (t, e) -> Sink.line ~time:t e) evs in
+  Alcotest.(check bool) "pooled stream byte-identical" true (lines ev1 = lines ev4);
+  let canon (r : Inject.run) =
+    match r.Inject.latency with
+    | None -> Alcotest.fail "latency missing"
+    | Some l -> List.map (fun k -> (Latency.chains l k, Latency.censored l k)) Latency.kinds
+  in
+  Alcotest.(check bool) "latency chains identical" true (canon r1 = canon r4)
+
+let test_causal_stream_carries_spans_and_chains () =
+  let r, events = run_causal ~jobs:1 in
+  let count name =
+    List.length
+      (List.filter
+         (fun (_, ev) ->
+           match ev with
+           | Fortress_obs.Event.Span_finished { name = n; _ } -> n = name
+           | _ -> false)
+         events)
+  in
+  Alcotest.(check bool) "net.send spans present" true (count "net.send" > 0);
+  Alcotest.(check bool) "net.deliver spans present" true (count "net.deliver" > 0);
+  Alcotest.(check bool) "client.request spans present" true (count "client.request" > 0);
+  match r.Inject.latency with
+  | None -> Alcotest.fail "latency missing"
+  | Some l ->
+      (* chaos stalls the rekeyer and crashes servers: detection chains
+         must open (closed or censored) *)
+      Alcotest.(check bool) "detection chains observed" true
+        (Latency.total l + Latency.censored l Latency.Detection > 0);
+      Alcotest.(check bool) "latency table renders" true
+        (Inject.latency_table r <> None)
+
 let () =
   Alcotest.run "fortress_faults"
     [
@@ -234,5 +295,13 @@ let () =
         [
           Alcotest.test_case "trace digest deterministic" `Slow test_digest_deterministic;
           Alcotest.test_case "escalation ordering" `Slow test_escalation_ordering;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "off-path digest and EL unchanged" `Slow
+            test_causal_off_digest_unchanged;
+          Alcotest.test_case "jobs invariant" `Slow test_causal_jobs_invariant;
+          Alcotest.test_case "stream carries spans and chains" `Slow
+            test_causal_stream_carries_spans_and_chains;
         ] );
     ]

@@ -406,6 +406,101 @@ let test_conn_client_close_notifies_server () =
   Engine.run engine;
   Alcotest.(check bool) "server notified" true !server_saw_close
 
+(* ---- causal message spans ---- *)
+
+let collect_spans engine =
+  let spans = ref [] in
+  ignore
+    (Fortress_obs.Sink.attach (Engine.sink engine) (fun ~time:_ ev ->
+         match ev with
+         | Fortress_obs.Event.Span_finished { id; name; parent; attrs; _ } ->
+             spans := (id, name, parent, attrs) :: !spans
+         | _ -> ()));
+  spans
+
+let test_causal_send_deliver_parentage () =
+  let engine, net = setup ~latency:(Latency.constant 2.0) () in
+  let spans = collect_spans engine in
+  let c = Engine.attach_causal ~trace_id:5 engine in
+  let a = register_sink net "alpha" (ref []) in
+  let log = ref [] in
+  let b = register_sink net "beta" log in
+  let root = Fortress_obs.Causal.span_of c "client.request" in
+  Fortress_obs.Causal.with_ambient c root (fun () ->
+      Network.send net ~src:a ~dst:b (Ping 1));
+  Engine.run engine;
+  Fortress_obs.Causal.finish c root;
+  Alcotest.(check int) "message delivered" 1 (List.length !log);
+  let find name =
+    match List.find_opt (fun (_, n, _, _) -> n = name) !spans with
+    | Some s -> s
+    | None -> Alcotest.failf "no %s span" name
+  in
+  let send_id, _, send_parent, send_attrs = find "net.send" in
+  let _, _, deliver_parent, deliver_attrs = find "net.deliver" in
+  let root_id, _, _, _ = find "client.request" in
+  Alcotest.(check (option int)) "send parents to the ambient request" (Some root_id)
+    send_parent;
+  Alcotest.(check (option int)) "deliver parents to its send" (Some send_id) deliver_parent;
+  Alcotest.(check bool) "ids in the trace-id block" true
+    (send_id > 5 * Fortress_obs.Causal.id_stride);
+  Alcotest.(check (option string)) "send carries src node" (Some "alpha")
+    (List.assoc_opt "node" send_attrs);
+  Alcotest.(check (option string)) "send carries dst node" (Some "beta")
+    (List.assoc_opt "dst" send_attrs);
+  Alcotest.(check (option string)) "deliver carries dst node" (Some "beta")
+    (List.assoc_opt "node" deliver_attrs)
+
+let test_causal_nested_sends_chain () =
+  (* beta's handler sends onward to gamma while the deliver span is
+     ambient, so gamma's send parents to beta's deliver: one causal tree
+     across three nodes *)
+  let engine, net = setup ~latency:(Latency.constant 1.0) () in
+  let spans = collect_spans engine in
+  ignore (Engine.attach_causal engine);
+  let a = register_sink net "alpha" (ref []) in
+  let glog = ref [] in
+  let g = register_sink net "gamma" glog in
+  let b = ref a in
+  b :=
+    Network.register net ~name:"beta" ~handler:(fun ~src:_ _ ->
+        Network.send net ~src:!b ~dst:g (Pong 2));
+  Network.send net ~src:a ~dst:!b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "relayed" 1 (List.length !glog);
+  let deliver_ids =
+    List.filter_map (fun (id, n, _, _) -> if n = "net.deliver" then Some id else None) !spans
+  in
+  let second_send_parent =
+    (* the later send (higher id) is beta->gamma *)
+    List.filter_map (fun (id, n, p, _) -> if n = "net.send" then Some (id, p) else None) !spans
+    |> List.sort compare |> List.rev |> List.hd |> snd
+  in
+  Alcotest.(check bool) "relay send parents to a deliver span" true
+    (match second_send_parent with Some p -> List.mem p deliver_ids | None -> false)
+
+let test_no_spans_without_causal () =
+  let engine, net = setup ~latency:(Latency.constant 2.0) () in
+  let spans = collect_spans engine in
+  let a = register_sink net "alpha" (ref []) in
+  let log = ref [] in
+  let b = register_sink net "beta" log in
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 1 (List.length !log);
+  Alcotest.(check int) "zero spans off the causal path" 0 (List.length !spans)
+
+let test_causal_lost_message_no_deliver_span () =
+  let engine, net = setup ~latency:(Latency.lossy (Latency.constant 1.0) ~drop:1.0) () in
+  let spans = collect_spans engine in
+  ignore (Engine.attach_causal engine);
+  let a = register_sink net "alpha" (ref []) in
+  let b = register_sink net "beta" (ref []) in
+  Network.send net ~src:a ~dst:b (Ping 1);
+  Engine.run engine;
+  Alcotest.(check bool) "no deliver span for a lost message" true
+    (not (List.exists (fun (_, n, _, _) -> n = "net.deliver") !spans))
+
 let () =
   Alcotest.run "fortress_net"
     [
@@ -441,6 +536,16 @@ let () =
           Alcotest.test_case "partition precedes interceptor, heal re-delivers" `Quick
             test_partition_beats_interceptor_then_heals;
           Alcotest.test_case "unknown source" `Quick test_unknown_source;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "send/deliver parentage" `Quick
+            test_causal_send_deliver_parentage;
+          Alcotest.test_case "nested sends chain across nodes" `Quick
+            test_causal_nested_sends_chain;
+          Alcotest.test_case "no spans without causal" `Quick test_no_spans_without_causal;
+          Alcotest.test_case "lost message, no deliver span" `Quick
+            test_causal_lost_message_no_deliver_span;
         ] );
       ( "conn",
         [

@@ -912,6 +912,222 @@ let test_trial_events_through_validation () =
   (* 5 step-level + 5 probe-level trials *)
   Alcotest.(check int) "trial events from both tiers" 10 !trials
 
+(* ---- Causal ---- *)
+
+module Causal = Fortress_obs.Causal
+module Latency = Fortress_obs.Latency
+
+let test_causal_id_base_and_parentage () =
+  let ctx = Span.create ~now:(fun () -> 0.0) () in
+  let c = Causal.create ~trace_id:3 ctx in
+  Alcotest.(check int) "trace id" 3 (Causal.trace_id c);
+  Alcotest.(check bool) "no ambient initially" true (Causal.ambient c = None);
+  let root = Causal.span_of c ~attrs:[ ("node", "client") ] "client.request" in
+  Alcotest.(check int) "id from trace-id block" ((3 * Causal.id_stride) + 1) (Span.id root);
+  Alcotest.(check bool) "root has no parent" true (Span.parent_id root = None);
+  Alcotest.(check (list (pair string string))) "attrs applied" [ ("node", "client") ]
+    (Span.attrs root);
+  Causal.with_ambient c root (fun () ->
+      Alcotest.(check bool) "root ambient inside" true (Causal.ambient c = Some root);
+      let child = Causal.span_of c "net.send" in
+      Alcotest.(check (option int)) "child parents to ambient" (Some (Span.id root))
+        (Span.parent_id child);
+      (* explicit parent wins over the ambient one *)
+      let other = Causal.span_of c ~parent:child "net.deliver" in
+      Alcotest.(check (option int)) "explicit parent" (Some (Span.id child))
+        (Span.parent_id other);
+      Causal.finish c other;
+      Causal.finish c child);
+  Alcotest.(check bool) "ambient restored" true (Causal.ambient c = None);
+  Causal.finish c root;
+  Alcotest.(check bool) "root finished" true (Span.is_finished root)
+
+let test_causal_with_span_nests_and_unwinds_on_raise () =
+  let ctx = Span.create ~now:(fun () -> 0.0) () in
+  let c = Causal.create ctx in
+  Causal.with_span c "outer" (fun () ->
+      let outer = Option.get (Causal.ambient c) in
+      Causal.with_span c "inner" (fun () ->
+          let inner = Option.get (Causal.ambient c) in
+          Alcotest.(check (option int)) "inner under outer" (Some (Span.id outer))
+            (Span.parent_id inner));
+      Alcotest.(check bool) "outer ambient again" true (Causal.ambient c = Some outer));
+  (try Causal.with_span c "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "stack unwound after raise" true (Causal.ambient c = None)
+
+let test_engine_causal_scope () =
+  let e = Engine.create () in
+  let spans = ref [] in
+  ignore
+    (Sink.attach (Engine.sink e) (fun ~time:_ ev ->
+         match ev with
+         | Event.Span_finished { name; _ } -> spans := name :: !spans
+         | _ -> ()));
+  (* without attach_causal every causal hook is an identity *)
+  Engine.causal_scope e "invisible" (fun () -> ());
+  Alcotest.(check (list string)) "no spans without causal" [] !spans;
+  ignore (Engine.attach_causal ~trace_id:7 e);
+  Engine.causal_scope e "defense.actuate" (fun () -> ());
+  Alcotest.(check (list string)) "scope emits span" [ "defense.actuate" ] !spans
+
+(* ---- Latency ---- *)
+
+let fault action = Event.Fault { action; target = "srv"; detail = "" }
+let alarm = Event.Note { label = "signal.alarm"; detail = "rekey-staleness: raw=9 in window 3" }
+let directive = Event.Directive { step = 1; strategy = "defender:alarm-rekey"; detail = "" }
+
+let test_latency_chain_extraction () =
+  let events =
+    [
+      (5.0, fault "crash");
+      (* opens detection *)
+      (10.0, fault "stall");
+      (* opens stall-rekey; detection already open *)
+      (20.0, alarm);
+      (* closes detection, opens reaction *)
+      (30.0, directive);
+      (* closes reaction *)
+      (40.0, Event.Rekey { nodes = 3 });
+      (* closes stall-rekey *)
+      (50.0, fault "partition");
+      (* opens detection, never answered: censored *)
+    ]
+  in
+  let t = Latency.of_events events in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "detection chain" [ (5.0, 20.0) ]
+    (Latency.chains t Latency.Detection);
+  Alcotest.(check (list (float 1e-9))) "reaction duration" [ 10.0 ]
+    (Latency.durations t Latency.Reaction);
+  Alcotest.(check (list (float 1e-9))) "stall-rekey duration" [ 30.0 ]
+    (Latency.durations t Latency.Stall_rekey);
+  Alcotest.(check int) "one censored detection" 1 (Latency.censored t Latency.Detection);
+  Alcotest.(check int) "three closed chains" 3 (Latency.total t);
+  match Latency.summary t Latency.Detection with
+  | None -> Alcotest.fail "detection summary missing"
+  | Some s ->
+      Alcotest.(check int) "summary count" 1 s.Latency.s_count;
+      Alcotest.(check (float 1e-9)) "summary p50" 15.0 s.Latency.s_p50
+
+let test_latency_bookkeeping_never_opens () =
+  let t =
+    Latency.of_events
+      [
+        (1.0, fault "plan_installed");
+        (2.0, fault "heal");
+        (3.0, fault "stall_skip");
+        (4.0, fault "resume");
+        (5.0, fault "restart");
+        (6.0, fault "plan_uninstalled");
+      ]
+  in
+  Alcotest.(check int) "no chains closed" 0 (Latency.total t);
+  Alcotest.(check int) "no detection censored" 0 (Latency.censored t Latency.Detection)
+
+let test_latency_merge_order_and_empty_summary () =
+  let a = Latency.of_events [ (1.0, fault "crash"); (3.0, alarm) ] in
+  let b = Latency.of_events [ (10.0, fault "crash"); (14.0, alarm) ] in
+  let m = Latency.merge [ a; b ] in
+  Alcotest.(check (list (float 1e-9))) "durations concatenated in list order" [ 2.0; 4.0 ]
+    (Latency.durations m Latency.Detection);
+  Alcotest.(check bool) "empty kind summarises to None" true
+    (Latency.summary Latency.empty Latency.Reaction = None)
+
+let test_latency_trial_boundaries_reset () =
+  (* a fault left open in trial 0 must not be closed by trial 1's alarm;
+     it counts as censored at the boundary *)
+  let events =
+    [
+      (5.0, fault "crash");
+      (0.0, Event.Trial { index = 1; seed = 42; lifetime = Some 1.0 });
+      (2.0, alarm);
+    ]
+  in
+  let t = Latency.of_events events in
+  Alcotest.(check int) "no closed chains across trials" 0 (Latency.total t);
+  Alcotest.(check int) "open chain censored at boundary" 1
+    (Latency.censored t Latency.Detection)
+
+let prop_latency_reorder_invariant =
+  (* extraction canonicalises each trial segment, so any permutation of
+     the event list yields the same chains *)
+  let gen_event =
+    QCheck.Gen.(
+      pair (float_bound_inclusive 100.0) (int_bound 5) >|= fun (time, k) ->
+      ( time,
+        match k with
+        | 0 -> fault "crash"
+        | 1 -> fault "stall"
+        | 2 -> alarm
+        | 3 -> directive
+        | 4 -> Event.Rekey { nodes = 1 }
+        | _ -> Event.Note { label = "noise"; detail = "" } ))
+  in
+  QCheck.Test.make ~count:100 ~name:"latency extraction is reorder-invariant"
+    QCheck.(
+      pair
+        (make Gen.(list_size (int_range 0 60) gen_event))
+        (make Gen.(int_bound 1000)))
+    (fun (events, shuffle_seed) ->
+      let st = Random.State.make [| shuffle_seed |] in
+      let arr = Array.of_list events in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      let shuffled = Array.to_list arr in
+      let canon t =
+        List.map
+          (fun k -> (Latency.chains t k, Latency.censored t k))
+          Latency.kinds
+      in
+      canon (Latency.of_events events) = canon (Latency.of_events shuffled))
+
+(* ---- Summary alarm section ---- *)
+
+let test_summary_alarm_section () =
+  let s =
+    Summary.of_events
+      [
+        (3.0, Event.Note { label = "signal.alarm"; detail = "invalid-rate: raw=4 in window 0" });
+        (7.0, alarm);
+        (9.0, alarm);
+        (1.0, Event.Note { label = "unrelated"; detail = "" });
+      ]
+  in
+  Alcotest.(check (list (triple string int (float 1e-9)))) "per-detector counts"
+    [ ("invalid-rate", 1, 3.0); ("rekey-staleness", 2, 7.0) ]
+    s.Summary.alarms;
+  let rendered = Summary.render s in
+  Alcotest.(check bool) "render carries the section" true
+    (contains ~needle:"defender signal alarms" rendered);
+  Alcotest.(check bool) "detector named" true (contains ~needle:"rekey-staleness" rendered)
+
+let test_summary_no_alarms_no_section () =
+  let s = Summary.of_events [ (1.0, Event.Rekey { nodes = 1 }) ] in
+  Alcotest.(check bool) "section absent" false
+    (contains ~needle:"defender signal alarms" (Summary.render s))
+
+(* ---- timeline CSV golden ---- *)
+
+let test_timeline_csv_golden () =
+  let tl, sink = watched_timeline ~width:100.0 () in
+  Sink.emit sink ~time:1.0 (Event.Fault { action = "crash"; target = "s"; detail = "" });
+  Sink.emit sink ~time:50.0 (Event.Invalid_observed { proxy = 0 });
+  Sink.emit sink ~time:101.0 (Event.Rekey { nodes = 1 });
+  Sink.emit sink ~time:150.0 (Event.Probe
+    { kind = Event.Direct; tier = Event.Proxy_tier; target = 0; outcome = Event.Crashed });
+  Timeline.finish tl;
+  let sg = Signal.of_timeline tl in
+  let csv = Fortress_util.Table.to_csv (Signal.table ~timeline:tl sg) in
+  let golden =
+    "win,vt,invalid,blocked,crash,stale,alarm,faults\n\
+     0,\"[0, 100)\",0.01,0,0.01,0,-,crash:1\n\
+     1,\"[100, 200)\",0,0,0.01,0,-,-\n"
+  in
+  Alcotest.(check string) "timeline --csv golden" golden csv
+
 let () =
   Alcotest.run "fortress_obs"
     [
@@ -1000,4 +1216,30 @@ let () =
           Alcotest.test_case "trial events through sink" `Quick
             test_trial_events_through_validation;
         ] );
+      ( "causal",
+        [
+          Alcotest.test_case "id base and parentage" `Quick
+            test_causal_id_base_and_parentage;
+          Alcotest.test_case "with_span nests and unwinds" `Quick
+            test_causal_with_span_nests_and_unwinds_on_raise;
+          Alcotest.test_case "engine causal_scope" `Quick test_engine_causal_scope;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "chain extraction" `Quick test_latency_chain_extraction;
+          Alcotest.test_case "bookkeeping never opens" `Quick
+            test_latency_bookkeeping_never_opens;
+          Alcotest.test_case "merge order and empty summary" `Quick
+            test_latency_merge_order_and_empty_summary;
+          Alcotest.test_case "trial boundaries reset" `Quick
+            test_latency_trial_boundaries_reset;
+          QCheck_alcotest.to_alcotest prop_latency_reorder_invariant;
+        ] );
+      ( "alarm summary",
+        [
+          Alcotest.test_case "per-detector section" `Quick test_summary_alarm_section;
+          Alcotest.test_case "no alarms, no section" `Quick test_summary_no_alarms_no_section;
+        ] );
+      ( "timeline golden",
+        [ Alcotest.test_case "signal table csv" `Quick test_timeline_csv_golden ] );
     ]

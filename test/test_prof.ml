@@ -268,6 +268,66 @@ let test_trace_export_virtual_time_scaled () =
       Alcotest.(check (option (float 1e-9))) "scaled duration" (Some 4000.0) dur
   | _ -> Alcotest.fail "traceEvents missing"
 
+let span ~id ?parent ~name ~start ~dur ?(attrs = []) () =
+  ( start +. dur,
+    Event.Span_finished
+      { id; parent; name; start_time = start; duration = dur; attrs } )
+
+let causal_events =
+  [
+    span ~id:1 ~name:"client.request" ~start:0.0 ~dur:5.0 () ;
+    span ~id:2 ~parent:1 ~name:"net.send" ~start:0.5 ~dur:0.0
+      ~attrs:[ ("node", "client"); ("dst", "proxy-0") ] ();
+    span ~id:3 ~parent:2 ~name:"net.deliver" ~start:2.5 ~dur:0.1
+      ~attrs:[ ("node", "proxy-0") ] ();
+  ]
+
+let rows_of doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List rows) -> rows
+  | _ -> Alcotest.fail "traceEvents missing"
+
+let flows_of doc =
+  List.filter_map
+    (fun r ->
+      match (Json.member "ph" r, Json.member "name" r) with
+      | Some (Json.Str ph), Some (Json.Str "net.flow") when ph = "s" || ph = "f" ->
+          Some
+            ( ph,
+              Option.bind (Json.member "tid" r) Json.int,
+              Option.bind (Json.member "id" r) Json.num )
+      | _ -> None)
+    (rows_of doc)
+
+let test_trace_export_flow_arrows () =
+  let doc = Trace_export.make causal_events in
+  match flows_of doc with
+  | [ ("s", s_tid, s_id); ("f", f_tid, f_id) ] ->
+      Alcotest.(check bool) "bound by the deliver span id" true
+        (s_id = Some 3.0 && f_id = Some 3.0);
+      Alcotest.(check bool) "arrow crosses lanes" true (s_tid <> f_tid && s_tid <> None);
+      (* the finish end carries the enclosing-slice binding point *)
+      let f_bp =
+        List.find_map
+          (fun r ->
+            match Json.member "ph" r with
+            | Some (Json.Str "f") -> Option.bind (Json.member "bp" r) Json.str
+            | _ -> None)
+          (rows_of doc)
+      in
+      Alcotest.(check (option string)) "bp=e on the finish" (Some "e") f_bp
+  | flows -> Alcotest.failf "expected one s/f flow pair, got %d events" (List.length flows)
+
+let test_trace_export_no_flows_without_causal_spans () =
+  (* a deliver whose parent is not a net.send (or is absent) draws no arrow *)
+  let doc = Trace_export.make sample_events in
+  Alcotest.(check int) "no flow events" 0 (List.length (flows_of doc));
+  let orphan =
+    [ span ~id:9 ~name:"net.deliver" ~start:1.0 ~dur:0.1 ~attrs:[ ("node", "x") ] () ]
+  in
+  Alcotest.(check int) "orphan deliver draws no arrow" 0
+    (List.length (flows_of (Trace_export.make orphan)))
+
 (* ---- trial integration ---- *)
 
 let const_sampler steps _prng = Some steps
@@ -331,6 +391,10 @@ let () =
           Alcotest.test_case "document reparses" `Quick test_trace_export_roundtrip;
           Alcotest.test_case "lane assignment" `Quick test_trace_export_lanes;
           Alcotest.test_case "virtual time scaling" `Quick test_trace_export_virtual_time_scaled;
+          Alcotest.test_case "flow arrows on causal edges" `Quick
+            test_trace_export_flow_arrows;
+          Alcotest.test_case "no flows without causal spans" `Quick
+            test_trace_export_no_flows_without_causal_spans;
         ] );
       ( "trial",
         [
