@@ -2,6 +2,7 @@
 """Compare a fresh BENCH_fortress.json against the committed baseline.
 
 Usage: bench_compare.py BASELINE CURRENT [--tolerance 0.25]
+                                         [--only parallel-speedup]
 
 The check is one-sided: a metric fails only when it is worse than the
 baseline by more than the tolerance (slower, fewer events/sec). Getting
@@ -12,6 +13,18 @@ heterogeneous. Allocation metrics (minor words per call/message) are
 deterministic properties of the compiled code, so they get a tight bound:
 an allocation regression on a zero-allocation path is a real code change,
 not noise.
+
+The parallel-speedup section additionally carries ABSOLUTE floors
+(jobs=2 >= 1.3x, jobs=4 >= 2.0x sequential): PR 4 shipped a "parallel"
+runner that was a measured slowdown and nothing failed, so the floor is
+pinned to the report rather than to a movable baseline. Speedup is a
+same-process ratio, immune to runner heterogeneity — but not to runner
+*width*, so each floor is enforced only when the report's
+[domains_available] says the machine can physically reach it; skips are
+printed loudly so a mis-provisioned runner is visible in the log.
+--only parallel-speedup restricts the run to that section (the per-PR
+gate, against a --speedup-only report); everything else is push/nightly
+material.
 """
 
 import argparse
@@ -19,6 +32,10 @@ import json
 import sys
 
 TIGHT = 0.10  # allocation metrics: deterministic, small slack for GC jitter
+
+# absolute speedup floors vs the jobs=1 row, enforced per job count when
+# the machine has at least that many domains
+SPEEDUP_FLOORS = {2: 1.3, 4: 2.0}
 
 
 def load(path):
@@ -30,18 +47,91 @@ def index_by(rows, key):
     return {row[key]: row for row in rows}
 
 
+def check_parallel_speedup(base, cur, checks, tolerance):
+    """Speedup floors + determinism + throughput-vs-baseline. Returns 0/1."""
+    b_speed = index_by(base.get("parallel_speedup", []), "jobs")
+    c_speed = index_by(cur.get("parallel_speedup", []), "jobs")
+    domains = cur.get("domains_available")
+    if domains is None:
+        print("MISSING  domains_available: not in current report")
+        return 1
+    for jobs in b_speed:
+        if jobs not in c_speed:
+            print(f"MISSING  parallel_speedup/jobs={jobs:g}: not in current report")
+            return 1
+        checks.append((f"parallel_speedup/jobs={jobs:g} trials_per_sec",
+                       b_speed[jobs]["trials_per_sec"],
+                       c_speed[jobs]["trials_per_sec"], False, tolerance))
+        # determinism, not performance: the mean must not move at all
+        if b_speed[jobs]["mean_el"] != c_speed[jobs]["mean_el"]:
+            print(f"FAIL     parallel_speedup/jobs={jobs:g} mean_el: "
+                  f"{c_speed[jobs]['mean_el']!r} != baseline {b_speed[jobs]['mean_el']!r} "
+                  "(seeded result changed)")
+            return 1
+    for jobs, floor in sorted(SPEEDUP_FLOORS.items()):
+        row = c_speed.get(jobs)
+        if row is None:
+            print(f"MISSING  parallel_speedup/jobs={jobs:g}: not in current report")
+            return 1
+        if domains < jobs:
+            print(f"skip     parallel_speedup/jobs={jobs:g} floor {floor:.1f}x: "
+                  f"machine has {domains:g} domain(s), floor needs {jobs:g} "
+                  "(enforced on wider runners)")
+            continue
+        speedup = row["speedup_vs_1"]
+        if speedup < floor:
+            print(f"FAIL     parallel_speedup/jobs={jobs:g}: {speedup:.2f}x < "
+                  f"floor {floor:.1f}x vs sequential (the parallel runner "
+                  "regressed; see lib/par)")
+            return 1
+        print(f"ok       parallel_speedup/jobs={jobs:g}: {speedup:.2f}x >= {floor:.1f}x")
+    return 0
+
+
+def evaluate(checks, tolerance):
+    failed = 0
+    for name, b, c, lower_better, tol in checks:
+        if b <= 0:
+            # a zero baseline is a hard floor: a path that allocated (or
+            # cost) nothing must keep allocating nothing
+            worse = lower_better and c > 1e-6
+            delta = ""
+        else:
+            ratio = c / b
+            worse = ratio > 1 + tol if lower_better else ratio < 1 - tol
+            delta = f" ({c / b - 1:+.0%} vs baseline)"
+        status = "FAIL" if worse else "ok"
+        if worse:
+            failed += 1
+        print(f"{status:8s} {name}: baseline {b:.1f}, current {c:.1f}{delta}")
+
+    if failed:
+        print(f"\n{failed} metric(s) regressed beyond tolerance "
+              f"({tolerance:.0%} timing, {TIGHT:.0%} allocation)")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed one-sided slowdown fraction for timing metrics")
+    ap.add_argument("--only", choices=["parallel-speedup"],
+                    help="restrict the comparison to one section")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
 
     checks = []  # (name, baseline, current, lower_is_better, tolerance)
+
+    if args.only == "parallel-speedup":
+        if check_parallel_speedup(base, cur, checks, args.tolerance):
+            return 1
+        return evaluate(checks, args.tolerance)
 
     for section, unit in (("interceptor_overhead", "ns_per_message"),
                           ("profiler_overhead", "ns_per_call")):
@@ -62,21 +152,8 @@ def main():
                        base["events_per_sec"], cur.get("events_per_sec", 0.0),
                        False, args.tolerance))
 
-    b_speed = index_by(base.get("parallel_speedup", []), "jobs")
-    c_speed = index_by(cur.get("parallel_speedup", []), "jobs")
-    for jobs in b_speed:
-        if jobs not in c_speed:
-            print(f"MISSING  parallel_speedup/jobs={jobs:g}: not in current report")
-            return 1
-        checks.append((f"parallel_speedup/jobs={jobs:g} trials_per_sec",
-                       b_speed[jobs]["trials_per_sec"],
-                       c_speed[jobs]["trials_per_sec"], False, args.tolerance))
-        # determinism, not performance: the mean must not move at all
-        if b_speed[jobs]["mean_el"] != c_speed[jobs]["mean_el"]:
-            print(f"FAIL     parallel_speedup/jobs={jobs:g} mean_el: "
-                  f"{c_speed[jobs]['mean_el']!r} != baseline {b_speed[jobs]['mean_el']!r} "
-                  "(seeded result changed)")
-            return 1
+    if check_parallel_speedup(base, cur, checks, args.tolerance):
+        return 1
 
     # Adaptive-campaign overhead is self-relative (oblivious-strategy
     # seconds over fixed-schedule seconds, measured in the same process on
@@ -157,28 +234,7 @@ def main():
     print(f"ok       causal_overhead off-path ratio: {ratio:.3f} <= {CAUSAL_MAX_RATIO:.2f} "
           f"(traced {causal['traced_ratio']:.2f}x, informational)")
 
-    failed = 0
-    for name, b, c, lower_better, tol in checks:
-        if b <= 0:
-            # a zero baseline is a hard floor: a path that allocated (or
-            # cost) nothing must keep allocating nothing
-            worse = lower_better and c > 1e-6
-            delta = ""
-        else:
-            ratio = c / b
-            worse = ratio > 1 + tol if lower_better else ratio < 1 - tol
-            delta = f" ({c / b - 1:+.0%} vs baseline)"
-        status = "FAIL" if worse else "ok"
-        if worse:
-            failed += 1
-        print(f"{status:8s} {name}: baseline {b:.1f}, current {c:.1f}{delta}")
-
-    if failed:
-        print(f"\n{failed} metric(s) regressed beyond tolerance "
-              f"({args.tolerance:.0%} timing, {TIGHT:.0%} allocation)")
-        return 1
-    print("\nno regressions beyond tolerance")
-    return 0
+    return evaluate(checks, args.tolerance)
 
 
 if __name__ == "__main__":

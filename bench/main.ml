@@ -12,6 +12,7 @@ module Figures = Fortress_exp.Figures
 module Ablations = Fortress_exp.Ablations
 module Validation = Fortress_exp.Validation
 module Sha256 = Fortress_crypto.Sha256
+module Exec = Fortress_par.Exec
 
 (* ---- one Test.make per experiment artefact ---- *)
 
@@ -299,20 +300,34 @@ let measure_profiler_overhead () =
   [ run "disabled" `Disabled; run "enabled" `Enabled; run "enabled+sampling" `Sampling ]
 
 (* Domain-parallel Monte-Carlo speedup: the step-level sampler at a fixed
-   operating point, fanned over 1, 2 and 4 worker domains. The runner
-   guarantees bit-identical results at every job count (trials partitioned
-   by index, per-trial PRNGs derived from the index, outcomes consumed in
-   index order at the join), so the mean is asserted equal across rows and
-   only the wall clock may differ. Speedup is relative to the jobs=1 row;
-   on a single-core box every row is ~1.0x. *)
+   operating point, fanned over 1, 2 and 4 lanes of the persistent domain
+   pool. The runner guarantees bit-identical results at every job count
+   (trials partitioned by index, per-trial PRNGs derived from the index,
+   outcomes consumed in index order at the join), so the mean is asserted
+   equal across rows and only the wall clock may differ. Speedup is
+   relative to the jobs=1 row; the executor never runs more lanes than the
+   machine has cores, so on a single-core box every row is ~1.0x — the
+   report's [domains_available] field tells the CI gate whether the
+   2x/1.3x floors are enforceable on this hardware. *)
 let measure_parallel_speedup () =
   let trials = 3000 in
   let cfg = { Step_level.default with alpha = 3e-3 } in
+  (* warm the pool first: worker domains are spawned once per process, and
+     that one-time cost belongs to no timed row *)
+  ignore (Step_level.estimate ~jobs:4 ~trials:200 ~seed:1 Systems.S2_PO cfg);
   let run jobs =
-    let t0 = Unix.gettimeofday () in
-    let res = Step_level.estimate ~jobs ~trials ~seed:42 Systems.S2_PO cfg in
-    let dt = Unix.gettimeofday () -. t0 in
-    (jobs, dt, res.Fortress_mc.Trial.mean)
+    (* best of three passes per row: a single pass is ~100 ms, where one
+       scheduler preemption reads as a phantom 20% slowdown; noise is
+       additive, so the min converges on true throughput *)
+    let best_dt = ref infinity and mean = ref nan in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let res = Step_level.estimate ~jobs ~trials ~seed:42 Systems.S2_PO cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best_dt then best_dt := dt;
+      mean := res.Fortress_mc.Trial.mean
+    done;
+    (jobs, !best_dt, !mean)
   in
   let rows = List.map run [ 1; 2; 4 ] in
   let base_mean = match rows with (_, _, m) :: _ -> m | [] -> nan in
@@ -536,6 +551,49 @@ let measure_causal_overhead () =
   in
   (!off1_seconds, !traced_seconds, ratio, traced_ratio)
 
+(* The two long Monte-Carlo tables (A2, V1) run through the domain pool at
+   [default_jobs]; their renders are asserted against FNV digests of the
+   committed sequential output, so the bench itself is the first
+   large-scale determinism gate for the pooled executor. *)
+let assert_digest ~name ~expected rendered =
+  let got = Fortress_obs.Sink.digest_lines [ rendered ] in
+  if got <> expected then
+    failwith
+      (Printf.sprintf "%s changed under the pool: digest %s <> committed %s" name got
+         expected)
+
+let a2_expected_digest = "36332ece1ea6a53d"
+let v1_expected_digest = "2b6543a3732f15b0"
+
+let speedup_rows_json speedup =
+  let module J = Fortress_obs.Json in
+  J.List
+    (List.map
+       (fun (jobs, tps, sp, mean) ->
+         J.Obj
+           [
+             ("jobs", J.Num (float_of_int jobs));
+             ("trials_per_sec", J.Num tps);
+             ("speedup_vs_1", J.Num sp);
+             ("mean_el", J.Num mean);
+           ])
+       speedup)
+
+let write_json ~path json =
+  let oc = open_out path in
+  output_string oc (Fortress_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let print_speedup_rows speedup =
+  Printf.printf "== domain-parallel Monte-Carlo speedup (step-level, 3000 trials) ==\n";
+  List.iter
+    (fun (jobs, tps, sp, mean) ->
+      Printf.printf "jobs=%d  %10.0f trials/sec  %5.2fx vs jobs=1  (mean EL %.6g)\n" jobs tps
+        sp mean)
+    speedup;
+  Printf.printf "means bit-identical across job counts: yes (asserted)\n\n"
+
 let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler
     ~speedup ~adaptive ~defender ~timeline ~causal =
   let module J = Fortress_obs.Json in
@@ -549,6 +607,7 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
       [
         ("benchmark", J.Str "fortress");
         ("wall_seconds", J.Num wall_seconds);
+        ("domains_available", J.Num (float_of_int (Domain.recommended_domain_count ())));
         ("events_emitted", J.Num (float_of_int events));
         ("event_seconds", J.Num event_seconds);
         ( "events_per_sec",
@@ -575,18 +634,7 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
                      ("minor_words_per_call", J.Num words);
                    ])
                profiler) );
-        ( "parallel_speedup",
-          J.List
-            (List.map
-               (fun (jobs, tps, sp, mean) ->
-                 J.Obj
-                   [
-                     ("jobs", J.Num (float_of_int jobs));
-                     ("trials_per_sec", J.Num tps);
-                     ("speedup_vs_1", J.Num sp);
-                     ("mean_el", J.Num mean);
-                   ])
-               speedup) );
+        ("parallel_speedup", speedup_rows_json speedup);
         ( "adaptive_overhead",
           (let fixed_s, obl_s, ratio = adaptive in
            J.Obj
@@ -623,12 +671,29 @@ let write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~pr
         ("sections", J.List secs);
       ]
   in
-  let oc = open_out path in
-  output_string oc (J.to_string json);
-  output_char oc '\n';
-  close_out oc
+  write_json ~path json
 
-let () =
+(* --speedup-only: just the pooled-speedup section and its slice of the
+   report — fast enough for every PR, where the full bench is push/nightly
+   material. bench_compare.py consumes the same keys either way. *)
+let speedup_only () =
+  let t_start = Unix.gettimeofday () in
+  let module J = Fortress_obs.Json in
+  let speedup = measure_parallel_speedup () in
+  print_speedup_rows speedup;
+  let wall_seconds = Unix.gettimeofday () -. t_start in
+  let path = "BENCH_fortress.json" in
+  write_json ~path
+    (J.Obj
+       [
+         ("benchmark", J.Str "fortress-speedup");
+         ("wall_seconds", J.Num wall_seconds);
+         ("domains_available", J.Num (float_of_int (Domain.recommended_domain_count ())));
+         ("parallel_speedup", speedup_rows_json speedup);
+       ]);
+  Printf.printf "total wall time: %.2f s; speedup report written to %s\n" wall_seconds path
+
+let full_bench () =
   let t_start = Unix.gettimeofday () in
   section "micro-benchmarks (bechamel, monotonic clock)" benchmark;
   section "Figure 1: expected lifetime comparison (analytic, kappa = 0.5)" (fun () ->
@@ -640,7 +705,12 @@ let () =
   section "Ablation A1: proxy count" (fun () ->
       print_string (Fortress_util.Table.render (Ablations.proxy_count_table ~points:5 ())));
   section "Ablation A2: key entropy under SO (probe-level)" (fun () ->
-      print_string (Fortress_util.Table.render (Ablations.entropy_table ~trials:100 ())));
+      let rendered =
+        Fortress_util.Table.render
+          (Ablations.entropy_table ~trials:100 ~jobs:(Exec.default_jobs ()) ())
+      in
+      print_string rendered;
+      assert_digest ~name:"A2 entropy table" ~expected:a2_expected_digest rendered);
   section "Ablation A3: launch-pad discipline (alpha = 0.005)" (fun () ->
       print_string (Fortress_util.Table.render (Ablations.launchpad_table ())));
   section "Ablation A4: proxy detection threshold -> effective kappa" (fun () ->
@@ -679,8 +749,10 @@ let () =
   section "Sensitivity: elasticities at alpha = 1e-3, kappa = 0.5" (fun () ->
       print_string (Fortress_util.Table.render (Fortress_exp.Sensitivity.table ())));
   section "Validation V1: analytic vs step-level vs probe-level" (fun () ->
-      let lines = Validation.run ~trials:200 () in
-      print_string (Fortress_util.Table.render (Validation.table lines));
+      let lines = Validation.run ~trials:200 ~jobs:(Exec.default_jobs ()) () in
+      let rendered = Fortress_util.Table.render (Validation.table lines) in
+      print_string rendered;
+      assert_digest ~name:"V1 validation table" ~expected:v1_expected_digest rendered;
       Printf.printf "max |step-MC - analytic| / analytic = %.3f\n"
         (Validation.max_relative_error lines));
   section "Validation V2: full packet-level stack vs the models" (fun () ->
@@ -731,13 +803,7 @@ let () =
         (if words < 0.5 then "nothing" else Printf.sprintf "%.1f words (REGRESSION)" words)
   | _ -> print_newline ());
   let speedup = measure_parallel_speedup () in
-  Printf.printf "== domain-parallel Monte-Carlo speedup (step-level, 3000 trials) ==\n";
-  List.iter
-    (fun (jobs, tps, sp, mean) ->
-      Printf.printf "jobs=%d  %10.0f trials/sec  %5.2fx vs jobs=1  (mean EL %.6g)\n" jobs tps
-        sp mean)
-    speedup;
-  Printf.printf "means bit-identical across job counts: yes (asserted)\n\n";
+  print_speedup_rows speedup;
   let adaptive = measure_adaptive_overhead () in
   let fixed_s, obl_s, ratio = adaptive in
   Printf.printf "== adaptive campaign overhead (oblivious strategy vs fixed schedule) ==\n";
@@ -773,3 +839,7 @@ let () =
   write_bench_json ~path ~wall_seconds ~events ~event_seconds ~interceptor ~profiler ~speedup
     ~adaptive ~defender ~timeline ~causal;
   Printf.printf "total wall time: %.2f s; per-section timings written to %s\n" wall_seconds path
+
+let () =
+  if Array.exists (String.equal "--speedup-only") Sys.argv then speedup_only ()
+  else full_bench ()

@@ -38,10 +38,12 @@ let csv_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for the Monte-Carlo trials. Results are bit-identical at \
-     every job count: trials are partitioned by index, each trial's PRNG is \
-     derived from its index (never from execution order), and outcomes are \
-     consumed in index order at the join."
+    "Lanes for the Monte-Carlo trials: the calling domain plus up to N-1 \
+     workers from a persistent process-wide domain pool, clamped to what the \
+     machine can run. Results are bit-identical at every job count: trials \
+     are partitioned by index, each trial's PRNG is derived from its index \
+     (never from execution order), and outcomes are consumed in index order \
+     at the join."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 

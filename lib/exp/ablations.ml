@@ -20,15 +20,16 @@ let proxy_count_table ?(kappa = 0.5) ?(nps = [ 1; 2; 3; 4; 5; 6 ]) ?points () =
     (Sweep.alpha_grid ?points ());
   table
 
-let entropy_table ?(chis = [ 1 lsl 10; 1 lsl 12; 1 lsl 14 ]) ?(omega = 16) ?(trials = 200) () =
+let entropy_table ?(chis = [ 1 lsl 10; 1 lsl 12; 1 lsl 14 ]) ?(omega = 16) ?(trials = 200)
+    ?jobs () =
   let table =
     Table.create ~headers:[ "chi"; "alpha=omega/chi"; "S1SO EL"; "S0SO EL"; "S1SO/S0SO" ]
   in
   List.iter
     (fun chi ->
       let cfg = { Probe_level.default with chi; omega; max_steps = 100 * chi / omega } in
-      let s1 = Probe_level.estimate ~trials Systems.S1_SO cfg in
-      let s0 = Probe_level.estimate ~trials Systems.S0_SO cfg in
+      let s1 = Probe_level.estimate ?jobs ~trials Systems.S1_SO cfg in
+      let s0 = Probe_level.estimate ?jobs ~trials Systems.S0_SO cfg in
       Table.add_row table
         [
           string_of_int chi;

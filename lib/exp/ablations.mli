@@ -4,9 +4,11 @@ val proxy_count_table : ?kappa:float -> ?nps:int list -> ?points:int -> unit -> 
 (** A1: EL of S2PO as the number of proxies varies (paper fixes np = 3). *)
 
 val entropy_table :
-  ?chis:int list -> ?omega:int -> ?trials:int -> unit -> Fortress_util.Table.t
+  ?chis:int list -> ?omega:int -> ?trials:int -> ?jobs:int -> unit -> Fortress_util.Table.t
 (** A2: probe-level S1SO/S0SO lifetimes under different key entropies —
-    start-up-only randomization depletes small key spaces quickly. *)
+    start-up-only randomization depletes small key spaces quickly.
+    [jobs] fans the per-cell estimates over the domain pool; the table is
+    identical at every job count. *)
 
 val launchpad_table : ?alpha:float -> ?kappas:float list -> unit -> Fortress_util.Table.t
 (** A3: S2PO under the three launch-pad disciplines, with the kappa

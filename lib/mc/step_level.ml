@@ -130,4 +130,9 @@ let sampler system cfg =
   | Systems.S2_SO -> s2_so cfg
 
 let estimate ?sink ?monitor ?early_stop ?jobs ?(trials = 2000) ?(seed = 42) system cfg =
-  Trial.run ?sink ?monitor ?early_stop ?jobs ~trials ~seed ~sampler:(sampler system cfg) ()
+  (* step-level trials cost microseconds, so floor the chunk size: a short
+     run must not pay per-chunk hand-off larger than the chunk's work.
+     The floor only coarsens the partition — results are index-structural
+     and stay bit-identical at every (jobs, min_chunk). *)
+  Trial.run ?sink ?monitor ?early_stop ?jobs ~min_chunk:32 ~trials ~seed
+    ~sampler:(sampler system cfg) ()

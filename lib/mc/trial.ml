@@ -81,8 +81,8 @@ let finish st =
     median = (if Array.length lifetimes = 0 then nan else Stats.median lifetimes);
   }
 
-let run_indexed ?sink ?monitor ?(early_stop = false) ?(jobs = 1) ?on_join ~trials ~seed
-    ~sampler () =
+let run_indexed ?sink ?monitor ?(early_stop = false) ?(jobs = 1) ?min_chunk ?on_join
+    ~trials ~seed ~sampler () =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
   let root = Prng.create ~seed in
   let st = { acc = Stats.create (); observed = []; acc_censored = 0; consumed = 0 } in
@@ -100,18 +100,21 @@ let run_indexed ?sink ?monitor ?(early_stop = false) ?(jobs = 1) ?on_join ~trial
     done
   end
   else begin
-    (* parallel: every chunk samples its contiguous index range on its own
-       domain into a private array; the join then replays all outcomes in
-       index order, which reproduces the sequential statistics, events and
-       checkpoints bit for bit. Under early stopping the tail past the
-       stopping point is sampled speculatively and discarded. *)
-    let per_chunk =
-      Exec.map_chunks ~jobs ~n:trials ~f:(fun ~chunk:_ ~lo ~hi ->
-          Array.init (hi - lo) (fun k ->
-              let i = lo + k + 1 in
-              run_sampler sampler ~index:i (trial_prng root i)))
+    (* parallel: one arena for the whole budget, each chunk writing its
+       contiguous slice — slices are disjoint, so domains never touch the
+       same slot and the join's pool hand-off orders the writes before the
+       reads. The join then replays all outcomes in index order, which
+       reproduces the sequential statistics, events and checkpoints bit
+       for bit. Under early stopping the tail past the stopping point is
+       sampled speculatively and discarded. *)
+    let outcomes = Array.make trials None in
+    let (_ : unit array) =
+      Exec.map_chunks ?min_chunk ~jobs ~n:trials (fun ~chunk:_ ~lo ~hi ->
+          for k = lo to hi - 1 do
+            let i = k + 1 in
+            outcomes.(k) <- run_sampler sampler ~index:i (trial_prng root i)
+          done)
     in
-    let outcomes = Array.concat (Array.to_list per_chunk) in
     (try
        Array.iteri
          (fun k outcome -> if consume (k + 1) outcome then raise Exit)
@@ -120,8 +123,8 @@ let run_indexed ?sink ?monitor ?(early_stop = false) ?(jobs = 1) ?on_join ~trial
   end;
   finish st
 
-let run ?sink ?monitor ?early_stop ?jobs ~trials ~seed ~sampler () =
-  run_indexed ?sink ?monitor ?early_stop ?jobs ~trials ~seed
+let run ?sink ?monitor ?early_stop ?jobs ?min_chunk ~trials ~seed ~sampler () =
+  run_indexed ?sink ?monitor ?early_stop ?jobs ?min_chunk ~trials ~seed
     ~sampler:(fun ~index:_ prng -> sampler prng)
     ()
 

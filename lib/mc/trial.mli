@@ -23,6 +23,7 @@ val run :
   ?monitor:Fortress_prof.Convergence.t ->
   ?early_stop:bool ->
   ?jobs:int ->
+  ?min_chunk:int ->
   trials:int ->
   seed:int ->
   sampler:(Fortress_util.Prng.t -> int option) ->
@@ -43,9 +44,11 @@ val run :
     {!Fortress_prof.Profiler} is enabled, each sampler call is recorded
     under the ["mc.trial"] phase.
 
-    With [jobs > 1], trials fan out over OCaml domains under the
-    deterministic contiguous partition of {!Fortress_par.Partition}; at
-    the join, per-trial outcomes are consumed in index order, so
+    With [jobs > 1], trials fan out over the persistent domain pool under
+    the deterministic contiguous partition of {!Fortress_par.Partition}
+    ([min_chunk] is the partition's coarse-chunking floor — pass it when
+    individual trials are cheap enough that per-chunk overhead matters);
+    at the join, per-trial outcomes are consumed in index order, so
     statistics, emitted events and convergence checkpoints (which fall at
     deterministic trial-count boundaries) are bit-identical to [jobs = 1].
     Under early stopping the parallel runner samples the full budget
@@ -59,6 +62,7 @@ val run_indexed :
   ?monitor:Fortress_prof.Convergence.t ->
   ?early_stop:bool ->
   ?jobs:int ->
+  ?min_chunk:int ->
   ?on_join:(index:int -> unit) ->
   trials:int ->
   seed:int ->

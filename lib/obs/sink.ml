@@ -112,11 +112,30 @@ let digesting () =
 
 let digest_lines lines = fnv_hex (List.fold_left fnv_feed fnv_offset lines)
 
-let buffered () =
-  let events = ref [] in
-  let sub ~time ev = events := (time, ev) :: !events in
+let buffered ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Sink.buffered: capacity must be positive";
+  (* growable arena, not a cons list: parallel joins replay thousands of
+     these per campaign, and list-cons + List.rev churned two cells per
+     event. The backing array is only allocated on the first event, so an
+     attached-but-silent recorder costs one ref. *)
+  let buf = ref [||] in
+  let count = ref 0 in
+  let sub ~time ev =
+    let cap = Array.length !buf in
+    if !count = cap then begin
+      let grown = Array.make (if cap = 0 then capacity else 2 * cap) None in
+      Array.blit !buf 0 grown 0 cap;
+      buf := grown
+    end;
+    !buf.(!count) <- Some (time, ev);
+    incr count
+  in
   let replay downstream =
-    List.iter (fun (time, ev) -> emit downstream ~time ev) (List.rev !events)
+    for i = 0 to !count - 1 do
+      match !buf.(i) with
+      | Some (time, ev) -> emit downstream ~time ev
+      | None -> assert false
+    done
   in
   (sub, replay)
 

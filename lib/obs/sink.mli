@@ -62,10 +62,15 @@ val digest_lines : string list -> string
     use it to combine per-trial digests in trial-index order into one
     run-level digest that is independent of the job count. *)
 
-val buffered : unit -> subscriber * (t -> unit)
+val buffered : ?capacity:int -> unit -> subscriber * (t -> unit)
 (** [buffered ()] is a subscriber that records every event in arrival
     order, plus a replay closure that re-emits the recording into a
-    downstream sink with original timestamps. Sinks themselves are not
+    downstream sink with original timestamps. The recording lives in a
+    growable arena whose backing array is allocated lazily at the first
+    event (initial size [capacity], default 64, doubling as needed), so
+    an attached-but-silent recorder is almost free and a busy one
+    allocates O(log events) arrays instead of a cons cell per event.
+    Sinks themselves are not
     thread-safe; parallel workers each write to their own buffered
     subscriber and the join replays the buffers in deterministic trial
     order, which is how a shared [--trace-out] stream stays byte-identical

@@ -1,45 +1,78 @@
 module Profiler = Fortress_prof.Profiler
 
-(* A fixed pool of domains, one per chunk: chunk 0 runs inline on the
-   calling domain, chunks 1.. each get a fresh domain. Chunk counts are
-   small (the CLI's --jobs), so spawn cost is negligible next to a chunk
-   of Monte-Carlo trials, and a fixed one-domain-per-chunk pool keeps the
-   work assignment identical to the deterministic partition — there is no
-   queue whose drain order could leak into results. *)
+(* Lane-scheduled execution over the persistent Pool.
 
-let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+   The partition (how [0, n) splits into chunks) is a pure function of
+   (jobs, n, min_chunk) and fully determines every result: per-trial PRNG
+   streams come from the trial index and joins replay chunks in index
+   order, so outputs never depend on WHICH domain ran a chunk. That frees
+   the execution side to adapt to the machine: chunks are dealt round-robin
+   onto [lanes = min (#chunks) (active domains limit)] lanes, lane 0 on the
+   calling domain and each other lane on one pooled worker. Capping lanes
+   at the hardware's domain count matters more than it sounds — in OCaml 5
+   every *running* domain participates in stop-the-world minor-GC barriers,
+   so oversubscribing actively-running domains turns a speedup into a
+   many-fold slowdown. Parked pool workers are exempt (blocked in
+   [Condition.wait]), which is why a large warm pool costs nothing. *)
 
-let map_chunks ~jobs ~n ~f =
-  let chunks = Partition.chunks ~jobs ~n in
-  match Array.length chunks with
-  | 0 -> [||]
-  | 1 ->
-      let lo, hi = chunks.(0) in
-      [| f ~chunk:0 ~lo ~hi |]
-  | k ->
-      let workers =
-        Array.init (k - 1) (fun i ->
-            let chunk = i + 1 in
-            let lo, hi = chunks.(chunk) in
-            Domain.spawn (fun () ->
-                (* deterministic merge order for per-domain profiler rings *)
-                Profiler.set_merge_rank chunk;
-                f ~chunk ~lo ~hi))
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let forced_active : int option ref = ref None
+let set_max_active_domains limit = forced_active := limit
+
+let active_limit () =
+  match !forced_active with
+  | Some m -> max 1 m
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let map_chunks ?min_chunk ~jobs ~n f =
+  let chunks = Partition.chunks ?min_chunk ~jobs ~n () in
+  let k = Array.length chunks in
+  if k = 0 then [||]
+  else begin
+    let results = Array.make k None in
+    let run_chunk c =
+      let lo, hi = chunks.(c) in
+      results.(c) <- Some (try Ok (f ~chunk:c ~lo ~hi) with e -> Error e)
+    in
+    let lanes = min k (active_limit ()) in
+    if lanes <= 1 then
+      for c = 0 to k - 1 do
+        run_chunk c
+      done
+    else begin
+      let run_lane lane =
+        let c = ref lane in
+        while !c < k do
+          run_chunk !c;
+          c := !c + lanes
+        done
       in
-      let first =
-        let lo, hi = chunks.(0) in
-        try Ok (f ~chunk:0 ~lo ~hi) with e -> Error e
+      let tasks =
+        Array.init (lanes - 1) (fun i ->
+            let lane = i + 1 in
+            fun () ->
+              (* deterministic merge order for per-domain profiler rings:
+                 pooled workers keep their DLS state across calls, and the
+                 lane index pins where that state sorts at export *)
+              Profiler.set_merge_rank lane;
+              run_lane lane)
       in
-      (* always join every worker, even when one failed, so no domain
-         outlives the call; then re-raise the first failure in chunk order *)
-      let rest = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) workers in
-      let results = Array.append [| first |] rest in
-      Array.map
-        (function Ok v -> v | Error e -> raise e)
-        results
+      Pool.run (Pool.global ()) ~tasks ~inline:(fun () ->
+          Profiler.set_merge_rank 0;
+          run_lane 0)
+    end;
+    (* settle in chunk order: the lowest-numbered failing chunk wins, no
+       matter which lane ran it or when it finished *)
+    for c = 0 to k - 1 do
+      match results.(c) with Some (Error e) -> raise e | _ -> ()
+    done;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  end
 
-let map_indices ~jobs ~n ~f =
-  let per_chunk = map_chunks ~jobs ~n ~f:(fun ~chunk:_ ~lo ~hi ->
-      Array.init (hi - lo) (fun k -> f (lo + k)))
+let map_indices ?min_chunk ~jobs ~n f =
+  let per_chunk =
+    map_chunks ?min_chunk ~jobs ~n (fun ~chunk:_ ~lo ~hi ->
+        Array.init (hi - lo) (fun k -> f (lo + k)))
   in
   Array.concat (Array.to_list per_chunk)

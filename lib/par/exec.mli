@@ -1,27 +1,51 @@
-(** Fixed-pool parallel execution over a deterministic partition.
+(** Lane-scheduled parallel execution over a deterministic partition,
+    running on the persistent {!Pool}.
 
-    One domain per chunk of {!Partition.chunks}: chunk 0 runs inline on
-    the calling domain, every other chunk on a freshly spawned domain that
-    is joined before the call returns. There is no shared queue and no
-    work stealing, so the chunk that computes index [i] is fixed by
-    [(jobs, n)] alone. Worker domains are tagged with their chunk index
-    via {!Fortress_prof.Profiler.set_merge_rank} so profiler sample rings
-    merge in partition order at export. *)
+    The partition — how [0, n) splits into chunks — is a pure function of
+    [(jobs, n, min_chunk)] ({!Partition.chunks}) and, together with
+    index-derived PRNG streams and chunk-ordered join-replay, fully
+    determines every observable result. Execution is then free to adapt to
+    the machine: chunks are dealt round-robin onto
+    [lanes = min #chunks (available domains)], lane 0 on the calling
+    domain, each other lane on one pooled worker (chunk [c] runs on lane
+    [c mod lanes], ascending). Capping active lanes at the hardware's
+    domain count avoids OCaml 5's stop-the-world minor-GC penalty for
+    oversubscribed running domains; parked pool workers are exempt.
+
+    Worker lanes tag their persistent per-domain profiler state with the
+    lane index via {!Fortress_prof.Profiler.set_merge_rank}, so sample
+    rings merge in lane order at export. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
-    --jobs when the caller wants "use the machine". *)
+(** [Domain.recommended_domain_count ()], at least 1 — a sensible [--jobs]
+    when the caller wants "use the machine". [jobs] counts the calling
+    domain: a run at [jobs = j] uses the caller plus at most [j - 1]
+    pooled workers, so this default saturates the machine without
+    oversubscribing it. *)
+
+val set_max_active_domains : int option -> unit
+(** Test hook: override how many domains may run concurrently ([None]
+    restores the hardware limit). Forcing a limit above the hardware count
+    makes a box with few cores exercise the real multi-lane code path;
+    results are unaffected either way, because the chunk → lane assignment
+    never feeds back into the partition. *)
 
 val map_chunks :
-  jobs:int -> n:int -> f:(chunk:int -> lo:int -> hi:int -> 'a) -> 'a array
-(** [map_chunks ~jobs ~n ~f] applies [f] to every chunk of
-    [Partition.chunks ~jobs ~n] and returns the results in chunk order.
-    [f] receives the chunk number and its half-open index range. With one
-    chunk (or [jobs <= 1]) everything runs inline and no domain is
-    spawned. If any chunk raises, all domains are still joined and the
-    exception of the lowest-numbered failing chunk is re-raised. *)
+  ?min_chunk:int ->
+  jobs:int ->
+  n:int ->
+  (chunk:int -> lo:int -> hi:int -> 'a) ->
+  'a array
+(** [map_chunks ~jobs ~n f] applies [f] to every chunk of
+    [Partition.chunks ?min_chunk ~jobs ~n ()] and returns the results in
+    chunk order. [f] receives the chunk number and its half-open index
+    range. With one chunk (or one available domain) everything runs inline
+    on the caller and the pool is not touched. If any chunk raises, every
+    chunk still runs to completion and the exception of the
+    lowest-numbered failing chunk is re-raised — regardless of which lane
+    ran it. *)
 
-val map_indices : jobs:int -> n:int -> f:(int -> 'a) -> 'a array
-(** [map_indices ~jobs ~n ~f] is [Array.init n f] computed under the same
+val map_indices : ?min_chunk:int -> jobs:int -> n:int -> (int -> 'a) -> 'a array
+(** [map_indices ~jobs ~n f] is [Array.init n f] computed under the same
     partition: element [i] is [f i], computed by the chunk owning [i],
     returned in index order. *)

@@ -1,17 +1,25 @@
 (* Deterministic work partitioning by trial index: contiguous, balanced
-   chunks fixed entirely by (jobs, n). Workers never steal across chunk
-   boundaries, so which domain runs trial i is a pure function of the
-   requested job count — the scheduling half of the [-j 1] / [-j N]
+   chunks fixed entirely by (jobs, n, min_chunk). Workers never steal
+   across chunk boundaries, so which chunk owns trial i is a pure function
+   of the requested job count — the scheduling half of the [-j 1] / [-j N]
    determinism guarantee (the other half is Prng.split_nth). *)
 
-let clamp_jobs ~jobs ~n =
+let clamp_jobs ?(min_chunk = 1) ~jobs ~n () =
   if n <= 0 then 0
   else if jobs <= 1 then 1
-  else min jobs n
+  else begin
+    let k = min jobs n in
+    (* coarse-chunking floor: per-chunk overhead (task hand-off, arena
+       setup, join-replay) is paid k times, so when trials are cheap a
+       short run must not be shredded into chunks smaller than the
+       overhead is worth. Fewer chunks than jobs is always safe — spare
+       lanes just stay idle. *)
+    if min_chunk <= 1 then k else max 1 (min k (n / min_chunk))
+  end
 
-let chunks ~jobs ~n =
+let chunks ?min_chunk ~jobs ~n () =
   if n < 0 then invalid_arg "Partition.chunks: n must be non-negative";
-  let k = clamp_jobs ~jobs ~n in
+  let k = clamp_jobs ?min_chunk ~jobs ~n () in
   if k = 0 then [||]
   else begin
     let base = n / k and extra = n mod k in
@@ -25,9 +33,9 @@ let chunks ~jobs ~n =
         range)
   end
 
-let chunk_of ~jobs ~n index =
+let chunk_of ?min_chunk ~jobs ~n index =
   if index < 0 || index >= n then invalid_arg "Partition.chunk_of: index out of range";
-  let k = clamp_jobs ~jobs ~n in
+  let k = clamp_jobs ?min_chunk ~jobs ~n () in
   let base = n / k and extra = n mod k in
   let boundary = extra * (base + 1) in
   if index < boundary then index / (base + 1)

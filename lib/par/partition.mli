@@ -1,19 +1,26 @@
 (** Deterministic work partitioning for parallel Monte-Carlo trials.
 
-    A partition is a pure function of the job count and the trial count:
-    contiguous index ranges, sizes differing by at most one, no work
-    stealing. Combined with {!Fortress_util.Prng.split_nth} (per-trial
-    streams derived from the trial index, never from execution order) this
-    makes every per-trial outcome independent of how many domains ran the
-    partition. *)
+    A partition is a pure function of the job count, the trial count and
+    the chunk-size floor: contiguous index ranges, sizes differing by at
+    most one, no work stealing. Combined with
+    {!Fortress_util.Prng.split_nth} (per-trial streams derived from the
+    trial index, never from execution order) this makes every per-trial
+    outcome independent of how many domains ran the partition. *)
 
-val chunks : jobs:int -> n:int -> (int * int) array
-(** [chunks ~jobs ~n] splits the index range [0, n) into
+val chunks : ?min_chunk:int -> jobs:int -> n:int -> unit -> (int * int) array
+(** [chunks ~jobs ~n ()] splits the index range [0, n) into
     [min (max jobs 1) n] contiguous half-open ranges [(lo, hi)], in index
     order. The first [n mod k] chunks hold one extra index. Returns [[||]]
-    when [n = 0]. Raises [Invalid_argument] when [n < 0]. *)
+    when [n = 0]. Raises [Invalid_argument] when [n < 0].
 
-val chunk_of : jobs:int -> n:int -> int -> int
+    [min_chunk] (default 1) is a coarse-chunking floor: the chunk count is
+    reduced (never below 1) until every chunk holds at least [min_chunk]
+    indices, so cheap trials aren't shredded into chunks smaller than the
+    per-chunk overhead. Chunks within the reduced count keep the exact
+    contiguous balanced shape — [chunks ~min_chunk ~jobs ~n ()] equals
+    [chunks ~jobs:k' ~n ()] for the reduced count [k']. *)
+
+val chunk_of : ?min_chunk:int -> jobs:int -> n:int -> int -> int
 (** [chunk_of ~jobs ~n index] is the chunk number that owns [index] under
     the same partition — the closed form of searching {!chunks}. Raises
     [Invalid_argument] when [index] is outside [0, n). *)

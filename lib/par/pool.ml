@@ -1,0 +1,149 @@
+(* A persistent pool of worker domains, spawned lazily and reused for the
+   life of the process. The pool replaces the spawn-per-call executor that
+   made the parallel runner a measured slowdown: Domain.spawn costs
+   milliseconds and — much worse — every extra *running* domain joins the
+   stop-the-world minor-GC barriers, so repeatedly spawning short-lived
+   domains taxed every Trial.run call twice. Pool workers pay the spawn
+   once and park in [Condition.wait] between calls, where a blocked domain
+   does not delay the GC barrier, so an idle pool is free.
+
+   Scheduling is deliberately dumb: there is no shared run queue. A call
+   hands worker [i] exactly the task at index [i] of its batch, runs its
+   own share on the calling domain, then joins every submitted worker.
+   Which work lands in which task is decided by the caller (Exec's
+   deterministic chunk->lane assignment), so nothing about pool scheduling
+   can leak into results. *)
+
+type worker = {
+  w_mutex : Mutex.t;
+  w_has_task : Condition.t;
+  w_done : Condition.t;
+  mutable w_task : (unit -> unit) option;
+  mutable w_busy : bool;  (** a task is pending or running *)
+  mutable w_quit : bool;
+  mutable w_crash : exn option;
+      (** a task that raised anyway (tasks are contractually no-raise);
+          kept so [run] can re-raise instead of losing the error *)
+}
+
+type t = {
+  p_mutex : Mutex.t;  (** guards growth; never held while tasks run *)
+  mutable p_workers : worker array;
+  mutable p_domains : unit Domain.t array;
+}
+
+let worker_loop w =
+  let rec loop () =
+    Mutex.lock w.w_mutex;
+    while w.w_task = None && not w.w_quit do
+      Condition.wait w.w_has_task w.w_mutex
+    done;
+    if w.w_quit then Mutex.unlock w.w_mutex
+    else begin
+      let task = Option.get w.w_task in
+      Mutex.unlock w.w_mutex;
+      (try task () with e -> w.w_crash <- Some e);
+      Mutex.lock w.w_mutex;
+      w.w_task <- None;
+      w.w_busy <- false;
+      Condition.signal w.w_done;
+      Mutex.unlock w.w_mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create () = { p_mutex = Mutex.create (); p_workers = [||]; p_domains = [||] }
+
+let workers t = Array.length t.p_workers
+
+let shutdown t =
+  Mutex.lock t.p_mutex;
+  let ws = t.p_workers and ds = t.p_domains in
+  t.p_workers <- [||];
+  t.p_domains <- [||];
+  Mutex.unlock t.p_mutex;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      w.w_quit <- true;
+      Condition.signal w.w_has_task;
+      Mutex.unlock w.w_mutex)
+    ws;
+  Array.iter Domain.join ds
+
+let ensure t n =
+  if n > workers t then begin
+    Mutex.lock t.p_mutex;
+    let have = Array.length t.p_workers in
+    if n > have then begin
+      let fresh =
+        Array.init (n - have) (fun _ ->
+            {
+              w_mutex = Mutex.create ();
+              w_has_task = Condition.create ();
+              w_done = Condition.create ();
+              w_task = None;
+              w_busy = false;
+              w_quit = false;
+              w_crash = None;
+            })
+      in
+      let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) fresh in
+      t.p_workers <- Array.append t.p_workers fresh;
+      t.p_domains <- Array.append t.p_domains domains
+    end;
+    Mutex.unlock t.p_mutex
+  end
+
+let submit w task =
+  Mutex.lock w.w_mutex;
+  (* [run] never submits to a busy worker; a stuck assert here would mean
+     two concurrent [run] calls shared the pool, which the API forbids *)
+  assert (not w.w_busy);
+  w.w_task <- Some task;
+  w.w_busy <- true;
+  Condition.signal w.w_has_task;
+  Mutex.unlock w.w_mutex
+
+let await w =
+  Mutex.lock w.w_mutex;
+  while w.w_busy do
+    Condition.wait w.w_done w.w_mutex
+  done;
+  Mutex.unlock w.w_mutex
+
+let run t ~tasks ~inline =
+  let k = Array.length tasks in
+  ensure t k;
+  Array.iteri (fun i task -> submit t.p_workers.(i) task) tasks;
+  let own = try Ok (inline ()) with e -> Error e in
+  for i = 0 to k - 1 do
+    await t.p_workers.(i)
+  done;
+  (* a worker crash (contract violation) outranks the inline result: the
+     batch is broken either way and losing the exception would hide it *)
+  for i = 0 to k - 1 do
+    let w = t.p_workers.(i) in
+    match w.w_crash with
+    | Some e ->
+        w.w_crash <- None;
+        raise e
+    | None -> ()
+  done;
+  match own with Ok v -> v | Error e -> raise e
+
+(* The process-wide pool. Created on first parallel call; its workers are
+   parked (not consuming CPU, not delaying GC) whenever no call is active.
+   The at_exit hook joins every domain so the runtime shuts down cleanly
+   even though callers never see the pool's lifetime. *)
+let the_global = ref None
+
+let global () =
+  match !the_global with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      the_global := Some t;
+      at_exit (fun () -> shutdown t);
+      t

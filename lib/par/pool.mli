@@ -1,0 +1,48 @@
+(** Persistent worker-domain pool.
+
+    Domains are spawned lazily, once, and reused for the life of the
+    process; between calls every worker parks in [Condition.wait], where a
+    blocked domain neither consumes CPU nor delays OCaml's stop-the-world
+    minor-GC barriers — an idle pool is free. This amortizes the two costs
+    that made the spawn-per-call executor a measured slowdown: the
+    [Domain.spawn] itself (~ms) and the GC-barrier tax of extra running
+    domains.
+
+    The pool is scheduling-free by design: {!run} hands task [i] to worker
+    [i], nothing more. All policy — how many lanes to use, which chunk of
+    work goes to which lane — lives in {!Exec}, where it is a deterministic
+    function of the partition, so nothing about pool scheduling can leak
+    into results. *)
+
+type t
+
+val global : unit -> t
+(** The process-wide pool, created on first use. An [at_exit] hook joins
+    all of its domains, so callers never manage the pool's lifetime. *)
+
+val create : unit -> t
+(** A private pool — only tests should need one. *)
+
+val workers : t -> int
+(** Worker domains currently spawned (the calling domain is not one). *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] grows the pool to at least [n] worker domains. Never
+    shrinks. Cheap when already satisfied (one array-length read). *)
+
+val run : t -> tasks:(unit -> unit) array -> inline:(unit -> 'a) -> 'a
+(** [run t ~tasks ~inline] submits [tasks.(i)] to worker [i] (growing the
+    pool as needed), executes [inline] on the calling domain, then blocks
+    until every submitted task has finished, and returns [inline]'s
+    result.
+
+    Tasks are contractually no-raise: callers store per-chunk outcomes
+    (including exceptions) in their own slots and settle them after the
+    join. If a task raises anyway, the pool survives — the worker keeps
+    running — and [run] re-raises the crash after joining the batch. Must
+    not be called concurrently from two domains on the same pool; the
+    fortress runners only ever fan out from the controlling domain. *)
+
+val shutdown : t -> unit
+(** Join every worker domain. The pool is empty but usable afterwards
+    ({!ensure} respawns). Called automatically at exit for {!global}. *)

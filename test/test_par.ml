@@ -20,15 +20,22 @@ let check_float = Alcotest.(check (float 0.0))
 
 let test_partition_shapes () =
   Alcotest.(check (array (pair int int)))
-    "10 over 3" [| (0, 4); (4, 7); (7, 10) |] (Partition.chunks ~jobs:3 ~n:10);
+    "10 over 3" [| (0, 4); (4, 7); (7, 10) |] (Partition.chunks ~jobs:3 ~n:10 ());
   Alcotest.(check (array (pair int int)))
-    "more jobs than work" [| (0, 1); (1, 2) |] (Partition.chunks ~jobs:5 ~n:2);
+    "more jobs than work" [| (0, 1); (1, 2) |] (Partition.chunks ~jobs:5 ~n:2 ());
   Alcotest.(check (array (pair int int)))
-    "jobs <= 1 is one chunk" [| (0, 7) |] (Partition.chunks ~jobs:0 ~n:7);
-  Alcotest.(check (array (pair int int))) "empty range" [||] (Partition.chunks ~jobs:4 ~n:0);
+    "jobs <= 1 is one chunk" [| (0, 7) |] (Partition.chunks ~jobs:0 ~n:7 ());
+  Alcotest.(check (array (pair int int)))
+    "empty range" [||] (Partition.chunks ~jobs:4 ~n:0 ());
+  Alcotest.(check (array (pair int int)))
+    "min_chunk floors the chunk count" [| (0, 5); (5, 10) |]
+    (Partition.chunks ~min_chunk:4 ~jobs:8 ~n:10 ());
+  Alcotest.(check (array (pair int int)))
+    "min_chunk above n leaves one chunk" [| (0, 3) |]
+    (Partition.chunks ~min_chunk:16 ~jobs:8 ~n:3 ());
   Alcotest.check_raises "negative n"
     (Invalid_argument "Partition.chunks: n must be non-negative") (fun () ->
-      ignore (Partition.chunks ~jobs:2 ~n:(-1)))
+      ignore (Partition.chunks ~jobs:2 ~n:(-1) ()))
 
 let test_chunk_of_bounds () =
   Alcotest.check_raises "index past n"
@@ -45,14 +52,34 @@ let test_map_indices_is_array_init () =
       Alcotest.(check (array int))
         (Printf.sprintf "jobs=%d" jobs)
         expected
-        (Exec.map_indices ~jobs ~n:23 ~f))
+        (Exec.map_indices ~jobs ~n:23 f))
     [ 1; 2; 3; 4; 7; 32 ]
 
 let test_map_chunks_propagates_first_failure () =
   Alcotest.check_raises "lowest failing chunk wins" (Failure "chunk 1") (fun () ->
       ignore
-        (Exec.map_chunks ~jobs:4 ~n:8 ~f:(fun ~chunk ~lo:_ ~hi:_ ->
+        (Exec.map_chunks ~jobs:4 ~n:8 (fun ~chunk ~lo:_ ~hi:_ ->
              if chunk >= 1 then failwith (Printf.sprintf "chunk %d" chunk) else chunk)))
+
+(* Forcing the active-domain limit above this machine's core count makes
+   the multi-lane pool path run even on a single-core CI box; results are
+   unaffected by construction, which is exactly what these tests pin. *)
+let with_forced_lanes n f =
+  Exec.set_max_active_domains (Some n);
+  Fun.protect ~finally:(fun () -> Exec.set_max_active_domains None) f
+
+let test_pool_usable_after_chunk_failure () =
+  with_forced_lanes 4 (fun () ->
+      Alcotest.check_raises "worker-chunk failure, lowest chunk wins" (Failure "chunk 1")
+        (fun () ->
+          ignore
+            (Exec.map_chunks ~jobs:4 ~n:8 (fun ~chunk ~lo:_ ~hi:_ ->
+                 if chunk >= 1 then failwith (Printf.sprintf "chunk %d" chunk) else chunk)));
+      let f i = (i * 31) - 4 in
+      Alcotest.(check (array int))
+        "pool still serves work after the failure"
+        (Array.init 23 f)
+        (Exec.map_indices ~jobs:4 ~n:23 f))
 
 (* ---- Trial determinism across job counts ---- *)
 
@@ -69,6 +96,44 @@ let run_with_events ~jobs =
     Trial.run ~sink ~monitor ~jobs ~trials:97 ~seed:31 ~sampler:geometric_sampler ()
   in
   (res, read (), monitor)
+
+(* ---- Pool lifecycle ---- *)
+
+let test_pool_reuse_across_job_counts () =
+  with_forced_lanes 4 (fun () ->
+      let pool = Pool.global () in
+      let run jobs = Trial.run ~jobs ~trials:50 ~seed:9 ~sampler:geometric_sampler () in
+      let r3 = run 3 in
+      let after3 = Pool.workers pool in
+      Alcotest.(check bool) "jobs=3 spawned workers" true (after3 >= 2);
+      let r4 = run 4 in
+      let after4 = Pool.workers pool in
+      Alcotest.(check bool) "jobs=4 grew the same pool" true (after4 >= 3);
+      let r2 = run 2 in
+      Alcotest.(check int) "smaller run never shrinks the pool" after4 (Pool.workers pool);
+      Alcotest.(check (array (float 0.0))) "jobs 3 = jobs 4" r3.Trial.lifetimes r4.Trial.lifetimes;
+      Alcotest.(check (array (float 0.0))) "jobs 4 = jobs 2" r4.Trial.lifetimes r2.Trial.lifetimes)
+
+let test_pool_jobs_invariant_forced_workers () =
+  with_forced_lanes 4 (fun () ->
+      let r1, ev1, _ = run_with_events ~jobs:1 in
+      let r4, ev4, _ = run_with_events ~jobs:4 in
+      Alcotest.(check (array (float 0.0))) "lifetimes" r1.Trial.lifetimes r4.Trial.lifetimes;
+      Alcotest.(check bool) "event streams identical" true (ev1 = ev4);
+      let module Timeline = Fortress_obs.Timeline in
+      let inject jobs =
+        Inject.run_plan
+          { Inject.default_config with trials = 6; jobs; telemetry = Some 100.0 }
+          Plan.chaos
+      in
+      let i1 = inject 1 and i4 = inject 4 in
+      Alcotest.(check string) "inject digest" i1.Inject.digest i4.Inject.digest;
+      check_float "inject mean EL" i1.Inject.el.Trial.mean i4.Inject.el.Trial.mean;
+      match (i1.Inject.telemetry, i4.Inject.telemetry) with
+      | Some (tl1, _), Some (tl4, _) ->
+          Alcotest.(check bool) "timeline windows identical" true
+            (Timeline.windows tl1 = Timeline.windows tl4)
+      | _ -> Alcotest.fail "telemetry missing from a run that requested it")
 
 let test_trial_jobs_invariant () =
   let r1, ev1, m1 = run_with_events ~jobs:1 in
@@ -212,7 +277,7 @@ let prop_streams_independent_of_partition =
     QCheck.(triple small_int (int_range 1 40) (int_range 1 8))
     (fun (seed, n, jobs) ->
       let draw ~jobs =
-        Exec.map_indices ~jobs ~n ~f:(fun i ->
+        Exec.map_indices ~jobs ~n (fun i ->
             let prng = Prng.split_nth (Prng.create ~seed) (i + 1) in
             List.init 3 (fun _ -> Prng.bits64 prng))
       in
@@ -222,7 +287,7 @@ let prop_chunks_partition_the_range =
   QCheck.Test.make ~name:"chunks cover [0,n) disjointly, balanced" ~count:500
     QCheck.(pair (int_range 0 200) (int_range 1 32))
     (fun (n, jobs) ->
-      let chunks = Partition.chunks ~jobs ~n in
+      let chunks = Partition.chunks ~jobs ~n () in
       let covered = Array.to_list chunks |> List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun k -> lo + k)) in
       let sizes = Array.to_list chunks |> List.map (fun (lo, hi) -> hi - lo) in
       let contiguous =
@@ -238,13 +303,33 @@ let prop_chunk_of_agrees_with_chunks =
   QCheck.Test.make ~name:"chunk_of is the index of the owning chunk" ~count:500
     QCheck.(pair (int_range 1 120) (int_range 1 16))
     (fun (n, jobs) ->
-      let chunks = Partition.chunks ~jobs ~n in
+      let chunks = Partition.chunks ~jobs ~n () in
       List.for_all
         (fun i ->
           let c = Partition.chunk_of ~jobs ~n i in
           let lo, hi = chunks.(c) in
           lo <= i && i < hi)
         (List.init n Fun.id))
+
+let prop_coarse_chunking_preserves_mapping =
+  (* the min_chunk floor may only reduce the chunk COUNT — the resulting
+     partition must be exactly the plain contiguous partition at that
+     reduced count, with chunk_of in agreement, so coarsening can never
+     reorder or reassign indices *)
+  QCheck.Test.make ~name:"min_chunk coarsening preserves the contiguous mapping" ~count:500
+    QCheck.(triple (int_range 0 200) (int_range 1 32) (int_range 1 64))
+    (fun (n, jobs, min_chunk) ->
+      let coarse = Partition.chunks ~min_chunk ~jobs ~n () in
+      let k' = Array.length coarse in
+      coarse = Partition.chunks ~jobs:k' ~n ()
+      && k' <= Array.length (Partition.chunks ~jobs ~n ())
+      && (k' <= 1 || Array.for_all (fun (lo, hi) -> hi - lo >= min_chunk) coarse)
+      && List.for_all
+           (fun i ->
+             let c = Partition.chunk_of ~min_chunk ~jobs ~n i in
+             let lo, hi = coarse.(c) in
+             lo <= i && i < hi)
+           (List.init n Fun.id))
 
 let properties =
   List.map QCheck_alcotest.to_alcotest
@@ -253,6 +338,7 @@ let properties =
       prop_streams_independent_of_partition;
       prop_chunks_partition_the_range;
       prop_chunk_of_agrees_with_chunks;
+      prop_coarse_chunking_preserves_mapping;
     ]
 
 let () =
@@ -268,6 +354,15 @@ let () =
           Alcotest.test_case "map_indices = Array.init" `Quick test_map_indices_is_array_init;
           Alcotest.test_case "first failing chunk re-raised" `Quick
             test_map_chunks_propagates_first_failure;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "worker failure leaves the pool usable" `Quick
+            test_pool_usable_after_chunk_failure;
+          Alcotest.test_case "reused across runs at different job counts" `Quick
+            test_pool_reuse_across_job_counts;
+          Alcotest.test_case "jobs invariance with forced multi-lane pool" `Slow
+            test_pool_jobs_invariant_forced_workers;
         ] );
       ( "determinism",
         [
