@@ -234,6 +234,28 @@ def main():
     print(f"ok       causal_overhead off-path ratio: {ratio:.3f} <= {CAUSAL_MAX_RATIO:.2f} "
           f"(traced {causal['traced_ratio']:.2f}x, informational)")
 
+    # Workload plane: requests_per_sec is a wall measurement and carries
+    # the one-sided timing tolerance. Everything else in the section is a
+    # deterministic property of the seeded simulation (logical request
+    # counts, virtual-time latency quantiles, availability), so those are
+    # pinned exactly — any drift means the seeded workload changed, which
+    # is a semantic regression, not noise.
+    workload = cur.get("workload_throughput")
+    b_workload = base.get("workload_throughput")
+    if workload is None or b_workload is None:
+        missing = "current" if workload is None else "baseline"
+        print(f"MISSING  workload_throughput: not in {missing} report")
+        return 1
+    checks.append(("workload_throughput requests_per_sec",
+                   b_workload["requests_per_sec"], workload["requests_per_sec"],
+                   False, args.tolerance))
+    for key in ("logical_requests", "answered", "p50_vt", "p99_vt", "availability"):
+        if workload.get(key) != b_workload.get(key):
+            print(f"FAIL     workload_throughput {key}: {workload.get(key)!r} != "
+                  f"baseline {b_workload.get(key)!r} (seeded workload changed)")
+            return 1
+        print(f"ok       workload_throughput {key}: {workload[key]!r} (pinned)")
+
     return evaluate(checks, args.tolerance)
 
 

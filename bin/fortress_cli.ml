@@ -450,6 +450,19 @@ let inject_cmd =
          & info [ "smr" ]
              ~doc:"Run the plan on the 1-tier SMR stack (S0) instead of FORTRESS (S2).")
   in
+  let load_arg =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"SPEC"
+             ~doc:"Attach the production-scale workload plane to every trial: \
+                   $(b,poisson:rate=R) | $(b,uniform:period=P) | \
+                   $(b,bursty:rate=R,burst=RB[,on=25][,off=100]) (open-loop aggregated \
+                   clients) | $(b,closed:clients=N[,think=50]) (closed-loop virtual \
+                   sessions); every kind also takes $(b,,batch=B) and $(b,,timeout=T). \
+                   Adds a service-quality table (availability + p50/p99/p999 latency) per \
+                   plan; on the SMR stack this is the only workload, so availability \
+                   becomes a measured quantity instead of n/a. Off by default; attaching \
+                   load never changes attacker or defense randomness.")
+  in
   let timeline_arg =
     Arg.(value & opt (some float) None
          & info [ "timeline" ] ~docv:"WIDTH"
@@ -465,8 +478,8 @@ let inject_cmd =
          & info [ "causal-profile" ]
              ~doc:"Add wall-clock profiler sample lanes to the $(b,--causal-trace) artifact. Wall-clock timings are nondeterministic, so leave this off when byte-comparing artifacts across job counts.")
   in
-  let run plan trials seed chi omega kappa steps jobs strategy defender game smr timeline
-      causal_trace causal_profile csv trace_out metrics =
+  let run plan trials seed chi omega kappa steps jobs strategy defender game smr load
+      timeline causal_trace causal_profile csv trace_out metrics =
     (match timeline with
     | Some w when not (w > 0.0) ->
         Printf.eprintf "fortress-cli: --timeline width must be positive (got %g)\n" w;
@@ -504,6 +517,16 @@ let inject_cmd =
                 (String.concat " | " Inject.defender_names);
               exit 2)
     in
+    let load =
+      match load with
+      | None -> None
+      | Some s -> (
+          match Fortress_load.Workload.spec_of_string s with
+          | Ok spec -> Some spec
+          | Error e ->
+              Printf.eprintf "fortress-cli: bad --load spec %S: %s\n" s e;
+              exit 2)
+    in
     if game then begin
       let config = { Inject.default_config with trials; seed; chi; omega; kappa;
                      max_steps = steps; jobs } in
@@ -536,12 +559,20 @@ let inject_cmd =
               Some (path, read)
         in
         let config = { Inject.default_config with trials; seed; chi; omega; kappa;
-                       max_steps = steps; jobs; telemetry = timeline; causal } in
+                       max_steps = steps; jobs; load; telemetry = timeline; causal } in
         let stack = if smr then `Smr else `Fortress in
         let report = Inject.run ~sink ?strategy ?defender ~stack ~config ~plans () in
         print_table ~csv (Inject.table report);
         print_newline ();
         print_table ~csv (Inject.fault_breakdown report);
+        (match Inject.load_table report with
+        | None -> ()
+        | Some tbl ->
+            Printf.printf "\nservice quality under load (%s):\n"
+              (match load with
+              | Some spec -> Fortress_load.Workload.spec_to_string spec
+              | None -> "");
+            print_table ~csv tbl);
         (match report.Inject.adapt with
         | None -> ()
         | Some adapt ->
@@ -608,12 +639,116 @@ let inject_cmd =
   let term =
     Term.(const run $ plan_arg $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
           $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg $ strategy_arg
-          $ defender_arg $ game_arg $ smr_arg $ timeline_arg $ causal_trace_arg
+          $ defender_arg $ game_arg $ smr_arg $ load_arg $ timeline_arg $ causal_trace_arg
           $ causal_profile_arg $ csv_arg $ trace_out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "inject"
        ~doc:"Run protocol-level attack campaigns under a named fault plan and report expected-lifetime and availability deltas against the fault-free baseline.")
+    term
+
+(* ---- load ---- *)
+
+let load_cmd =
+  let module Plan = Fortress_faults.Plan in
+  let module Inject = Fortress_exp.Inject in
+  let module Load_compare = Fortress_exp.Load_compare in
+  let module Workload = Fortress_load.Workload in
+  let spec_arg =
+    Arg.(value & opt string "closed:clients=32,think=50"
+         & info [ "spec" ] ~docv:"SPEC"
+             ~doc:"Workload to drive both stacks with: $(b,poisson:rate=R) | \
+                   $(b,uniform:period=P) | $(b,bursty:rate=R,burst=RB[,on=25][,off=100]) | \
+                   $(b,closed:clients=N[,think=50]); every kind also takes $(b,,batch=B) \
+                   and $(b,,timeout=T).")
+  in
+  let plan_arg =
+    Arg.(value & opt string "lossy,crashy"
+         & info [ "plan" ] ~docv:"PLANS"
+             ~doc:"Comma-separated fault plans for the PODC comparison (none is always the \
+                   baseline); $(b,all) selects the whole escalation ladder.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let chi_arg =
+    Arg.(value & opt int 256 & info [ "chi" ] ~docv:"CHI" ~doc:"Key-space size.")
+  in
+  let omega_arg =
+    Arg.(value & opt int 8 & info [ "omega" ] ~docv:"OMEGA" ~doc:"Probes per channel per step.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 400 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Campaign horizon in unit time-steps.")
+  in
+  let degradation_arg =
+    Arg.(value & opt (some string) None
+         & info [ "degradation" ] ~docv:"OMEGAS"
+             ~doc:"Also sweep attack intensity (comma-separated probe budgets, e.g. \
+                   $(b,0,4,16,64)) on both stacks with the fault plan held at none, and \
+                   print the service-degradation surface.")
+  in
+  let run spec plan trials seed chi omega kappa steps jobs degradation csv =
+    let spec =
+      match Workload.spec_of_string spec with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "fortress-cli: bad --spec %S: %s\n" spec e;
+          exit 2
+    in
+    let plans =
+      match plan with
+      | "all" -> List.filter (fun (p : Plan.t) -> p.Plan.name <> "none") Plan.builtins
+      | names ->
+          List.map
+            (fun name ->
+              match Plan.find name with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf
+                    "fortress-cli: unknown fault plan %S (try none | lossy | partition | \
+                     crashy | chaos | all)\n"
+                    name;
+                  exit 2)
+            (List.filter
+               (fun n -> n <> "" && n <> "none")
+               (String.split_on_char ',' names))
+    in
+    let config = { Inject.default_config with Inject.trials; seed; chi; omega; kappa;
+                   max_steps = steps; jobs } in
+    let p = Load_compare.podc ~config ~plans spec in
+    Printf.printf "PODC comparison under matched fault plans (load %s):\n"
+      (Workload.spec_to_string spec);
+    print_table ~csv (Load_compare.podc_table p);
+    (match degradation with
+    | None -> ()
+    | Some omegas ->
+        let omegas =
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some i when i >= 0 -> i
+              | _ ->
+                  Printf.eprintf "fortress-cli: bad --degradation omega %S\n" s;
+                  exit 2)
+            (List.filter (fun s -> s <> "") (String.split_on_char ',' omegas))
+        in
+        let points = Load_compare.degradation ~config ~omegas spec in
+        Printf.printf "\nservice degradation vs attack intensity (plan none):\n";
+        print_table ~csv (Load_compare.degradation_table points));
+    Printf.printf "\noperating point: chi=%d omega=%d kappa=%g trials=%d seed=%d\n"
+      chi omega kappa trials seed
+  in
+  let term =
+    Term.(const run $ spec_arg $ plan_arg
+          $ trials_arg ~default:Fortress_exp.Inject.default_config.Fortress_exp.Inject.trials
+          $ seed_arg $ chi_arg $ omega_arg $ kappa_arg $ steps_arg $ jobs_arg
+          $ degradation_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive both stacks (FORTRESS and SMR) with a production-scale workload under \
+             matched fault plans and attacker entropy, reporting expected lifetime, \
+             availability and tail latency per stack \u{2014} the PODC comparison at the \
+             service level. Bit-identical at any --jobs count.")
     term
 
 (* ---- obs ---- *)
@@ -1011,7 +1146,8 @@ let main_cmd =
   let info = Cmd.info "fortress-cli" ~version:"1.0.0" ~doc ~man in
   Cmd.group info
     [ el_cmd; figure1_cmd; figure2_cmd; ordering_cmd; validate_cmd; ablation_cmd; crossover_cmd;
-      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; obs_cmd; timeline_cmd;
+      podc_cmd; shapes_cmd; report_cmd; simulate_cmd; inject_cmd; load_cmd; obs_cmd;
+      timeline_cmd;
       trace_cmd; prof_cmd; export_cmd;
       sensitivity_cmd; threats_cmd; choose_cmd ]
 

@@ -274,7 +274,11 @@ let redirect_target t j np =
    monotone and resampling is skipped. Reads only; no PRNG, no events. *)
 let sample_unreach t j =
   if t.observing && not t.unreach_seen.(j) then
-    if Deployment.proxy_unreachable t.deployment j then t.unreach_seen.(j) <- true
+    if
+      Fortress_core.Symptom.is_unreachable
+        (Deployment.symptoms t.deployment)
+        (Node_id.Proxy j)
+    then t.unreach_seen.(j) <- true
 
 (* Direct probe slot aimed at proxy [j] (or at a server directly when there
    are no proxies). A fallen proxy turns its remaining slots into
@@ -410,11 +414,13 @@ let observe t =
   let server_delta = t.server_probes - t.m_server_probes in
   let rekey_missed = flips = t.m_flips && server_delta > 0 in
   let unreachable = ref [] in
-  (if np = 0 then
+  (if np = 0 then begin
+     let syms = Deployment.symptoms t.deployment in
      for i = Array.length (Deployment.server_instances t.deployment) - 1 downto 0 do
-       if Deployment.server_unreachable t.deployment i then
+       if Fortress_core.Symptom.is_unreachable syms (Node_id.Server i) then
          unreachable := Node_id.Server i :: !unreachable
      done
+   end
    else
      for j = np - 1 downto 0 do
        if t.unreach_seen.(j) then unreachable := Node_id.Proxy j :: !unreachable

@@ -102,7 +102,7 @@ val set_boundary_hook : t -> name:string -> (Observation.t -> unit) -> unit
 (** Install the per-boundary observer. [name] tags emitted
     {!Fortress_obs.Event.Directive} events. Installing a hook also turns
     on mid-step symptom sampling (pure reads of the deployment's
-    {{!Fortress_core.Deployment.unreachable_symptom} symptom surface} at
+    {{!Fortress_core.Deployment.symptoms} symptom surface} at
     probe times — partition windows can heal before the boundary, so
     sampling must ride the probes). *)
 

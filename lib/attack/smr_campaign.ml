@@ -133,7 +133,11 @@ let probe_replica t i =
     let n = Array.length (Smr_deployment.instances t.deployment) in
     (* each probe is its own liveness check (see Campaign.sample_unreach) *)
     if t.observing && not t.unreach_seen.(i) then
-      if Smr_deployment.replica_unreachable t.deployment i then t.unreach_seen.(i) <- true;
+      if
+        Fortress_core.Symptom.is_unreachable
+          (Smr_deployment.symptoms t.deployment)
+          (Node_id.Replica i)
+      then t.unreach_seen.(i) <- true;
     let i = redirect_target t i n in
     do_probe_replica t i
   end

@@ -5,72 +5,44 @@ module Controller = Fortress_defense.Controller
    steers through an actuator of closures built here; the signal it reads
    comes from [attach_telemetry ~alarms:false] so that attaching a defender
    that never acts leaves the event trace byte-identical to an undefended
-   run (the [static] conformance contract). *)
+   run (the [static] conformance contract). Everything below is written
+   once against [Stack_intf.S]; the historical per-stack entry points are
+   kept as thin shims over [attach_stack]. *)
 
-let attach ?window ?capacity ?params ?(period : float option) deployment ~obfuscation strategy
-    =
-  let engine = Deployment.engine deployment in
-  let _timeline, signal =
-    Deployment.attach_telemetry ?window ?capacity ?params ~alarms:false deployment
-  in
+let attach_stack (type s) (module St : Stack_intf.S with type t = s) ?window ?capacity
+    ?params ?(period : float option) (stack : s) strategy =
+  let engine = St.engine stack in
+  let _timeline, signal = St.attach_telemetry ?window ?capacity ?params ~alarms:false stack in
   let defaults : Controller.defaults =
-    {
-      rekey_period = Obfuscation.period obfuscation;
-      threshold = (Deployment.config deployment).Deployment.proxy.Proxy.detection_threshold;
-    }
+    { rekey_period = St.rekey_period stack; threshold = St.default_threshold stack }
   in
   let actuator =
     {
-      Controller.set_rekey_period = (fun p -> Obfuscation.set_period obfuscation p);
-      set_threshold =
-        (fun k ->
-          Array.iter
-            (fun proxy -> Proxy.set_detection_threshold proxy k)
-            (Deployment.proxies deployment));
+      Controller.set_rekey_period = (fun p -> St.set_rekey_period stack p);
+      set_threshold = (fun k -> St.set_threshold stack k);
       rekey_now =
         (fun () ->
           Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
-              Deployment.rekey deployment));
+              St.rekey_now stack));
       recover_now =
         (fun () ->
           Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
-              Deployment.recover deployment));
+              St.recover_now stack));
     }
   in
-  let period =
-    match period with Some p -> p | None -> Obfuscation.period obfuscation
-  in
+  let period = match period with Some p -> p | None -> St.rekey_period stack in
   Controller.launch ~engine ~signal ~period ~defaults ~actuator strategy
 
-let attach_smr ?window ?capacity ?params ?(period : float option) deployment ~schedule
-    strategy =
-  let engine = Smr_deployment.engine deployment in
-  let _timeline, signal =
-    Smr_deployment.attach_telemetry ?window ?capacity ?params ~alarms:false deployment
-  in
-  let defaults : Controller.defaults =
-    {
-      rekey_period = Smr_deployment.schedule_period schedule;
-      (* S0 has no proxy tier; the threshold knob is a graceful no-op. *)
-      threshold = 1;
-    }
-  in
-  let actuator =
-    {
-      Controller.set_rekey_period =
-        (fun p -> Smr_deployment.set_schedule_period schedule p);
-      set_threshold = (fun _ -> ());
-      rekey_now =
-        (fun () ->
-          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
-              Smr_deployment.force_boundary schedule));
-      recover_now =
-        (fun () ->
-          Fortress_sim.Engine.causal_scope engine "defense.actuate" (fun () ->
-              Smr_deployment.force_boundary schedule));
-    }
-  in
-  let period =
-    match period with Some p -> p | None -> Smr_deployment.schedule_period schedule
-  in
-  Controller.launch ~engine ~signal ~period ~defaults ~actuator strategy
+let attach ?window ?capacity ?params ?period deployment ~obfuscation strategy =
+  attach_stack
+    (module Fortress_stack)
+    ?window ?capacity ?params ?period
+    (Fortress_stack.of_parts ~obfuscation deployment)
+    strategy
+
+let attach_smr ?window ?capacity ?params ?period deployment ~schedule strategy =
+  attach_stack
+    (module Smr_stack)
+    ?window ?capacity ?params ?period
+    (Smr_stack.of_parts ~schedule deployment)
+    strategy

@@ -9,6 +9,25 @@
     {!Fortress_defense.Controller.Strategy.static}) leaves the event trace
     byte-identical to an undefended run. *)
 
+val attach_stack :
+  (module Stack_intf.S with type t = 's) ->
+  ?window:float ->
+  ?capacity:int ->
+  ?params:(Fortress_obs.Signal.kind -> Fortress_obs.Signal.params) ->
+  ?period:float ->
+  's ->
+  Fortress_defense.Controller.Strategy.t ->
+  Fortress_defense.Controller.t
+(** Attach a defender to any stack implementing {!Stack_intf.S}. Defaults
+    come from the stack's live configuration ({!Stack_intf.S.rekey_period}
+    and {!Stack_intf.S.default_threshold} — the stack must have an
+    obfuscation schedule attached); the actuator drives the signature's
+    period/threshold knobs and wraps both boosts in
+    [Engine.causal_scope "defense.actuate"]. [period] is the controller
+    boundary spacing (default: the stack's rekey period, so decisions land
+    between obfuscation boundaries). Telemetry options are passed through
+    to {!Stack_intf.S.attach_telemetry}. *)
+
 val attach :
   ?window:float ->
   ?capacity:int ->
@@ -18,14 +37,11 @@ val attach :
   obfuscation:Obfuscation.t ->
   Fortress_defense.Controller.Strategy.t ->
   Fortress_defense.Controller.t
-(** Attach a defender to a FORTRESS (S1/S2) deployment. Defaults come
-    from the live configuration ([Obfuscation.period] and the configured
-    proxy suspicion threshold); the actuator drives
+(** [attach_stack] over {!Fortress_stack}: the actuator drives
     {!Obfuscation.set_period}, {!Proxy.set_detection_threshold} on every
     proxy, and {!Deployment.rekey} / {!Deployment.recover} for boosts.
-    [period] is the controller boundary spacing (default: the obfuscation
-    period, so decisions land between obfuscation boundaries). Telemetry
-    options are passed through to {!Deployment.attach_telemetry}. *)
+    Kept for callers that hold the raw parts; new code should build a
+    {!Fortress_stack.t} and call {!attach_stack}. *)
 
 val attach_smr :
   ?window:float ->
@@ -36,8 +52,9 @@ val attach_smr :
   schedule:Smr_deployment.schedule ->
   Fortress_defense.Controller.Strategy.t ->
   Fortress_defense.Controller.t
-(** Attach a defender to the S0 SMR baseline. The rekey-period knob
-    drives {!Smr_deployment.set_schedule_period}; both boosts run
+(** [attach_stack] over {!Smr_stack}: the rekey-period knob drives
+    {!Smr_deployment.set_schedule_period}; both boosts run
     {!Smr_deployment.force_boundary} (recovery is the batched boundary
     there); the proxy-threshold knob is a graceful no-op — S0 has no
-    proxy tier. *)
+    proxy tier. Kept for callers that hold the raw parts; new code should
+    build an {!Smr_stack.t} and call {!attach_stack}. *)

@@ -322,11 +322,24 @@ let proxy_unreachable t i =
              (fun s -> Network.is_up t.net s && not (Network.partitioned t.net t.proxy_addresses.(i) s))
              t.server_addresses))
 
-let unreachable_symptom t = function
-  | Node_id.Server i -> server_unreachable t i
-  | Node_id.Proxy i -> proxy_unreachable t i
-  | Node_id.Nameserver -> not (Nameserver.is_up t.nameserver)
-  | Node_id.Replica _ -> false
+(* The list is in node order: servers, proxies, nameserver. The quiescent
+   precheck must also cover the nameserver — its liveness is tracked by
+   Nameserver.set_down, not by the network — or a nameserver-only outage
+   would read as symptom-free. *)
+let symptoms t =
+  if Network.quiescent t.net && Nameserver.is_up t.nameserver then []
+  else begin
+    let acc = ref [] in
+    if not (Nameserver.is_up t.nameserver) then
+      acc := Symptom.Unreachable Node_id.Nameserver :: !acc;
+    for j = t.cfg.np - 1 downto 0 do
+      if proxy_unreachable t j then acc := Symptom.Unreachable (Node_id.Proxy j) :: !acc
+    done;
+    for i = t.cfg.ns - 1 downto 0 do
+      if server_unreachable t i then acc := Symptom.Unreachable (Node_id.Server i) :: !acc
+    done;
+    !acc
+  end
 
 let server_compromised t i = t.server_comp.(i)
 let proxy_compromised t i = t.cfg.np > 0 && t.proxy_comp.(i)

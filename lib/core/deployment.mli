@@ -102,19 +102,17 @@ val restart_nameserver : t -> unit
     What an attacker-side liveness check observes from outside the
     perimeter — a request to a down node, or to a proxy cut off from every
     live server, times out; nothing about keys, epochs or compromise flags
-    leaks. All three are pure reads: no PRNG consumption, no events, so
-    adaptive campaigns can sample them without perturbing traces. *)
+    leaks. Pure reads: no PRNG consumption, no events, so adaptive
+    campaigns can sample them without perturbing traces. *)
 
-val server_unreachable : t -> int -> bool
-(** Server [i] would time out (node down). False for out-of-range [i]. *)
-
-val proxy_unreachable : t -> int -> bool
-(** Proxy [i] would time out: node down, or partitioned from every live
-    server so its forwarded requests die. False for out-of-range [i]. *)
-
-val unreachable_symptom : t -> Fortress_model.Node_id.t -> bool
-(** The same check keyed by node id; [Replica] nodes do not exist here and
-    read as reachable. *)
+val symptoms : t -> Symptom.t list
+(** Every node that would time out right now, in node order (servers,
+    proxies, nameserver): a down server, a proxy that is down or
+    partitioned from every live server, a downed nameserver. Empty — at
+    O(1) cost — while the network is quiescent and the nameserver is up.
+    This accessor replaces the former [server_unreachable] /
+    [proxy_unreachable] / [unreachable_symptom] boolean methods and is
+    the {!Stack_intf.S} symptom surface. *)
 
 (** {1 Compromise bookkeeping (driven by attack campaigns)} *)
 

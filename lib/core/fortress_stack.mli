@@ -1,0 +1,16 @@
+(** The fortified S1/S2 system behind the shared {!Stack_intf.S}
+    signature: a {!Deployment} plus its (optional) {!Obfuscation}
+    schedule.
+
+    The wrapper owns no state of its own — it pairs the deployment with
+    the schedule handle so the signature's rekey-period knobs have a
+    target. The defense actuators ({!rekey_period}, {!set_rekey_period})
+    raise [Invalid_argument] until a schedule is attached; everything
+    else works on a bare deployment. *)
+
+include Stack_intf.S with type client = Client.t
+
+val of_parts : ?obfuscation:Obfuscation.t -> Deployment.t -> t
+val deployment : t -> Deployment.t
+val obfuscation : t -> Obfuscation.t option
+val set_obfuscation : t -> Obfuscation.t -> unit

@@ -93,6 +93,17 @@ let replica_unreachable t i =
   && i >= 0 && i < t.cfg.n
   && not (Network.is_up t.net t.addresses.(i))
 
+let symptoms t =
+  if Network.quiescent t.net then []
+  else begin
+    let acc = ref [] in
+    for i = t.cfg.n - 1 downto 0 do
+      if replica_unreachable t i then
+        acc := Symptom.Unreachable (Fortress_model.Node_id.Replica i) :: !acc
+    done;
+    !acc
+  end
+
 type client = {
   c_net : Smr.msg Network.t;
   c_self : Address.t;

@@ -46,9 +46,12 @@ val replicas : t -> Fortress_replication.Smr.replica array
 val instances : t -> Fortress_defense.Instance.t array
 val addresses : t -> Fortress_net.Address.t array
 
-val replica_unreachable : t -> int -> bool
-(** External symptom: a request to replica [i] would time out (node down).
-    Pure read — no PRNG consumption, no events. False when out of range. *)
+val symptoms : t -> Symptom.t list
+(** External symptom surface: every replica whose requests would time out
+    right now (node down), in replica order. Pure read — no PRNG
+    consumption, no events; empty at O(1) cost while the network is
+    quiescent. Replaces the former [replica_unreachable] boolean method
+    and is the {!Stack_intf.S} symptom surface. *)
 
 type client
 

@@ -1,0 +1,18 @@
+(** The S0 SMR baseline behind the shared {!Stack_intf.S} signature: a
+    {!Smr_deployment} plus its (optional) batched obfuscation schedule.
+
+    The client wrapper emits the same [Request_submitted] /
+    [Request_completed] event pair the fortress {!Client} emits — the raw
+    {!Smr_deployment.client} predates the workload plane and is silent —
+    so per-window goodput and latency accounting read one event stream on
+    either stack. The defense actuators raise [Invalid_argument] until a
+    schedule is attached; both boosts run the batched boundary
+    ({!Smr_deployment.force_boundary}), and the proxy-threshold knob is a
+    graceful no-op. *)
+
+include Stack_intf.S
+
+val of_parts : ?schedule:Smr_deployment.schedule -> Smr_deployment.t -> t
+val deployment : t -> Smr_deployment.t
+val schedule : t -> Smr_deployment.schedule option
+val set_schedule : t -> Smr_deployment.schedule -> unit

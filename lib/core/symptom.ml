@@ -1,0 +1,9 @@
+module Node_id = Fortress_model.Node_id
+
+type t = Unreachable of Node_id.t
+
+let to_string = function
+  | Unreachable id -> Printf.sprintf "unreachable %s" (Node_id.to_string id)
+
+let unreachable syms = List.map (function Unreachable id -> id) syms
+let is_unreachable syms id = List.mem (Unreachable id) syms

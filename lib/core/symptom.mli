@@ -1,0 +1,22 @@
+(** Externally observable symptoms of a deployed stack.
+
+    A symptom is what an outside observer — an attacker-side liveness
+    check, a client-side health probe — can see without any access to
+    defender internals: today that is only unreachability (a request to
+    the node would time out). Both stacks expose one
+    [symptoms : t -> Symptom.t list] accessor built on these values,
+    replacing the per-stack ad-hoc boolean methods; the reads are pure
+    (no PRNG consumption, no events), so sampling them never perturbs a
+    trace. *)
+
+type t = Unreachable of Fortress_model.Node_id.t
+
+val to_string : t -> string
+
+val unreachable : t list -> Fortress_model.Node_id.t list
+(** The unreachable node ids, in the order the stack listed them
+    (node order: servers, proxies, nameserver on FORTRESS; replicas on
+    SMR). *)
+
+val is_unreachable : t list -> Fortress_model.Node_id.t -> bool
+(** Membership test: whether the listed symptoms mark [id] unreachable. *)

@@ -1,19 +1,8 @@
-module Deployment = Fortress_core.Deployment
-module Smr_deployment = Fortress_core.Smr_deployment
-module Obfuscation = Fortress_core.Obfuscation
-module Client = Fortress_core.Client
-module Defense_control = Fortress_core.Defense_control
 module Controller = Fortress_defense.Controller
 module Mdp = Fortress_defense.Mdp
-module Smr_campaign = Fortress_attack.Smr_campaign
-module Campaign = Fortress_attack.Campaign
 module Adaptive = Fortress_attack.Adaptive
-module Stats = Fortress_attack.Campaign_intf.Stats
-module Keyspace = Fortress_defense.Keyspace
 module Engine = Fortress_sim.Engine
 module Plan = Fortress_faults.Plan
-module Wiring = Fortress_faults.Wiring
-module Smr_wiring = Fortress_faults.Smr_wiring
 module Injector = Fortress_faults.Injector
 module Trial = Fortress_mc.Trial
 module Sink = Fortress_obs.Sink
@@ -21,6 +10,7 @@ module Timeline = Fortress_obs.Timeline
 module Signal = Fortress_obs.Signal
 module Latency = Fortress_obs.Latency
 module Table = Fortress_util.Table
+module Workload = Fortress_load.Workload
 
 type config = {
   trials : int;
@@ -31,6 +21,11 @@ type config = {
   workload_period : float;
   seed : int;
   jobs : int;
+  load : Workload.spec option;
+      (** attach the {!Fortress_load.Workload} plane (open/closed-loop
+          seeded load with latency accounting) to every trial; [None]
+          (the default) keeps the run byte-identical to a load-free
+          build *)
   telemetry : float option;
       (** window width (virtual time) for the pooled timeline; [None]
           (the default) keeps the run byte-identical to a telemetry-free
@@ -52,6 +47,7 @@ let default_config =
     workload_period = 20.0;
     seed = 1;
     jobs = 1;
+    load = None;
     telemetry = None;
     causal = false;
   }
@@ -61,7 +57,13 @@ type run = {
   el : Trial.result;
   requests_issued : int;
   requests_answered : int;
-  availability : float;
+  availability : float option;
+      (** answered / issued; [None] when the run issued no requests (the
+          SMR path without [--load]) instead of a fabricated 1.0 *)
+  load : Workload.stats option;
+      (** workload-plane accounting (logical counts + latency histogram),
+          merged over all trials in index order; present when
+          {!config.load} was set *)
   faults : Injector.stats;  (** summed over all trials *)
   directives : int;  (** adaptive directives applied, summed over all trials *)
   defender_directives : int;
@@ -101,100 +103,71 @@ let attach_causal_plane engine = function
       let tl, _signals = Engine.attach_telemetry ~alarms:true engine in
       Some tl
 
-let one_trial ?strategy ?defender cfg plan ~digest ~record ~latency ~trace_id ~faults ~issued
-    ~answered ~directives ~ddirectives ~seed =
+(* One campaign on any stack implementing Stack_driver.S — the fortress
+   and SMR trial bodies used to be near-duplicates of this function. The
+   operation order is load-bearing for byte-identity with the historical
+   per-stack code: sinks, causal plane, obfuscation, fault plan, defender,
+   the default health-probe workload (fortress only), then the campaign.
+   The [--load] workload plane attaches after the default client so a
+   load-free run consumes exactly the historical PRNG stream. *)
+let stack_trial (type s) (module D : Stack_driver.S with type t = s) ?strategy ?defender
+    cfg plan ~digest ~record ~latency ~trace_id ~faults ~issued ~answered ~load_stats
+    ~directives ~ddirectives ~seed =
   let period = 100.0 in
-  let deployment =
-    Deployment.create
-      { Deployment.default_config with keyspace = Keyspace.of_size cfg.chi; seed }
-  in
-  let engine = Deployment.engine deployment in
+  let stack : s = D.make ~chi:cfg.chi ~seed in
+  let engine = D.engine stack in
   ignore (Sink.attach (Engine.sink engine) digest);
   Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
   Option.iter (fun l -> ignore (Sink.attach (Engine.sink engine) l)) latency;
   let causal_tl = attach_causal_plane engine trace_id in
-  let obfuscation = Obfuscation.attach deployment ~mode:Obfuscation.PO ~period in
-  let handle = Wiring.install plan ~deployment ~obfuscation ~seed () in
+  D.start_obfuscation stack ~period;
+  let plan_stats = D.install_plan stack plan ~seed in
   (* the defender arms after the obfuscation daemon, so at a shared
      boundary time the rekey lands (closing the telemetry window) before
      the controller observes it *)
-  let defense =
-    Option.map (fun s -> Defense_control.attach deployment ~obfuscation s) defender
-  in
-  let client = Deployment.new_client deployment ~name:"workload" in
-  let n = ref 0 in
-  ignore
-    (Engine.every engine ~period:cfg.workload_period (fun () ->
-         incr n;
-         incr issued;
-         ignore
-           (Client.submit client
-              ~cmd:(Printf.sprintf "get health%d" !n)
-              ~on_response:(fun _ -> incr answered))));
-  let attack_cfg =
-    Campaign.make_config ~omega:cfg.omega ~kappa:cfg.kappa ~period ~seed:(seed + 7919) ()
+  let defense = Option.map (fun s -> D.attach_defense stack s) defender in
+  if D.default_workload then begin
+    let client = D.new_client stack ~name:"workload" in
+    let n = ref 0 in
+    ignore
+      (Engine.every engine ~period:cfg.workload_period (fun () ->
+           incr n;
+           incr issued;
+           ignore
+             (D.submit client
+                ~cmd:(Printf.sprintf "get health%d" !n)
+                ~on_response:(fun _ -> incr answered))))
+  end;
+  let load_handle =
+    Option.map
+      (fun spec -> Workload.attach (module D : Fortress_core.Stack_intf.S with type t = s and type client = D.client) stack ~seed spec)
+      cfg.load
   in
   let lifetime =
-    match strategy with
-    | None ->
-        (* the legacy fixed-schedule path, kept separate so its byte-trace
-           never depends on the adaptive plumbing *)
-        let campaign = Campaign.launch deployment attack_cfg in
-        Campaign.run_until_compromise campaign ~max_steps:cfg.max_steps
-    | Some strategy ->
-        let adaptive =
-          Adaptive.launch deployment (Adaptive.make_config ~strategy attack_cfg)
-        in
-        let lifetime = Adaptive.run_until_compromise adaptive ~max_steps:cfg.max_steps in
-        directives := !directives + (Adaptive.stats adaptive).Stats.directives_applied;
-        lifetime
+    if cfg.omega = 0 then begin
+      (* the no-attack baseline of the degradation surface: no campaign
+         is launched (both campaign constructors reject omega = 0), the
+         engine just runs the same virtual horizon the campaign would *)
+      Engine.run ~until:(float_of_int cfg.max_steps *. period) (D.engine stack);
+      None
+    end
+    else
+      D.run_campaign ?strategy stack ~omega:cfg.omega ~kappa:cfg.kappa ~period
+        ~seed:(seed + 7919) ~max_steps:cfg.max_steps ~directives
   in
   Option.iter
     (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
     defense;
+  (match (load_handle, load_stats) with
+  | Some h, Some acc ->
+      let s = Workload.stats h in
+      (* logical load requests join the availability denominator *)
+      issued := !issued + s.Workload.issued;
+      answered := !answered + s.Workload.answered;
+      Workload.accumulate acc s
+  | _ -> ());
   Option.iter Timeline.finish causal_tl;
-  accumulate faults (Wiring.stats handle);
-  lifetime
-
-(* The S0 counterpart: the same plan folded onto the replica tier by
-   Smr_wiring, the same paired seeds. S0 has no separate workload client
-   here — EL is the quantity of interest — so availability reports 1. *)
-let one_smr_trial ?strategy ?defender cfg plan ~digest ~record ~latency ~trace_id ~faults
-    ~issued:_ ~answered:_ ~directives ~ddirectives ~seed =
-  let period = 100.0 in
-  let deployment =
-    Smr_deployment.create
-      { Smr_deployment.default_config with keyspace = Keyspace.of_size cfg.chi; seed }
-  in
-  let engine = Smr_deployment.engine deployment in
-  ignore (Sink.attach (Engine.sink engine) digest);
-  Option.iter (fun r -> ignore (Sink.attach (Engine.sink engine) r)) record;
-  Option.iter (fun l -> ignore (Sink.attach (Engine.sink engine) l)) latency;
-  let causal_tl = attach_causal_plane engine trace_id in
-  let schedule = Smr_deployment.attach_schedule deployment ~mode:Obfuscation.PO ~period in
-  let handle = Smr_wiring.install plan ~deployment ~schedule ~seed () in
-  let defense =
-    Option.map (fun s -> Defense_control.attach_smr deployment ~schedule s) defender
-  in
-  let attack_cfg = Smr_campaign.make_config ~omega:cfg.omega ~period ~seed:(seed + 7919) () in
-  let lifetime =
-    match strategy with
-    | None ->
-        let campaign = Smr_campaign.launch deployment attack_cfg in
-        Smr_campaign.run_until_compromise campaign ~max_steps:cfg.max_steps
-    | Some strategy ->
-        let adaptive =
-          Adaptive.Smr.launch deployment (Adaptive.Smr.make_config ~strategy attack_cfg)
-        in
-        let lifetime = Adaptive.Smr.run_until_compromise adaptive ~max_steps:cfg.max_steps in
-        directives := !directives + (Adaptive.Smr.stats adaptive).Stats.directives_applied;
-        lifetime
-  in
-  Option.iter
-    (fun c -> ddirectives := !ddirectives + Controller.directives_applied c)
-    defense;
-  Option.iter Timeline.finish causal_tl;
-  accumulate faults (Smr_wiring.stats handle);
+  accumulate faults (plan_stats ());
   lifetime
 
 (* The per-trial side channel filled in by whichever domain runs the
@@ -212,6 +185,8 @@ type trial_slot = {
       (** the trial's buffered event stream, replayed at the join *)
   ts_latency : Latency.t option;
       (** the trial's extracted latency chains, merged at the join *)
+  ts_load : Workload.stats option;
+      (** the trial's workload-plane accounting, merged at the join *)
 }
 
 let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
@@ -264,11 +239,12 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
         let faults = Injector.fresh_stats () in
         let issued = ref 0 and answered = ref 0 in
         let directives = ref 0 and ddirectives = ref 0 in
+        let load_stats = Option.map (fun _ -> Workload.fresh_stats ()) cfg.load in
         let lifetime =
           trial cfg plan ~digest ~record:(Option.map fst buffer)
             ~latency:(Option.map fst latency)
             ~trace_id:(if cfg.causal then Some (causal_offset + index) else None)
-            ~faults ~issued ~answered ~directives ~ddirectives
+            ~faults ~issued ~answered ~load_stats ~directives ~ddirectives
             ~seed:((cfg.seed * 1000) + index)
         in
         slots.(index - 1) <-
@@ -276,7 +252,8 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
             { ts_digest = finalize (); ts_faults = faults; ts_issued = !issued;
               ts_answered = !answered; ts_directives = !directives;
               ts_ddirectives = !ddirectives; ts_replay = Option.map snd buffer;
-              ts_latency = Option.map (fun (_, fin) -> fin ()) latency };
+              ts_latency = Option.map (fun (_, fin) -> fin ()) latency;
+              ts_load = load_stats };
         lifetime)
       ()
   in
@@ -284,6 +261,7 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
   let issued = ref 0 and answered = ref 0 in
   let directives = ref 0 and ddirectives = ref 0 in
   let digests = ref [] in
+  let load = Option.map (fun _ -> Workload.fresh_stats ()) cfg.load in
   (* fold the per-trial digests and counters in index order at the join *)
   Array.iter
     (function
@@ -294,7 +272,10 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
           issued := !issued + s.ts_issued;
           answered := !answered + s.ts_answered;
           directives := !directives + s.ts_directives;
-          ddirectives := !ddirectives + s.ts_ddirectives)
+          ddirectives := !ddirectives + s.ts_ddirectives;
+          (match (load, s.ts_load) with
+          | Some acc, Some l -> Workload.accumulate acc l
+          | _ -> ()))
     slots;
   let telemetry =
     Option.map
@@ -327,7 +308,9 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
     requests_issued = !issued;
     requests_answered = !answered;
     availability =
-      (if !issued = 0 then 1.0 else float_of_int !answered /. float_of_int !issued);
+      (if !issued = 0 then None
+       else Some (float_of_int !answered /. float_of_int !issued));
+    load;
     faults;
     directives = !directives;
     defender_directives = !ddirectives;
@@ -337,10 +320,23 @@ let run_plan_with trial ?sink ?(causal_offset = 0) cfg plan =
   }
 
 let run_plan ?sink ?causal_offset ?strategy ?defender cfg plan =
-  run_plan_with (one_trial ?strategy ?defender) ?sink ?causal_offset cfg plan
+  run_plan_with
+    (stack_trial (module Stack_driver.Fortress) ?strategy ?defender)
+    ?sink ?causal_offset cfg plan
 
 let run_smr_plan ?sink ?causal_offset ?strategy ?defender cfg plan =
-  run_plan_with (one_smr_trial ?strategy ?defender) ?sink ?causal_offset cfg plan
+  run_plan_with
+    (stack_trial (module Stack_driver.Smr) ?strategy ?defender)
+    ?sink ?causal_offset cfg plan
+
+(* Option-typed availability rendering: [None] (nothing issued) prints as
+   "n/a", and a delta exists only when both sides measured something. *)
+let avail_str = function None -> "n/a" | Some a -> Printf.sprintf "%.3f" a
+
+let davail_str a b =
+  match (a, b) with
+  | Some a, Some b -> Printf.sprintf "%+.3f" (b -. a)
+  | _ -> "-"
 
 let find_defender name =
   if name = "mdp" then Some (Mdp.strategy ()) else Controller.Strategy.find name
@@ -362,9 +358,10 @@ type defend_row = {
   dr_static_el : float;
   dr_defended_el : float;
   dr_delta : float;  (** defended minus static; positive = defender gained *)
-  dr_static_avail : float;
-  dr_defended_avail : float;
-  dr_davail : float;
+  dr_static_avail : float option;
+  dr_defended_avail : float option;
+  dr_davail : float option;
+      (** defended minus static; [None] when either side issued nothing *)
   dr_directives : int;  (** defender directives applied *)
 }
 
@@ -457,7 +454,10 @@ let run ?sink ?strategy ?defender ?(stack = `Fortress) ?(config = default_config
                 dr_delta = d_el -. s_el;
                 dr_static_avail = base.availability;
                 dr_defended_avail = r.availability;
-                dr_davail = r.availability -. base.availability;
+                dr_davail =
+                  (match (base.availability, r.availability) with
+                  | Some b, Some d -> Some (d -. b)
+                  | _ -> None);
                 dr_directives = r.defender_directives;
               })
             (Plan.none :: plans) (baseline :: runs)
@@ -497,9 +497,8 @@ let table report =
         Printf.sprintf "[%.1f, %.1f]" lo hi;
         (if r == report.baseline then "-" else Printf.sprintf "%+.1f" (el -. base_el));
         string_of_int r.el.Trial.censored;
-        Printf.sprintf "%.3f" r.availability;
-        (if r == report.baseline then "-"
-         else Printf.sprintf "%+.3f" (r.availability -. base_av));
+        avail_str r.availability;
+        (if r == report.baseline then "-" else davail_str base_av r.availability);
         string_of_int (Injector.stats_total r.faults);
         string_of_int r.faults.Injector.timeline_fired;
         r.digest;
@@ -537,6 +536,46 @@ let timeline_alarm_table (r : run) =
 
 let latency_table (r : run) = Option.map Latency.table r.latency
 
+(* Service quality under load, one row per plan: logical counts from the
+   workload plane plus the latency tail (virtual-time quantiles from the
+   merged per-trial histograms). Present only when the run carried a
+   [--load] workload. *)
+let load_table report =
+  match report.baseline.load with
+  | None -> None
+  | Some _ ->
+      let t =
+        Table.create
+          ~headers:
+            [ "plan"; "issued"; "answered"; "timed out"; "physical"; "avail"; "p50";
+              "p99"; "p999" ]
+      in
+      let quantile_str s q =
+        match Workload.quantile s q with
+        | Some v -> Printf.sprintf "%.2f" v
+        | None -> "-"
+      in
+      let row (r : run) =
+        Option.iter
+          (fun (s : Workload.stats) ->
+            Table.add_row t
+              [
+                r.plan_name;
+                string_of_int s.Workload.issued;
+                string_of_int s.Workload.answered;
+                string_of_int s.Workload.timed_out;
+                string_of_int s.Workload.submitted;
+                avail_str (Workload.availability s);
+                quantile_str s 0.5;
+                quantile_str s 0.99;
+                quantile_str s 0.999;
+              ])
+          r.load
+      in
+      row report.baseline;
+      List.iter row report.runs;
+      Some t
+
 let adapt_table (a : adapt) =
   let t =
     Table.create
@@ -570,9 +609,9 @@ let defend_table (d : defend) =
           Printf.sprintf "%.1f" r.dr_static_el;
           Printf.sprintf "%.1f" r.dr_defended_el;
           Printf.sprintf "%+.1f" r.dr_delta;
-          Printf.sprintf "%.3f" r.dr_static_avail;
-          Printf.sprintf "%.3f" r.dr_defended_avail;
-          Printf.sprintf "%+.3f" r.dr_davail;
+          avail_str r.dr_static_avail;
+          avail_str r.dr_defended_avail;
+          (match r.dr_davail with Some d -> Printf.sprintf "%+.3f" d | None -> "-");
           string_of_int r.dr_directives;
         ])
     d.drows;
@@ -585,7 +624,7 @@ type game_cell = {
   gc_attacker : string;
   gc_defender : string;
   gc_el : float;
-  gc_availability : float;
+  gc_availability : float option;
   gc_attack_directives : int;
   gc_defense_directives : int;
 }
@@ -660,8 +699,12 @@ let game_table (g : game) =
           c.gc_defender;
           Printf.sprintf "%.1f" c.gc_el;
           (if c.gc_defender = "static" then "-" else delta (fun c -> c.gc_el));
-          Printf.sprintf "%.3f" c.gc_availability;
-          (if c.gc_defender = "static" then "-" else delta (fun c -> c.gc_availability));
+          avail_str c.gc_availability;
+          (if c.gc_defender = "static" then "-"
+           else
+             match base with
+             | Some b -> davail_str b.gc_availability c.gc_availability
+             | None -> "-");
           string_of_int c.gc_attack_directives;
           string_of_int c.gc_defense_directives;
         ])

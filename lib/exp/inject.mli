@@ -28,6 +28,13 @@ type config = {
   workload_period : float;  (** one availability probe every this many time units *)
   seed : int;
   jobs : int;  (** trial-level parallelism; results are job-count invariant *)
+  load : Fortress_load.Workload.spec option;
+      (** when [Some spec], attach the {!Fortress_load.Workload} plane —
+          a seeded open- or closed-loop generator with batch-weighted
+          latency accounting — to every trial, on either stack; its
+          logical requests join the availability denominator. [None]
+          (the default) attaches nothing and leaves every output
+          byte-identical to a load-free build. *)
   telemetry : float option;
       (** when [Some width], pool every trial's event stream (replayed at
           the join in trial-index order via [Sink.buffered]) into a
@@ -55,7 +62,14 @@ type run = {
   el : Fortress_mc.Trial.result;
   requests_issued : int;
   requests_answered : int;
-  availability : float;  (** answered / issued, pooled over all trials *)
+  availability : float option;
+      (** answered / issued, pooled over all trials; [None] when the run
+          issued no requests at all (the SMR path without {!config.load}),
+          rather than a fabricated perfect score *)
+  load : Fortress_load.Workload.stats option;
+      (** workload-plane accounting — logical counts and the latency
+          histogram — merged over all trials in trial-index order;
+          present when {!config.load} was set *)
   faults : Fortress_faults.Injector.stats;  (** summed over all trials *)
   directives : int;
       (** adaptive directives applied, summed over all trials; 0 on the
@@ -101,9 +115,11 @@ val run_smr_plan :
   Fortress_faults.Plan.t ->
   run
 (** The same plan folded onto the 1-tier SMR stack (S0) by
-    {!Fortress_faults.Smr_wiring}; availability reports 1 (no workload
-    client on this path). The defender steers the batched schedule via
-    {!Fortress_core.Defense_control.attach_smr}. *)
+    {!Fortress_faults.Smr_wiring}. Without {!config.load} this path runs
+    no client at all, so [availability] is [None]; with a load spec the
+    workload plane drives the replicas and availability is measured, not
+    fabricated. The defender steers the batched schedule through the
+    shared {!Fortress_core.Stack_intf.S} surface. *)
 
 val find_defender : string -> Fortress_defense.Controller.Strategy.t option
 (** The controller built-ins plus ["mdp"] (the value-iteration
@@ -126,9 +142,10 @@ type defend_row = {
   dr_static_el : float;
   dr_defended_el : float;
   dr_delta : float;  (** defended minus static; positive = defender gained *)
-  dr_static_avail : float;
-  dr_defended_avail : float;
-  dr_davail : float;
+  dr_static_avail : float option;
+  dr_defended_avail : float option;
+  dr_davail : float option;
+      (** defended minus static; [None] when either side issued nothing *)
   dr_directives : int;  (** defender directives applied *)
 }
 
@@ -188,6 +205,13 @@ val latency_table : run -> Fortress_util.Table.t option
     p50/p90/p99 and max over the run's merged {!Fortress_obs.Latency}
     chains. [None] when the run was made without {!config.causal}. *)
 
+val load_table : report -> Fortress_util.Table.t option
+(** Service quality under load, one row per plan: logical issued /
+    answered / timed-out counts, physical submissions, availability, and
+    the virtual-time latency tail (p50 / p99 / p999) from the merged
+    workload histograms. [None] when the report was made without
+    {!config.load}. *)
+
 (** {1 The 2x2 attacker/defender game} *)
 
 type game_cell = {
@@ -195,7 +219,7 @@ type game_cell = {
   gc_attacker : string;
   gc_defender : string;
   gc_el : float;
-  gc_availability : float;
+  gc_availability : float option;
   gc_attack_directives : int;
   gc_defense_directives : int;
 }

@@ -1,0 +1,148 @@
+module Plan = Fortress_faults.Plan
+module Table = Fortress_util.Table
+module Workload = Fortress_load.Workload
+
+type stack_point = {
+  sp_stack : string;
+  sp_plan : string;
+  sp_el : float;
+  sp_availability : float option;
+  sp_issued : int;
+  sp_timed_out : int;
+  sp_p50 : float option;
+  sp_p99 : float option;
+  sp_p999 : float option;
+  sp_digest : string;
+}
+
+type podc = {
+  podc_config : Inject.config;
+  podc_spec : Workload.spec;
+  podc_rows : stack_point list;
+}
+
+let point ~stack ~config (r : Inject.run) =
+  let stats = r.Inject.load in
+  let q p = Option.bind stats (fun s -> Workload.quantile s p) in
+  {
+    sp_stack = stack;
+    sp_plan = r.Inject.plan_name;
+    sp_el = Inject.mean_el config r;
+    sp_availability = r.Inject.availability;
+    sp_issued = (match stats with Some s -> s.Workload.issued | None -> 0);
+    sp_timed_out = (match stats with Some s -> s.Workload.timed_out | None -> 0);
+    sp_p50 = q 0.5;
+    sp_p99 = q 0.99;
+    sp_p999 = q 0.999;
+    sp_digest = r.Inject.digest;
+  }
+
+(* Both stacks under matched fault plans: the per-trial seed sequence is a
+   pure function of (cfg.seed, trial index), so for every plan the two
+   stacks face the same injected-fault randomness and the same attacker
+   entropy — the comparison varies the architecture, nothing else. This is
+   the paper's PODC claim measured at the service level: the fortified
+   primary-backup construction is compared against SMR-with-recovery not
+   just on expected lifetime but on what legitimate clients experience
+   (availability and tail latency) while the attack runs. *)
+let podc ?(config = Inject.default_config) ?(plans = [ Plan.lossy; Plan.crashy ]) spec =
+  let config = { config with Inject.load = Some spec } in
+  let rows =
+    List.concat_map
+      (fun plan ->
+        [
+          point ~stack:"fortress" ~config (Inject.run_plan config plan);
+          point ~stack:"smr" ~config (Inject.run_smr_plan config plan);
+        ])
+      (Plan.none :: plans)
+  in
+  { podc_config = config; podc_spec = spec; podc_rows = rows }
+
+let quantile_str = function Some v -> Printf.sprintf "%.2f" v | None -> "-"
+let avail_str = function Some a -> Printf.sprintf "%.3f" a | None -> "n/a"
+
+let podc_table p =
+  let t =
+    Table.create
+      ~headers:
+        [ "plan"; "stack"; "EL (steps)"; "avail"; "issued"; "timed out"; "p50"; "p99";
+          "p999"; "digest" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.sp_plan;
+          r.sp_stack;
+          Printf.sprintf "%.1f" r.sp_el;
+          avail_str r.sp_availability;
+          string_of_int r.sp_issued;
+          string_of_int r.sp_timed_out;
+          quantile_str r.sp_p50;
+          quantile_str r.sp_p99;
+          quantile_str r.sp_p999;
+          r.sp_digest;
+        ])
+    p.podc_rows;
+  t
+
+(* The service-degradation surface: quality of service as a function of
+   attack intensity, fault plan held at none so the only stressor is the
+   attacker (probe pressure plus whatever the campaign compromises). *)
+type degradation_point = {
+  dp_stack : string;
+  dp_omega : int;
+  dp_el : float;
+  dp_availability : float option;
+  dp_timed_out : int;
+  dp_p50 : float option;
+  dp_p99 : float option;
+  dp_p999 : float option;
+}
+
+let degradation ?(config = Inject.default_config) ?(omegas = [ 0; 4; 16; 64 ]) spec =
+  let base = { config with Inject.load = Some spec } in
+  List.concat_map
+    (fun omega ->
+      let cfg = { base with Inject.omega } in
+      let dp stack (r : Inject.run) =
+        let q p = Option.bind r.Inject.load (fun s -> Workload.quantile s p) in
+        {
+          dp_stack = stack;
+          dp_omega = omega;
+          dp_el = Inject.mean_el cfg r;
+          dp_availability = r.Inject.availability;
+          dp_timed_out =
+            (match r.Inject.load with Some s -> s.Workload.timed_out | None -> 0);
+          dp_p50 = q 0.5;
+          dp_p99 = q 0.99;
+          dp_p999 = q 0.999;
+        }
+      in
+      [
+        dp "fortress" (Inject.run_plan cfg Plan.none);
+        dp "smr" (Inject.run_smr_plan cfg Plan.none);
+      ])
+    omegas
+
+let degradation_table points =
+  let t =
+    Table.create
+      ~headers:
+        [ "omega"; "stack"; "EL (steps)"; "avail"; "timed out"; "p50"; "p99"; "p999" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.dp_omega;
+          p.dp_stack;
+          Printf.sprintf "%.1f" p.dp_el;
+          avail_str p.dp_availability;
+          string_of_int p.dp_timed_out;
+          quantile_str p.dp_p50;
+          quantile_str p.dp_p99;
+          quantile_str p.dp_p999;
+        ])
+    points;
+  t

@@ -1,0 +1,63 @@
+(** The PODC comparison at the service level, plus the degradation
+    surface.
+
+    {!Figures.podc_claim} checks the paper's fortified-PB-vs-SMR ordering
+    on the analytical lifetime model; this module measures the same
+    comparison on the simulated stacks under a production-scale
+    {!Fortress_load.Workload}: both architectures face {e matched} fault
+    plans and attacker entropy (the per-trial seeds are a pure function of
+    the trial index), and each reports expected lifetime {e and} what
+    legitimate clients experienced — availability, timeout counts, and
+    tail latency. Everything is bit-identical at any [jobs] count. *)
+
+type stack_point = {
+  sp_stack : string;  (** ["fortress"] or ["smr"] *)
+  sp_plan : string;
+  sp_el : float;  (** mean expected lifetime, horizon if censored *)
+  sp_availability : float option;
+  sp_issued : int;  (** logical requests issued by the workload plane *)
+  sp_timed_out : int;
+  sp_p50 : float option;  (** latency quantiles in virtual time *)
+  sp_p99 : float option;
+  sp_p999 : float option;
+  sp_digest : string;
+}
+
+type podc = {
+  podc_config : Inject.config;
+  podc_spec : Fortress_load.Workload.spec;
+  podc_rows : stack_point list;  (** plan-major; fortress then smr within *)
+}
+
+val podc :
+  ?config:Inject.config ->
+  ?plans:Fortress_faults.Plan.t list ->
+  Fortress_load.Workload.spec ->
+  podc
+(** Both stacks under [Plan.none :: plans] (default lossy and crashy)
+    with the workload attached; same config and seeds for both stacks, so
+    rows differ only in the architecture. *)
+
+val podc_table : podc -> Fortress_util.Table.t
+
+type degradation_point = {
+  dp_stack : string;
+  dp_omega : int;  (** attacker probes per channel per step *)
+  dp_el : float;
+  dp_availability : float option;
+  dp_timed_out : int;
+  dp_p50 : float option;
+  dp_p99 : float option;
+  dp_p999 : float option;
+}
+
+val degradation :
+  ?config:Inject.config ->
+  ?omegas:int list ->
+  Fortress_load.Workload.spec ->
+  degradation_point list
+(** Service quality vs attack intensity: sweep the attacker's probe
+    budget (default 0, 4, 16, 64) on both stacks with the fault plan held
+    at none, so the only stressor is the campaign itself. *)
+
+val degradation_table : degradation_point list -> Fortress_util.Table.t

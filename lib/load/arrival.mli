@@ -1,0 +1,32 @@
+(** Seeded open-loop arrival processes.
+
+    An open-loop generator models an {e aggregate} client population: a
+    Poisson stream at rate R is exactly what any number of independent
+    clients whose demands sum to R produce, so one generator stands for
+    thousands to millions of users without simulating them individually.
+    [Bursty] is a 2-phase Markov-modulated Poisson process (MMPP-2): a
+    quiet phase at the base rate and a burst phase at a higher rate, with
+    exponentially distributed phase holds — the standard model for flash
+    crowds and correlated demand.
+
+    All draws come from the caller's {!Fortress_util.Prng.t} and nothing
+    else, so an arrival stream is a pure function of the seed: trials are
+    reproducible and job-count invariant. *)
+
+type t =
+  | Uniform of { period : float }  (** one arrival every [period] *)
+  | Poisson of { rate : float }  (** exponential gaps at [rate] per unit time *)
+  | Bursty of { rate : float; burst : float; mean_on : float; mean_off : float }
+      (** MMPP-2: base [rate], burst-phase [burst] rate, exponential phase
+          holds with means [mean_on] / [mean_off] *)
+
+val validate : t -> (unit, string) result
+val to_string : t -> string
+
+type state
+(** Mutable phase state (MMPP phase and its remaining hold). *)
+
+val init : t -> Fortress_util.Prng.t -> state
+
+val next_gap : t -> state -> Fortress_util.Prng.t -> float
+(** Time to the next arrival; advances [state] across phase boundaries. *)

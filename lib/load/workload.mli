@@ -1,0 +1,96 @@
+(** The production-scale workload plane: deterministic, seeded request
+    generators over any {!Fortress_core.Stack_intf.S} stack.
+
+    Two regimes, both standard in load testing:
+
+    - {b open loop}: requests arrive on an {!Arrival} process regardless
+      of how fast the system answers — the aggregate-client model, where
+      a Poisson rate stands for an arbitrarily large population of
+      independent users. Overload shows up as a growing in-flight set and
+      rising tail latency, exactly as in production.
+    - {b closed loop}: [clients] virtual sessions, each submitting, then
+      waiting for its answer (or a [timeout]), thinking for [think] time
+      units, and submitting again — response time feeds back into offered
+      load, and throughput obeys Little's law (N / (Z + R)).
+
+    {b Batching}: one physical protocol request carries [batch] logical
+    requests; counters and latency samples are batch-weighted in O(1)
+    (see {!Fortress_util.Histogram.add_n}), so a trial can account for
+    millions of logical requests while simulating only thousands of
+    messages.
+
+    {b Determinism}: the generator draws from its own PRNG stream derived
+    from [seed], never from the engine's, so attaching load changes
+    nothing about key rotation or attacker draws, and the event stream is
+    a pure function of (seed, spec) — bit-identical at any [--jobs]
+    count. Virtual sessions share {e one} protocol client per trial: the
+    plane scales past per-client simulation by multiplexing sessions, not
+    by registering network nodes. *)
+
+type loop =
+  | Open of Arrival.t
+  | Closed of { clients : int; think : float }
+
+type spec = { loop : loop; batch : int; timeout : float }
+
+val default_timeout : float
+(** 200.0 virtual time units — below the fortress client's full retry
+    budget, so a timed-out request is one the system was genuinely slow
+    to answer. The timeout governs closed-loop sessions (a session gives
+    up and thinks on); open-loop arrivals never wait. *)
+
+val make : ?batch:int -> ?timeout:float -> loop -> spec
+(** [batch] defaults to 1, [timeout] to {!default_timeout}. *)
+
+val validate : spec -> (unit, string) result
+
+val spec_of_string : string -> (spec, string) result
+(** Parse the CLI grammar [KIND:k=v,k=v,...]:
+    - [uniform:period=P]
+    - [poisson:rate=R]
+    - [bursty:rate=R,burst=RB\[,on=25\]\[,off=100\]]
+    - [closed:clients=N\[,think=50\]]
+    every kind also takes [,batch=B] and [,timeout=T]. *)
+
+val spec_to_string : spec -> string
+
+(** {1 Streaming accounting} *)
+
+type stats = {
+  mutable issued : int;  (** logical requests issued (batch-weighted) *)
+  mutable answered : int;  (** logical requests answered before any timeout *)
+  mutable timed_out : int;  (** logical requests abandoned at the timeout *)
+  mutable submitted : int;  (** physical protocol submissions *)
+  latency : Fortress_util.Histogram.t;
+      (** response-time samples (virtual time), batch-weighted; fixed log
+          shape so per-trial histograms merge at the join *)
+}
+
+val fresh_stats : unit -> stats
+val accumulate : stats -> stats -> unit
+
+val availability : stats -> float option
+(** answered / issued; [None] when nothing was issued. *)
+
+val quantile : stats -> float -> float option
+(** Latency quantile (p50 = 0.5, p99 = 0.99, p999 = 0.999) from the
+    binned samples; [None] when nothing was answered. *)
+
+(** {1 Attaching to a stack} *)
+
+type handle
+
+val attach :
+  (module Fortress_core.Stack_intf.S with type t = 's and type client = 'c) ->
+  's ->
+  seed:int ->
+  spec ->
+  handle
+(** Register the generator's client on the stack and schedule the first
+    arrival (open) or session starts (closed); the engine run drives
+    everything else. Raises [Invalid_argument] on an invalid spec. *)
+
+val stats : handle -> stats
+(** Live counters — read after the engine run for final totals. *)
+
+val spec : handle -> spec

@@ -88,6 +88,9 @@ type replica = {
   mutable rep_alive : bool;
   mutable started : bool;
   mutable transferring : bool;
+  mutable transfer_since : float;
+      (** when the current state transfer began; the watchdog re-broadcasts
+          [State_req] once a full period has passed without the f+1 match *)
   mutable rep_compromised : bool;
   mutable exec_since_checkpoint : int;
 }
@@ -122,6 +125,7 @@ let create ~engine ~config ~index ~service ~secret ~self ~addresses ~send =
     rep_alive = false;
     started = false;
     transferring = false;
+    transfer_since = 0.0;
     rep_compromised = false;
     exec_since_checkpoint = 0;
   }
@@ -382,39 +386,11 @@ let handle_viewchange t ~new_view ~last_exec:_ ~index:voter =
 
 let handle_newview t ~view = if view > t.rep_view then adopt_view t view
 
-let watchdog t =
-  if t.rep_alive && not t.transferring then begin
-    let now = Engine.now t.engine in
-    let stuck =
-      Hashtbl.fold
-        (fun id p acc ->
-          acc || ((not (Hashtbl.mem t.executed id)) && now -. p.p_since > t.config.request_timeout))
-        t.pending false
-    in
-    if stuck then begin
-      Engine.emit t.engine
-        (Event.Repl
-           {
-             proto = "smr";
-             kind = "view_demand";
-             detail =
-               Printf.sprintf "replica %d: request timeout, demanding view %d" t.rep_index
-                 (t.rep_view + 1);
-           });
-      (* refresh timers so we do not spam view changes every tick *)
-      Hashtbl.iter
-        (fun id p ->
-          if not (Hashtbl.mem t.executed id) then
-            Hashtbl.replace t.pending id { p with p_since = now })
-        (Hashtbl.copy t.pending);
-      request_viewchange t (t.rep_view + 1)
-    end
-  end
-
 (* ---- state transfer (recovery rejoin) ---- *)
 
 let begin_state_transfer t =
   t.transferring <- true;
+  t.transfer_since <- Engine.now t.engine;
   Hashtbl.reset t.state_votes;
   Hashtbl.reset t.state_payload;
   Dsm.Instance.reset t.service;
@@ -461,6 +437,84 @@ let handle_state_resp t ~seq ~snapshot ~index:voter =
   end
 
 (* ---- dispatch ---- *)
+
+(* A recovering replica's [State_req] is one-shot and its peers answer
+   with their live snapshots, so under concurrent load the f+1 match can
+   fail (peers caught at different execution points) and, without the
+   timers below, the replica would stay [transferring] forever — and a
+   wedged replica ignores ordering traffic AND [State_req], so wedges
+   cascade until the whole group is silent. Both timers fire only in
+   states that were previously permanent wedges: a quiescent group
+   completes every transfer within the same instant, keeping fault-free
+   traces byte-identical to the timer-free build. *)
+let watchdog t =
+  let now = Engine.now t.engine in
+  if t.rep_alive && t.transferring then begin
+    (* the one-shot transfer did not land an f+1 match: re-poll the peers
+       (vote sets persist across polls, so any two answers that ever agree
+       on (seq, digest) complete the transfer) *)
+    if now -. t.transfer_since >= t.config.watchdog_period then begin
+      Engine.emit t.engine
+        (Event.Repl
+           {
+             proto = "smr";
+             kind = "transfer_retry";
+             detail = Printf.sprintf "replica %d re-polling state transfer" t.rep_index;
+           });
+      broadcast t (State_req { reply_to = t.self })
+    end
+  end
+  else if t.rep_alive then begin
+    (* a replica that was recovering while a sequence number committed has
+       a permanent gap — [try_execute] only walks contiguously — so it can
+       never execute anything newer; detect the gap and re-transfer *)
+    let gapped =
+      t.stable_checkpoint > t.last_exec
+      || (not (Hashtbl.mem t.log (t.last_exec + 1)))
+         && Hashtbl.fold
+              (fun seq (e : entry) acc -> acc || (e.e_committed && seq > t.last_exec + 1))
+              t.log false
+    in
+    if gapped then begin
+      Engine.emit t.engine
+        (Event.Repl
+           {
+             proto = "smr";
+             kind = "resync";
+             detail =
+               Printf.sprintf "replica %d behind (executed %d), re-transferring state"
+                 t.rep_index t.last_exec;
+           });
+      begin_state_transfer t
+    end
+    else begin
+      let stuck =
+        Hashtbl.fold
+          (fun id p acc ->
+            acc
+            || ((not (Hashtbl.mem t.executed id)) && now -. p.p_since > t.config.request_timeout))
+          t.pending false
+      in
+      if stuck then begin
+        Engine.emit t.engine
+          (Event.Repl
+             {
+               proto = "smr";
+               kind = "view_demand";
+               detail =
+                 Printf.sprintf "replica %d: request timeout, demanding view %d" t.rep_index
+                   (t.rep_view + 1);
+             });
+        (* refresh timers so we do not spam view changes every tick *)
+        Hashtbl.iter
+          (fun id p ->
+            if not (Hashtbl.mem t.executed id) then
+              Hashtbl.replace t.pending id { p with p_since = now })
+          (Hashtbl.copy t.pending);
+        request_viewchange t (t.rep_view + 1)
+      end
+    end
+  end
 
 let handle t ~src:_ msg =
   if t.rep_alive then

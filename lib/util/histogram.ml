@@ -44,17 +44,22 @@ let position t x =
   | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
   | Log -> if x <= 0.0 then -1.0 else (log x -. log t.lo) /. (log t.hi -. log t.lo)
 
-let add t x =
-  t.total <- t.total + 1;
-  t.sum <- t.sum +. x;
-  let pos = position t x in
-  if pos < 0.0 then t.underflow <- t.underflow + 1
-  else if pos >= 1.0 then t.overflow <- t.overflow + 1
-  else begin
-    let i = int_of_float (pos *. float_of_int (Array.length t.counts)) in
-    let i = Stdlib.min i (Array.length t.counts - 1) in
-    t.counts.(i) <- t.counts.(i) + 1
+let add_n t x n =
+  if n < 0 then invalid_arg "Histogram.add_n: negative weight";
+  if n > 0 then begin
+    t.total <- t.total + n;
+    t.sum <- t.sum +. (x *. float_of_int n);
+    let pos = position t x in
+    if pos < 0.0 then t.underflow <- t.underflow + n
+    else if pos >= 1.0 then t.overflow <- t.overflow + n
+    else begin
+      let i = int_of_float (pos *. float_of_int (Array.length t.counts)) in
+      let i = Stdlib.min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + n
+    end
   end
+
+let add t x = add_n t x 1
 
 let count t = t.total
 let sum t = t.sum
@@ -78,6 +83,47 @@ let bin_value t i =
 
 let fraction t i =
   if t.total = 0 then 0.0 else float_of_int (bin_value t i) /. float_of_int t.total
+
+let same_shape a b =
+  a.scale = b.scale && a.lo = b.lo && a.hi = b.hi
+  && Array.length a.counts = Array.length b.counts
+
+let merge t other =
+  if not (same_shape t other) then invalid_arg "Histogram.merge: shapes differ";
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) other.counts;
+  t.underflow <- t.underflow + other.underflow;
+  t.overflow <- t.overflow + other.overflow;
+  t.total <- t.total + other.total;
+  t.sum <- t.sum +. other.sum
+
+(* Rank statistics from binned counts: walk the cumulative distribution to
+   the bin holding rank q * (total - 1), then interpolate linearly inside
+   it. Underflow mass reads as [lo], overflow as [hi] — the truncation the
+   caller accepted by choosing the range. *)
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if t.total = 0 then None
+  else begin
+    let rank = q *. float_of_int (t.total - 1) in
+    let seen = ref (float_of_int t.underflow) in
+    if rank < !seen then Some t.lo
+    else begin
+      let result = ref None in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           let c = float_of_int t.counts.(i) in
+           if c > 0.0 && rank < !seen +. c then begin
+             let lo, hi = bin_edges t i in
+             let frac = (rank -. !seen) /. c in
+             result := Some (lo +. (frac *. (hi -. lo)));
+             raise Exit
+           end;
+           seen := !seen +. c
+         done
+       with Exit -> ());
+      match !result with Some _ as r -> r | None -> Some t.hi
+    end
+  end
 
 let render ?(width = 50) t =
   let buf = Buffer.create 256 in

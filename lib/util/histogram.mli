@@ -15,6 +15,12 @@ val add : t -> float -> unit
 (** Samples below [lo] land in an underflow counter, samples at or above
     [hi] in an overflow counter. *)
 
+val add_n : t -> float -> int -> unit
+(** [add_n t x n] adds [n] samples of value [x] in O(1) — the accounting
+    primitive behind request batching, where one protocol message stands
+    for [n] logical requests. [add_n t x 0] is a no-op; raises
+    [Invalid_argument] on negative [n]. *)
+
 val count : t -> int
 (** Total samples added, including under/overflow. *)
 
@@ -35,6 +41,19 @@ val bin_value : t -> int -> int
 
 val fraction : t -> int -> float
 (** [bin_value] over total [count]; 0 when the histogram is empty. *)
+
+val merge : t -> t -> unit
+(** [merge t other] folds [other]'s counts, under/overflow and sum into
+    [t] ([other] is unchanged). Raises [Invalid_argument] unless both
+    histograms share scale, range and bin count — merging is meant for
+    same-shaped per-trial histograms joined in index order. *)
+
+val quantile : t -> float -> float option
+(** [quantile t q] estimates the [q]-quantile (q in [0, 1]) by walking the
+    cumulative counts and interpolating linearly inside the holding bin;
+    resolution is the bin width at that point. Underflow mass reads as
+    [lo], overflow mass as [hi]. [None] on an empty histogram; raises
+    [Invalid_argument] when [q] is outside [0, 1]. *)
 
 val render : ?width:int -> t -> string
 (** ASCII bar rendering, one line per non-empty bin. *)

@@ -181,7 +181,8 @@ let test_inject_jobs_invariant () =
   let r1 = run 1 and r4 = run 4 in
   Alcotest.(check string) "digest" r1.Inject.digest r4.Inject.digest;
   check_float "mean EL" r1.Inject.el.Trial.mean r4.Inject.el.Trial.mean;
-  check_float "availability" r1.Inject.availability r4.Inject.availability;
+  Alcotest.(check (option (float 1e-9)))
+    "availability" r1.Inject.availability r4.Inject.availability;
   Alcotest.(check int) "issued" r1.Inject.requests_issued r4.Inject.requests_issued;
   Alcotest.(check bool) "fault stats" true (r1.Inject.faults = r4.Inject.faults)
 
